@@ -1,0 +1,221 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per table
+// and figure (E1–E4), one per ablation (A1–A5), plus per-operation
+// microbenchmarks of the Mux fast paths.
+//
+// The E/A benchmarks execute a whole experiment per iteration and report
+// the simulated (virtual-clock) metrics via b.ReportMetric — wall-clock
+// ns/op for them measures only simulator speed. Run with:
+//
+//	go test -bench=. -benchmem
+package muxfs_test
+
+import (
+	"testing"
+
+	"muxfs"
+	"muxfs/internal/bench"
+)
+
+func BenchmarkE1MigrationMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mux[0][1].MBps, "sim-mux-pm-ssd-MB/s")
+		b.ReportMetric(r.Strata[0][1].MBps, "sim-strata-pm-ssd-MB/s")
+		b.ReportMetric(r.SpeedupPMtoSSD, "speedup-x")
+	}
+}
+
+func BenchmarkE2DeviceThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Speedup, "speedup-"+row.Device+"-x")
+		}
+	}
+}
+
+func BenchmarkE3ReadLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.OverheadPct, "overhead-"+row.Device+"-pct")
+		}
+	}
+}
+
+func BenchmarkE4WriteThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.OverheadPct, "overhead-"+row.Device+"-pct")
+		}
+	}
+}
+
+func BenchmarkA1OCCvsLock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunA1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ConcurrentWritesOCC), "concurrent-writes")
+		b.ReportMetric(float64(r.ContendedOCC.Retries), "occ-retries")
+	}
+}
+
+func BenchmarkA2MetadataAffinity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunA2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Slowdown, "syncall-slowdown-x")
+	}
+}
+
+func BenchmarkA3SCMCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunA3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup, "cache-speedup-x")
+		b.ReportMetric(100*r.HitRate, "hit-rate-pct")
+	}
+}
+
+func BenchmarkA4Policies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunA4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Rows)), "policies")
+	}
+}
+
+func BenchmarkA5BLTOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunA5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BytesPer4K, "blt-bytes-per-4K")
+	}
+}
+
+// --- Per-operation microbenchmarks of the Mux fast paths. ---
+
+func newBenchSystem(b *testing.B, pol muxfs.Policy) *muxfs.System {
+	b.Helper()
+	sys, err := muxfs.New(muxfs.Config{
+		Tiers: []muxfs.TierSpec{
+			{Kind: muxfs.PM, Name: "pmem0"},
+			{Kind: muxfs.SSD, Name: "ssd0"},
+			{Kind: muxfs.HDD, Name: "hdd0"},
+		},
+		Policy: pol,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkMuxRead1B(b *testing.B) {
+	sys := newBenchSystem(b, muxfs.NewPinnedPolicy(0))
+	f, err := sys.FS.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, int64(i)%(1<<20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMuxWrite4K(b *testing.B) {
+	sys := newBenchSystem(b, muxfs.NewPinnedPolicy(0))
+	f, err := sys.FS.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	block := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%4096) * 4096 // stay inside 16 MiB
+		if _, err := f.WriteAt(block, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMuxStat(b *testing.B) {
+	sys := newBenchSystem(b, nil)
+	f, err := sys.FS.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.FS.Stat("/bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMuxMigrate1MB(b *testing.B) {
+	sys := newBenchSystem(b, muxfs.NewPinnedPolicy(0))
+	f, err := sys.FS.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		b.Fatal(err)
+	}
+	pm, ssd := sys.TierID("pmem0"), sys.TierID("ssd0")
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := pm, ssd
+		if i%2 == 1 {
+			src, dst = ssd, pm
+		}
+		if _, err := sys.FS.Migrate("/bench", src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA6Replication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunA6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverheadPct, "replication-overhead-pct")
+	}
+}

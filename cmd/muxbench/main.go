@@ -1,0 +1,117 @@
+// Command muxbench regenerates every figure and result table from the
+// paper's evaluation (§3) plus the ablations in DESIGN.md.
+//
+// Usage:
+//
+//	muxbench            # run everything
+//	muxbench -exp e1    # Figure 3a (migration matrix + extensibility)
+//	muxbench -exp e2    # Figure 3b (device I/O throughput)
+//	muxbench -exp e3    # §3.2 read latency overhead
+//	muxbench -exp e4    # §3.2 write throughput overhead
+//	muxbench -exp a1..a6  # ablations
+//
+// All numbers are virtual-time measurements from the simulated device
+// models, so output is deterministic; see EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"muxfs/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, a1, a2, a3, a4, a5, a6")
+	flag.Parse()
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	ran := false
+	out := os.Stdout
+
+	if want("e1") {
+		ran = true
+		bench.Rule(out, "E1 — Figure 3a")
+		r, err := bench.RunE1()
+		fail(err)
+		bench.FormatE1(out, r)
+	}
+	if want("e2") {
+		ran = true
+		bench.Rule(out, "E2 — Figure 3b")
+		r, err := bench.RunE2()
+		fail(err)
+		bench.FormatE2(out, r)
+	}
+	if want("e3") {
+		ran = true
+		bench.Rule(out, "E3 — §3.2 read latency")
+		r, err := bench.RunE3()
+		fail(err)
+		bench.FormatE3(out, r)
+	}
+	if want("e4") {
+		ran = true
+		bench.Rule(out, "E4 — §3.2 write throughput")
+		r, err := bench.RunE4()
+		fail(err)
+		bench.FormatE4(out, r)
+	}
+	if want("a1") {
+		ran = true
+		bench.Rule(out, "A1 — OCC vs lock migration")
+		r, err := bench.RunA1()
+		fail(err)
+		bench.FormatA1(out, r)
+	}
+	if want("a2") {
+		ran = true
+		bench.Rule(out, "A2 — metadata affinity")
+		r, err := bench.RunA2()
+		fail(err)
+		bench.FormatA2(out, r)
+	}
+	if want("a3") {
+		ran = true
+		bench.Rule(out, "A3 — SCM cache")
+		r, err := bench.RunA3()
+		fail(err)
+		bench.FormatA3(out, r)
+	}
+	if want("a4") {
+		ran = true
+		bench.Rule(out, "A4 — policy comparison")
+		r, err := bench.RunA4()
+		fail(err)
+		bench.FormatA4(out, r)
+	}
+	if want("a5") {
+		ran = true
+		bench.Rule(out, "A5 — BLT space overhead")
+		r, err := bench.RunA5()
+		fail(err)
+		bench.FormatA5(out, r)
+	}
+	if want("a6") {
+		ran = true
+		bench.Rule(out, "A6 — replication")
+		r, err := bench.RunA6()
+		fail(err)
+		bench.FormatA6(out, r)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "muxbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muxbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Command muxd serves a local file system as a remote Mux tier — the
+// server half of Distributed Mux (paper §4). A Mux on another machine (or
+// process) attaches it with System.AddRemoteTier.
+//
+// Usage:
+//
+//	muxd -addr :9321 -kind ssd -capacity 1073741824
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"muxfs"
+)
+
+func main() {
+	addr := flag.String("addr", ":9321", "listen address")
+	kind := flag.String("kind", "ssd", "device kind to serve: pm, ssd, hdd")
+	capacity := flag.Int64("capacity", 0, "device capacity in bytes (0 = class default)")
+	full := flag.Bool("full", false, "serve a whole three-tier Mux instead of a single native file system")
+	flag.Parse()
+
+	var dk muxfs.DeviceKind
+	switch strings.ToLower(*kind) {
+	case "pm":
+		dk = muxfs.PM
+	case "ssd":
+		dk = muxfs.SSD
+	case "hdd":
+		dk = muxfs.HDD
+	default:
+		log.Fatalf("muxd: unknown kind %q (want pm, ssd, or hdd)", *kind)
+	}
+
+	var served muxfs.FileSystem
+	if *full {
+		// Serve an entire tiered Mux: remote clients see the merged
+		// namespace with tiering running on this node.
+		sys, err := muxfs.New(muxfs.Config{
+			Name: "muxd",
+			Tiers: []muxfs.TierSpec{
+				{Kind: muxfs.PM, Name: "pmem0"},
+				{Kind: muxfs.SSD, Name: "ssd0"},
+				{Kind: muxfs.HDD, Name: "hdd0"},
+			},
+			Policy:      muxfs.NewLRUPolicy(),
+			MetaJournal: true,
+		})
+		if err != nil {
+			log.Fatalf("muxd: %v", err)
+		}
+		served = sys.FS
+	} else {
+		// A single-tier system gives us a device + matching native FS.
+		sys, err := muxfs.New(muxfs.Config{
+			Name:   "muxd",
+			Tiers:  []muxfs.TierSpec{{Kind: dk, Name: "served0", Capacity: *capacity}},
+			Policy: muxfs.NewPinnedPolicy(0),
+		})
+		if err != nil {
+			log.Fatalf("muxd: %v", err)
+		}
+		served = sys.Tiers[0].FS
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("muxd: %v", err)
+	}
+	fmt.Printf("muxd: serving %s (%s) on %s\n", served.Name(), *kind, l.Addr())
+	if err := muxfs.ServeTier(l, served); err != nil {
+		log.Fatalf("muxd: %v", err)
+	}
+}

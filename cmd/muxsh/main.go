@@ -1,0 +1,379 @@
+// Command muxsh is an interactive shell over a live three-tier Mux: poke at
+// the namespace, watch data placement, and drive migrations by hand.
+//
+//	$ go run ./cmd/muxsh
+//	mux> put /hello "tiered storage"
+//	mux> where /hello
+//	mux> migrate /hello pmem0 hdd0
+//	mux> where /hello
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"muxfs"
+)
+
+func main() {
+	sys, err := muxfs.New(muxfs.Config{
+		Tiers: []muxfs.TierSpec{
+			{Kind: muxfs.PM, Name: "pmem0"},
+			{Kind: muxfs.SSD, Name: "ssd0"},
+			{Kind: muxfs.HDD, Name: "hdd0"},
+		},
+		Policy:      muxfs.NewLRUPolicy(),
+		MetaJournal: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muxsh:", err)
+		os.Exit(1)
+	}
+	sh := &shell{sys: sys, out: os.Stdout}
+
+	fmt.Println("muxsh — Mux tiered file system shell. Type 'help' for commands.")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("mux> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.dispatch(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+type shell struct {
+	sys *muxfs.System
+	out io.Writer
+}
+
+func (s *shell) dispatch(line string) error {
+	args := fields(line)
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "help":
+		s.help()
+		return nil
+	case "ls":
+		return s.ls(optPath(rest, "/"))
+	case "mkdir":
+		return s.one(rest, s.sys.FS.Mkdir)
+	case "rm":
+		return s.one(rest, s.sys.FS.Remove)
+	case "put":
+		if len(rest) < 2 {
+			return errors.New("usage: put <path> <text>")
+		}
+		return s.put(rest[0], strings.Join(rest[1:], " "))
+	case "fill":
+		if len(rest) != 2 {
+			return errors.New("usage: fill <path> <kib>")
+		}
+		kib, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return err
+		}
+		return s.fill(rest[0], kib)
+	case "cat":
+		if len(rest) != 1 {
+			return errors.New("usage: cat <path>")
+		}
+		return s.cat(rest[0])
+	case "stat":
+		if len(rest) != 1 {
+			return errors.New("usage: stat <path>")
+		}
+		return s.stat(rest[0])
+	case "where":
+		if len(rest) != 1 {
+			return errors.New("usage: where <path>")
+		}
+		return s.where(rest[0])
+	case "tiers":
+		s.tiers()
+		return nil
+	case "migrate":
+		if len(rest) != 3 {
+			return errors.New("usage: migrate <path> <src-tier> <dst-tier>")
+		}
+		return s.migrate(rest[0], rest[1], rest[2])
+	case "policy":
+		if len(rest) != 1 {
+			return errors.New("usage: policy lru|tpfs|hotcold")
+		}
+		return s.policy(rest[0])
+	case "balance":
+		n, err := s.sys.FS.RunPolicyOnce()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "policy runner executed %d migrations\n", n)
+		return nil
+	case "occ":
+		st := s.sys.FS.OCC()
+		fmt.Fprintf(s.out, "migrations=%d bytes=%d conflicts=%d retries=%d lock-fallbacks=%d\n",
+			st.Migrations, st.BytesMoved, st.Conflicts, st.Retries, st.LockFallbacks)
+		return nil
+	case "replica":
+		if len(rest) < 1 {
+			return errors.New("usage: replica <path> [tier-name|off]")
+		}
+		if len(rest) == 1 {
+			tier, err := s.sys.FS.Replica(rest[0])
+			if err != nil {
+				return err
+			}
+			if tier < 0 {
+				fmt.Fprintln(s.out, "no replica")
+			} else {
+				fmt.Fprintf(s.out, "replica on tier %d\n", tier)
+			}
+			return nil
+		}
+		if rest[1] == "off" {
+			return s.sys.FS.ClearReplica(rest[0])
+		}
+		id := s.sys.TierID(rest[1])
+		if id < 0 {
+			return fmt.Errorf("unknown tier %q", rest[1])
+		}
+		return s.sys.FS.SetReplica(rest[0], id)
+	case "fsck":
+		rep := s.sys.FS.Fsck()
+		fmt.Fprintf(s.out, "checked %d files, %d BLT runs, %d bytes\n", rep.Files, rep.BLTRuns, rep.BytesChecked)
+		if rep.OK() {
+			fmt.Fprintln(s.out, "clean")
+		} else {
+			for _, p := range rep.Problems {
+				fmt.Fprintln(s.out, "PROBLEM:", p)
+			}
+		}
+		return nil
+	case "sync":
+		return s.sys.FS.Sync()
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func (s *shell) help() {
+	fmt.Fprint(s.out, `commands:
+  ls [dir]                     list a directory
+  mkdir <dir>                  create a directory
+  put <path> <text>            write text to a file
+  fill <path> <kib>            write KiB of filler data
+  cat <path>                   print a file
+  rm <path>                    remove a file or empty dir
+  stat <path>                  show file metadata
+  where <path>                 show which tiers hold the file's blocks
+  tiers                        show tier usage
+  migrate <path> <src> <dst>   move a file's blocks between tiers (by name)
+  policy lru|tpfs|hotcold      switch the tiering policy
+  balance                      run the policy runner once
+  occ                          show OCC synchronizer counters
+  replica <path> [tier|off]    show/set/clear a file's replica tier
+  fsck                         check Mux metadata against the tiers
+  sync                         persist everything
+  quit                         leave
+`)
+}
+
+func (s *shell) one(rest []string, fn func(string) error) error {
+	if len(rest) != 1 {
+		return errors.New("usage: <cmd> <path>")
+	}
+	return fn(rest[0])
+}
+
+func (s *shell) ls(path string) error {
+	ents, err := s.sys.FS.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		suffix := ""
+		if e.IsDir {
+			suffix = "/"
+		}
+		fmt.Fprintf(s.out, "%s%s\n", e.Name, suffix)
+	}
+	return nil
+}
+
+func (s *shell) put(path, text string) error {
+	f, err := s.sys.FS.Create(path)
+	if errors.Is(err, muxfs.ErrExist) {
+		f, err = s.sys.FS.Open(path)
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte(text), 0); err != nil {
+		return err
+	}
+	return f.Truncate(int64(len(text)))
+}
+
+func (s *shell) fill(path string, kib int) error {
+	f, err := s.sys.FS.Create(path)
+	if errors.Is(err, muxfs.ErrExist) {
+		f, err = s.sys.FS.Open(path)
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	chunk := make([]byte, 1024)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	for k := 0; k < kib; k++ {
+		if _, err := f.WriteAt(chunk, int64(k)*1024); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(s.out, "wrote %d KiB\n", kib)
+	return nil
+}
+
+func (s *shell) cat(path string) error {
+	f, err := s.sys.FS.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	const lim = 4096
+	n := fi.Size
+	if n > lim {
+		n = lim
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	fmt.Fprintln(s.out, string(buf))
+	if fi.Size > lim {
+		fmt.Fprintf(s.out, "... (%d more bytes)\n", fi.Size-lim)
+	}
+	return nil
+}
+
+func (s *shell) stat(path string) error {
+	fi, err := s.sys.FS.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "path=%s size=%d blocks=%d mode=%o mtime=%v atime=%v\n",
+		fi.Path, fi.Size, fi.Blocks, fi.Mode.Perm(), fi.ModTime, fi.ATime)
+	return nil
+}
+
+func (s *shell) where(path string) error {
+	if _, err := s.sys.FS.Stat(path); err != nil {
+		return err
+	}
+	for _, t := range s.sys.Tiers {
+		fi, err := t.FS.Stat(path)
+		if err != nil || fi.Blocks == 0 {
+			continue
+		}
+		fmt.Fprintf(s.out, "%-10s %d bytes\n", t.Spec.Name, fi.Blocks)
+	}
+	return nil
+}
+
+func (s *shell) tiers() {
+	usage := s.sys.FS.TierUsage()
+	for _, t := range s.sys.Tiers {
+		st, _ := t.FS.Statfs()
+		fmt.Fprintf(s.out, "%-10s id=%d  mux-mapped=%-10d fs-used=%-10d capacity=%d\n",
+			t.Spec.Name, t.ID, usage[t.ID], st.Used, st.Capacity)
+	}
+}
+
+func (s *shell) migrate(path, srcName, dstName string) error {
+	src, dst := s.sys.TierID(srcName), s.sys.TierID(dstName)
+	if src < 0 || dst < 0 {
+		return fmt.Errorf("unknown tier (have: %s)", tierNames(s.sys))
+	}
+	moved, err := s.sys.FS.Migrate(path, src, dst)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "moved %d bytes %s -> %s\n", moved, srcName, dstName)
+	return nil
+}
+
+func (s *shell) policy(name string) error {
+	switch name {
+	case "lru":
+		s.sys.FS.SetPolicy(muxfs.NewLRUPolicy())
+	case "tpfs":
+		s.sys.FS.SetPolicy(muxfs.NewTPFSPolicy())
+	case "hotcold":
+		s.sys.FS.SetPolicy(muxfs.NewHotColdPolicy())
+	default:
+		return fmt.Errorf("unknown policy %q", name)
+	}
+	fmt.Fprintf(s.out, "policy set to %s\n", name)
+	return nil
+}
+
+func tierNames(sys *muxfs.System) string {
+	names := make([]string, len(sys.Tiers))
+	for i, t := range sys.Tiers {
+		names[i] = t.Spec.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func optPath(rest []string, def string) string {
+	if len(rest) > 0 {
+		return rest[0]
+	}
+	return def
+}
+
+// fields splits a command line, honoring double quotes.
+func fields(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case r == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

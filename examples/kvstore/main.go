@@ -1,0 +1,231 @@
+// kvstore: a miniature log-structured key-value store built on the Mux
+// public API, showing how a real application exploits tiering:
+//
+//   - the write-ahead log lives on PM (small synchronous appends — exactly
+//     what the TPFS-style rules route to the fastest tier),
+//
+//   - flushed segments start on PM too, and quota policies cascade the
+//     coldest ones down to SSD and then HDD as the store grows, keeping the
+//     fast-tier footprint bounded.
+//
+//     go run ./examples/kvstore
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	"muxfs"
+)
+
+const (
+	walPath    = "/kv/wal"
+	memLimit   = 8 // entries per segment
+	segPattern = "/kv/seg%05d"
+)
+
+// kv is the store: an in-memory table backed by a WAL and sorted segments.
+type kv struct {
+	fs       *muxfs.Mux
+	mem      map[string]string
+	walSize  int64
+	segments int
+}
+
+func newKV(fs *muxfs.Mux) (*kv, error) {
+	if err := fs.Mkdir("/kv"); err != nil && !errors.Is(err, muxfs.ErrExist) {
+		return nil, err
+	}
+	f, err := fs.Create(walPath)
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return &kv{fs: fs, mem: map[string]string{}}, nil
+}
+
+// Put appends to the WAL (fsynced — this is the latency-critical path the
+// PM tier exists for), then updates the memtable, flushing a segment when
+// it fills.
+func (s *kv) Put(key, value string) error {
+	f, err := s.fs.Open(walPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := encodeRecord(key, value)
+	if _, err := f.WriteAt(rec, s.walSize); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	s.walSize += int64(len(rec))
+	s.mem[key] = value
+	if len(s.mem) >= memLimit {
+		return s.flush()
+	}
+	return nil
+}
+
+// Get checks the memtable, then segments newest-first.
+func (s *kv) Get(key string) (string, bool, error) {
+	if v, ok := s.mem[key]; ok {
+		return v, true, nil
+	}
+	for seg := s.segments - 1; seg >= 0; seg-- {
+		v, ok, err := s.searchSegment(seg, key)
+		if err != nil {
+			return "", false, err
+		}
+		if ok {
+			return v, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// flush writes the memtable as a new segment and truncates the WAL.
+func (s *kv) flush() error {
+	path := fmt.Sprintf(segPattern, s.segments)
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var seg []byte
+	for k, v := range s.mem {
+		seg = append(seg, encodeRecord(k, v)...)
+	}
+	if _, err := f.WriteAt(seg, 0); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	s.segments++
+	s.mem = map[string]string{}
+	s.walSize = 0
+	return s.fs.Truncate(walPath, 0)
+}
+
+func (s *kv) searchSegment(seg int, key string) (string, bool, error) {
+	f, err := s.fs.Open(fmt.Sprintf(segPattern, seg))
+	if err != nil {
+		return "", false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return "", false, err
+	}
+	buf := make([]byte, fi.Size)
+	if fi.Size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+			return "", false, err
+		}
+	}
+	for len(buf) > 0 {
+		k, v, rest, err := decodeRecord(buf)
+		if err != nil {
+			return "", false, err
+		}
+		if k == key {
+			return v, true, nil
+		}
+		buf = rest
+	}
+	return "", false, nil
+}
+
+func encodeRecord(k, v string) []byte {
+	out := make([]byte, 8+len(k)+len(v))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(k)))
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(v)))
+	copy(out[8:], k)
+	copy(out[8+len(k):], v)
+	return out
+}
+
+func decodeRecord(buf []byte) (k, v string, rest []byte, err error) {
+	if len(buf) < 8 {
+		return "", "", nil, errors.New("kv: torn record")
+	}
+	kl := binary.LittleEndian.Uint32(buf[0:4])
+	vl := binary.LittleEndian.Uint32(buf[4:8])
+	if int(8+kl+vl) > len(buf) {
+		return "", "", nil, errors.New("kv: torn record body")
+	}
+	k = string(buf[8 : 8+kl])
+	v = string(buf[8+kl : 8+kl+vl])
+	return k, v, buf[8+kl+vl:], nil
+}
+
+func main() {
+	sys, err := muxfs.New(muxfs.Config{
+		Tiers: []muxfs.TierSpec{
+			{Kind: muxfs.PM, Name: "pmem0"},
+			{Kind: muxfs.SSD, Name: "ssd0"},
+			{Kind: muxfs.HDD, Name: "hdd0"},
+		},
+		// TPFS-style base policy: tiny fsynced WAL appends and fresh
+		// segments land on PM. Quotas cascade cold segments down the
+		// hierarchy: at most 32 KiB of segments on PM, 64 KiB on SSD,
+		// everything older sinks to HDD.
+		Policy: muxfs.NewQuotaPolicy(muxfs.NewTPFSPolicy(),
+			muxfs.Quota{Prefix: "/kv/seg", Tier: 0, Bytes: 32 << 10},
+			muxfs.Quota{Prefix: "/kv/seg", Tier: 1, Bytes: 64 << 10}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store, err := newKV(sys.FS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a workload: 200 keys, repeatedly updated.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("user:%03d", i%50)
+		val := strings.Repeat(fmt.Sprintf("v%d-", i), 200) // ~1 KiB values
+		if err := store.Put(key, val); err != nil {
+			log.Fatal(err)
+		}
+		// Periodically let the Policy Runner rebalance (a real deployment
+		// would use Mux.PolicyRunner in the background).
+		if i%50 == 49 {
+			if _, err := sys.FS.RunPolicyOnce(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Point lookups still work wherever the segments migrated to.
+	for _, key := range []string{"user:007", "user:042", "user:049"} {
+		v, ok, err := store.Get(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("get %s -> found=%v len=%d\n", key, ok, len(v))
+	}
+
+	fmt.Printf("\n%d segments flushed; tier placement:\n", store.segments)
+	usage := sys.FS.TierUsage()
+	for _, t := range sys.Tiers {
+		fmt.Printf("  %-8s %8d KiB\n", t.Spec.Name, usage[t.ID]>>10)
+	}
+	walOn := "?"
+	for _, t := range sys.Tiers {
+		if fi, err := t.FS.Stat(walPath); err == nil && fi.Blocks > 0 {
+			walOn = t.Spec.Name
+		}
+	}
+	fmt.Printf("WAL lives on: %s (fast synchronous appends)\n", walOn)
+	rep := sys.FS.Fsck()
+	fmt.Printf("fsck clean: %v\n", rep.OK())
+}

@@ -1,0 +1,100 @@
+// Migration: the OCC Synchronizer (paper §2.4) moving a file between tiers
+// while writers keep updating it — no lost updates, no user-visible locks.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"muxfs"
+)
+
+func main() {
+	sys, err := muxfs.New(muxfs.Config{
+		Tiers: []muxfs.TierSpec{
+			{Kind: muxfs.PM, Name: "pmem0"},
+			{Kind: muxfs.SSD, Name: "ssd0"},
+			{Kind: muxfs.HDD, Name: "hdd0"},
+		},
+		Policy: muxfs.NewPinnedPolicy(0), // everything starts on PM
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := sys.FS
+
+	const size = 8 << 20
+	f, err := fs.Create("/hotfile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	chunk := make([]byte, 1<<20)
+	for i := range chunk {
+		chunk[i] = 0xAA
+	}
+	for off := int64(0); off < size; off += int64(len(chunk)) {
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("created /hotfile (%d MiB on PM)\n", size>>20)
+
+	// Writers hammer the file while it migrates to the SSD tier.
+	stop := make(chan struct{})
+	var writes atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stamp := []byte{byte(0xB0 + w)}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := int64((i*4096 + w*997) % size)
+				if _, err := f.WriteAt(stamp, off); err != nil {
+					log.Printf("writer %d: %v", w, err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(w)
+	}
+
+	pm, ssd := sys.TierID("pmem0"), sys.TierID("ssd0")
+	moved, err := fs.Migrate("/hotfile", pm, ssd)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	occ := fs.OCC()
+	fmt.Printf("migrated %d MiB PM -> SSD while %d writes raced it\n", moved>>20, writes.Load())
+	fmt.Printf("OCC synchronizer: %d conflicts detected, %d retry rounds, %d lock fallbacks\n",
+		occ.Conflicts, occ.Retries, occ.LockFallbacks)
+
+	// Verify nothing was lost or torn: every byte is the fill pattern or a
+	// writer stamp.
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0xAA && (b < 0xB0 || b > 0xB3) {
+			log.Fatalf("byte %d = %#x: migration corrupted data!", i, b)
+		}
+	}
+	fmt.Println("verified: all bytes intact (fill pattern or writer stamps)")
+
+	usage := fs.TierUsage()
+	fmt.Printf("tier usage: PM=%d SSD=%d bytes\n", usage[pm], usage[ssd])
+}

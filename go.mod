@@ -1,0 +1,3 @@
+module muxfs
+
+go 1.22

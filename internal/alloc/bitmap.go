@@ -1,0 +1,195 @@
+// Package alloc provides the block allocators the native file systems use:
+// a bitmap allocator (extlite block groups, novafs log pages) and a
+// first-fit extent allocator (xfslite).
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrNoSpace reports allocator exhaustion.
+var ErrNoSpace = errors.New("alloc: no space")
+
+// Bitmap is a block bitmap allocator over blocks [0, N). It tracks a
+// rotating next-fit cursor so sequential allocations tend to be contiguous,
+// like ext4's block-group goal allocation. Not safe for concurrent use.
+type Bitmap struct {
+	words  []uint64
+	n      int64 // total blocks
+	free   int64
+	cursor int64 // next-fit start position
+}
+
+// NewBitmap creates an allocator over n blocks, all free.
+func NewBitmap(n int64) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{
+		words: make([]uint64, (n+63)/64),
+		n:     n,
+		free:  n,
+	}
+}
+
+// Blocks returns the total number of blocks managed.
+func (b *Bitmap) Blocks() int64 { return b.n }
+
+// Free returns the number of free blocks.
+func (b *Bitmap) Free() int64 { return b.free }
+
+// Used returns the number of allocated blocks.
+func (b *Bitmap) Used() int64 { return b.n - b.free }
+
+func (b *Bitmap) isSet(i int64) bool { return b.words[i/64]&(1<<uint(i%64)) != 0 }
+func (b *Bitmap) set(i int64)        { b.words[i/64] |= 1 << uint(i%64) }
+func (b *Bitmap) clear(i int64)      { b.words[i/64] &^= 1 << uint(i%64) }
+
+// Alloc allocates one block, preferring the next-fit cursor position.
+func (b *Bitmap) Alloc() (int64, error) {
+	if b.free == 0 {
+		return 0, ErrNoSpace
+	}
+	// Scan from cursor, wrapping once.
+	for pass := 0; pass < 2; pass++ {
+		start, end := b.cursor, b.n
+		if pass == 1 {
+			start, end = 0, b.cursor
+		}
+		// Word-at-a-time scan.
+		i := start
+		for i < end {
+			w := b.words[i/64]
+			if bitIdx := i % 64; bitIdx != 0 {
+				w |= (1 << uint(bitIdx)) - 1 // mask bits before i as used
+			}
+			if w != ^uint64(0) {
+				free := int64(bits.TrailingZeros64(^w)) + (i/64)*64
+				if free < end && !b.isSet(free) {
+					b.set(free)
+					b.free--
+					b.cursor = free + 1
+					if b.cursor >= b.n {
+						b.cursor = 0
+					}
+					return free, nil
+				}
+			}
+			i = (i/64 + 1) * 64
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// AllocN allocates n blocks, contiguous when possible, scattered otherwise.
+// On failure nothing is allocated.
+func (b *Bitmap) AllocN(n int) ([]int64, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if int64(n) > b.free {
+		return nil, fmt.Errorf("%w: want %d blocks, %d free", ErrNoSpace, n, b.free)
+	}
+	if start, err := b.AllocContig(n); err == nil {
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = start + int64(i)
+		}
+		return out, nil
+	}
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		blk, err := b.Alloc()
+		if err != nil {
+			for _, bl := range out {
+				b.FreeBlock(bl)
+			}
+			return nil, err
+		}
+		out = append(out, blk)
+	}
+	return out, nil
+}
+
+// AllocContig allocates n contiguous blocks and returns the first.
+func (b *Bitmap) AllocContig(n int) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: invalid count %d", ErrNoSpace, n)
+	}
+	if int64(n) > b.free {
+		return 0, fmt.Errorf("%w: want %d contiguous, %d free", ErrNoSpace, n, b.free)
+	}
+	run := int64(0)
+	runStart := int64(0)
+	scan := func(from, to int64) (int64, bool) {
+		run, runStart = 0, from
+		for i := from; i < to; i++ {
+			if b.isSet(i) {
+				run = 0
+				runStart = i + 1
+				continue
+			}
+			run++
+			if run == int64(n) {
+				return runStart, true
+			}
+		}
+		return 0, false
+	}
+	start, ok := scan(b.cursor, b.n)
+	if !ok {
+		start, ok = scan(0, b.n)
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: no contiguous run of %d", ErrNoSpace, n)
+	}
+	for i := start; i < start+int64(n); i++ {
+		b.set(i)
+	}
+	b.free -= int64(n)
+	b.cursor = start + int64(n)
+	if b.cursor >= b.n {
+		b.cursor = 0
+	}
+	return start, nil
+}
+
+// FreeBlock releases one block. Double frees panic: they indicate allocator
+// state corruption, which must not be masked.
+func (b *Bitmap) FreeBlock(i int64) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("alloc: free of out-of-range block %d", i))
+	}
+	if !b.isSet(i) {
+		panic(fmt.Sprintf("alloc: double free of block %d", i))
+	}
+	b.clear(i)
+	b.free++
+}
+
+// FreeRange releases n blocks starting at start.
+func (b *Bitmap) FreeRange(start int64, n int) {
+	for i := start; i < start+int64(n); i++ {
+		b.FreeBlock(i)
+	}
+}
+
+// IsUsed reports whether block i is allocated.
+func (b *Bitmap) IsUsed(i int64) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.isSet(i)
+}
+
+// MarkUsed force-allocates a specific block (used when rebuilding allocator
+// state during recovery). Marking an already-used block is a no-op.
+func (b *Bitmap) MarkUsed(i int64) {
+	if i < 0 || i >= b.n || b.isSet(i) {
+		return
+	}
+	b.set(i)
+	b.free--
+}

@@ -1,0 +1,205 @@
+package bench
+
+import "testing"
+
+// The experiment tests assert the qualitative shapes the paper reports —
+// who wins, in which direction, within sane bounds — so a regression in any
+// layer of the stack that bends a result the wrong way fails loudly.
+
+func TestE1Shape(t *testing.T) {
+	r, err := RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extensibility: Mux supports all six pairs, Strata exactly two
+	// (PM→SSD, PM→HDD), as in Figure 3a.
+	muxPaths, strataPaths := 0, 0
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			if src == dst {
+				continue
+			}
+			if r.Mux[src][dst].Supported {
+				muxPaths++
+				if r.Mux[src][dst].MBps <= 0 {
+					t.Errorf("mux %s->%s throughput = %v", TierName[src], TierName[dst], r.Mux[src][dst].MBps)
+				}
+			}
+			if r.Strata[src][dst].Supported {
+				strataPaths++
+			}
+		}
+	}
+	if muxPaths != 6 {
+		t.Errorf("Mux supports %d migration paths, want 6", muxPaths)
+	}
+	if strataPaths != 2 {
+		t.Errorf("Strata supports %d migration paths, want 2", strataPaths)
+	}
+	if !r.Strata[0][1].Supported || !r.Strata[0][2].Supported {
+		t.Error("Strata's wired paths are not PM->SSD and PM->HDD")
+	}
+	// Performance: Mux PM→SSD migration beats Strata's substantially
+	// (paper: 2.59x; accept a generous band around it).
+	if r.SpeedupPMtoSSD < 1.5 || r.SpeedupPMtoSSD > 5 {
+		t.Errorf("PM->SSD speedup = %.2fx, want roughly 2.59x", r.SpeedupPMtoSSD)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	r, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mux wins on every device (paper: 1.08x / 1.46x / 1.07x), and the SSD
+	// gap is the largest.
+	for _, row := range r.Rows {
+		if row.Speedup < 1.0 || row.Speedup > 2.5 {
+			t.Errorf("%s speedup = %.2fx, want >= 1 and sane", row.Device, row.Speedup)
+		}
+	}
+	if !(r.Rows[1].Speedup > r.Rows[0].Speedup && r.Rows[1].Speedup > r.Rows[2].Speedup) {
+		t.Errorf("SSD should show the largest Mux advantage: %.2f/%.2f/%.2f",
+			r.Rows[0].Speedup, r.Rows[1].Speedup, r.Rows[2].Speedup)
+	}
+	// Faster devices move more data per second.
+	if !(r.Rows[0].MuxMBps > r.Rows[1].MuxMBps && r.Rows[1].MuxMBps > r.Rows[2].MuxMBps) {
+		t.Errorf("device-speed ordering broken: %.0f/%.0f/%.0f MB/s",
+			r.Rows[0].MuxMBps, r.Rows[1].MuxMBps, r.Rows[2].MuxMBps)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	r, err := RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-case indirection overhead: large on the fast cached paths
+	// (paper: +52.4% PM, +87.3% SSD), small on the slow software path
+	// (+6.6% HDD); SSD > PM > HDD.
+	pm, ssd, hdd := r.Rows[0].OverheadPct, r.Rows[1].OverheadPct, r.Rows[2].OverheadPct
+	if !(ssd > pm && pm > hdd) {
+		t.Errorf("overhead ordering = %.1f/%.1f/%.1f, want SSD > PM > HDD", pm, ssd, hdd)
+	}
+	if pm < 30 || pm > 80 {
+		t.Errorf("PM overhead %.1f%%, want near +52.4%%", pm)
+	}
+	if ssd < 60 || ssd > 120 {
+		t.Errorf("SSD overhead %.1f%%, want near +87.3%%", ssd)
+	}
+	if hdd < 2 || hdd > 15 {
+		t.Errorf("HDD overhead %.1f%%, want near +6.6%%", hdd)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	r, err := RunE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write overhead stays small single-digits everywhere (paper: ≤3.5%).
+	for _, row := range r.Rows {
+		if row.OverheadPct < -0.5 || row.OverheadPct > 5 {
+			t.Errorf("%s write overhead = %.2f%%, want small and non-negative", row.Device, row.OverheadPct)
+		}
+	}
+}
+
+func TestA1Shape(t *testing.T) {
+	r, err := RunA1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OCC adds no meaningful cost when uncontended...
+	if over := (r.QuiescentOCCMs - r.QuiescentLockMs) / r.QuiescentLockMs; over > 0.05 {
+		t.Errorf("quiescent OCC overhead %.1f%%, want < 5%%", 100*over)
+	}
+	// ...and admits user writes during migration, which the lock cannot.
+	if r.ConcurrentWritesOCC == 0 {
+		t.Error("OCC admitted no concurrent writes")
+	}
+	if r.ContendedOCC.Conflicts == 0 || r.ContendedOCC.LockFallbacks != 1 {
+		t.Errorf("contended OCC stats = %+v", r.ContendedOCC)
+	}
+}
+
+func TestA2Shape(t *testing.T) {
+	r, err := RunA2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slowdown < 1.1 {
+		t.Errorf("sync-all slowdown = %.2fx, affinity shows no benefit", r.Slowdown)
+	}
+}
+
+func TestA3Shape(t *testing.T) {
+	r, err := RunA3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup < 1.1 {
+		t.Errorf("SCM cache speedup = %.2fx, want > 1.1x", r.Speedup)
+	}
+	if r.HitRate < 0.3 {
+		t.Errorf("hit rate = %.2f on a Zipfian workload", r.HitRate)
+	}
+}
+
+func TestA4Shape(t *testing.T) {
+	r, err := RunA4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		var total int64
+		for _, b := range row.TierBytes {
+			total += b
+		}
+		if total == 0 {
+			t.Errorf("policy %s placed no data", row.Policy)
+		}
+		if row.HotReadUs <= 0 {
+			t.Errorf("policy %s hot-read latency = %v", row.Policy, row.HotReadUs)
+		}
+	}
+	// HotCold must have demoted the cold bulk off the small PM tier.
+	for _, row := range r.Rows {
+		if row.Policy == "hotcold" && row.TierBytes[2] == 0 {
+			t.Error("hotcold policy never demoted cold data to HDD")
+		}
+	}
+}
+
+func TestA5Shape(t *testing.T) {
+	r, err := RunA5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper claim: < 0.025% space overhead (1 B per 4 KiB block).
+	if r.OverheadPct > 0.025 {
+		t.Errorf("BLT overhead = %.4f%%, exceeds the paper's 0.025%% claim", r.OverheadPct)
+	}
+	if r.Runs == 0 || r.Files == 0 {
+		t.Errorf("BLT stats empty: %+v", r)
+	}
+}
+
+func TestA6Shape(t *testing.T) {
+	r, err := RunA6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FailoverOK {
+		t.Error("failover reads did not serve from the replica")
+	}
+	if r.OverheadPct < 1 {
+		t.Errorf("replication overhead %.1f%% suspiciously free (HDD mirror should cost)", r.OverheadPct)
+	}
+	if r.ReplicatedMBps <= 0 || r.PlainMBps <= r.ReplicatedMBps {
+		t.Errorf("throughputs: plain %.1f, replicated %.1f", r.PlainMBps, r.ReplicatedMBps)
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FormatE1 prints the Figure 3a matrices in the paper's layout.
+func FormatE1(w io.Writer, r *E1Result) {
+	fmt.Fprintln(w, "E1 / Figure 3a — data migration throughput matrix (MB/s); N/S = not supported")
+	for _, sys := range []struct {
+		name string
+		m    *[3][3]E1Cell
+	}{{"Strata", &r.Strata}, {"Mux (NOVA, xfs, ext4)", &r.Mux}} {
+		fmt.Fprintf(w, "\n  %s — source ↓ / target →\n", sys.name)
+		fmt.Fprintf(w, "      %10s %10s %10s\n", TierName[0], TierName[1], TierName[2])
+		for src := 0; src < 3; src++ {
+			cells := make([]string, 3)
+			for dst := 0; dst < 3; dst++ {
+				switch {
+				case src == dst:
+					cells[dst] = "-"
+				case !sys.m[src][dst].Supported:
+					cells[dst] = "N/S"
+				default:
+					cells[dst] = fmt.Sprintf("%.0f", sys.m[src][dst].MBps)
+				}
+			}
+			fmt.Fprintf(w, "  %3s %10s %10s %10s\n", TierName[src], cells[0], cells[1], cells[2])
+		}
+	}
+	fmt.Fprintf(w, "\n  Mux PM→SSD speedup over Strata: %.2fx (paper: 2.59x)\n", r.SpeedupPMtoSSD)
+}
+
+// FormatE2 prints the Figure 3b series.
+func FormatE2(w io.Writer, r *E2Result) {
+	fmt.Fprintln(w, "E2 / Figure 3b — device I/O throughput, random 4 KiB writes pinned per device (MB/s)")
+	fmt.Fprintf(w, "  %-6s %12s %12s %10s %s\n", "Device", "Strata", "Mux", "Mux/Strata", "(paper ratio)")
+	paper := []string{"1.08x", "1.46x", "1.07x"}
+	for i, row := range r.Rows {
+		fmt.Fprintf(w, "  %-6s %12.1f %12.1f %9.2fx %s\n",
+			row.Device, row.StrataMBps, row.MuxMBps, row.Speedup, "("+paper[i]+")")
+	}
+}
+
+// FormatE3 prints the §3.2 read-latency table.
+func FormatE3(w io.Writer, r *E3Result) {
+	fmt.Fprintln(w, "E3 / §3.2 — worst-case read latency: random 1-byte reads, native FS vs Mux (ns/read)")
+	fmt.Fprintf(w, "  %-6s %12s %12s %12s %s\n", "Device", "Native", "Mux", "Overhead", "(paper)")
+	paper := []string{"+52.4%", "+87.3%", "+6.6%"}
+	for i, row := range r.Rows {
+		fmt.Fprintf(w, "  %-6s %12.0f %12.0f %+11.1f%% %s\n",
+			row.Device, row.NativeNs, row.MuxNs, row.OverheadPct, "("+paper[i]+")")
+	}
+}
+
+// FormatE4 prints the §3.2 write-throughput table.
+func FormatE4(w io.Writer, r *E4Result) {
+	fmt.Fprintln(w, "E4 / §3.2 — sequential 4 MiB write throughput, native FS vs Mux (MB/s)")
+	fmt.Fprintf(w, "  %-6s %12s %12s %12s %s\n", "Device", "Native", "Mux", "Overhead", "(paper)")
+	paper := []string{"-1.6%", "-2.2%", "-3.5%"}
+	for i, row := range r.Rows {
+		fmt.Fprintf(w, "  %-6s %12.1f %12.1f %+11.1f%% %s\n",
+			row.Device, row.NativeMBps, row.MuxMBps, -row.OverheadPct, "("+paper[i]+")")
+	}
+}
+
+// Rule prints a section separator.
+func Rule(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

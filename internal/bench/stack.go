@@ -1,0 +1,166 @@
+// Package bench is the experiment harness that regenerates every figure and
+// in-text result table of the paper's evaluation (§3), plus the ablations
+// listed in DESIGN.md. cmd/muxbench is its CLI front-end and the root
+// bench_test.go exposes each experiment as a testing.B benchmark.
+//
+// All timing is virtual (internal/simclock): throughput and latency come
+// from the device/FS cost models, so results are deterministic and
+// host-independent. EXPERIMENTS.md compares the shapes and ratios to the
+// paper's.
+package bench
+
+import (
+	"fmt"
+
+	"muxfs/internal/core"
+	"muxfs/internal/device"
+	"muxfs/internal/fs/extlite"
+	"muxfs/internal/fs/novafs"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/policy"
+	"muxfs/internal/simclock"
+	"muxfs/internal/strata"
+	"muxfs/internal/vfs"
+)
+
+// TierName labels the three tiers in experiment output, matching the paper.
+var TierName = []string{"PM", "SSD", "HDD"}
+
+// MuxStack is an assembled three-tier Mux plus direct access to the pieces.
+type MuxStack struct {
+	Clk  *simclock.Clock
+	Mux  *core.Mux
+	Devs [3]*device.Device // PM, SSD, HDD
+	FSes [3]vfs.FileSystem // nova, xfs, ext
+	IDs  [3]int            // tier ids in Mux (same order)
+}
+
+// NewMuxStack builds the canonical PM+SSD+HDD Mux used across experiments.
+// Policy may be nil (LRU).
+func NewMuxStack(pol policy.Policy) (*MuxStack, error) {
+	clk := simclock.New()
+	s := &MuxStack{Clk: clk}
+
+	pmProf := device.PMProfile("pmem0")
+	ssdProf := device.SSDProfile("ssd0")
+	hddProf := device.HDDProfile("hdd0")
+	hddProf.Capacity = 2 << 30
+	s.Devs[0] = device.New(pmProf, clk)
+	s.Devs[1] = device.New(ssdProf, clk)
+	s.Devs[2] = device.New(hddProf, clk)
+
+	nova, err := novafs.New("nova@pmem0", s.Devs[0], novafs.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	xfs, err := xfslite.New("xfs@ssd0", s.Devs[1])
+	if err != nil {
+		return nil, err
+	}
+	ext, err := extlite.New("ext4@hdd0", s.Devs[2])
+	if err != nil {
+		return nil, err
+	}
+	s.FSes[0], s.FSes[1], s.FSes[2] = nova, xfs, ext
+
+	if pol == nil {
+		pol = policy.DefaultLRU()
+	}
+	m, err := core.New(core.Config{Name: "mux", Clock: clk, Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	s.IDs[0] = m.AddTier(nova, pmProf)
+	s.IDs[1] = m.AddTier(xfs, ssdProf)
+	s.IDs[2] = m.AddTier(ext, hddProf)
+	s.Mux = m
+	return s, nil
+}
+
+// SetPolicy swaps the Mux policy between experiment phases.
+func (s *MuxStack) SetPolicy(pol policy.Policy) { s.Mux.SetPolicy(pol) }
+
+// NativeStack is the three native file systems mounted directly, with no
+// tiering — the §3.2 overhead baseline.
+type NativeStack struct {
+	Clk  *simclock.Clock
+	Devs [3]*device.Device
+	FSes [3]vfs.FileSystem
+}
+
+// NewNativeStack mounts nova/xfs/ext directly on fresh devices.
+func NewNativeStack() (*NativeStack, error) {
+	clk := simclock.New()
+	s := &NativeStack{Clk: clk}
+	s.Devs[0] = device.New(device.PMProfile("pmem0"), clk)
+	s.Devs[1] = device.New(device.SSDProfile("ssd0"), clk)
+	hddProf := device.HDDProfile("hdd0")
+	hddProf.Capacity = 2 << 30
+	s.Devs[2] = device.New(hddProf, clk)
+
+	nova, err := novafs.New("nova@pmem0", s.Devs[0], novafs.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	xfs, err := xfslite.New("xfs@ssd0", s.Devs[1])
+	if err != nil {
+		return nil, err
+	}
+	ext, err := extlite.New("ext4@hdd0", s.Devs[2])
+	if err != nil {
+		return nil, err
+	}
+	s.FSes[0], s.FSes[1], s.FSes[2] = nova, xfs, ext
+	return s, nil
+}
+
+// StrataStack is the monolithic baseline over the same device trio.
+type StrataStack struct {
+	Clk  *simclock.Clock
+	FS   *strata.FS
+	Devs [3]*device.Device
+}
+
+// NewStrataStack builds Strata with an optional digest placement override.
+func NewStrataStack(place strata.Placement) (*StrataStack, error) {
+	clk := simclock.New()
+	s := &StrataStack{Clk: clk}
+	s.Devs[0] = device.New(device.PMProfile("pm0"), clk)
+	s.Devs[1] = device.New(device.SSDProfile("ssd0"), clk)
+	hddProf := device.HDDProfile("hdd0")
+	hddProf.Capacity = 2 << 30
+	s.Devs[2] = device.New(hddProf, clk)
+	fs, err := strata.New(strata.Config{
+		Name: "strata", PM: s.Devs[0], SSD: s.Devs[1], HDD: s.Devs[2],
+		Costs: strata.DefaultCosts(), Placement: place,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.FS = fs
+	return s, nil
+}
+
+// classOf maps experiment tier index to device class.
+func classOf(i int) device.Class {
+	switch i {
+	case 0:
+		return device.PM
+	case 1:
+		return device.SSD
+	default:
+		return device.HDD
+	}
+}
+
+// mustWrite writes data, failing loudly on error.
+func mustWrite(f vfs.File, p []byte, off int64) error {
+	n, err := f.WriteAt(p, off)
+	if err != nil {
+		return fmt.Errorf("bench write at %d: %w", off, err)
+	}
+	if n != len(p) {
+		return fmt.Errorf("bench write at %d: short write %d/%d", off, n, len(p))
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"muxfs/internal/vfs"
+)
+
+// Workload sizes are simulator-scale. The paper runs 90 GB / 10 GB
+// workloads on real hardware; virtual time makes throughput independent of
+// how many operations we sample, so these sizes only need to be large
+// enough to exercise steady state (log digestion, cache residency, BLT
+// growth).
+const (
+	// E1: bytes migrated per device pair.
+	e1FileSize = 32 << 20
+	// E2: bytes of random 4 KiB writes per device ("90GB random writes",
+	// scaled) and the file they land in.
+	e2TotalWrite = 48 << 20
+	e2FileSize   = 24 << 20
+	e2BlockSize  = 4096
+	// E3: file size ("10GB file", scaled to stay page-cache-resident like
+	// the paper's 256 GB DRAM box) and sampled 1-byte reads.
+	e3FileSize = 24 << 20
+	e3Reads    = 30000
+	// E4: sequential write block ("repeatedly writes four megabytes") and
+	// bytes written per system.
+	e4Block = 4 << 20
+	e4Total = 96 << 20
+)
+
+// seqFill writes a file sequentially in 1 MiB chunks to the given size.
+func seqFill(f vfs.File, size int64, seed byte) error {
+	chunk := make([]byte, 1<<20)
+	for i := range chunk {
+		chunk[i] = seed + byte(i)
+	}
+	for off := int64(0); off < size; off += int64(len(chunk)) {
+		n := int64(len(chunk))
+		if size-off < n {
+			n = size - off
+		}
+		if err := mustWrite(f, chunk[:n], off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomWrites performs total bytes of blockSize random-offset writes within
+// [0, fileSize), block-aligned, deterministic per seed.
+func randomWrites(f vfs.File, fileSize, total int64, blockSize int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	block := make([]byte, blockSize)
+	rng.Read(block)
+	nBlocks := fileSize / int64(blockSize)
+	for written := int64(0); written < total; written += int64(blockSize) {
+		off := rng.Int63n(nBlocks) * int64(blockSize)
+		if err := mustWrite(f, block, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomReads1B performs count random single-byte reads within the file and
+// returns the average virtual latency per read.
+func randomReads1B(clkNow func() time.Duration, f vfs.File, fileSize int64, count int, seed int64) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 1)
+	start := clkNow()
+	for i := 0; i < count; i++ {
+		off := rng.Int63n(fileSize)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return 0, err
+		}
+	}
+	return (clkNow() - start) / time.Duration(count), nil
+}
+
+// warmReads touches every page once so page caches reach steady state.
+func warmReads(f vfs.File, fileSize int64) error {
+	buf := make([]byte, 1<<20)
+	for off := int64(0); off < fileSize; off += int64(len(buf)) {
+		n := int64(len(buf))
+		if fileSize-off < n {
+			n = fileSize - off
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// zipfOffsets returns count block-aligned offsets with Zipfian skew.
+func zipfOffsets(fileSize int64, blockSize int, count int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	nBlocks := uint64(fileSize / int64(blockSize))
+	z := rand.NewZipf(rng, 1.1, 1, nBlocks-1)
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = int64(z.Uint64()) * int64(blockSize)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+// Package cache implements Multi-generational LRU (MGLRU) replacement —
+// the algorithm the paper adopts for Mux's SCM cache (§2.5), and the one
+// Linux uses for its page cache.
+//
+// Entries live in generations: insertion puts a page in the youngest
+// generation, access promotes it back to the youngest, and aging shifts
+// everything one generation older. Eviction scans from the oldest
+// generation, so a page must survive several aging cycles untouched before
+// it becomes a victim — cheap scan cost, better scan resistance than plain
+// LRU.
+package cache
+
+import "sync"
+
+// NumGens is the number of generations (Linux's default MGLRU depth).
+const NumGens = 4
+
+// Key identifies a cached page.
+type Key struct {
+	File uint64
+	Page int64
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Ages      int64
+	Entries   int
+}
+
+// MGLRU tracks page residency with multi-generational replacement. It
+// stores keys only; the owner (Mux's Cache Controller) maps keys to slots
+// in the SCM cache file. Safe for concurrent use.
+type MGLRU struct {
+	mu       sync.Mutex
+	capacity int
+	gens     [NumGens]map[Key]struct{} // gens[0] = youngest
+	where    map[Key]int               // key -> generation index
+	accesses int                       // accesses since last automatic aging
+	ageEvery int
+
+	hits, misses, evictions, ages int64
+}
+
+// New creates an MGLRU tracking at most capacity entries. Aging runs
+// automatically every capacity/NumGens accesses (and can be forced with
+// Age).
+func New(capacity int) *MGLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m := &MGLRU{
+		capacity: capacity,
+		where:    make(map[Key]int),
+		ageEvery: capacity/NumGens + 1,
+	}
+	for i := range m.gens {
+		m.gens[i] = make(map[Key]struct{})
+	}
+	return m
+}
+
+// Lookup reports whether k is resident and, if so, promotes it to the
+// youngest generation.
+func (m *MGLRU) Lookup(k Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen, ok := m.where[k]
+	if !ok {
+		m.misses++
+		return false
+	}
+	m.hits++
+	if gen != 0 {
+		delete(m.gens[gen], k)
+		m.gens[0][k] = struct{}{}
+		m.where[k] = 0
+	}
+	m.tick()
+	return true
+}
+
+// Contains reports residency without promotion or stats impact.
+func (m *MGLRU) Contains(k Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.where[k]
+	return ok
+}
+
+// Insert adds k to the youngest generation, returning the evicted key (if
+// the cache was full) with evicted=true. Re-inserting a resident key just
+// promotes it.
+func (m *MGLRU) Insert(k Key) (victim Key, evicted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if gen, ok := m.where[k]; ok {
+		if gen != 0 {
+			delete(m.gens[gen], k)
+			m.gens[0][k] = struct{}{}
+			m.where[k] = 0
+		}
+		return Key{}, false
+	}
+	if len(m.where) >= m.capacity {
+		victim, evicted = m.evictLocked()
+	}
+	m.gens[0][k] = struct{}{}
+	m.where[k] = 0
+	m.tick()
+	return victim, evicted
+}
+
+// Remove drops k (file truncated/removed or block migrated).
+func (m *MGLRU) Remove(k Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if gen, ok := m.where[k]; ok {
+		delete(m.gens[gen], k)
+		delete(m.where, k)
+	}
+}
+
+// RemoveFile drops every page of the given file.
+func (m *MGLRU) RemoveFile(file uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, gen := range m.where {
+		if k.File == file {
+			delete(m.gens[gen], k)
+			delete(m.where, k)
+		}
+	}
+}
+
+// Age shifts every generation one step older; the oldest absorbs overflow.
+func (m *MGLRU) Age() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ageLocked()
+}
+
+func (m *MGLRU) ageLocked() {
+	m.ages++
+	last := NumGens - 1
+	// Merge the two oldest, then shift.
+	for k := range m.gens[last-1] {
+		m.gens[last][k] = struct{}{}
+		m.where[k] = last
+	}
+	for i := last - 1; i > 0; i-- {
+		m.gens[i] = m.gens[i-1]
+		for k := range m.gens[i] {
+			m.where[k] = i
+		}
+	}
+	m.gens[0] = make(map[Key]struct{})
+}
+
+// tick runs automatic aging. Caller holds m.mu.
+func (m *MGLRU) tick() {
+	m.accesses++
+	if m.accesses >= m.ageEvery {
+		m.accesses = 0
+		m.ageLocked()
+	}
+}
+
+// evictLocked removes one entry from the oldest non-empty generation.
+func (m *MGLRU) evictLocked() (Key, bool) {
+	for i := NumGens - 1; i >= 0; i-- {
+		for k := range m.gens[i] {
+			delete(m.gens[i], k)
+			delete(m.where, k)
+			m.evictions++
+			return k, true
+		}
+	}
+	return Key{}, false
+}
+
+// Len returns the number of resident entries.
+func (m *MGLRU) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.where)
+}
+
+// Stats returns a counters snapshot.
+func (m *MGLRU) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Hits: m.hits, Misses: m.misses, Evictions: m.evictions, Ages: m.ages, Entries: len(m.where)}
+}

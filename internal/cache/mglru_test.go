@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+func k(f uint64, p int64) Key { return Key{File: f, Page: p} }
+
+func TestInsertLookup(t *testing.T) {
+	m := New(10)
+	if m.Lookup(k(1, 0)) {
+		t.Fatal("hit in empty cache")
+	}
+	if _, ev := m.Insert(k(1, 0)); ev {
+		t.Fatal("eviction from non-full cache")
+	}
+	if !m.Lookup(k(1, 0)) {
+		t.Fatal("miss after insert")
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEvictionWhenFull(t *testing.T) {
+	m := New(3)
+	m.Insert(k(1, 0))
+	m.Insert(k(1, 1))
+	m.Insert(k(1, 2))
+	victim, evicted := m.Insert(k(1, 3))
+	if !evicted {
+		t.Fatal("full cache did not evict")
+	}
+	if m.Contains(victim) {
+		t.Fatal("victim still resident")
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestAccessedPagesSurviveAging(t *testing.T) {
+	m := New(100)
+	hot := k(1, 0)
+	m.Insert(hot)
+	for i := int64(1); i <= 50; i++ {
+		m.Insert(k(2, i))
+	}
+	// Age repeatedly while keeping `hot` touched.
+	for round := 0; round < NumGens+2; round++ {
+		m.Lookup(hot)
+		m.Age()
+	}
+	// Fill beyond capacity: evictions must come from the old cold pages,
+	// not the hot one.
+	for i := int64(100); i < 160; i++ {
+		m.Insert(k(3, i))
+	}
+	if !m.Contains(hot) {
+		t.Fatal("hot page evicted despite constant access")
+	}
+}
+
+func TestColdPagesEvictedBeforeYoung(t *testing.T) {
+	m := New(4)
+	cold := k(9, 9)
+	m.Insert(cold)
+	for i := 0; i < NumGens; i++ {
+		m.Age() // cold sinks to the oldest generation
+	}
+	m.Insert(k(1, 1))
+	m.Insert(k(1, 2))
+	m.Insert(k(1, 3))
+	victim, evicted := m.Insert(k(1, 4))
+	if !evicted || victim != cold {
+		t.Fatalf("victim = %+v (evicted=%v), want the cold page", victim, evicted)
+	}
+}
+
+func TestReinsertPromotes(t *testing.T) {
+	m := New(10)
+	m.Insert(k(1, 0))
+	m.Age()
+	m.Age()
+	if _, ev := m.Insert(k(1, 0)); ev {
+		t.Fatal("re-insert evicted")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("re-insert duplicated entry: %d", m.Len())
+	}
+}
+
+func TestRemoveAndRemoveFile(t *testing.T) {
+	m := New(10)
+	m.Insert(k(1, 0))
+	m.Insert(k(1, 1))
+	m.Insert(k(2, 0))
+	m.Remove(k(1, 0))
+	if m.Contains(k(1, 0)) {
+		t.Fatal("removed key resident")
+	}
+	m.RemoveFile(1)
+	if m.Contains(k(1, 1)) {
+		t.Fatal("RemoveFile left a page")
+	}
+	if !m.Contains(k(2, 0)) {
+		t.Fatal("RemoveFile removed another file's page")
+	}
+	m.Remove(k(7, 7)) // absent: no-op
+}
+
+func TestAutomaticAging(t *testing.T) {
+	m := New(8) // ageEvery = 3
+	m.Insert(k(1, 0))
+	for i := 0; i < 50; i++ {
+		m.Lookup(k(1, 0))
+	}
+	if m.Stats().Ages == 0 {
+		t.Fatal("automatic aging never ran")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	m := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 500; i++ {
+				key := k(uint64(w), i%32)
+				m.Insert(key)
+				m.Lookup(key)
+				if i%64 == 0 {
+					m.Age()
+				}
+				if i%100 == 0 {
+					m.RemoveFile(uint64(w))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() > 64 {
+		t.Fatalf("over capacity: %d", m.Len())
+	}
+	// Internal consistency: every where entry is in its generation map.
+	s := m.Stats()
+	if s.Entries != m.Len() {
+		t.Fatalf("stats entries %d != len %d", s.Entries, m.Len())
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	m := New(0)
+	m.Insert(k(1, 0))
+	if m.Len() != 1 {
+		t.Fatal("capacity floor broken")
+	}
+}

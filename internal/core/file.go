@@ -1,0 +1,610 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"muxfs/internal/extent"
+	"muxfs/internal/fsbase"
+	"muxfs/internal/policy"
+	"muxfs/internal/vfs"
+)
+
+// affinity records, per metadata attribute, the file system that holds the
+// most up-to-date value — the paper's metadata affinity (§2.3). A value of
+// -1 means no downward owner yet (Mux-only state).
+type affinity struct {
+	Size  int // tier owning the logical file size (holds the last byte)
+	MTime int // tier that performed the last data update
+	ATime int // tier that served the last read
+}
+
+// muxFile is the per-file bookkeeping state: the collective inode, the
+// Block Lookup Table, the affinity table, and the OCC version counter.
+type muxFile struct {
+	mu   sync.Mutex
+	ino  uint64
+	path string
+
+	meta fsbase.Meta      // collective inode (cached attributes)
+	blt  extent.Tree[int] // Block Lookup Table: offset range -> tier id
+	aff  affinity
+
+	// OCC Synchronizer state (§2.4).
+	version   uint64
+	migrating bool
+	migDirty  extent.Tree[struct{}] // ranges written during the migration window
+
+	handles map[int]vfs.File // open downward handles per tier
+	onTiers map[int]bool     // tiers where the underlying sparse file exists
+
+	// replica is the shadow-copy tier for §4-style replication (-1 = none).
+	replica int
+
+	// Policy Runner inputs.
+	heat       float64
+	lastAccess time.Duration
+
+	opsSinceSync int // lazy metadata sync counter
+}
+
+func newMuxFile(ino uint64, path string, now time.Duration, host int) *muxFile {
+	return &muxFile{
+		ino:     ino,
+		path:    path,
+		meta:    fsbase.Meta{Mode: 0o644, ModTime: now, ATime: now, CTime: now},
+		aff:     affinity{Size: host, MTime: host, ATime: host},
+		handles: map[int]vfs.File{},
+		onTiers: map[int]bool{},
+		replica: -1,
+	}
+}
+
+// tierSet returns the tiers currently holding the file (blt + host).
+// Caller holds f.mu.
+func (f *muxFile) tierSet() map[int]bool {
+	out := make(map[int]bool, len(f.onTiers))
+	for id, ok := range f.onTiers {
+		if ok {
+			out[id] = true
+		}
+	}
+	f.blt.Walk(func(_, _ int64, tier int) bool {
+		out[tier] = true
+		return true
+	})
+	return out
+}
+
+// bytesPerTier sums mapped bytes per tier. Caller holds f.mu.
+func (f *muxFile) bytesPerTier() map[int]int64 {
+	out := map[int]int64{}
+	f.blt.Walk(func(_, n int64, tier int) bool {
+		out[tier] += n
+		return true
+	})
+	return out
+}
+
+// closeHandlesLocked closes and clears all downward handles. Caller holds
+// f.mu.
+func (f *muxFile) closeHandlesLocked() {
+	for _, h := range f.handles {
+		h.Close()
+	}
+	f.handles = map[int]vfs.File{}
+}
+
+// ensureHandle returns an open downward handle on tier id, creating the
+// underlying sparse file (and its parent directories) on first touch.
+func (m *Mux) ensureHandle(f *muxFile, id int) (vfs.File, error) {
+	t, err := m.tier(id)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return m.ensureHandleLocked(f, t)
+}
+
+// ensureHandleLocked is ensureHandle for callers holding f.mu.
+func (m *Mux) ensureHandleLocked(f *muxFile, t *Tier) (vfs.File, error) {
+	if h, ok := f.handles[t.ID]; ok {
+		return h, nil
+	}
+	h, err := t.FS.Open(f.path)
+	if errors.Is(err, vfs.ErrNotExist) {
+		if mkErr := m.ensureDirs(t, f.path); mkErr != nil {
+			return nil, mkErr
+		}
+		h, err = t.FS.Create(f.path)
+		if errors.Is(err, vfs.ErrExist) {
+			h, err = t.FS.Open(f.path)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.handles[t.ID] = h
+	f.onTiers[t.ID] = true
+	return h, nil
+}
+
+// ensureDirs replicates the parent directory chain of path onto tier t.
+func (m *Mux) ensureDirs(t *Tier, path string) error {
+	dir, _ := vfs.ParentPath(path)
+	if vfs.IsRoot(dir) {
+		return nil
+	}
+	segs := vfs.SplitPath(dir)
+	cur := ""
+	for _, seg := range segs {
+		cur += "/" + seg
+		if err := t.FS.Mkdir(cur); err != nil && !errors.Is(err, vfs.ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// bltRepoint remaps [off, off+n) to tier, maintaining per-tier usage
+// accounting. Caller holds f.mu.
+func (m *Mux) bltRepoint(f *muxFile, off, n int64, tier int) {
+	for _, seg := range f.blt.Segments(off, n) {
+		if !seg.Hole {
+			m.used(seg.Val).Add(-seg.Len)
+		}
+	}
+	f.blt.Insert(off, n, tier)
+	m.used(tier).Add(n)
+}
+
+// bltDrop unmaps [off, off+n), maintaining accounting. Caller holds f.mu.
+func (m *Mux) bltDrop(f *muxFile, off, n int64) {
+	for _, seg := range f.blt.Segments(off, n) {
+		if !seg.Hole {
+			m.used(seg.Val).Add(-seg.Len)
+		}
+	}
+	f.blt.Delete(off, n)
+}
+
+// handle is the upward vfs.File Mux hands to applications.
+type handle struct {
+	m      *Mux
+	f      *muxFile
+	closed bool
+}
+
+var _ vfs.File = (*handle)(nil)
+
+// Path returns the file's current path.
+func (h *handle) Path() string {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return h.f.path
+}
+
+// Close releases the upward handle (downward handles stay cached on the
+// muxFile for other handles).
+func (h *handle) Close() error {
+	h.closed = true
+	return nil
+}
+
+func (h *handle) check() error {
+	if h.closed {
+		return vfs.ErrClosed
+	}
+	return nil
+}
+
+// ReadAt is the multiplexed read path: BLT lookup, split by tier, dispatch
+// downward, merge results (§2.2). The tier serving the last block becomes
+// the atime owner (§2.3).
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	m := h.m
+	if err := h.check(); err != nil {
+		return 0, vfs.Errf("read", m.name, h.f.path, err)
+	}
+	m.clk.Advance(m.costs.DispatchOp + m.costs.BLTLookup + m.costs.OCCCheck)
+	if off < 0 {
+		return 0, vfs.Errf("read", m.name, h.f.path, vfs.ErrInvalid)
+	}
+
+	f := h.f
+	f.mu.Lock()
+	if off >= f.meta.Size {
+		f.mu.Unlock()
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if off+n > f.meta.Size {
+		n = f.meta.Size - off
+		short = true
+	}
+	segs := f.blt.Segments(off, n)
+	lastTier := -1
+	type ioSeg struct {
+		h        vfs.File
+		tier     int
+		off, ln  int64
+		bufStart int64
+	}
+	plan := make([]ioSeg, 0, len(segs))
+	for _, seg := range segs {
+		if seg.Hole {
+			zero(p[seg.Off-off : seg.Off-off+seg.Len])
+			continue
+		}
+		t, err := m.tierLockedFree(seg.Val)
+		if err != nil {
+			f.mu.Unlock()
+			return 0, vfs.Errf("read", m.name, f.path, err)
+		}
+		dh, err := m.ensureHandleLocked(f, t)
+		if err != nil {
+			f.mu.Unlock()
+			return 0, vfs.Errf("read", m.name, f.path, err)
+		}
+		plan = append(plan, ioSeg{h: dh, tier: seg.Val, off: seg.Off, ln: seg.Len, bufStart: seg.Off - off})
+		lastTier = seg.Val
+	}
+	scm := m.scm
+	f.mu.Unlock()
+
+	// Downward reads happen outside the bookkeeping lock. A failed
+	// segment read retries against the replica, if one exists (§4).
+	for _, s := range plan {
+		dst := p[s.bufStart : s.bufStart+s.ln]
+		if scm != nil && scm.cacheable(s.tier) {
+			if err := scm.read(f.ino, s.tier, s.h, dst, s.off); err != nil {
+				if ferr := m.readWithReplicaFallback(f, dst, s.off, err); ferr != nil {
+					return 0, vfs.Errf("read", m.name, f.path, ferr)
+				}
+			}
+			continue
+		}
+		if _, err := s.h.ReadAt(dst, s.off); err != nil && !errors.Is(err, io.EOF) {
+			if ferr := m.readWithReplicaFallback(f, dst, s.off, err); ferr != nil {
+				return 0, vfs.Errf("read", m.name, f.path, ferr)
+			}
+		}
+	}
+
+	f.mu.Lock()
+	now := m.now()
+	f.meta.ATime = now
+	if lastTier >= 0 {
+		f.aff.ATime = lastTier
+	}
+	f.heat++
+	f.lastAccess = now
+	f.mu.Unlock()
+
+	if short {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// tierLockedFree resolves a tier id without taking m.mu twice; callers may
+// hold f.mu but never m.mu.
+func (m *Mux) tierLockedFree(id int) (*Tier, error) {
+	return m.tier(id)
+}
+
+// WriteAt is the multiplexed write path: holes get a placement from the
+// Policy Runner, mapped ranges are overwritten in place on their current
+// tier, and the BLT + affinity are updated (§2.2, §2.3).
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	m := h.m
+	if err := h.check(); err != nil {
+		return 0, vfs.Errf("write", m.name, h.f.path, err)
+	}
+	if off < 0 {
+		return 0, vfs.Errf("write", m.name, h.f.path, vfs.ErrInvalid)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n := int64(len(p))
+	blocks := (off+n-1)/BlockSize - off/BlockSize + 1
+	m.clk.Advance(m.costs.DispatchOp + m.costs.OCCCheck + time.Duration(blocks)*m.costs.BLTUpdate)
+
+	f := h.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	// Build the per-tier write plan: mapped segments stay on their tier,
+	// holes go where the policy says.
+	target := -1
+	type ioSeg struct {
+		tier    int
+		off, ln int64
+	}
+	var plan []ioSeg
+	for _, seg := range f.blt.Segments(off, n) {
+		tier := seg.Val
+		if seg.Hole {
+			if target == -1 {
+				target = m.policy().PlaceWrite(policy.WriteCtx{
+					Path: f.path, Off: off, N: n, FileSize: f.meta.Size,
+				}, m.tierInfos())
+			}
+			tier = target
+		}
+		if len(plan) > 0 && plan[len(plan)-1].tier == tier && plan[len(plan)-1].off+plan[len(plan)-1].ln == seg.Off {
+			plan[len(plan)-1].ln += seg.Len
+		} else {
+			plan = append(plan, ioSeg{tier: tier, off: seg.Off, ln: seg.Len})
+		}
+	}
+
+	lastTier := -1
+	for _, s := range plan {
+		t, err := m.tier(s.tier)
+		if err != nil {
+			return 0, vfs.Errf("write", m.name, f.path, err)
+		}
+		dh, err := m.ensureHandleLocked(f, t)
+		if err != nil {
+			return 0, vfs.Errf("write", m.name, f.path, err)
+		}
+		if _, err := dh.WriteAt(p[s.off-off:s.off-off+s.ln], s.off); err != nil {
+			return 0, vfs.Errf("write", m.name, f.path, err)
+		}
+		m.bltRepoint(f, s.off, s.ln, s.tier)
+		if m.scm != nil {
+			m.scm.invalidate(f.ino, s.off, s.ln)
+		}
+		lastTier = s.tier
+	}
+
+	if err := m.mirrorWriteLocked(f, p, off); err != nil {
+		return 0, vfs.Errf("write", m.name, f.path, err)
+	}
+
+	now := m.now()
+	extended := off+n > f.meta.Size
+	if extended {
+		f.meta.Size = off + n
+		f.aff.Size = lastTier // tier that allocated the last block owns size
+	}
+	f.meta.ModTime = now
+	f.aff.MTime = lastTier // tier that performed the last update owns mtime
+	f.heat++
+	f.lastAccess = now
+
+	// OCC bookkeeping: every write bumps the version; writes during a
+	// migration window are recorded for conflict detection (§2.4).
+	f.version++
+	if f.migrating {
+		f.migDirty.Insert(off, n, struct{}{})
+	}
+
+	m.logWrite(f, off, n)
+	f.opsSinceSync++
+	if f.opsSinceSync >= m.syncEvery {
+		m.metaSyncLocked(f)
+	}
+	return int(n), nil
+}
+
+// metaSyncLocked lazily pushes collective-inode attributes down to the
+// affinitive owner (§2.3) — or, in the SyncAllMeta ablation mode, writes
+// them through to every participating file system. Caller holds f.mu.
+func (m *Mux) metaSyncLocked(f *muxFile) {
+	f.opsSinceSync = 0
+	size, mt := f.meta.Size, f.meta.ModTime
+	attr := vfs.SetAttr{Size: &size, ModTime: &mt}
+	if m.syncAll {
+		for id := range f.tierSet() {
+			if t, err := m.tier(id); err == nil {
+				_ = t.FS.SetAttr(f.path, attr)
+			}
+		}
+		return
+	}
+	owner := f.aff.Size
+	if owner < 0 {
+		return
+	}
+	t, err := m.tier(owner)
+	if err != nil {
+		return
+	}
+	// Downward SetAttr on the owner keeps the sparse file's metadata
+	// current without touching the other participating file systems.
+	_ = t.FS.SetAttr(f.path, attr)
+}
+
+// Truncate shrinks or grows the logical size across all tiers.
+func (h *handle) Truncate(size int64) error {
+	m := h.m
+	if err := h.check(); err != nil {
+		return vfs.Errf("truncate", m.name, h.f.path, err)
+	}
+	if size < 0 {
+		return vfs.Errf("truncate", m.name, h.f.path, vfs.ErrInvalid)
+	}
+	m.clk.Advance(m.costs.MetaOp)
+
+	f := h.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < f.meta.Size {
+		// Truncate the underlying sparse file on every tier holding it.
+		for id := range f.tierSet() {
+			t, err := m.tier(id)
+			if err != nil {
+				continue
+			}
+			dh, err := m.ensureHandleLocked(f, t)
+			if err != nil {
+				return vfs.Errf("truncate", m.name, f.path, err)
+			}
+			if err := dh.Truncate(size); err != nil {
+				return vfs.Errf("truncate", m.name, f.path, err)
+			}
+		}
+		m.bltDrop(f, size, f.meta.Size-size)
+		if m.scm != nil {
+			m.scm.invalidate(f.ino, size, f.meta.Size-size)
+		}
+	}
+	now := m.now()
+	f.meta.Size = size
+	f.meta.ModTime = now
+	f.meta.CTime = now
+	f.version++
+	f.opsSinceSync++
+	m.logTruncate(f, size)
+	return nil
+}
+
+// Sync fans fsync out to every file system responsible for the file (§4)
+// and then commits Mux's own metadata.
+func (h *handle) Sync() error {
+	m := h.m
+	if err := h.check(); err != nil {
+		return vfs.Errf("sync", m.name, h.f.path, err)
+	}
+	m.clk.Advance(m.costs.DispatchOp)
+
+	f := h.f
+	f.mu.Lock()
+	var targets []vfs.File
+	for id := range f.tierSet() {
+		t, err := m.tier(id)
+		if err != nil {
+			continue
+		}
+		dh, err := m.ensureHandleLocked(f, t)
+		if err != nil {
+			f.mu.Unlock()
+			return vfs.Errf("sync", m.name, f.path, err)
+		}
+		targets = append(targets, dh)
+	}
+	m.metaSyncLocked(f)
+	f.mu.Unlock()
+
+	for _, dh := range targets {
+		if err := dh.Sync(); err != nil {
+			return vfs.Errf("sync", m.name, f.path, err)
+		}
+	}
+	return m.metaFlush()
+}
+
+// Stat serves the collective inode.
+func (h *handle) Stat() (vfs.FileInfo, error) {
+	if err := h.check(); err != nil {
+		return vfs.FileInfo{}, vfs.Errf("stat", h.m.name, h.f.path, err)
+	}
+	h.m.clk.Advance(h.m.costs.MetaOp)
+	f := h.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fi := f.meta.Info(f.path)
+	fi.Blocks = f.blt.MappedBytes()
+	return fi, nil
+}
+
+// Extents lists the mapped runs of the BLT merged in file order.
+func (h *handle) Extents() ([]vfs.Extent, error) {
+	if err := h.check(); err != nil {
+		return nil, vfs.Errf("extents", h.m.name, h.f.path, err)
+	}
+	f := h.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []vfs.Extent
+	f.blt.Walk(func(off, n int64, _ int) bool {
+		if len(out) > 0 && out[len(out)-1].End() == off {
+			out[len(out)-1].Len += n
+		} else {
+			out = append(out, vfs.Extent{Off: off, Len: n})
+		}
+		return true
+	})
+	return out, nil
+}
+
+// PunchHole forwards the punch to each tier mapped in the range and drops
+// the BLT entries.
+func (h *handle) PunchHole(off, n int64) error {
+	m := h.m
+	if err := h.check(); err != nil {
+		return vfs.Errf("punch", m.name, h.f.path, err)
+	}
+	if off < 0 || n < 0 {
+		return vfs.Errf("punch", m.name, h.f.path, vfs.ErrInvalid)
+	}
+	if n == 0 {
+		return nil
+	}
+	m.clk.Advance(m.costs.MetaOp)
+
+	f := h.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + n
+	if end > f.meta.Size {
+		end = f.meta.Size
+	}
+	if end <= off {
+		return nil
+	}
+	// Forward to every tier mapped within the range.
+	seen := map[int]bool{}
+	for _, seg := range f.blt.Segments(off, end-off) {
+		if seg.Hole || seen[seg.Val] {
+			continue
+		}
+		seen[seg.Val] = true
+	}
+	if f.replica >= 0 {
+		seen[f.replica] = true
+	}
+	for id := range seen {
+		t, err := m.tier(id)
+		if err != nil {
+			continue
+		}
+		dh, err := m.ensureHandleLocked(f, t)
+		if err != nil {
+			return vfs.Errf("punch", m.name, f.path, err)
+		}
+		if err := dh.PunchHole(off, end-off); err != nil {
+			return vfs.Errf("punch", m.name, f.path, err)
+		}
+	}
+	// Whole blocks leave the BLT; ragged edges stay mapped (the underlying
+	// punch zeroed them in place).
+	firstWhole := (off + BlockSize - 1) / BlockSize * BlockSize
+	lastWhole := end / BlockSize * BlockSize
+	if lastWhole > firstWhole {
+		m.bltDrop(f, firstWhole, lastWhole-firstWhole)
+	}
+	if m.scm != nil {
+		m.scm.invalidate(f.ino, off, end-off)
+	}
+	now := m.now()
+	f.meta.ModTime = now
+	f.meta.CTime = now
+	f.version++
+	f.opsSinceSync++
+	m.logPunch(f, off, end-off)
+	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import "fmt"
+
+// FsckReport is the result of a consistency check over the Mux metadata and
+// the underlying file systems.
+type FsckReport struct {
+	Files        int
+	BLTRuns      int
+	BytesChecked int64
+	Problems     []string
+}
+
+// OK reports whether the check found no inconsistencies.
+func (r *FsckReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r *FsckReport) addf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Fsck cross-checks Mux's bookkeeping against ground truth:
+//
+//   - every Block Lookup Table range must be backed by allocated extents of
+//     the same-path sparse file on its tier;
+//   - the collective inode's size must cover the BLT's highest mapped byte;
+//   - Mux's per-tier usage accounting must equal the BLT totals.
+//
+// It takes per-file locks one at a time; concurrent mutation between files
+// is tolerated (the check is advisory, like fsck -n).
+func (m *Mux) Fsck() *FsckReport {
+	rep := &FsckReport{}
+
+	m.mu.Lock()
+	files := make([]*muxFile, 0, len(m.files))
+	for _, f := range m.files {
+		files = append(files, f)
+	}
+	m.mu.Unlock()
+
+	perTier := map[int]int64{}
+	for _, f := range files {
+		f.mu.Lock()
+		rep.Files++
+		rep.BLTRuns += f.blt.Len()
+
+		_, hi := f.blt.Bounds()
+		if hi > f.meta.Size {
+			rep.addf("%s: BLT maps %d bytes past the logical size %d", f.path, hi-f.meta.Size, f.meta.Size)
+		}
+
+		type runCheck struct {
+			tier   int
+			off, n int64
+		}
+		var runs []runCheck
+		f.blt.Walk(func(off, n int64, tier int) bool {
+			perTier[tier] += n
+			rep.BytesChecked += n
+			runs = append(runs, runCheck{tier: tier, off: off, n: n})
+			return true
+		})
+		path := f.path
+		f.mu.Unlock()
+
+		// Verify backing extents without holding f.mu (downward Stat and
+		// Extents take the native FS locks).
+		for _, rc := range runs {
+			t, err := m.tier(rc.tier)
+			if err != nil {
+				rep.addf("%s: BLT references removed tier %d", path, rc.tier)
+				continue
+			}
+			h, err := t.FS.Open(path)
+			if err != nil {
+				rep.addf("%s: missing on tier %s: %v", path, t.FS.Name(), err)
+				continue
+			}
+			exts, err := h.Extents()
+			h.Close()
+			if err != nil {
+				rep.addf("%s: extents on %s: %v", path, t.FS.Name(), err)
+				continue
+			}
+			covered := int64(0)
+			for _, e := range exts {
+				lo, hi := maxI64(e.Off, rc.off), minI64(e.End(), rc.off+rc.n)
+				if hi > lo {
+					covered += hi - lo
+				}
+			}
+			if covered < rc.n {
+				rep.addf("%s: [%d,%d) on %s backed by only %d of %d bytes",
+					path, rc.off, rc.off+rc.n, t.FS.Name(), covered, rc.n)
+			}
+		}
+	}
+
+	// Accounting check.
+	for tier, want := range perTier {
+		if got := m.used(tier).Load(); got != want {
+			rep.addf("tier %d usage accounting %d != BLT total %d", tier, got, want)
+		}
+	}
+	for id := range *m.tierUsed.Load() {
+		if _, ok := perTier[id]; !ok {
+			if got := m.used(id).Load(); got != 0 {
+				rep.addf("tier %d accounts %d bytes but no BLT references it", id, got)
+			}
+		}
+	}
+	return rep
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"muxfs/internal/policy"
+)
+
+func TestFsckCleanSystem(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	f := writeFile(t, r.m, "/a", bytes.Repeat([]byte{1}, 64*1024))
+	defer f.Close()
+	if _, err := r.m.MigrateRange("/a", 0, 1, 0, 32*1024); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.m.Fsck()
+	if !rep.OK() {
+		t.Fatalf("clean system failed fsck: %v", rep.Problems)
+	}
+	if rep.Files != 1 || rep.BytesChecked != 64*1024 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestFsckDetectsMissingBacking(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	f := writeFile(t, r.m, "/a", bytes.Repeat([]byte{1}, 32*1024))
+	defer f.Close()
+	// Sabotage: punch the underlying nova file directly, behind Mux's back.
+	nh, err := r.m.Tiers()[0].FS.Open("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nh.PunchHole(0, 16*1024); err != nil {
+		t.Fatal(err)
+	}
+	nh.Close()
+	rep := r.m.Fsck()
+	if rep.OK() {
+		t.Fatal("fsck missed punched-out backing blocks")
+	}
+}
+
+func TestFsckDetectsMissingUnderlyingFile(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	f := writeFile(t, r.m, "/a", bytes.Repeat([]byte{1}, 8192))
+	defer f.Close()
+	// Sabotage: remove the file from the native FS directly.
+	if err := r.m.Tiers()[0].FS.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.m.Fsck()
+	if rep.OK() {
+		t.Fatal("fsck missed a missing underlying file")
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"muxfs/internal/device"
+	"muxfs/internal/fs/fsrec"
+	"muxfs/internal/fsbase"
+	"muxfs/internal/journal"
+	"muxfs/internal/vfs"
+)
+
+// opMuxHost is the Mux-specific record carrying a file's host tier
+// (A = ino, B = tier id); everything else uses the shared fsrec vocabulary.
+const opMuxHost = 20
+
+// metaLog persists Mux's own metadata — the Block Lookup Table, affinity,
+// and namespace — through a journal on a dedicated device ("its own
+// separate metafile storage", §3.1). Records buffer in memory and group-
+// commit at metaFlush (Sync paths); commits are ordered after tier syncs so
+// recovered BLT state never references data the tiers lost.
+type metaLog struct {
+	dev *device.Device
+	jnl *journal.Journal
+
+	mu      sync.Mutex // guards pending; never held during I/O
+	pending []journal.Record
+
+	flushMu sync.Mutex // serializes flush/compaction
+}
+
+func newMetaLog(dev *device.Device) (*metaLog, error) {
+	if !dev.Profile().ByteAddressable {
+		return nil, fmt.Errorf("mux: meta device %s should be byte-addressable (PM-class)", dev.Profile().Name)
+	}
+	return &metaLog{dev: dev, jnl: journal.New(dev, 0, dev.Capacity())}, nil
+}
+
+// metaAppend buffers records. Cheap and lock-light: callers may hold f.mu.
+func (m *Mux) metaAppend(recs ...journal.Record) {
+	if m.meta == nil {
+		return
+	}
+	m.meta.mu.Lock()
+	m.meta.pending = append(m.meta.pending, recs...)
+	m.meta.mu.Unlock()
+}
+
+// metaFlush commits buffered records, compacting the journal when full.
+// Must be called WITHOUT any f.mu held (compaction locks files).
+func (m *Mux) metaFlush() error {
+	if m.meta == nil {
+		return nil
+	}
+	ml := m.meta
+	ml.flushMu.Lock()
+	defer ml.flushMu.Unlock()
+
+	ml.mu.Lock()
+	stolen := ml.pending
+	ml.pending = nil
+	ml.mu.Unlock()
+	if len(stolen) == 0 {
+		return nil
+	}
+
+	tx := ml.jnl.Begin()
+	for _, r := range stolen {
+		tx.Append(r)
+	}
+	err := tx.Commit()
+	if errors.Is(err, journal.ErrFull) {
+		// The snapshot reflects every effect the stolen records describe,
+		// so they are superseded wholesale.
+		return m.metaCompact()
+	}
+	return err
+}
+
+// metaCompact rewrites the journal as a snapshot of current Mux state.
+// Caller holds flushMu and no f.mu.
+func (m *Mux) metaCompact() error {
+	ml := m.meta
+	if err := ml.jnl.Checkpoint(); err != nil {
+		return err
+	}
+	tx := ml.jnl.Begin()
+
+	m.mu.Lock()
+	type dirEnt struct {
+		ino  uint64
+		path string
+	}
+	var dirs []dirEnt
+	var files []*muxFile
+	m.ns.WalkAll(func(path string, node *fsbase.Node) {
+		if node.IsDir() {
+			dirs = append(dirs, dirEnt{node.Ino, path})
+		} else if f := m.files[node.Ino]; f != nil {
+			files = append(files, f)
+		}
+	})
+	m.mu.Unlock()
+
+	for _, d := range dirs {
+		tx.Append(fsrec.Op{Type: fsrec.OpMkdir, Ino: d.ino, Path: d.path, Mode: vfs.ModeDir | 0o755}.Record())
+	}
+	for _, f := range files {
+		f.mu.Lock()
+		tx.Append(fsrec.Op{Type: fsrec.OpCreate, Ino: f.ino, Path: f.path, Mode: f.meta.Mode}.Record())
+		tx.Append(journal.Record{Type: opMuxHost, A: int64(f.ino), B: int64(f.aff.Size)})
+		tx.Append(fsrec.Op{
+			Type: fsrec.OpSetAttr, Ino: f.ino,
+			Size: f.meta.Size, Mode: f.meta.Mode,
+			MTime: f.meta.ModTime, ATime: f.meta.ATime, CTime: f.meta.CTime,
+		}.Record())
+		f.blt.Walk(func(off, n int64, tier int) bool {
+			tx.Append(fsrec.Op{
+				Type: fsrec.OpExtent, Ino: f.ino, Off: off, Delta: int64(tier), N: n,
+				Size: f.meta.Size, MTime: f.meta.ModTime,
+			}.Record())
+			return true
+		})
+		f.mu.Unlock()
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("mux: meta compaction: %w", err)
+	}
+	return nil
+}
+
+// --- Logging helpers; callers hold f.mu where a muxFile is involved. ---
+
+func (m *Mux) logCreate(f *muxFile, host int) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(
+		fsrec.Op{Type: fsrec.OpCreate, Ino: f.ino, Path: f.path, Mode: 0o644}.Record(),
+		journal.Record{Type: opMuxHost, A: int64(f.ino), B: int64(host)},
+	)
+}
+
+func (m *Mux) logMkdir(ino uint64, path string) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(fsrec.Op{Type: fsrec.OpMkdir, Ino: ino, Path: path, Mode: vfs.ModeDir | 0o755}.Record())
+}
+
+func (m *Mux) logRemove(path string) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(fsrec.Op{Type: fsrec.OpRemove, Path: path}.Record())
+}
+
+func (m *Mux) logRename(oldPath, newPath string) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(fsrec.Op{Type: fsrec.OpRename, Path: oldPath, Path2: newPath}.Record())
+}
+
+// logWrite records the BLT state of [off, off+n) after a write. Caller
+// holds f.mu.
+func (m *Mux) logWrite(f *muxFile, off, n int64) {
+	if m.meta == nil {
+		return
+	}
+	m.logBLTRange(f, off, n)
+}
+
+// logBLTRange serializes current BLT entries of a range. Caller holds f.mu.
+func (m *Mux) logBLTRange(f *muxFile, off, n int64) {
+	if m.meta == nil || n <= 0 {
+		return
+	}
+	recs := make([]journal.Record, 0, 4)
+	for _, seg := range f.blt.Segments(off, n) {
+		if seg.Hole {
+			continue
+		}
+		recs = append(recs, fsrec.Op{
+			Type: fsrec.OpExtent, Ino: f.ino, Off: seg.Off, Delta: int64(seg.Val), N: seg.Len,
+			Size: f.meta.Size, MTime: f.meta.ModTime,
+		}.Record())
+	}
+	recs = append(recs, fsrec.Op{Type: fsrec.OpSizeTime, Ino: f.ino, Size: f.meta.Size, MTime: f.meta.ModTime}.Record())
+	m.metaAppend(recs...)
+}
+
+func (m *Mux) logTruncate(f *muxFile, size int64) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(fsrec.Op{Type: fsrec.OpTruncate, Ino: f.ino, Size: size, MTime: f.meta.ModTime}.Record())
+}
+
+func (m *Mux) logPunch(f *muxFile, off, n int64) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(fsrec.Op{Type: fsrec.OpPunch, Ino: f.ino, Off: off, N: n, MTime: f.meta.ModTime}.Record())
+}
+
+func (m *Mux) logSetAttr(f *muxFile) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(fsrec.Op{
+		Type: fsrec.OpSetAttr, Ino: f.ino,
+		Size: f.meta.Size, Mode: f.meta.Mode,
+		MTime: f.meta.ModTime, ATime: f.meta.ATime, CTime: f.meta.CTime,
+	}.Record())
+}
+
+// replay rebuilds Mux state from the journal. Caller holds m.mu over reset
+// state. Replay is tolerant of re-applied records (the compaction snapshot
+// may overlap trailing per-op records), so every case is idempotent.
+func (ml *metaLog) replay(m *Mux) error {
+	_, err := ml.jnl.Replay(func(r journal.Record) error {
+		if r.Type == opMuxHost {
+			if f := m.files[uint64(r.A)]; f != nil {
+				host := int(r.B)
+				f.aff = affinity{Size: host, MTime: host, ATime: host}
+				if host >= 0 {
+					f.onTiers[host] = true
+				}
+			}
+			return nil
+		}
+		op, err := fsrec.Parse(r)
+		if err != nil {
+			return err
+		}
+		switch op.Type {
+		case fsrec.OpCreate:
+			node, err := m.ns.CreateFileIno(op.Path, op.Mode, op.Ino)
+			if errors.Is(err, vfs.ErrExist) {
+				return nil // idempotent re-apply
+			}
+			if err != nil {
+				return fmt.Errorf("mux replay create %q: %w", op.Path, err)
+			}
+			m.files[node.Ino] = newMuxFile(node.Ino, op.Path, 0, -1)
+
+		case fsrec.OpMkdir:
+			if _, err := m.ns.Mkdir(op.Path, op.Mode); err != nil && !errors.Is(err, vfs.ErrExist) {
+				return fmt.Errorf("mux replay mkdir %q: %w", op.Path, err)
+			}
+			m.ns.BumpIno(op.Ino)
+
+		case fsrec.OpRemove:
+			node, err := m.ns.Remove(op.Path)
+			if errors.Is(err, vfs.ErrNotExist) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("mux replay remove %q: %w", op.Path, err)
+			}
+			if f := m.files[node.Ino]; f != nil {
+				for tier, bytes := range f.bytesPerTier() {
+					m.used(tier).Add(-bytes)
+				}
+				delete(m.files, node.Ino)
+			}
+
+		case fsrec.OpRename:
+			node, err := m.ns.Rename(op.Path, op.Path2)
+			if errors.Is(err, vfs.ErrNotExist) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("mux replay rename: %w", err)
+			}
+			if f := m.files[node.Ino]; f != nil {
+				f.path = op.Path2
+			}
+
+		case fsrec.OpExtent:
+			f := m.files[op.Ino]
+			if f == nil {
+				return fmt.Errorf("mux replay extent: unknown inode %d", op.Ino)
+			}
+			tier := int(op.Delta)
+			m.bltRepoint(f, op.Off, op.N, tier)
+			f.onTiers[tier] = true
+			if op.Size > f.meta.Size {
+				f.meta.Size = op.Size
+			}
+			f.meta.ModTime = op.MTime
+
+		case fsrec.OpSizeTime:
+			f := m.files[op.Ino]
+			if f == nil {
+				return fmt.Errorf("mux replay sizetime: unknown inode %d", op.Ino)
+			}
+			if op.Size > f.meta.Size {
+				f.meta.Size = op.Size
+			}
+			f.meta.ModTime = op.MTime
+
+		case fsrec.OpSetAttr:
+			f := m.files[op.Ino]
+			if f == nil {
+				return fmt.Errorf("mux replay setattr: unknown inode %d", op.Ino)
+			}
+			if op.Size < f.meta.Size {
+				m.bltDrop(f, op.Size, f.meta.Size-op.Size)
+			}
+			f.meta.Size = op.Size
+			f.meta.Mode = op.Mode
+			f.meta.ModTime = op.MTime
+			f.meta.ATime = op.ATime
+			f.meta.CTime = op.CTime
+
+		case fsrec.OpTruncate:
+			f := m.files[op.Ino]
+			if f == nil {
+				return fmt.Errorf("mux replay truncate: unknown inode %d", op.Ino)
+			}
+			if op.Size < f.meta.Size {
+				m.bltDrop(f, op.Size, f.meta.Size-op.Size)
+			}
+			f.meta.Size = op.Size
+			f.meta.ModTime = op.MTime
+
+		case fsrec.OpPunch:
+			f := m.files[op.Ino]
+			if f == nil {
+				return fmt.Errorf("mux replay punch: unknown inode %d", op.Ino)
+			}
+			first := (op.Off + BlockSize - 1) / BlockSize * BlockSize
+			last := (op.Off + op.N) / BlockSize * BlockSize
+			if last > first {
+				m.bltDrop(f, first, last-first)
+			}
+			f.meta.ModTime = op.MTime
+
+		default:
+			return fmt.Errorf("mux replay: unhandled op %d", op.Type)
+		}
+		return nil
+	})
+	return err
+}

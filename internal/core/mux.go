@@ -1,0 +1,708 @@
+// Package core implements Mux, the paper's contribution: a tiered file
+// system that accesses heterogeneous storage *through device-specific file
+// systems* rather than through device drivers.
+//
+// Mux implements vfs.FileSystem upward — applications see one file system
+// with one namespace — and calls the same vfs.FileSystem interface downward
+// on every registered tier (Figure 1). A file is distributed across tiers
+// as same-path sparse files whose block offsets are preserved, so no extra
+// translation layer exists (§2.2). The components named in Figure 1c map to
+// this package as follows:
+//
+//	VFS Call Processor / FS Multiplexer / VFS Call Maker  — mux.go, file.go
+//	Metadata Tracker / State Bookkeeper (affinity)        — file.go, meta.go
+//	File Blk. Tracker (Block Lookup Table)                — file.go (blt)
+//	OCC Synchronizer                                      — occ.go
+//	Policy Runner                                         — runner.go
+//	Cache Controller                                      — cachectl.go
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muxfs/internal/device"
+	"muxfs/internal/fsbase"
+	"muxfs/internal/policy"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+// BlockSize is the Block Lookup Table granule (one byte of BLT state per
+// block of user data, §2.3).
+const BlockSize = 4096
+
+// Errors specific to the Mux layer.
+var (
+	// ErrNoTiers reports an operation on a Mux with no registered tiers.
+	ErrNoTiers = errors.New("mux: no tiers registered")
+	// ErrTierBusy reports removal of a tier that still holds data.
+	ErrTierBusy = errors.New("mux: tier still holds data; drain it first")
+	// ErrUnknownTier reports a bad tier id.
+	ErrUnknownTier = errors.New("mux: unknown tier")
+	// ErrMigrationActive reports a second migration on a file already
+	// migrating.
+	ErrMigrationActive = errors.New("mux: file already migrating")
+)
+
+// Costs models the Mux software path charged to the virtual clock — the
+// indirection overhead §3.2 measures. Calibrated in EXPERIMENTS.md.
+type Costs struct {
+	DispatchOp  time.Duration // VFS call processing + downward call maker
+	BLTLookup   time.Duration // block lookup table query on the read path
+	BLTUpdate   time.Duration // per 4 KiB block mapped/remapped on writes
+	OCCCheck    time.Duration // version bookkeeping per user op
+	MetaOp      time.Duration // namespace operations
+	OCCPerBlock time.Duration // migration bookkeeping per block copied
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		DispatchOp:  160 * time.Nanosecond,
+		BLTLookup:   80 * time.Nanosecond,
+		BLTUpdate:   20 * time.Nanosecond,
+		OCCCheck:    25 * time.Nanosecond,
+		MetaOp:      700 * time.Nanosecond,
+		OCCPerBlock: 350 * time.Nanosecond,
+	}
+}
+
+// Tier is one registered native file system plus its device profile (the
+// "device profile" tiering policies consume, §2.1).
+type Tier struct {
+	ID   int
+	FS   vfs.FileSystem
+	Prof device.Profile
+}
+
+// Config assembles a Mux instance.
+type Config struct {
+	Name  string
+	Clock *simclock.Clock
+	Costs Costs
+	// Policy is the tiering policy (default: policy.DefaultLRU()).
+	Policy policy.Policy
+	// MetaDevice, when set, persists Mux's own metadata (BLT, affinity,
+	// namespace) through a journal on this device — "its own separate
+	// metafile storage" (§3.1). Nil keeps Mux metadata in memory only.
+	MetaDevice *device.Device
+	// MetaSyncEvery: push collective-inode attributes down to the owning
+	// file systems every K mutating ops (lazy synchronization, §2.3).
+	// Default 64.
+	MetaSyncEvery int
+	// MigrationRetries bounds OCC retry rounds before the lock fallback
+	// (§2.4). Default 3.
+	MigrationRetries int
+	// LockMigration disables the OCC Synchronizer: migrations hold the
+	// per-file lock for their whole duration, the way traditional tiered
+	// file systems do (§2.4). Ablation A1 compares the two modes.
+	LockMigration bool
+	// SyncAllMeta disables metadata affinity: every metadata sync writes
+	// the attributes through to every file system holding the file, instead
+	// of only the affinitive owner (§2.3). Ablation A2 compares the two.
+	SyncAllMeta bool
+}
+
+// Mux is the tiered file system. Safe for concurrent use.
+type Mux struct {
+	name  string
+	clk   *simclock.Clock
+	costs Costs
+
+	mu    sync.Mutex // namespace + tier table; never held during block I/O
+	ns    *fsbase.Namespace
+	files map[uint64]*muxFile
+	tiers []*Tier // dense, sorted fastest-first; IDs are indexes at registration time
+
+	// tierUsed holds one shared counter per tier id. The slice itself is
+	// replaced wholesale (copy + atomic pointer swap) when a tier is added,
+	// so hot paths may index it without m.mu while AddTier runs.
+	tierUsed atomic.Pointer[[]*atomic.Int64]
+
+	pol       policy.Policy
+	meta      *metaLog
+	scm       *cacheCtl
+	syncEvery int
+	maxRetry  int
+	lockMig   bool
+	syncAll   bool
+
+	occ occCounter
+
+	// hookAfterCopy, when set (tests only), runs after each optimistic copy
+	// round before validation — a deterministic window to inject racing
+	// writes.
+	hookAfterCopy func(round int)
+}
+
+var _ vfs.FileSystem = (*Mux)(nil)
+var _ vfs.CrashRecoverer = (*Mux)(nil)
+
+// New creates an empty Mux; register tiers before use.
+func New(cfg Config) (*Mux, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("mux: config needs a clock")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.DefaultLRU()
+	}
+	if cfg.MetaSyncEvery <= 0 {
+		cfg.MetaSyncEvery = 64
+	}
+	if cfg.MigrationRetries <= 0 {
+		cfg.MigrationRetries = 3
+	}
+	if cfg.Name == "" {
+		cfg.Name = "mux"
+	}
+	m := &Mux{
+		name:      cfg.Name,
+		clk:       cfg.Clock,
+		costs:     cfg.Costs,
+		ns:        fsbase.NewNamespace(),
+		files:     map[uint64]*muxFile{},
+		pol:       cfg.Policy,
+		syncEvery: cfg.MetaSyncEvery,
+		maxRetry:  cfg.MigrationRetries,
+		lockMig:   cfg.LockMigration,
+		syncAll:   cfg.SyncAllMeta,
+	}
+	empty := []*atomic.Int64{}
+	m.tierUsed.Store(&empty)
+	if m.costs == (Costs{}) {
+		m.costs = DefaultCosts()
+	}
+	if cfg.MetaDevice != nil {
+		ml, err := newMetaLog(cfg.MetaDevice)
+		if err != nil {
+			return nil, err
+		}
+		m.meta = ml
+	}
+	return m, nil
+}
+
+// AddTier registers a native file system as a tier at runtime (§2.1: "the
+// user only needs to mount the new file system and register it"). Tiers
+// sort fastest-first by read latency. It returns the tier id.
+func (m *Mux) AddTier(fs vfs.FileSystem, prof device.Profile) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := len(m.tiers)
+	m.tiers = append(m.tiers, &Tier{ID: id, FS: fs, Prof: prof})
+	old := *m.tierUsed.Load()
+	counters := make([]*atomic.Int64, len(old)+1)
+	copy(counters, old)
+	counters[len(old)] = &atomic.Int64{}
+	m.tierUsed.Store(&counters)
+	return id
+}
+
+// RemoveTier unregisters a tier. The tier must be drained first
+// (DrainTier); removal fails with ErrTierBusy while it still holds data.
+func (m *Mux) RemoveTier(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.tiers) || m.tiers[id] == nil {
+		return ErrUnknownTier
+	}
+	if m.used(id).Load() > 0 {
+		return ErrTierBusy
+	}
+	m.tiers[id] = nil
+	return nil
+}
+
+// Tiers returns the live tiers, fastest first.
+func (m *Mux) Tiers() []*Tier {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.liveTiersLocked()
+}
+
+func (m *Mux) liveTiersLocked() []*Tier {
+	out := make([]*Tier, 0, len(m.tiers))
+	for _, t := range m.tiers {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Prof.ReadLatency < out[j].Prof.ReadLatency
+	})
+	return out
+}
+
+// used returns the shared usage counter for a tier id.
+func (m *Mux) used(id int) *atomic.Int64 {
+	return (*m.tierUsed.Load())[id]
+}
+
+// tier resolves a tier id.
+func (m *Mux) tier(id int) (*Tier, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.tiers) || m.tiers[id] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownTier, id)
+	}
+	return m.tiers[id], nil
+}
+
+// tierInfos snapshots the policy view of all tiers, fastest first.
+func (m *Mux) tierInfos() []policy.TierInfo {
+	live := m.Tiers()
+	out := make([]policy.TierInfo, 0, len(live))
+	for _, t := range live {
+		out = append(out, policy.TierInfo{
+			ID:       t.ID,
+			Name:     t.FS.Name(),
+			Class:    t.Prof.Class,
+			Capacity: t.Prof.Capacity,
+			Used:     m.used(t.ID).Load(),
+			ReadLat:  t.Prof.ReadLatency,
+			WriteLat: t.Prof.WriteLatency,
+		})
+	}
+	return out
+}
+
+// TierUsage reports Mux's own accounting of allocated bytes per tier id.
+func (m *Mux) TierUsage() map[int]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[int]int64{}
+	for _, t := range m.tiers {
+		if t != nil {
+			out[t.ID] = m.used(t.ID).Load()
+		}
+	}
+	return out
+}
+
+// SetPolicy swaps the tiering policy at runtime (§2.1: policies are
+// user-registered and replaceable without remounting).
+func (m *Mux) SetPolicy(p policy.Policy) {
+	if p == nil {
+		return
+	}
+	m.mu.Lock()
+	m.pol = p
+	m.mu.Unlock()
+}
+
+// policy returns the current tiering policy.
+func (m *Mux) policy() policy.Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pol
+}
+
+// EnableSCMCache attaches an SCM cache (§2.5) backed by a preallocated
+// cache file on the given tier, covering `bytes` of cache capacity.
+func (m *Mux) EnableSCMCache(tierID int, bytes int64) error {
+	t, err := m.tier(tierID)
+	if err != nil {
+		return err
+	}
+	ctl, err := newCacheCtl(m, t, bytes)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.scm = ctl
+	m.mu.Unlock()
+	return nil
+}
+
+// CacheStats reports SCM cache counters (zero stats when disabled).
+func (m *Mux) CacheStats() CacheStats {
+	m.mu.Lock()
+	scm := m.scm
+	m.mu.Unlock()
+	if scm == nil {
+		return CacheStats{}
+	}
+	return scm.Stats()
+}
+
+// OCC returns a snapshot of the OCC Synchronizer's counters.
+func (m *Mux) OCC() OCCStats { return m.occ.snapshot() }
+
+// SetMigrationInterleave installs a hook invoked after every optimistic
+// copy round, before validation — a deterministic window for tests and the
+// A1 ablation to inject racing user I/O. Pass nil to clear.
+func (m *Mux) SetMigrationInterleave(fn func(round int)) { m.hookAfterCopy = fn }
+
+// BLTStats reports the aggregate Block Lookup Table footprint: live files,
+// total mapped runs, mapped bytes, and the approximate in-memory size of
+// the tables (the §2.3 space-overhead claim, ablation A5).
+func (m *Mux) BLTStats() (files, runs int, mappedBytes, tableBytes int64) {
+	m.mu.Lock()
+	ptrs := make([]*muxFile, 0, len(m.files))
+	for _, f := range m.files {
+		ptrs = append(ptrs, f)
+	}
+	m.mu.Unlock()
+	const runBytes = 24 // off, end, tier-id entry in the extent tree
+	for _, f := range ptrs {
+		f.mu.Lock()
+		files++
+		runs += f.blt.Len()
+		mappedBytes += f.blt.MappedBytes()
+		f.mu.Unlock()
+	}
+	tableBytes = int64(runs) * runBytes
+	return files, runs, mappedBytes, tableBytes
+}
+
+// Name identifies the instance.
+func (m *Mux) Name() string { return m.name }
+
+func (m *Mux) now() time.Duration { return m.clk.Now() }
+
+// lookupFile resolves a path to its muxFile state.
+func (m *Mux) lookupFile(path string) (*muxFile, error) {
+	node, err := m.ns.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if node.IsDir() {
+		return nil, vfs.ErrIsDir
+	}
+	return m.files[node.Ino], nil
+}
+
+// Create makes a new regular file. The "host" file system — the policy's
+// placement for its first byte — immediately gets the underlying sparse
+// file and becomes the affinitive owner of all metadata (§2.3).
+func (m *Mux) Create(path string) (vfs.File, error) {
+	path = vfs.CleanPath(path)
+	m.clk.Advance(m.costs.MetaOp)
+
+	m.mu.Lock()
+	if len(m.liveTiersLocked()) == 0 {
+		m.mu.Unlock()
+		return nil, vfs.Errf("create", m.name, path, ErrNoTiers)
+	}
+	node, err := m.ns.CreateFile(path, 0o644)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, vfs.Errf("create", m.name, path, err)
+	}
+	now := m.now()
+	host := m.pol.PlaceWrite(policy.WriteCtx{Path: path, Off: 0, N: 0}, m.tierInfosLocked())
+	f := newMuxFile(node.Ino, path, now, host)
+	m.files[node.Ino] = f
+	m.mu.Unlock()
+
+	// Create the underlying sparse file on the host tier.
+	if _, err := m.ensureHandle(f, host); err != nil {
+		m.mu.Lock()
+		m.ns.Remove(path)
+		delete(m.files, node.Ino)
+		m.mu.Unlock()
+		return nil, vfs.Errf("create", m.name, path, err)
+	}
+	m.logCreate(f, host)
+	return &handle{m: m, f: f}, nil
+}
+
+// tierInfosLocked is tierInfos for callers already holding m.mu.
+func (m *Mux) tierInfosLocked() []policy.TierInfo {
+	live := m.liveTiersLocked()
+	out := make([]policy.TierInfo, 0, len(live))
+	for _, t := range live {
+		out = append(out, policy.TierInfo{
+			ID:       t.ID,
+			Name:     t.FS.Name(),
+			Class:    t.Prof.Class,
+			Capacity: t.Prof.Capacity,
+			Used:     m.used(t.ID).Load(),
+			ReadLat:  t.Prof.ReadLatency,
+			WriteLat: t.Prof.WriteLatency,
+		})
+	}
+	return out
+}
+
+// Open opens an existing regular file.
+func (m *Mux) Open(path string) (vfs.File, error) {
+	path = vfs.CleanPath(path)
+	m.clk.Advance(m.costs.MetaOp)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.lookupFile(path)
+	if err != nil {
+		return nil, vfs.Errf("open", m.name, path, err)
+	}
+	return &handle{m: m, f: f}, nil
+}
+
+// Remove deletes a file (from every tier holding it) or an empty directory.
+func (m *Mux) Remove(path string) error {
+	path = vfs.CleanPath(path)
+	m.clk.Advance(m.costs.MetaOp)
+
+	m.mu.Lock()
+	node, err := m.ns.Remove(path)
+	if err != nil {
+		m.mu.Unlock()
+		return vfs.Errf("remove", m.name, path, err)
+	}
+	f := m.files[node.Ino]
+	delete(m.files, node.Ino)
+	m.mu.Unlock()
+
+	if f != nil {
+		f.mu.Lock()
+		tiersHeld := f.tierSet()
+		mapped := f.blt.MappedBytes()
+		perTier := f.bytesPerTier()
+		f.closeHandlesLocked()
+		f.mu.Unlock()
+		_ = mapped
+		for id, bytes := range perTier {
+			m.used(id).Add(-bytes)
+		}
+		for id := range tiersHeld {
+			t, err := m.tier(id)
+			if err != nil {
+				continue
+			}
+			if rmErr := t.FS.Remove(path); rmErr != nil && !errors.Is(rmErr, vfs.ErrNotExist) {
+				return vfs.Errf("remove", m.name, path, rmErr)
+			}
+		}
+		if m.scm != nil {
+			m.scm.RemoveFile(f.ino)
+		}
+	}
+	m.logRemove(path)
+	return nil
+}
+
+// Rename moves a file or directory, mirrored on every tier that has it.
+func (m *Mux) Rename(oldPath, newPath string) error {
+	oldPath, newPath = vfs.CleanPath(oldPath), vfs.CleanPath(newPath)
+	m.clk.Advance(m.costs.MetaOp)
+
+	m.mu.Lock()
+	node, err := m.ns.Rename(oldPath, newPath)
+	if err != nil {
+		m.mu.Unlock()
+		return vfs.Errf("rename", m.name, oldPath, err)
+	}
+	var f *muxFile
+	if !node.IsDir() {
+		f = m.files[node.Ino]
+	}
+	tiers := m.liveTiersLocked()
+	m.mu.Unlock()
+
+	if f != nil {
+		f.mu.Lock()
+		f.path = newPath
+		f.closeHandlesLocked() // handles cache the old path
+		held := f.tierSet()
+		f.mu.Unlock()
+		for id := range held {
+			t, err := m.tier(id)
+			if err != nil {
+				continue
+			}
+			if mkErr := m.ensureDirs(t, newPath); mkErr != nil {
+				return vfs.Errf("rename", m.name, newPath, mkErr)
+			}
+			if rnErr := t.FS.Rename(oldPath, newPath); rnErr != nil && !errors.Is(rnErr, vfs.ErrNotExist) {
+				return vfs.Errf("rename", m.name, oldPath, rnErr)
+			}
+		}
+	} else {
+		// Directory: mirror on every tier that has it.
+		for _, t := range tiers {
+			if rnErr := t.FS.Rename(oldPath, newPath); rnErr != nil && !errors.Is(rnErr, vfs.ErrNotExist) {
+				return vfs.Errf("rename", m.name, oldPath, rnErr)
+			}
+		}
+	}
+	m.logRename(oldPath, newPath)
+	return nil
+}
+
+// Mkdir creates a directory in the merged namespace; underlying tiers get
+// it on demand when files are placed there.
+func (m *Mux) Mkdir(path string) error {
+	path = vfs.CleanPath(path)
+	m.clk.Advance(m.costs.MetaOp)
+	m.mu.Lock()
+	node, err := m.ns.Mkdir(path, 0o755)
+	m.mu.Unlock()
+	if err != nil {
+		return vfs.Errf("mkdir", m.name, path, err)
+	}
+	m.logMkdir(node.Ino, path)
+	return nil
+}
+
+// ReadDir lists the merged namespace.
+func (m *Mux) ReadDir(path string) ([]vfs.DirEntry, error) {
+	m.clk.Advance(m.costs.MetaOp)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ents, err := m.ns.ReadDir(vfs.CleanPath(path))
+	if err != nil {
+		return nil, vfs.Errf("readdir", m.name, path, err)
+	}
+	return ents, nil
+}
+
+// Stat serves metadata from the collective inode — no downward calls, the
+// point of caching attributes at the Mux layer (§2.3).
+func (m *Mux) Stat(path string) (vfs.FileInfo, error) {
+	path = vfs.CleanPath(path)
+	m.clk.Advance(m.costs.MetaOp)
+	m.mu.Lock()
+	node, err := m.ns.Lookup(path)
+	if err != nil {
+		m.mu.Unlock()
+		return vfs.FileInfo{}, vfs.Errf("stat", m.name, path, err)
+	}
+	if node.IsDir() {
+		m.mu.Unlock()
+		return vfs.FileInfo{Path: path, Mode: node.Mode}, nil
+	}
+	f := m.files[node.Ino]
+	m.mu.Unlock()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fi := f.meta.Info(path)
+	fi.Blocks = f.blt.MappedBytes()
+	return fi, nil
+}
+
+// SetAttr updates the collective inode and queues lazy downward sync.
+func (m *Mux) SetAttr(path string, attr vfs.SetAttr) error {
+	path = vfs.CleanPath(path)
+	m.clk.Advance(m.costs.MetaOp)
+	m.mu.Lock()
+	node, err := m.ns.Lookup(path)
+	if err != nil {
+		m.mu.Unlock()
+		return vfs.Errf("setattr", m.name, path, err)
+	}
+	if node.IsDir() {
+		m.mu.Unlock()
+		return vfs.Errf("setattr", m.name, path, vfs.ErrIsDir)
+	}
+	f := m.files[node.Ino]
+	m.mu.Unlock()
+
+	if attr.Size != nil {
+		if err := (&handle{m: m, f: f}).Truncate(*attr.Size); err != nil {
+			return err
+		}
+		attr.Size = nil
+	}
+	f.mu.Lock()
+	if f.meta.Apply(attr, m.now()) && attr.Mode != nil {
+		m.mu.Lock()
+		node.Mode = f.meta.Mode
+		m.mu.Unlock()
+	}
+	f.version++
+	f.opsSinceSync++
+	m.logSetAttr(f)
+	f.mu.Unlock()
+	return nil
+}
+
+// Truncate sets the file size by path.
+func (m *Mux) Truncate(path string, size int64) error {
+	fh, err := m.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return fh.Truncate(size)
+}
+
+// Statfs aggregates capacity across tiers — the metadata that "cannot have
+// a single owner" (§2.3).
+func (m *Mux) Statfs() (vfs.StatFS, error) {
+	m.clk.Advance(m.costs.MetaOp)
+	var out vfs.StatFS
+	for _, t := range m.Tiers() {
+		s, err := t.FS.Statfs()
+		if err != nil {
+			return vfs.StatFS{}, err
+		}
+		out.Capacity += s.Capacity
+		out.Used += s.Used
+		out.Available += s.Available
+	}
+	m.mu.Lock()
+	out.Files = m.ns.FileCount()
+	m.mu.Unlock()
+	return out, nil
+}
+
+// Sync persists every tier, then Mux's own metadata — ordered so committed
+// Mux metadata never references data a tier lost.
+func (m *Mux) Sync() error {
+	m.clk.Advance(m.costs.MetaOp)
+	for _, t := range m.Tiers() {
+		if err := t.FS.Sync(); err != nil {
+			return err
+		}
+	}
+	return m.metaFlush()
+}
+
+// Crash simulates power loss across the whole hierarchy: every tier that
+// supports crash injection crashes, as does the Mux meta device.
+func (m *Mux) Crash() {
+	for _, t := range m.Tiers() {
+		if cr, ok := t.FS.(vfs.CrashRecoverer); ok {
+			cr.Crash()
+		}
+	}
+	if m.meta != nil {
+		m.meta.dev.Crash()
+	}
+}
+
+// Recover rebuilds Mux state: each tier recovers itself first, then Mux
+// replays its meta journal (which only ever commits after tier syncs).
+func (m *Mux) Recover() error {
+	for _, t := range m.Tiers() {
+		if cr, ok := t.FS.(vfs.CrashRecoverer); ok {
+			if err := cr.Recover(); err != nil {
+				return fmt.Errorf("mux: tier %s recover: %w", t.FS.Name(), err)
+			}
+		}
+	}
+	if m.meta == nil {
+		return nil
+	}
+	// Pending (uncommitted) meta records describe pre-crash state that the
+	// crash erased; committing them after recovery would interleave stale
+	// history into the journal. Drop them.
+	m.meta.mu.Lock()
+	m.meta.pending = nil
+	m.meta.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ns = fsbase.NewNamespace()
+	m.files = map[uint64]*muxFile{}
+	for _, c := range *m.tierUsed.Load() {
+		c.Store(0)
+	}
+	return m.meta.replay(m)
+}

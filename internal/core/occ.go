@@ -1,0 +1,374 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"muxfs/internal/extent"
+	"muxfs/internal/vfs"
+)
+
+// migrateChunk is the copy buffer size for data movement.
+const migrateChunk = 256 * 1024
+
+// OCCStats counts OCC Synchronizer activity (§2.4).
+type OCCStats struct {
+	Migrations    int64 // completed migration calls
+	BytesMoved    int64
+	Conflicts     int64 // migration rounds that detected concurrent writes
+	Retries       int64 // re-copy rounds performed
+	LockFallbacks int64 // migrations that fell back to lock-based copy
+}
+
+// occCounter pairs the stats with their lock.
+type occCounter struct {
+	mu sync.Mutex
+	s  OCCStats
+}
+
+func (c *occCounter) add(f func(*OCCStats)) {
+	c.mu.Lock()
+	f(&c.s)
+	c.mu.Unlock()
+}
+
+func (c *occCounter) snapshot() OCCStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+// Migrate moves every block of path on tier src to tier dst and returns the
+// bytes moved. Mux supports every tier pair — "supporting a migration path
+// takes a single line of code to invoke the migration function" (§3.1).
+func (m *Mux) Migrate(path string, src, dst int) (int64, error) {
+	return m.MigrateRange(path, src, dst, 0, -1)
+}
+
+// MigrateRange moves the blocks of [off, off+n) (n == -1 means to EOF)
+// residing on src to dst using the OCC Synchronizer:
+//
+//	version++ (movement start) → copy blocks with no lock held → under the
+//	bookkeeping lock, compare versions; untouched blocks commit atomically
+//	into the BLT, blocks dirtied by concurrent writes retry (bounded), and
+//	persistent conflicts fall back to a lock-based copy → version++ (end).
+//
+// Data movement does not change content, so a block whose version interval
+// saw no write is correct by construction; conflicted copies are dropped
+// with no side effects (§2.4).
+func (m *Mux) MigrateRange(path string, src, dst int, off, n int64) (int64, error) {
+	path = vfs.CleanPath(path)
+	m.clk.Advance(m.costs.MetaOp)
+	if src == dst {
+		return 0, nil
+	}
+	srcTier, err := m.tier(src)
+	if err != nil {
+		return 0, vfs.Errf("migrate", m.name, path, err)
+	}
+	dstTier, err := m.tier(dst)
+	if err != nil {
+		return 0, vfs.Errf("migrate", m.name, path, err)
+	}
+
+	m.mu.Lock()
+	f, err := m.lookupFile(path)
+	m.mu.Unlock()
+	if err != nil {
+		return 0, vfs.Errf("migrate", m.name, path, err)
+	}
+
+	// --- Start the migration window. ---
+	f.mu.Lock()
+	if f.migrating {
+		f.mu.Unlock()
+		return 0, vfs.Errf("migrate", m.name, path, ErrMigrationActive)
+	}
+	f.migrating = true
+	f.version++ // movement start
+	f.migDirty.Clear()
+	if n < 0 {
+		n = f.meta.Size - off
+	}
+	work := m.collectOnTier(f, src, off, n)
+	if len(work) == 0 {
+		f.migrating = false
+		f.version++
+		f.mu.Unlock()
+		return 0, nil
+	}
+	srcH, err := m.ensureHandleLocked(f, srcTier)
+	if err == nil {
+		_, err = m.ensureHandleLocked(f, dstTier)
+	}
+	dstH := f.handles[dst]
+	if err != nil {
+		f.migrating = false
+		f.version++
+		f.mu.Unlock()
+		return 0, vfs.Errf("migrate", m.name, path, err)
+	}
+
+	var moved int64
+	var committed []vfs.Extent
+
+	// Traditional lock-based migration (ablation mode): hold the per-file
+	// lock for the entire copy, blocking user I/O — the design the OCC
+	// Synchronizer replaces.
+	if m.lockMig {
+		err := m.copyRanges(srcH, dstH, work)
+		if err == nil {
+			err = dstH.Sync()
+		}
+		if err != nil {
+			f.migrating = false
+			f.version++
+			f.mu.Unlock()
+			return moved, vfs.Errf("migrate", m.name, path, err)
+		}
+		for _, w := range work {
+			m.bltRepoint(f, w.Off, w.Len, dst)
+			committed = append(committed, w)
+			moved += w.Len
+		}
+		f.migrating = false
+		f.version++
+		m.logBLTRange(f, off, n)
+		f.mu.Unlock()
+		if err := m.reclaimSource(f, srcH, committed); err != nil {
+			return moved, vfs.Errf("migrate", m.name, path, err)
+		}
+		m.occ.add(func(s *OCCStats) {
+			s.Migrations++
+			s.BytesMoved += moved
+		})
+		return moved, nil
+	}
+	f.mu.Unlock()
+
+	for round := 0; ; round++ {
+		// --- Optimistic copy: no lock held; concurrent reads and writes
+		// proceed against the still-authoritative source blocks. ---
+		if err := m.copyRanges(srcH, dstH, work); err != nil {
+			m.abortMigration(f)
+			return moved, vfs.Errf("migrate", m.name, path, err)
+		}
+		// The copy must be durable on the destination before the BLT can
+		// commit and the source can be punched.
+		if err := dstH.Sync(); err != nil {
+			m.abortMigration(f)
+			return moved, vfs.Errf("migrate", m.name, path, err)
+		}
+		if m.hookAfterCopy != nil {
+			m.hookAfterCopy(round)
+		}
+
+		// --- Validate & commit. ---
+		f.mu.Lock()
+		var conflicts []vfs.Extent
+		for _, w := range work {
+			for _, d := range f.migDirty.Segments(w.Off, w.Len) {
+				if !d.Hole {
+					conflicts = append(conflicts, vfs.Extent{Off: d.Off, Len: d.Len})
+				}
+			}
+		}
+		clean := subtractRanges(work, conflicts)
+		for _, c := range clean {
+			// Only repoint blocks the BLT still attributes to src: a
+			// concurrent write may have redirected them elsewhere.
+			for _, seg := range f.blt.Segments(c.Off, c.Len) {
+				if seg.Hole || seg.Val != src {
+					continue
+				}
+				m.bltRepoint(f, seg.Off, seg.Len, dst)
+				committed = append(committed, vfs.Extent{Off: seg.Off, Len: seg.Len})
+				moved += seg.Len
+			}
+		}
+		f.migDirty.Clear()
+
+		if len(conflicts) == 0 {
+			f.migrating = false
+			f.version++ // movement end
+			f.mu.Unlock()
+			break
+		}
+
+		m.occ.add(func(s *OCCStats) { s.Conflicts++ })
+
+		if round < m.maxRetry {
+			m.occ.add(func(s *OCCStats) { s.Retries++ })
+			work = conflicts
+			f.mu.Unlock()
+			continue
+		}
+
+		// --- Lock fallback: copy the stubborn blocks while holding the
+		// bookkeeping lock, blocking writers (§2.4's bounded completion
+		// guarantee). ---
+		m.occ.add(func(s *OCCStats) { s.LockFallbacks++ })
+		if err := m.copyRanges(srcH, dstH, conflicts); err != nil {
+			f.migrating = false
+			f.version++
+			f.mu.Unlock()
+			return moved, vfs.Errf("migrate", m.name, path, err)
+		}
+		for _, c := range conflicts {
+			for _, seg := range f.blt.Segments(c.Off, c.Len) {
+				if seg.Hole || seg.Val != src {
+					continue
+				}
+				m.bltRepoint(f, seg.Off, seg.Len, dst)
+				committed = append(committed, vfs.Extent{Off: seg.Off, Len: seg.Len})
+				moved += seg.Len
+			}
+		}
+		f.migrating = false
+		f.version++
+		f.mu.Unlock()
+		break
+	}
+
+	f.mu.Lock()
+	m.logBLTRange(f, off, n)
+	f.mu.Unlock()
+
+	if err := m.reclaimSource(f, srcH, committed); err != nil {
+		return moved, vfs.Errf("migrate", m.name, path, err)
+	}
+
+	m.occ.add(func(s *OCCStats) {
+		s.Migrations++
+		s.BytesMoved += moved
+	})
+	return moved, nil
+}
+
+// reclaimSource punches the migrated ranges out of the source file system —
+// but only after the BLT repoint is durable. Without the ordering, a crash
+// could recover a Block Lookup Table that still references source blocks
+// the punch already destroyed. Caller must NOT hold f.mu (the meta flush
+// may compact, which locks files).
+func (m *Mux) reclaimSource(f *muxFile, srcH vfs.File, committed []vfs.Extent) error {
+	if len(committed) == 0 {
+		return nil
+	}
+	if m.meta != nil {
+		// Ordered commit: tier syncs first, then the Mux meta journal.
+		if err := m.Sync(); err != nil {
+			return err
+		}
+	}
+	for _, c := range committed {
+		if err := srcH.PunchHole(c.Off, c.Len); err != nil {
+			return err
+		}
+	}
+	if m.scm != nil {
+		for _, c := range committed {
+			m.scm.invalidate(f.ino, c.Off, c.Len)
+		}
+	}
+	return nil
+}
+
+// abortMigration clears the migration window after an I/O failure.
+func (m *Mux) abortMigration(f *muxFile) {
+	f.mu.Lock()
+	f.migrating = false
+	f.version++
+	f.mu.Unlock()
+}
+
+// collectOnTier lists the ranges of [off, off+n) whose BLT entry is tier.
+// Caller holds f.mu.
+func (m *Mux) collectOnTier(f *muxFile, tier int, off, n int64) []vfs.Extent {
+	var out []vfs.Extent
+	for _, seg := range f.blt.Segments(off, n) {
+		if seg.Hole || seg.Val != tier {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].End() == seg.Off {
+			out[len(out)-1].Len += seg.Len
+		} else {
+			out = append(out, vfs.Extent{Off: seg.Off, Len: seg.Len})
+		}
+	}
+	return out
+}
+
+// copyRanges copies the given ranges between two downward handles in
+// migrateChunk pieces, charging OCC bookkeeping per block.
+func (m *Mux) copyRanges(srcH, dstH vfs.File, ranges []vfs.Extent) error {
+	buf := make([]byte, migrateChunk)
+	for _, r := range ranges {
+		pos := r.Off
+		for pos < r.End() {
+			chunk := int64(len(buf))
+			if rem := r.End() - pos; chunk > rem {
+				chunk = rem
+			}
+			blocks := (chunk + BlockSize - 1) / BlockSize
+			m.clk.Advance(time.Duration(blocks) * m.costs.OCCPerBlock)
+			nr, err := srcH.ReadAt(buf[:chunk], pos)
+			if err != nil && !errors.Is(err, io.EOF) {
+				return fmt.Errorf("migration read: %w", err)
+			}
+			if nr < int(chunk) {
+				// Source file shorter than the mapped range (possible only
+				// transiently during truncation); zero-fill the remainder.
+				zero(buf[nr:chunk])
+			}
+			if _, err := dstH.WriteAt(buf[:chunk], pos); err != nil {
+				return fmt.Errorf("migration write: %w", err)
+			}
+			pos += chunk
+		}
+	}
+	return nil
+}
+
+// subtractRanges returns work minus conflicts.
+func subtractRanges(work, conflicts []vfs.Extent) []vfs.Extent {
+	if len(conflicts) == 0 {
+		return work
+	}
+	var t extent.Tree[struct{}]
+	for _, w := range work {
+		t.Insert(w.Off, w.Len, struct{}{})
+	}
+	for _, c := range conflicts {
+		t.Delete(c.Off, c.Len)
+	}
+	var out []vfs.Extent
+	t.Walk(func(off, n int64, _ struct{}) bool {
+		out = append(out, vfs.Extent{Off: off, Len: n})
+		return true
+	})
+	return out
+}
+
+// DrainTier migrates every file's blocks off tier src onto dst, in
+// preparation for RemoveTier (§2.1: "to remove a device, data must be
+// migrated first").
+func (m *Mux) DrainTier(src, dst int) (int64, error) {
+	m.mu.Lock()
+	paths := make([]string, 0, len(m.files))
+	for _, f := range m.files {
+		paths = append(paths, f.path)
+	}
+	m.mu.Unlock()
+	var total int64
+	for _, p := range paths {
+		moved, err := m.Migrate(p, src, dst)
+		total += moved
+		if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			return total, err
+		}
+	}
+	return total, nil
+}

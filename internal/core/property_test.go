@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"muxfs/internal/policy"
+)
+
+// TestRandomOpsKeepInvariants drives random writes, truncates, punches, and
+// migrations against a byte-level reference model, asserting after every
+// operation batch that (a) contents match the model, and (b) Fsck finds the
+// BLT, the native file systems, and the usage accounting mutually
+// consistent.
+func TestRandomOpsKeepInvariants(t *testing.T) {
+	const (
+		space  = 256 << 10
+		trials = 4
+		ops    = 120
+	)
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial) * 7919))
+			r := newRig(t, policy.Pinned{Tier: 0}, false)
+			f := writeFile(t, r.m, "/model", nil)
+			defer f.Close()
+			model := make([]byte, 0, space)
+			grow := func(n int64) {
+				for int64(len(model)) < n {
+					model = append(model, 0)
+				}
+			}
+
+			for op := 0; op < ops; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // write via a random policy target
+					r.m.SetPolicy(policy.Pinned{Tier: rng.Intn(3)})
+					off := int64(rng.Intn(space / 2))
+					data := make([]byte, rng.Intn(space/8)+1)
+					rng.Read(data)
+					if _, err := f.WriteAt(data, off); err != nil {
+						t.Fatalf("op %d write: %v", op, err)
+					}
+					grow(off + int64(len(data)))
+					copy(model[off:], data)
+				case 4, 5: // migrate a random range between random tiers
+					if len(model) == 0 {
+						continue
+					}
+					src, dst := rng.Intn(3), rng.Intn(3)
+					off := int64(rng.Intn(len(model)))
+					n := int64(rng.Intn(space / 4))
+					if _, err := r.m.MigrateRange("/model", src, dst, off, n); err != nil &&
+						!errors.Is(err, ErrMigrationActive) {
+						t.Fatalf("op %d migrate: %v", op, err)
+					}
+				case 6: // truncate
+					size := int64(rng.Intn(space))
+					if err := f.Truncate(size); err != nil {
+						t.Fatalf("op %d truncate: %v", op, err)
+					}
+					if size <= int64(len(model)) {
+						model = model[:size]
+					} else {
+						grow(size)
+					}
+				case 7: // punch
+					if len(model) == 0 {
+						continue
+					}
+					off := int64(rng.Intn(len(model)))
+					n := int64(rng.Intn(space / 8))
+					if err := f.PunchHole(off, n); err != nil {
+						t.Fatalf("op %d punch: %v", op, err)
+					}
+					end := off + n
+					if end > int64(len(model)) {
+						end = int64(len(model))
+					}
+					for i := off; i < end; i++ {
+						model[i] = 0
+					}
+				case 8: // whole-file migration sweep
+					src, dst := rng.Intn(3), rng.Intn(3)
+					if _, err := r.m.Migrate("/model", src, dst); err != nil &&
+						!errors.Is(err, ErrMigrationActive) {
+						t.Fatalf("op %d migrate-all: %v", op, err)
+					}
+				case 9: // read-verify a random window
+					if len(model) == 0 {
+						continue
+					}
+					off := int64(rng.Intn(len(model)))
+					n := rng.Intn(space / 4)
+					if n == 0 {
+						continue
+					}
+					buf := make([]byte, n)
+					got, err := f.ReadAt(buf, off)
+					if err != nil && !errors.Is(err, io.EOF) {
+						t.Fatalf("op %d read: %v", op, err)
+					}
+					want := int64(len(model)) - off
+					if want > int64(n) {
+						want = int64(n)
+					}
+					if int64(got) != want {
+						t.Fatalf("op %d: read %d bytes, want %d", op, got, want)
+					}
+					if !bytes.Equal(buf[:got], model[off:off+int64(got)]) {
+						t.Fatalf("op %d: window mismatch at %d", op, off)
+					}
+				}
+
+				if op%20 == 19 {
+					if rep := r.m.Fsck(); !rep.OK() {
+						t.Fatalf("op %d: fsck: %v", op, rep.Problems)
+					}
+				}
+			}
+
+			// Final checks: size, contents, fsck, usage total.
+			fi, err := f.Stat()
+			if err != nil || fi.Size != int64(len(model)) {
+				t.Fatalf("final size %d, model %d (%v)", fi.Size, len(model), err)
+			}
+			if len(model) > 0 {
+				got := make([]byte, len(model))
+				if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, model) {
+					t.Fatal("final contents diverged from model")
+				}
+			}
+			if rep := r.m.Fsck(); !rep.OK() {
+				t.Fatalf("final fsck: %v", rep.Problems)
+			}
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"muxfs/internal/vfs"
+)
+
+// Replication implements the §4 "Crash Consistency" direction the paper
+// sketches: "a much stronger crash consistency guarantee can be designed
+// for Mux ... by the opportunity for data replication across devices."
+//
+// A file with a replica tier keeps a full mirror of its data there, written
+// synchronously with every user write. Reads that fail on the authoritative
+// tier (device fault, a participating file system's crash-consistency
+// defect) transparently fall back to the replica. The Block Lookup Table
+// still describes the authoritative placement; the replica is a shadow.
+
+// ErrNoReplica reports a replica operation on an unreplicated file.
+var ErrNoReplica = errors.New("mux: file has no replica")
+
+// SetReplica establishes (or moves) the file's replica to the given tier
+// and synchronously mirrors the current contents there.
+func (m *Mux) SetReplica(path string, tier int) error {
+	path = vfs.CleanPath(path)
+	t, err := m.tier(tier)
+	if err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	m.mu.Lock()
+	f, err := m.lookupFile(path)
+	m.mu.Unlock()
+	if err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rh, err := m.ensureHandleLocked(f, t)
+	if err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	if err := m.mirrorLocked(f, rh); err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	if err := rh.Sync(); err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	f.replica = tier
+	return nil
+}
+
+// ClearReplica stops replicating the file and punches the mirror out of its
+// tier.
+func (m *Mux) ClearReplica(path string) error {
+	path = vfs.CleanPath(path)
+	m.mu.Lock()
+	f, err := m.lookupFile(path)
+	m.mu.Unlock()
+	if err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.replica < 0 {
+		return vfs.Errf("replicate", m.name, path, ErrNoReplica)
+	}
+	t, err := m.tier(f.replica)
+	f.replica = -1
+	if err != nil {
+		return nil // tier vanished; nothing to reclaim
+	}
+	rh, err := m.ensureHandleLocked(f, t)
+	if err != nil {
+		return nil
+	}
+	if f.meta.Size > 0 {
+		_ = rh.PunchHole(0, f.meta.Size)
+	}
+	return nil
+}
+
+// Replica reports the file's replica tier (-1 when unreplicated).
+func (m *Mux) Replica(path string) (int, error) {
+	m.mu.Lock()
+	f, err := m.lookupFile(vfs.CleanPath(path))
+	m.mu.Unlock()
+	if err != nil {
+		return -1, vfs.Errf("replicate", m.name, path, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.replica, nil
+}
+
+// RepairFile re-mirrors the file onto its replica tier (after the replica's
+// device recovered from a fault, say).
+func (m *Mux) RepairFile(path string) error {
+	path = vfs.CleanPath(path)
+	m.mu.Lock()
+	f, err := m.lookupFile(path)
+	m.mu.Unlock()
+	if err != nil {
+		return vfs.Errf("repair", m.name, path, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.replica < 0 {
+		return vfs.Errf("repair", m.name, path, ErrNoReplica)
+	}
+	t, err := m.tier(f.replica)
+	if err != nil {
+		return vfs.Errf("repair", m.name, path, err)
+	}
+	rh, err := m.ensureHandleLocked(f, t)
+	if err != nil {
+		return vfs.Errf("repair", m.name, path, err)
+	}
+	if err := m.mirrorLocked(f, rh); err != nil {
+		return vfs.Errf("repair", m.name, path, err)
+	}
+	if err := rh.Sync(); err != nil {
+		return vfs.Errf("repair", m.name, path, err)
+	}
+	return nil
+}
+
+// mirrorLocked copies the file's authoritative contents to the replica
+// handle. Caller holds f.mu.
+func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File) error {
+	buf := make([]byte, migrateChunk)
+	for pos := int64(0); pos < f.meta.Size; {
+		chunk := int64(len(buf))
+		if rem := f.meta.Size - pos; chunk > rem {
+			chunk = rem
+		}
+		for _, seg := range f.blt.Segments(pos, chunk) {
+			dst := buf[seg.Off-pos : seg.Off-pos+seg.Len]
+			if seg.Hole {
+				zero(dst)
+				continue
+			}
+			t, err := m.tier(seg.Val)
+			if err != nil {
+				return err
+			}
+			sh, err := m.ensureHandleLocked(f, t)
+			if err != nil {
+				return err
+			}
+			if _, err := sh.ReadAt(dst, seg.Off); err != nil && !errors.Is(err, io.EOF) {
+				return err
+			}
+		}
+		if _, err := rh.WriteAt(buf[:chunk], pos); err != nil {
+			return err
+		}
+		pos += chunk
+	}
+	return rh.Truncate(f.meta.Size)
+}
+
+// mirrorWriteLocked mirrors one user write to the replica. Caller holds
+// f.mu. Mirror failures are returned so callers surface degraded
+// replication instead of silently diverging.
+func (m *Mux) mirrorWriteLocked(f *muxFile, p []byte, off int64) error {
+	if f.replica < 0 {
+		return nil
+	}
+	t, err := m.tier(f.replica)
+	if err != nil {
+		return fmt.Errorf("replica tier: %w", err)
+	}
+	rh, err := m.ensureHandleLocked(f, t)
+	if err != nil {
+		return fmt.Errorf("replica handle: %w", err)
+	}
+	if _, err := rh.WriteAt(p, off); err != nil {
+		return fmt.Errorf("replica write: %w", err)
+	}
+	return nil
+}
+
+// readWithReplicaFallback retries a failed segment read from the replica.
+// Returns the original error if no replica exists or the replica also
+// fails.
+func (m *Mux) readWithReplicaFallback(f *muxFile, dst []byte, off int64, orig error) error {
+	f.mu.Lock()
+	replica := f.replica
+	var rh vfs.File
+	var err error
+	if replica >= 0 {
+		var t *Tier
+		if t, err = m.tier(replica); err == nil {
+			rh, err = m.ensureHandleLocked(f, t)
+		}
+	}
+	f.mu.Unlock()
+	if replica < 0 || err != nil || rh == nil {
+		return orig
+	}
+	if _, rerr := rh.ReadAt(dst, off); rerr != nil && !errors.Is(rerr, io.EOF) {
+		return orig
+	}
+	return nil
+}

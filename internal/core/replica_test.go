@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"muxfs/internal/policy"
+)
+
+func TestReplicaMirrorsWrites(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	payload := bytes.Repeat([]byte{0x77}, 64*1024)
+	f := writeFile(t, r.m, "/r", payload[:32*1024])
+	defer f.Close()
+
+	if err := r.m.SetReplica("/r", r.ids.ssd); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.m.Replica("/r"); got != r.ids.ssd {
+		t.Fatalf("Replica = %d", got)
+	}
+	// Writes after SetReplica mirror synchronously.
+	if _, err := f.WriteAt(payload[32*1024:], 32*1024); err != nil {
+		t.Fatal(err)
+	}
+	// The replica tier's sparse file holds the full mirror.
+	rfi, err := r.m.Tiers()[1].FS.Stat("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfi.Blocks != 64*1024 {
+		t.Fatalf("replica holds %d bytes, want full mirror", rfi.Blocks)
+	}
+	// BLT still points at the authoritative tier only.
+	usage := r.m.TierUsage()
+	if usage[r.ids.pm] != 64*1024 {
+		t.Fatalf("authoritative usage = %v", usage)
+	}
+}
+
+func TestReplicaServesReadsWhenPrimaryFails(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	payload := bytes.Repeat([]byte{0x5E}, 32*1024)
+	f := writeFile(t, r.m, "/ha", payload)
+	defer f.Close()
+	if err := r.m.SetReplica("/ha", r.ids.ssd); err != nil {
+		t.Fatal(err)
+	}
+
+	// The PM device dies.
+	r.pm.InjectFailure(true)
+	defer r.pm.InjectFailure(false)
+
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("read with dead primary: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("replica served wrong data")
+	}
+}
+
+func TestReadFailsWithoutReplica(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	f := writeFile(t, r.m, "/solo", bytes.Repeat([]byte{1}, 8192))
+	defer f.Close()
+	r.pm.InjectFailure(true)
+	defer r.pm.InjectFailure(false)
+	buf := make([]byte, 8192)
+	if _, err := f.ReadAt(buf, 0); err == nil {
+		t.Fatal("read succeeded from a dead device with no replica")
+	}
+}
+
+func TestClearReplica(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	f := writeFile(t, r.m, "/c", bytes.Repeat([]byte{2}, 16384))
+	defer f.Close()
+	if err := r.m.ClearReplica("/c"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("clear on unreplicated file: %v", err)
+	}
+	if err := r.m.SetReplica("/c", r.ids.hdd); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.ClearReplica("/c"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.m.Replica("/c"); got != -1 {
+		t.Fatalf("replica still set: %d", got)
+	}
+	// Mirror space reclaimed on the replica tier.
+	fi, err := r.m.Tiers()[2].FS.Stat("/c")
+	if err == nil && fi.Blocks != 0 {
+		t.Fatalf("replica tier still holds %d bytes", fi.Blocks)
+	}
+}
+
+func TestRepairFileAfterReplicaOutage(t *testing.T) {
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	payload := bytes.Repeat([]byte{9}, 16384)
+	f := writeFile(t, r.m, "/heal", payload[:8192])
+	defer f.Close()
+	if err := r.m.SetReplica("/heal", r.ids.ssd); err != nil {
+		t.Fatal(err)
+	}
+	// The replica device goes down. The mirrored write itself may land in
+	// the replica FS's write-back cache, but fsync — which fans out to
+	// every tier holding the file, replica included — must surface the
+	// failure rather than silently degrade replication.
+	r.ssd.InjectFailure(true)
+	f.WriteAt(payload[8192:], 8192)
+	if err := f.Sync(); err == nil {
+		t.Fatal("fsync succeeded with a dead replica device")
+	}
+	r.ssd.InjectFailure(false)
+	// After the device returns, repair re-syncs and writes flow again.
+	if err := r.m.RepairFile("/heal"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(payload[8192:], 8192); err != nil {
+		t.Fatal(err)
+	}
+	// Primary dies; the repaired replica must hold everything.
+	r.pm.InjectFailure(true)
+	defer r.pm.InjectFailure(false)
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("repaired replica diverged")
+	}
+}
+
+func TestReplicaSurvivesMigration(t *testing.T) {
+	// Replication and migration compose: migrate the authoritative copy,
+	// then kill the new primary; the replica still serves.
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	payload := bytes.Repeat([]byte{0x41}, 32*1024)
+	f := writeFile(t, r.m, "/both", payload)
+	defer f.Close()
+	if err := r.m.SetReplica("/both", r.ids.hdd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.m.Migrate("/both", r.ids.pm, r.ids.ssd); err != nil {
+		t.Fatal(err)
+	}
+	r.ssd.InjectFailure(true)
+	defer r.ssd.InjectFailure(false)
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("read with dead post-migration primary: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("replica stale after migration")
+	}
+}

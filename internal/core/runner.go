@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"muxfs/internal/policy"
+	"muxfs/internal/vfs"
+)
+
+// heatDecay halves file heat each policy round, giving PlanMigrations a
+// decayed access-frequency signal.
+const heatDecay = 0.5
+
+// RunPolicyOnce is the Policy Runner (Figure 1c): snapshot tier usage and
+// per-file heat, ask the policy for moves, order them with the I/O
+// scheduler's cost estimates, and execute them through the OCC
+// Synchronizer. It returns the number of moves executed.
+func (m *Mux) RunPolicyOnce() (int, error) {
+	tiers := m.tierInfos()
+	if len(tiers) == 0 {
+		return 0, ErrNoTiers
+	}
+
+	m.mu.Lock()
+	filePtrs := make([]*muxFile, 0, len(m.files))
+	for _, f := range m.files {
+		filePtrs = append(filePtrs, f)
+	}
+	m.mu.Unlock()
+
+	stats := make([]policy.FileStat, 0, len(filePtrs))
+	for _, f := range filePtrs {
+		f.mu.Lock()
+		perTier := f.bytesPerTier()
+		onTiers := make([]int, 0, len(perTier))
+		for tier := range perTier {
+			onTiers = append(onTiers, tier)
+		}
+		sort.Ints(onTiers)
+		stats = append(stats, policy.FileStat{
+			Path:       f.path,
+			Size:       f.meta.Size,
+			LastAccess: f.lastAccess,
+			Heat:       f.heat,
+			Tiers:      onTiers,
+			TierBytes:  perTier,
+		})
+		f.heat *= heatDecay
+		f.mu.Unlock()
+	}
+
+	moves := m.policy().PlanMigrations(tiers, stats, m.now())
+	m.orderMoves(moves)
+
+	executed := 0
+	for _, mv := range moves {
+		off, n := mv.Off, mv.N
+		moved, err := m.MigrateRange(mv.Path, mv.SrcTier, mv.DstTier, off, n)
+		switch {
+		case err == nil:
+			if moved > 0 {
+				executed++
+			}
+		case errors.Is(err, vfs.ErrNotExist), errors.Is(err, ErrMigrationActive):
+			// The file vanished or is already moving; skip.
+		default:
+			return executed, err
+		}
+	}
+	return executed, nil
+}
+
+// orderMoves is the simple device-profile I/O scheduler (§4): promotions —
+// which cut future access latency — run before demotions, and within each
+// group cheaper transfers run first so the queue drains small requests
+// quickly.
+func (m *Mux) orderMoves(moves []policy.Move) {
+	cost := func(mv policy.Move) time.Duration {
+		srcT, err1 := m.tier(mv.SrcTier)
+		dstT, err2 := m.tier(mv.DstTier)
+		if err1 != nil || err2 != nil {
+			return time.Hour
+		}
+		n := mv.N
+		if n < 0 {
+			n = 1 << 20 // unknown size: assume a megabyte
+		}
+		var d time.Duration
+		d += srcT.Prof.ReadLatency + dstT.Prof.WriteLatency
+		if bw := srcT.Prof.ReadBandwidth; bw > 0 {
+			d += time.Duration(n * int64(time.Second) / bw)
+		}
+		if bw := dstT.Prof.WriteBandwidth; bw > 0 {
+			d += time.Duration(n * int64(time.Second) / bw)
+		}
+		return d
+	}
+	sort.SliceStable(moves, func(i, j int) bool {
+		if moves[i].Promote != moves[j].Promote {
+			return moves[i].Promote
+		}
+		return cost(moves[i]) < cost(moves[j])
+	})
+}
+
+// PolicyRunner runs RunPolicyOnce on a wall-clock interval until stop is
+// closed. Long-running applications (and the examples) use it as the
+// background tiering daemon; benchmarks call RunPolicyOnce directly for
+// determinism.
+func (m *Mux) PolicyRunner(interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			// Policy errors are advisory here; the next round retries.
+			_, _ = m.RunPolicyOnce()
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"muxfs/internal/simclock"
+)
+
+// Errors returned by device operations.
+var (
+	// ErrOutOfRange reports an access beyond the device capacity.
+	ErrOutOfRange = errors.New("device: access out of range")
+	// ErrShortBuffer reports an empty or nil transfer buffer.
+	ErrShortBuffer = errors.New("device: zero-length transfer")
+)
+
+const pageSize = 4096 // internal storage granule, independent of Profile.BlockSize
+
+// Device is a simulated block device. Contents live in sparsely allocated
+// in-memory pages. Every access charges its modeled cost to the shared
+// virtual clock and updates the device statistics.
+//
+// Writes are volatile until persisted: Persist makes a byte range durable,
+// Crash reverts all un-persisted bytes to their last durable contents. A
+// Device is safe for concurrent use.
+type Device struct {
+	prof Profile
+	clk  *simclock.Clock
+
+	mu      sync.Mutex
+	pages   map[int64][]byte // pageNo -> 4 KiB page (current contents)
+	shadow  map[int64][]byte // pageNo -> durable copy for pages dirtied since last persist; nil entry = page did not exist
+	lastEnd int64            // end offset of the previous access, for seek detection
+	failed  bool             // set by InjectFailure: all ops error
+
+	stats Stats
+}
+
+// New creates a device with the given profile, charging costs to clk.
+func New(prof Profile, clk *simclock.Clock) *Device {
+	if prof.BlockSize <= 0 {
+		prof.BlockSize = DefaultBlockSize
+	}
+	return &Device{
+		prof:   prof,
+		clk:    clk,
+		pages:  make(map[int64][]byte),
+		shadow: make(map[int64][]byte),
+	}
+}
+
+// Profile returns the device's performance profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Clock returns the virtual clock this device charges.
+func (d *Device) Clock() *simclock.Clock { return d.clk }
+
+// Capacity returns the addressable size in bytes.
+func (d *Device) Capacity() int64 { return d.prof.Capacity }
+
+func (d *Device) checkRange(off int64, n int) error {
+	if off < 0 || n < 0 || off+int64(n) > d.prof.Capacity {
+		return fmt.Errorf("%w: off=%d len=%d cap=%d dev=%s",
+			ErrOutOfRange, off, n, d.prof.Capacity, d.prof.Name)
+	}
+	return nil
+}
+
+// ReadAt reads len(p) bytes at off. Unwritten regions read as zeros (the
+// device is born zero-filled, like a trimmed SSD).
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, ErrShortBuffer
+	}
+	if err := d.checkRange(off, len(p)); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return 0, fmt.Errorf("device %s: injected failure", d.prof.Name)
+	}
+	d.charge(off, len(p), false)
+	d.copyOut(p, off)
+	d.stats.addRead(int64(len(p)))
+	return len(p), nil
+}
+
+// WriteAt writes len(p) bytes at off. The data is volatile until Persist
+// covers it.
+func (d *Device) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, ErrShortBuffer
+	}
+	if err := d.checkRange(off, len(p)); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return 0, fmt.Errorf("device %s: injected failure", d.prof.Name)
+	}
+	d.charge(off, len(p), true)
+	d.copyIn(p, off)
+	d.stats.addWrite(int64(len(p)))
+	return len(p), nil
+}
+
+// Persist makes the byte range [off, off+n) durable and charges the
+// persistence-barrier cost. It is the CLFLUSH+fence analogue on PM and the
+// cache-flush analogue on block devices. n == 0 persists nothing but still
+// pays the barrier (an fsync on a clean file still issues a flush).
+func (d *Device) Persist(off, n int64) error {
+	if err := d.checkRange(off, int(min64(n, d.prof.Capacity-off))); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return fmt.Errorf("device %s: injected failure", d.prof.Name)
+	}
+	d.clk.Advance(d.prof.PersistLatency)
+	d.stats.addPersist()
+	first := off / pageSize
+	last := (off + n - 1) / pageSize
+	if n <= 0 {
+		return nil
+	}
+	for pg := first; pg <= last; pg++ {
+		delete(d.shadow, pg)
+	}
+	return nil
+}
+
+// PersistAll makes the entire device durable (a full barrier).
+func (d *Device) PersistAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clk.Advance(d.prof.PersistLatency)
+	d.stats.addPersist()
+	d.shadow = make(map[int64][]byte)
+}
+
+// Crash simulates power loss: every byte not covered by a Persist since it
+// was written reverts to its last durable contents. DRAM-class devices lose
+// everything.
+func (d *Device) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.prof.Class == DRAM {
+		d.pages = make(map[int64][]byte)
+		d.shadow = make(map[int64][]byte)
+		return
+	}
+	for pg, durable := range d.shadow {
+		if durable == nil {
+			delete(d.pages, pg)
+		} else {
+			d.pages[pg] = durable
+		}
+	}
+	d.shadow = make(map[int64][]byte)
+}
+
+// Discard drops the contents of [off, off+n) without cost (TRIM analogue).
+// Partial pages at the edges are zero-filled rather than dropped.
+func (d *Device) Discard(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := off + n
+	for pg := off / pageSize; pg*pageSize < end; pg++ {
+		pstart, pend := pg*pageSize, (pg+1)*pageSize
+		if off <= pstart && end >= pend {
+			d.snapshotPage(pg)
+			delete(d.pages, pg)
+			continue
+		}
+		page, ok := d.pages[pg]
+		if !ok {
+			continue
+		}
+		d.snapshotPage(pg)
+		lo := max64(off, pstart) - pstart
+		hi := min64(end, pend) - pstart
+		for i := lo; i < hi; i++ {
+			page[i] = 0
+		}
+	}
+}
+
+// InjectFailure makes every subsequent operation fail (or restores service
+// when fail is false). Used by fault-injection tests.
+func (d *Device) InjectFailure(fail bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = fail
+}
+
+// Stats returns a snapshot of the device's I/O statistics.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats.snapshot()
+}
+
+// ResetStats zeroes the statistics counters.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// charge computes and charges the cost of one access. Caller holds d.mu.
+func (d *Device) charge(off int64, n int, write bool) {
+	p := &d.prof
+	var cost, bw int64
+	if write {
+		cost = int64(p.WriteLatency)
+		bw = p.WriteBandwidth
+	} else {
+		cost = int64(p.ReadLatency)
+		bw = p.ReadBandwidth
+	}
+	// Block devices transfer whole blocks; byte-addressable devices move
+	// exactly the bytes touched.
+	bytes := int64(n)
+	if !p.ByteAddressable {
+		bs := int64(p.BlockSize)
+		first := off / bs
+		last := (off + int64(n) - 1) / bs
+		bytes = (last - first + 1) * bs
+	}
+	if bw > 0 {
+		cost += bytes * int64(1e9) / bw
+	}
+	if p.SeekLatency > 0 && off != d.lastEnd {
+		dist := off - d.lastEnd
+		if dist < 0 {
+			dist = -dist
+		}
+		cost += int64(p.SeekSettle)
+		if p.Capacity > 0 {
+			cost += int64(float64(p.SeekLatency) * float64(dist) / float64(p.Capacity))
+		}
+	}
+	d.lastEnd = off + int64(n)
+	d.clk.Advance(simdur(cost))
+	d.stats.addBusy(cost)
+}
+
+// snapshotPage records the durable contents of page pg if not already
+// shadowed. Caller holds d.mu.
+func (d *Device) snapshotPage(pg int64) {
+	if _, ok := d.shadow[pg]; ok {
+		return
+	}
+	if page, ok := d.pages[pg]; ok {
+		dup := make([]byte, pageSize)
+		copy(dup, page)
+		d.shadow[pg] = dup
+	} else {
+		d.shadow[pg] = nil
+	}
+}
+
+func (d *Device) copyIn(p []byte, off int64) {
+	for len(p) > 0 {
+		pg := off / pageSize
+		pgOff := off % pageSize
+		n := int64(len(p))
+		if n > pageSize-pgOff {
+			n = pageSize - pgOff
+		}
+		d.snapshotPage(pg)
+		page, ok := d.pages[pg]
+		if !ok {
+			page = make([]byte, pageSize)
+			d.pages[pg] = page
+		}
+		copy(page[pgOff:pgOff+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+}
+
+func (d *Device) copyOut(p []byte, off int64) {
+	for len(p) > 0 {
+		pg := off / pageSize
+		pgOff := off % pageSize
+		n := int64(len(p))
+		if n > pageSize-pgOff {
+			n = pageSize - pgOff
+		}
+		if page, ok := d.pages[pg]; ok {
+			copy(p[:n], page[pgOff:pgOff+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += n
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

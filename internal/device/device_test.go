@@ -1,0 +1,286 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"muxfs/internal/simclock"
+)
+
+func newTestDev(t *testing.T, prof Profile) (*Device, *simclock.Clock) {
+	t.Helper()
+	clk := simclock.New()
+	return New(prof, clk), clk
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	buf := make([]byte, 8192)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	n, err := d.ReadAt(buf, 12345)
+	if err != nil || n != len(buf) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, _ := newTestDev(t, PMProfile("pm0"))
+	data := []byte("tiered storage talks to file systems")
+	// Cross a page boundary on purpose.
+	off := int64(pageSize - 7)
+	if _, err := d.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q != %q", got, data)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	prof := PMProfile("pm0")
+	prof.Capacity = 1 << 20
+	d, _ := newTestDev(t, prof)
+	buf := make([]byte, 16)
+	if _, err := d.WriteAt(buf, prof.Capacity-8); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write past end: err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := d.ReadAt(buf, -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative offset: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestZeroLengthTransfer(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	if _, err := d.ReadAt(nil, 0); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("nil read err = %v", err)
+	}
+	if _, err := d.WriteAt(nil, 0); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("nil write err = %v", err)
+	}
+}
+
+func TestCostChargedToClock(t *testing.T) {
+	d, clk := newTestDev(t, SSDProfile("ssd0"))
+	before := clk.Now()
+	buf := make([]byte, 4096)
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	cost := clk.Now() - before
+	p := d.Profile()
+	wantMin := p.WriteLatency // at least the fixed latency
+	if cost < wantMin {
+		t.Fatalf("write cost %v < fixed latency %v", cost, wantMin)
+	}
+	// Bandwidth term: 4096 bytes at WriteBandwidth.
+	bwTerm := time.Duration(4096 * int64(time.Second) / p.WriteBandwidth)
+	if cost < p.WriteLatency+bwTerm/2 {
+		t.Fatalf("write cost %v missing bandwidth term (~%v)", cost, bwTerm)
+	}
+}
+
+func TestSeekPenaltyOnlyWhenRandom(t *testing.T) {
+	d, clk := newTestDev(t, HDDProfile("hdd0"))
+	buf := make([]byte, 4096)
+
+	// First access always seeks (lastEnd starts at 0; off 1 MiB != 0).
+	w := simclock.StartWatch(clk)
+	d.ReadAt(buf, 1<<20)
+	randomCost := w.Elapsed()
+
+	// Sequential follow-up must not pay the seek.
+	w.Restart()
+	d.ReadAt(buf, 1<<20+4096)
+	seqCost := w.Elapsed()
+
+	if randomCost < d.Profile().SeekSettle {
+		t.Fatalf("random access cost %v did not include seek settle %v", randomCost, d.Profile().SeekSettle)
+	}
+	if seqCost >= d.Profile().SeekSettle {
+		t.Fatalf("sequential access cost %v paid a seek", seqCost)
+	}
+	// Distance sensitivity: a full-stroke seek costs more than a short one.
+	w.Restart()
+	d.ReadAt(buf, d.Capacity()-4096)
+	farCost := w.Elapsed()
+	w.Restart()
+	d.ReadAt(buf, d.Capacity()-3*4096)
+	nearCost := w.Elapsed()
+	if farCost <= nearCost {
+		t.Fatalf("long seek %v not costlier than short seek %v", farCost, nearCost)
+	}
+}
+
+func TestBlockDeviceRoundsUpToBlocks(t *testing.T) {
+	d, clk := newTestDev(t, SSDProfile("ssd0"))
+	w := simclock.StartWatch(clk)
+	one := []byte{1}
+	d.ReadAt(one, 100) // 1 byte still moves a whole 4 KiB block
+	oneCost := w.Elapsed()
+	w.Restart()
+	buf := make([]byte, 4096)
+	d.ReadAt(buf, 0)
+	blockCost := w.Elapsed()
+	if oneCost < blockCost-blockCost/10 {
+		t.Fatalf("1-byte read cost %v much cheaper than block read %v; should round up", oneCost, blockCost)
+	}
+}
+
+func TestByteAddressableNoRounding(t *testing.T) {
+	d, clk := newTestDev(t, PMProfile("pm0"))
+	w := simclock.StartWatch(clk)
+	one := []byte{1}
+	d.ReadAt(one, 100)
+	oneCost := w.Elapsed()
+	w.Restart()
+	big := make([]byte, 1<<20)
+	d.ReadAt(big, 0)
+	bigCost := w.Elapsed()
+	if oneCost*10 > bigCost {
+		t.Fatalf("PM 1-byte read %v not much cheaper than 1 MiB read %v", oneCost, bigCost)
+	}
+}
+
+func TestCrashRevertsUnpersisted(t *testing.T) {
+	d, _ := newTestDev(t, PMProfile("pm0"))
+	d.WriteAt([]byte("durable!"), 0)
+	if err := d.Persist(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteAt([]byte("volatile"), 0)
+	d.WriteAt([]byte("lost"), 9000)
+	d.Crash()
+
+	got := make([]byte, 8)
+	d.ReadAt(got, 0)
+	if string(got) != "durable!" {
+		t.Fatalf("persisted data corrupted after crash: %q", got)
+	}
+	got4 := make([]byte, 4)
+	d.ReadAt(got4, 9000)
+	if !bytes.Equal(got4, []byte{0, 0, 0, 0}) {
+		t.Fatalf("unpersisted write survived crash: %q", got4)
+	}
+}
+
+func TestCrashKeepsPersisted(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	payload := bytes.Repeat([]byte{0xAB}, 3*pageSize)
+	d.WriteAt(payload, 4096)
+	d.PersistAll()
+	d.Crash()
+	got := make([]byte, len(payload))
+	d.ReadAt(got, 4096)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("PersistAll'd data lost on crash")
+	}
+}
+
+func TestDRAMCrashLosesEverything(t *testing.T) {
+	d, _ := newTestDev(t, DRAMProfile("dram0"))
+	d.WriteAt([]byte("cache"), 0)
+	d.PersistAll() // meaningless on DRAM; crash still clears
+	d.Crash()
+	got := make([]byte, 5)
+	d.ReadAt(got, 0)
+	if !bytes.Equal(got, make([]byte, 5)) {
+		t.Fatalf("DRAM survived crash: %q", got)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	payload := bytes.Repeat([]byte{0xCD}, 2*pageSize)
+	d.WriteAt(payload, 0)
+	// Discard the middle, straddling both pages partially.
+	d.Discard(pageSize-100, 200)
+	got := make([]byte, 2*pageSize)
+	d.ReadAt(got, 0)
+	for i := 0; i < pageSize-100; i++ {
+		if got[i] != 0xCD {
+			t.Fatalf("byte %d clobbered by discard", i)
+		}
+	}
+	for i := pageSize - 100; i < pageSize+100; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d not discarded", i)
+		}
+	}
+	for i := pageSize + 100; i < 2*pageSize; i++ {
+		if got[i] != 0xCD {
+			t.Fatalf("byte %d clobbered by discard", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	buf := make([]byte, 8192)
+	d.WriteAt(buf, 0)
+	d.ReadAt(buf[:4096], 0)
+	d.Persist(0, 4096)
+	s := d.Stats()
+	if s.Writes != 1 || s.BytesWritten != 8192 {
+		t.Fatalf("write stats = %+v", s)
+	}
+	if s.Reads != 1 || s.BytesRead != 4096 {
+		t.Fatalf("read stats = %+v", s)
+	}
+	if s.Persists != 1 {
+		t.Fatalf("persist stats = %+v", s)
+	}
+	if s.BusyTime <= 0 {
+		t.Fatalf("busy time not accounted: %+v", s)
+	}
+	prev := s
+	d.WriteAt(buf[:100], 0)
+	delta := d.Stats().Sub(prev)
+	if delta.Writes != 1 || delta.BytesWritten != 100 {
+		t.Fatalf("Sub delta = %+v", delta)
+	}
+	d.ResetStats()
+	if got := d.Stats(); got.Writes != 0 || got.BusyTime != 0 {
+		t.Fatalf("ResetStats left %+v", got)
+	}
+}
+
+func TestInjectFailure(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	d.InjectFailure(true)
+	buf := make([]byte, 16)
+	if _, err := d.WriteAt(buf, 0); err == nil {
+		t.Fatal("write succeeded under injected failure")
+	}
+	if _, err := d.ReadAt(buf, 0); err == nil {
+		t.Fatal("read succeeded under injected failure")
+	}
+	if err := d.Persist(0, 16); err == nil {
+		t.Fatal("persist succeeded under injected failure")
+	}
+	d.InjectFailure(false)
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("write failed after clearing injection: %v", err)
+	}
+}
+
+func TestProfileClassString(t *testing.T) {
+	cases := map[Class]string{PM: "PM", SSD: "SSD", HDD: "HDD", DRAM: "DRAM", Class(99): "unknown"}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package device simulates block storage devices with per-class performance
+// profiles. All media access charges cost to a shared virtual clock
+// (internal/simclock), so the relative speed ratios between persistent
+// memory, SSD, and HDD — the quantity that shapes every result in the paper —
+// are reproduced deterministically without the actual hardware.
+//
+// A Device also models volatile write buffering: writes land in a volatile
+// state until explicitly persisted (Persist, the CLFLUSH/FLUSH analogue), and
+// Crash discards everything un-persisted. File systems built on top use this
+// to exercise their crash-consistency machinery under failure injection.
+package device
+
+import "time"
+
+// Class identifies the broad device technology tier.
+type Class int
+
+const (
+	// PM is byte-addressable persistent memory (Intel Optane PMem class).
+	PM Class = iota
+	// SSD is a low-latency NVMe flash/Optane SSD.
+	SSD
+	// HDD is a rotational disk with seek penalties.
+	HDD
+	// DRAM models volatile memory used for page caches and SCM-cache cost
+	// accounting; contents do not survive Crash.
+	DRAM
+)
+
+// String returns the conventional short name of the class.
+func (c Class) String() string {
+	switch c {
+	case PM:
+		return "PM"
+	case SSD:
+		return "SSD"
+	case HDD:
+		return "HDD"
+	case DRAM:
+		return "DRAM"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile describes the performance characteristics of a simulated device.
+// The Mux Policy Runner also consumes Profiles as the "device profiles" the
+// paper exposes to user-defined tiering policies.
+type Profile struct {
+	Name  string // human-readable instance name, e.g. "pmem0"
+	Class Class
+
+	// ReadLatency and WriteLatency are fixed per-operation costs charged on
+	// every access in addition to the bandwidth term.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// SeekLatency is the full-stroke seek cost; non-sequential accesses
+	// are charged SeekSettle plus SeekLatency scaled by seek distance.
+	// Only rotational devices set these.
+	SeekLatency time.Duration
+	// SeekSettle is the minimum cost of any non-sequential access (head
+	// settle + rotational delay for short seeks).
+	SeekSettle time.Duration
+
+	// ReadBandwidth and WriteBandwidth are sustained transfer rates in
+	// bytes per second used for the size-proportional cost term.
+	ReadBandwidth  int64
+	WriteBandwidth int64
+
+	// PersistLatency is the cost of a persistence barrier (CLFLUSH+fence on
+	// PM, FLUSH on block devices).
+	PersistLatency time.Duration
+
+	// ByteAddressable devices (PM, DRAM) accept arbitrary offsets without a
+	// block-granularity penalty and support DAX-style direct access.
+	ByteAddressable bool
+
+	// Capacity is the addressable size in bytes.
+	Capacity int64
+
+	// BlockSize is the natural access granule. Cost accounting rounds block
+	// device transfers up to whole blocks.
+	BlockSize int
+}
+
+// Default capacities are simulator-scale: experiments scale workloads down
+// with them so runs stay fast while preserving capacity *ratios*.
+const (
+	DefaultPMCapacity   = 256 << 20 // 256 MiB
+	DefaultSSDCapacity  = 1 << 30   // 1 GiB
+	DefaultHDDCapacity  = 8 << 30   // 8 GiB
+	DefaultDRAMCapacity = 128 << 20 // 128 MiB of page cache
+	DefaultBlockSize    = 4096
+)
+
+// PMProfile models an Intel Optane PMem 200 class device: sub-microsecond
+// access, byte addressability, asymmetric read/write bandwidth.
+func PMProfile(name string) Profile {
+	return Profile{
+		Name:            name,
+		Class:           PM,
+		ReadLatency:     170 * time.Nanosecond,
+		WriteLatency:    90 * time.Nanosecond,
+		ReadBandwidth:   8 << 30, // 8 GiB/s
+		WriteBandwidth:  3 << 30, // 3 GiB/s
+		PersistLatency:  100 * time.Nanosecond,
+		ByteAddressable: true,
+		Capacity:        DefaultPMCapacity,
+		BlockSize:       256, // cache-line-ish persist granule
+	}
+}
+
+// SSDProfile models an Intel Optane SSD DC P4800X class device.
+func SSDProfile(name string) Profile {
+	return Profile{
+		Name:           name,
+		Class:          SSD,
+		ReadLatency:    10 * time.Microsecond,
+		WriteLatency:   10 * time.Microsecond,
+		ReadBandwidth:  2400 << 20, // 2.4 GiB/s
+		WriteBandwidth: 2000 << 20, // 2.0 GiB/s
+		PersistLatency: 5 * time.Microsecond,
+		Capacity:       DefaultSSDCapacity,
+		BlockSize:      DefaultBlockSize,
+	}
+}
+
+// HDDProfile models a Seagate Exos X18 class rotational disk.
+func HDDProfile(name string) Profile {
+	return Profile{
+		Name:           name,
+		Class:          HDD,
+		ReadLatency:    120 * time.Microsecond, // controller + transfer setup
+		WriteLatency:   120 * time.Microsecond,
+		SeekLatency:    8 * time.Millisecond, // full stroke
+		SeekSettle:     150 * time.Microsecond,
+		ReadBandwidth:  260 << 20, // 260 MiB/s sequential
+		WriteBandwidth: 260 << 20,
+		PersistLatency: 500 * time.Microsecond,
+		Capacity:       DefaultHDDCapacity,
+		BlockSize:      DefaultBlockSize,
+	}
+}
+
+// DRAMProfile models main memory used by page caches and the SCM cache
+// controller's cost accounting.
+func DRAMProfile(name string) Profile {
+	return Profile{
+		Name:            name,
+		Class:           DRAM,
+		ReadLatency:     60 * time.Nanosecond,
+		WriteLatency:    60 * time.Nanosecond,
+		ReadBandwidth:   20 << 30,
+		WriteBandwidth:  20 << 30,
+		ByteAddressable: true,
+		Capacity:        DefaultDRAMCapacity,
+		BlockSize:       64,
+	}
+}

@@ -1,0 +1,45 @@
+package device
+
+import "time"
+
+// Stats accumulates I/O accounting for one device. Benchmarks read these to
+// compute per-device throughput and to verify where data actually moved
+// (e.g. that Strata's digest path really did double-write via the PM log).
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	Persists     int64
+	BytesRead    int64
+	BytesWritten int64
+	// BusyTime is the total virtual time this device spent servicing
+	// requests (the device's contribution to the shared clock).
+	BusyTime time.Duration
+}
+
+func (s *Stats) addRead(n int64)  { s.Reads++; s.BytesRead += n }
+func (s *Stats) addWrite(n int64) { s.Writes++; s.BytesWritten += n }
+func (s *Stats) addPersist()      { s.Persists++ }
+func (s *Stats) addBusy(ns int64) { s.BusyTime += time.Duration(ns) }
+
+func (s *Stats) snapshot() Stats { return *s }
+
+// Sub returns the counter deltas s minus prev; benchmarks use it to isolate
+// one phase of a workload.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:        s.Reads - prev.Reads,
+		Writes:       s.Writes - prev.Writes,
+		Persists:     s.Persists - prev.Persists,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		BytesWritten: s.BytesWritten - prev.BytesWritten,
+		BusyTime:     s.BusyTime - prev.BusyTime,
+	}
+}
+
+// simdur converts a nanosecond count to a duration, saturating at zero.
+func simdur(ns int64) time.Duration {
+	if ns < 0 {
+		return 0
+	}
+	return time.Duration(ns)
+}

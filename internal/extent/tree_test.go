@@ -1,0 +1,275 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func segs(t *Tree[int], off, n int64) []Segment[int] { return t.Segments(off, n) }
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 || tr.MappedBytes() != 0 {
+		t.Fatal("empty tree not empty")
+	}
+	if _, _, ok := tr.Lookup(0); ok {
+		t.Fatal("lookup hit in empty tree")
+	}
+	got := segs(&tr, 0, 100)
+	if len(got) != 1 || !got[0].Hole || got[0].Len != 100 {
+		t.Fatalf("segments of empty tree = %+v", got)
+	}
+	lo, hi := tr.Bounds()
+	if lo != 0 || hi != 0 {
+		t.Fatalf("Bounds = %d,%d", lo, hi)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(100, 50, 1)
+	v, seg, ok := tr.Lookup(120)
+	if !ok || v != 1 || seg.Off != 100 || seg.Len != 50 {
+		t.Fatalf("Lookup = %v %+v %v", v, seg, ok)
+	}
+	if _, _, ok := tr.Lookup(99); ok {
+		t.Fatal("lookup before extent hit")
+	}
+	if _, _, ok := tr.Lookup(150); ok {
+		t.Fatal("lookup at end (exclusive) hit")
+	}
+}
+
+func TestInsertCoalesces(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(0, 10, 7)
+	tr.Insert(10, 10, 7)
+	if tr.Len() != 1 {
+		t.Fatalf("adjacent equal values did not coalesce: %d runs", tr.Len())
+	}
+	tr.Insert(20, 10, 8)
+	if tr.Len() != 2 {
+		t.Fatalf("different values coalesced: %d runs", tr.Len())
+	}
+	if tr.MappedBytes() != 30 {
+		t.Fatalf("MappedBytes = %d", tr.MappedBytes())
+	}
+}
+
+func TestInsertSplitsMiddle(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(0, 100, 1)
+	tr.Insert(40, 20, 2)
+	want := []Segment[int]{
+		{Off: 0, Len: 40, Val: 1},
+		{Off: 40, Len: 20, Val: 2},
+		{Off: 60, Len: 40, Val: 1},
+	}
+	got := segs(&tr, 0, 100)
+	if len(got) != len(want) {
+		t.Fatalf("segments = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInsertOverwritesCovered(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(10, 10, 1)
+	tr.Insert(30, 10, 2)
+	tr.Insert(0, 100, 3) // covers everything
+	if tr.Len() != 1 {
+		t.Fatalf("full overwrite left %d runs", tr.Len())
+	}
+	v, _, _ := tr.Lookup(15)
+	if v != 3 {
+		t.Fatalf("covered value survived: %d", v)
+	}
+}
+
+func TestInsertStraddleBoth(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(0, 30, 1)
+	tr.Insert(50, 30, 2)
+	tr.Insert(20, 40, 9) // clips tail of first, head of second
+	want := []Segment[int]{
+		{Off: 0, Len: 20, Val: 1},
+		{Off: 20, Len: 40, Val: 9},
+		{Off: 60, Len: 20, Val: 2},
+	}
+	got := segs(&tr, 0, 80)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(0, 100, 1)
+	tr.Delete(40, 20)
+	got := segs(&tr, 0, 100)
+	want := []Segment[int]{
+		{Off: 0, Len: 40, Val: 1},
+		{Off: 40, Len: 20, Hole: true},
+		{Off: 60, Len: 40, Val: 1},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if tr.MappedBytes() != 80 {
+		t.Fatalf("MappedBytes after delete = %d", tr.MappedBytes())
+	}
+	tr.Delete(0, 1000)
+	if tr.Len() != 0 {
+		t.Fatal("full delete left runs")
+	}
+}
+
+func TestSegmentsPartialRange(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(100, 100, 5)
+	got := segs(&tr, 150, 100)
+	want := []Segment[int]{
+		{Off: 150, Len: 50, Val: 5},
+		{Off: 200, Len: 50, Hole: true},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Segments must exactly tile the request.
+	var total int64
+	for _, s := range got {
+		total += s.Len
+	}
+	if total != 100 {
+		t.Fatalf("segments tile %d bytes, want 100", total)
+	}
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(0, 0, 1)
+	tr.Insert(5, -3, 1)
+	tr.Delete(0, 0)
+	if tr.Len() != 0 {
+		t.Fatal("zero-length ops mutated tree")
+	}
+	if got := tr.Segments(10, 0); got != nil {
+		t.Fatalf("zero-length segments = %+v", got)
+	}
+}
+
+func TestWalkAndClone(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(0, 10, 1)
+	tr.Insert(20, 10, 2)
+	var visited int
+	tr.Walk(func(off, n int64, v int) bool { visited++; return true })
+	if visited != 2 {
+		t.Fatalf("walk visited %d", visited)
+	}
+	visited = 0
+	tr.Walk(func(off, n int64, v int) bool { visited++; return false })
+	if visited != 1 {
+		t.Fatalf("early-stop walk visited %d", visited)
+	}
+
+	c := tr.Clone()
+	c.Insert(0, 100, 9)
+	if v, _, _ := tr.Lookup(5); v != 1 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	tr.Clear()
+	if tr.Len() != 0 {
+		t.Fatal("Clear left runs")
+	}
+	if c.Len() == 0 {
+		t.Fatal("Clear on original affected clone")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(50, 10, 1)
+	tr.Insert(200, 10, 2)
+	lo, hi := tr.Bounds()
+	if lo != 50 || hi != 210 {
+		t.Fatalf("Bounds = %d,%d", lo, hi)
+	}
+}
+
+// TestAgainstNaiveModel cross-checks random Insert/Delete sequences against a
+// per-byte reference model.
+func TestAgainstNaiveModel(t *testing.T) {
+	const space = 512
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var tr Tree[int]
+		model := make([]int, space) // 0 = hole
+		for op := 0; op < 30; op++ {
+			off := int64(rng.Intn(space))
+			n := int64(rng.Intn(space/4) + 1)
+			if off+n > space {
+				n = space - off
+			}
+			if rng.Intn(4) == 0 {
+				tr.Delete(off, n)
+				for i := off; i < off+n; i++ {
+					model[i] = 0
+				}
+			} else {
+				v := rng.Intn(3) + 1
+				tr.Insert(off, n, v)
+				for i := off; i < off+n; i++ {
+					model[i] = v
+				}
+			}
+		}
+		// Compare every byte via Segments over the whole space.
+		pos := int64(0)
+		for _, s := range tr.Segments(0, space) {
+			if s.Off != pos {
+				t.Fatalf("trial %d: segment gap at %d (segment %+v)", trial, pos, s)
+			}
+			for i := s.Off; i < s.End(); i++ {
+				want := model[i]
+				if s.Hole && want != 0 {
+					t.Fatalf("trial %d: byte %d hole, model has %d", trial, i, want)
+				}
+				if !s.Hole && s.Val != want {
+					t.Fatalf("trial %d: byte %d = %d, model has %d", trial, i, s.Val, want)
+				}
+			}
+			pos = s.End()
+		}
+		if pos != space {
+			t.Fatalf("trial %d: segments tile %d bytes", trial, pos)
+		}
+		// Invariant: runs are sorted, non-overlapping, non-empty, coalesced.
+		var prevEnd int64 = -1
+		var prevVal int
+		first := true
+		tr.Walk(func(off, n int64, v int) bool {
+			if n <= 0 {
+				t.Fatalf("trial %d: empty run", trial)
+			}
+			if !first && off < prevEnd {
+				t.Fatalf("trial %d: overlapping runs", trial)
+			}
+			if !first && off == prevEnd && v == prevVal {
+				t.Fatalf("trial %d: uncoalesced neighbors", trial)
+			}
+			prevEnd, prevVal, first = off+n, v, false
+			return true
+		})
+	}
+}

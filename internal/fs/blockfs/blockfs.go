@@ -1,0 +1,742 @@
+// Package blockfs is the shared engine behind the two journaled block file
+// systems, xfslite (XFS-like, extent-allocated) and extlite (Ext4-like,
+// block-mapped). The engine provides the namespace, page cache, write-ahead
+// metadata journal with group commit, ordered data flushing, and crash
+// recovery; each flavor plugs in its space-management strategy (Placer) and
+// its software-path cost model.
+package blockfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"muxfs/internal/device"
+	"muxfs/internal/extent"
+	"muxfs/internal/fs/fsrec"
+	"muxfs/internal/fsbase"
+	"muxfs/internal/journal"
+	"muxfs/internal/pagecache"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+// PageSize is the file-to-device mapping granule.
+const PageSize = 4096
+
+// Run is a contiguous device-space allocation.
+type Run struct{ DevOff, Len int64 }
+
+// Placer is the space-management strategy: xfslite uses a first-fit extent
+// allocator (few large runs), extlite a block bitmap (page-at-a-time with a
+// next-fit goal). All lengths are multiples of PageSize.
+type Placer interface {
+	// Alloc obtains up to n bytes; short grants are allowed (callers loop).
+	Alloc(n int64) (Run, error)
+	// Free releases a previously allocated run.
+	Free(devOff, n int64)
+	// MarkUsed reserves a run during recovery replay.
+	MarkUsed(devOff, n int64)
+	// TotalBytes and UsedBytes report capacity accounting.
+	TotalBytes() int64
+	UsedBytes() int64
+}
+
+// Costs models the software path charged to the virtual clock, separate
+// from device media costs. extlite's indirect block-map traversal makes its
+// ReadOp an order of magnitude slower than xfslite's extent lookup — the
+// knob behind the per-FS differences in experiment E3.
+type Costs struct {
+	ReadOp  time.Duration // per read call (index traversal)
+	WriteOp time.Duration // per write call
+	PerPage time.Duration // per 4 KiB page touched
+	MetaOp  time.Duration // namespace ops
+}
+
+// Config assembles a blockfs flavor.
+type Config struct {
+	Name        string
+	Costs       Costs
+	JournalFrac int64 // journal gets Capacity/JournalFrac bytes (min 1 MiB)
+	GroupCommit int   // pending records that force a journal commit
+	CachePages  int   // page cache capacity
+	// NewPlacer builds the space manager for the data region [0, size).
+	// Returned offsets are region-relative; the engine rebases them.
+	NewPlacer func(size int64) Placer
+}
+
+type inode struct {
+	meta fsbase.Meta
+	// ext maps file offsets to device offsets, delta-encoded
+	// (value = devOff - fileOff) so splits and merges stay exact.
+	ext extent.Tree[int64]
+}
+
+// FS is a mounted blockfs instance. Safe for concurrent use.
+type FS struct {
+	name  string
+	dev   *device.Device
+	clk   *simclock.Clock
+	costs Costs
+	cfg   Config
+
+	mu         sync.Mutex
+	ns         *fsbase.Namespace
+	inodes     map[uint64]*inode
+	placer     Placer
+	jnl        *journal.Journal
+	pending    []journal.Record // uncommitted metadata records (group commit)
+	cache      *pagecache.Cache
+	recovering bool // replay must not touch device data (pages may have been reused)
+
+	dataStart int64
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+var _ vfs.CrashRecoverer = (*FS)(nil)
+var _ vfs.Profiled = (*FS)(nil)
+
+// New mounts a fresh file system on dev with the given flavor config.
+func New(dev *device.Device, cfg Config) (*FS, error) {
+	if cfg.NewPlacer == nil {
+		return nil, fmt.Errorf("blockfs: config %q lacks a placer", cfg.Name)
+	}
+	if cfg.JournalFrac <= 0 {
+		cfg.JournalFrac = 16
+	}
+	if cfg.GroupCommit <= 0 {
+		cfg.GroupCommit = 256
+	}
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = int(device.DefaultDRAMCapacity / PageSize)
+	}
+	logSize := dev.Capacity() / cfg.JournalFrac
+	if logSize < 1<<20 {
+		logSize = 1 << 20
+	}
+	if logSize > dev.Capacity()/2 {
+		return nil, fmt.Errorf("blockfs: device %s too small", dev.Profile().Name)
+	}
+	// Page cache hit cost: a DRAM-class access.
+	dram := device.DRAMProfile("cache")
+	fs := &FS{
+		name:      cfg.Name,
+		dev:       dev,
+		clk:       dev.Clock(),
+		costs:     cfg.Costs,
+		cfg:       cfg,
+		dataStart: logSize,
+		jnl:       journal.New(dev, 0, logSize),
+		cache:     pagecache.New(cfg.CachePages, dev.Clock(), dram.ReadLatency),
+	}
+	fs.resetState()
+	return fs, nil
+}
+
+func (fs *FS) resetState() {
+	fs.ns = fsbase.NewNamespace()
+	fs.inodes = make(map[uint64]*inode)
+	fs.placer = fs.cfg.NewPlacer(fs.dev.Capacity() - fs.dataStart)
+	fs.pending = nil
+}
+
+// Name identifies the instance.
+func (fs *FS) Name() string { return fs.name }
+
+// DeviceName returns the backing device's name.
+func (fs *FS) DeviceName() string { return fs.dev.Profile().Name }
+
+// Device exposes the backing device for benchmark inspection.
+func (fs *FS) Device() *device.Device { return fs.dev }
+
+// CacheStats exposes page cache counters for benchmark inspection.
+func (fs *FS) CacheStats() pagecache.Stats { return fs.cache.Stats() }
+
+// ReadCostHint estimates an n-byte read (assuming a device access).
+func (fs *FS) ReadCostHint(n int64) time.Duration {
+	p := fs.dev.Profile()
+	return fs.costs.ReadOp + p.ReadLatency + time.Duration(n*int64(time.Second)/p.ReadBandwidth)
+}
+
+// WriteCostHint estimates an n-byte write.
+func (fs *FS) WriteCostHint(n int64) time.Duration {
+	p := fs.dev.Profile()
+	return fs.costs.WriteOp + p.WriteLatency + time.Duration(n*int64(time.Second)/p.WriteBandwidth)
+}
+
+func (fs *FS) now() time.Duration { return fs.clk.Now() }
+
+// queue buffers metadata records and group-commits when the batch is large
+// enough. Caller holds fs.mu.
+func (fs *FS) queue(recs ...journal.Record) error {
+	fs.pending = append(fs.pending, recs...)
+	if len(fs.pending) >= fs.cfg.GroupCommit {
+		return fs.flushPending()
+	}
+	return nil
+}
+
+// writeback flushes one evicted dirty page to the device. Caller holds
+// fs.mu.
+func (fs *FS) writeback(ev pagecache.Evicted) error {
+	if !ev.Dirty {
+		return nil
+	}
+	ino, ok := fs.inodes[ev.Key.File]
+	if !ok {
+		return nil // file removed; invalidation already dropped its pages
+	}
+	v, _, mapped := ino.ext.Lookup(ev.Key.Page * PageSize)
+	if !mapped {
+		return nil
+	}
+	_, err := fs.dev.WriteAt(ev.Data, ev.Key.Page*PageSize+v)
+	return err
+}
+
+// flushCache writes back dirty pages — of one file, or all — in sorted
+// order, coalescing device-contiguous pages into large single writes. This
+// models the real page-cache writeback path (elevator sorting + request
+// merging) that gives the native file systems their "device-friendly"
+// batched I/O: one op-latency charge per merged run instead of per block.
+// Caller holds fs.mu.
+func (fs *FS) flushCache(file uint64, all bool) error {
+	// maxRun bounds a merged writeback request (a typical max I/O size).
+	const maxRun = 4 << 20
+
+	keys := fs.cache.DirtyPages(file, all)
+	run := make([]byte, 0, maxRun)
+	var runDev int64 // device offset of the run start
+
+	flushRun := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		if _, err := fs.dev.WriteAt(run, runDev); err != nil {
+			return err
+		}
+		run = run[:0]
+		return nil
+	}
+
+	for _, k := range keys {
+		data, ok := fs.cache.Peek(k)
+		if !ok {
+			continue
+		}
+		ino, ok := fs.inodes[k.File]
+		if !ok {
+			fs.cache.MarkClean(k)
+			continue
+		}
+		v, _, mapped := ino.ext.Lookup(k.Page * PageSize)
+		if !mapped {
+			fs.cache.MarkClean(k)
+			continue
+		}
+		dev := k.Page*PageSize + v
+		if len(run) > 0 && (runDev+int64(len(run)) != dev || len(run)+PageSize > maxRun) {
+			if err := flushRun(); err != nil {
+				return err
+			}
+		}
+		if len(run) == 0 {
+			runDev = dev
+		}
+		run = append(run, data...)
+		fs.cache.MarkClean(k)
+	}
+	return flushRun()
+}
+
+// flushPending commits buffered metadata. Ordered mode: dirty data writes
+// back and persists before the journal commit, so committed metadata never
+// references data the device does not hold. Caller holds fs.mu.
+func (fs *FS) flushPending() error {
+	if len(fs.pending) == 0 {
+		return nil
+	}
+	if err := fs.flushCache(0, true); err != nil {
+		return err
+	}
+	fs.dev.PersistAll() // ordered: data first
+	tx := fs.jnl.Begin()
+	for _, r := range fs.pending {
+		tx.Append(r)
+	}
+	err := tx.Commit()
+	if errors.Is(err, journal.ErrFull) {
+		if cerr := fs.compact(); cerr != nil {
+			return cerr
+		}
+		tx = fs.jnl.Begin()
+		for _, r := range fs.pending {
+			tx.Append(r)
+		}
+		err = tx.Commit()
+	}
+	if err != nil {
+		return err
+	}
+	fs.pending = fs.pending[:0]
+	return nil
+}
+
+// compact checkpoints the journal and re-logs a snapshot of current state.
+// Caller holds fs.mu.
+func (fs *FS) compact() error {
+	if err := fs.jnl.Checkpoint(); err != nil {
+		return err
+	}
+	tx := fs.jnl.Begin()
+	fs.ns.WalkAll(func(path string, node *fsbase.Node) {
+		if node.IsDir() {
+			tx.Append(fsrec.Op{Type: fsrec.OpMkdir, Ino: node.Ino, Path: path, Mode: node.Mode}.Record())
+			return
+		}
+		ino := fs.inodes[node.Ino]
+		tx.Append(fsrec.Op{Type: fsrec.OpCreate, Ino: node.Ino, Path: path, Mode: ino.meta.Mode}.Record())
+		tx.Append(fsrec.Op{
+			Type: fsrec.OpSetAttr, Ino: node.Ino,
+			Size: ino.meta.Size, Mode: ino.meta.Mode,
+			MTime: ino.meta.ModTime, ATime: ino.meta.ATime, CTime: ino.meta.CTime,
+		}.Record())
+		ino.ext.Walk(func(off, n, delta int64) bool {
+			tx.Append(fsrec.Op{
+				Type: fsrec.OpExtent, Ino: node.Ino, Off: off, Delta: delta, N: n,
+				Size: ino.meta.Size, MTime: ino.meta.ModTime,
+			}.Record())
+			return true
+		})
+	})
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("blockfs %s: journal compaction: %w", fs.name, err)
+	}
+	return nil
+}
+
+// Create makes and opens a new regular file.
+func (fs *FS) Create(path string) (vfs.File, error) {
+	path = vfs.CleanPath(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	node, err := fs.ns.CreateFile(path, 0o644)
+	if err != nil {
+		return nil, vfs.Errf("create", fs.name, path, err)
+	}
+	now := fs.now()
+	fs.inodes[node.Ino] = &inode{meta: fsbase.Meta{Mode: 0o644, ModTime: now, ATime: now, CTime: now}}
+	if err := fs.queue(fsrec.Op{Type: fsrec.OpCreate, Ino: node.Ino, Path: path, Mode: 0o644}.Record()); err != nil {
+		return nil, vfs.Errf("create", fs.name, path, err)
+	}
+	return &file{fs: fs, path: path, ino: node.Ino}, nil
+}
+
+// Open opens an existing regular file.
+func (fs *FS) Open(path string) (vfs.File, error) {
+	path = vfs.CleanPath(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	node, err := fs.ns.Lookup(path)
+	if err != nil {
+		return nil, vfs.Errf("open", fs.name, path, err)
+	}
+	if node.IsDir() {
+		return nil, vfs.Errf("open", fs.name, path, vfs.ErrIsDir)
+	}
+	return &file{fs: fs, path: path, ino: node.Ino}, nil
+}
+
+// Remove deletes a file or empty directory.
+func (fs *FS) Remove(path string) error {
+	path = vfs.CleanPath(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	node, err := fs.ns.Remove(path)
+	if err != nil {
+		return vfs.Errf("remove", fs.name, path, err)
+	}
+	if ino, ok := fs.inodes[node.Ino]; ok {
+		fs.freeRange(ino, node.Ino, 0, ino.meta.Size)
+		delete(fs.inodes, node.Ino)
+		fs.cache.InvalidateFile(node.Ino)
+	}
+	if err := fs.queue(fsrec.Op{Type: fsrec.OpRemove, Path: path}.Record()); err != nil {
+		return vfs.Errf("remove", fs.name, path, err)
+	}
+	return nil
+}
+
+// Rename moves a file or directory.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	oldPath, newPath = vfs.CleanPath(oldPath), vfs.CleanPath(newPath)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	if _, err := fs.ns.Rename(oldPath, newPath); err != nil {
+		return vfs.Errf("rename", fs.name, oldPath, err)
+	}
+	if err := fs.queue(fsrec.Op{Type: fsrec.OpRename, Path: oldPath, Path2: newPath}.Record()); err != nil {
+		return vfs.Errf("rename", fs.name, oldPath, err)
+	}
+	return nil
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(path string) error {
+	path = vfs.CleanPath(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	node, err := fs.ns.Mkdir(path, 0o755)
+	if err != nil {
+		return vfs.Errf("mkdir", fs.name, path, err)
+	}
+	if err := fs.queue(fsrec.Op{Type: fsrec.OpMkdir, Ino: node.Ino, Path: path, Mode: node.Mode}.Record()); err != nil {
+		return vfs.Errf("mkdir", fs.name, path, err)
+	}
+	return nil
+}
+
+// ReadDir lists a directory.
+func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	ents, err := fs.ns.ReadDir(vfs.CleanPath(path))
+	if err != nil {
+		return nil, vfs.Errf("readdir", fs.name, path, err)
+	}
+	return ents, nil
+}
+
+// Stat returns metadata for a path.
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	path = vfs.CleanPath(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	node, err := fs.ns.Lookup(path)
+	if err != nil {
+		return vfs.FileInfo{}, vfs.Errf("stat", fs.name, path, err)
+	}
+	if node.IsDir() {
+		return vfs.FileInfo{Path: path, Mode: node.Mode}, nil
+	}
+	ino := fs.inodes[node.Ino]
+	fi := ino.meta.Info(path)
+	fi.Blocks = ino.ext.MappedBytes()
+	return fi, nil
+}
+
+// SetAttr applies a partial metadata update.
+func (fs *FS) SetAttr(path string, attr vfs.SetAttr) error {
+	path = vfs.CleanPath(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	node, err := fs.ns.Lookup(path)
+	if err != nil {
+		return vfs.Errf("setattr", fs.name, path, err)
+	}
+	if node.IsDir() {
+		return vfs.Errf("setattr", fs.name, path, vfs.ErrIsDir)
+	}
+	ino := fs.inodes[node.Ino]
+	if attr.Size != nil && *attr.Size < ino.meta.Size {
+		fs.freeRange(ino, node.Ino, *attr.Size, ino.meta.Size-*attr.Size)
+	}
+	if !ino.meta.Apply(attr, fs.now()) {
+		return nil
+	}
+	if attr.Mode != nil {
+		node.Mode = ino.meta.Mode
+	}
+	rec := fsrec.Op{
+		Type: fsrec.OpSetAttr, Ino: node.Ino,
+		Size: ino.meta.Size, Mode: ino.meta.Mode,
+		MTime: ino.meta.ModTime, ATime: ino.meta.ATime, CTime: ino.meta.CTime,
+	}.Record()
+	if err := fs.queue(rec); err != nil {
+		return vfs.Errf("setattr", fs.name, path, err)
+	}
+	return nil
+}
+
+// Truncate sets the file size by path.
+func (fs *FS) Truncate(path string, size int64) error {
+	f, err := fs.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Truncate(size)
+}
+
+// Statfs reports capacity accounting for the data region.
+func (fs *FS) Statfs() (vfs.StatFS, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	total := fs.placer.TotalBytes()
+	used := fs.placer.UsedBytes()
+	return vfs.StatFS{
+		Capacity:  total,
+		Used:      used,
+		Available: total - used,
+		Files:     fs.ns.FileCount(),
+	}, nil
+}
+
+// Sync writes back all dirty pages, persists the device, and commits all
+// pending metadata.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clk.Advance(fs.costs.MetaOp)
+	if err := fs.flushCache(0, true); err != nil {
+		return vfs.Errf("sync", fs.name, "/", err)
+	}
+	if err := fs.flushPending(); err != nil {
+		return vfs.Errf("sync", fs.name, "/", err)
+	}
+	fs.dev.PersistAll()
+	return nil
+}
+
+// Crash simulates power loss: un-persisted device state and the entire DRAM
+// page cache vanish.
+func (fs *FS) Crash() {
+	fs.dev.Crash()
+	fs.cache.InvalidateAll()
+}
+
+// Recover rebuilds in-memory state by replaying the journal.
+func (fs *FS) Recover() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.resetState()
+	fs.cache.InvalidateAll()
+	fs.recovering = true
+	_, err := fs.jnl.Replay(fs.applyRecord)
+	fs.recovering = false
+	if err != nil {
+		return fmt.Errorf("blockfs %s: recover: %w", fs.name, err)
+	}
+	fs.scrubFreeSpace()
+	return nil
+}
+
+// scrubFreeSpace zeroes unallocated data space after replay so deleted
+// files' stale contents cannot leak into fresh partial-page allocations.
+// Caller holds fs.mu.
+func (fs *FS) scrubFreeSpace() {
+	used := map[int64]bool{}
+	for _, ino := range fs.inodes {
+		ino.ext.Walk(func(off, n, delta int64) bool {
+			devOff := off + delta
+			for b := devOff / PageSize; b < (devOff+n)/PageSize; b++ {
+				used[b] = true
+			}
+			return true
+		})
+	}
+	for pg := fs.dataStart / PageSize; pg < fs.dev.Capacity()/PageSize; pg++ {
+		if !used[pg] {
+			fs.dev.Discard(pg*PageSize, PageSize)
+		}
+	}
+}
+
+// freeRange releases whole pages inside [off, off+n): placer space, extent
+// mappings, cached pages. Caller holds fs.mu.
+func (fs *FS) freeRange(ino *inode, inoNum uint64, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	start := (off + PageSize - 1) / PageSize * PageSize
+	end := (off + n) / PageSize * PageSize
+	if end <= start {
+		return
+	}
+	for _, seg := range ino.ext.Segments(start, end-start) {
+		if seg.Hole {
+			continue
+		}
+		dev := seg.Off + seg.Val
+		fs.placer.Free(dev-fs.dataStart, seg.Len)
+		// During replay the device already holds final data and freed
+		// pages may belong to newer files; skip the discard (Recover
+		// scrubs free space afterwards).
+		if !fs.recovering {
+			fs.dev.Discard(dev, seg.Len)
+		}
+	}
+	ino.ext.Delete(start, end-start)
+	fs.cache.InvalidateRange(inoNum, start, end-start)
+}
+
+// readLocked serves ReadAt through the page cache. Caller holds fs.mu.
+func (fs *FS) readLocked(ino *inode, inoNum uint64, p []byte, off int64) (int, error) {
+	fs.clk.Advance(fs.costs.ReadOp)
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	if off >= ino.meta.Size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if off+n > ino.meta.Size {
+		n = ino.meta.Size - off
+		short = true
+	}
+
+	pos := off
+	for pos < off+n {
+		pg := pos / PageSize
+		pgOff := pos % PageSize
+		chunk := PageSize - pgOff
+		if rem := off + n - pos; chunk > rem {
+			chunk = rem
+		}
+		fs.clk.Advance(fs.costs.PerPage)
+		dst := p[pos-off : pos-off+chunk]
+		key := pagecache.Key{File: inoNum, Page: pg}
+		if data, ok := fs.cache.Get(key); ok {
+			copy(dst, data[pgOff:pgOff+chunk])
+			pos += chunk
+			continue
+		}
+		// Miss: fetch the whole page (hole pages read as zeros without
+		// device I/O) and populate the cache. Inserting may evict a dirty
+		// page, which must be written back, not dropped.
+		pageBuf := make([]byte, PageSize)
+		v, _, mapped := ino.ext.Lookup(pg * PageSize)
+		if mapped {
+			if _, err := fs.dev.ReadAt(pageBuf, pg*PageSize+v); err != nil {
+				return 0, err
+			}
+			if ev, evicted := fs.cache.Put(key, pageBuf, false); evicted {
+				if err := fs.writeback(ev); err != nil {
+					return 0, err
+				}
+			}
+		}
+		copy(dst, pageBuf[pgOff:pgOff+chunk])
+		pos += chunk
+	}
+	ino.meta.ATime = fs.now()
+	if short {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// writeLocked serves WriteAt: allocate backing for holes, write through to
+// the device, refresh cached pages, queue metadata records. Caller holds
+// fs.mu.
+func (fs *FS) writeLocked(ino *inode, inoNum uint64, p []byte, off int64) (int, error) {
+	fs.clk.Advance(fs.costs.WriteOp)
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	n := int64(len(p))
+	firstPage := off / PageSize
+	lastPage := (off + n - 1) / PageSize
+	fs.clk.Advance(time.Duration(lastPage-firstPage+1) * fs.costs.PerPage)
+
+	// Map every hole in the page-aligned cover of [off, off+n).
+	alignedOff := firstPage * PageSize
+	alignedEnd := (lastPage + 1) * PageSize
+	var newOps []fsrec.Op
+	for _, seg := range ino.ext.Segments(alignedOff, alignedEnd-alignedOff) {
+		if !seg.Hole {
+			continue
+		}
+		remaining := seg.Len
+		fileOff := seg.Off
+		for remaining > 0 {
+			run, err := fs.placer.Alloc(remaining)
+			if err != nil {
+				fs.rollbackNewRuns(ino, newOps)
+				return 0, vfs.ErrNoSpace
+			}
+			devOff := fs.dataStart + run.DevOff
+			delta := devOff - fileOff
+			ino.ext.Insert(fileOff, run.Len, delta)
+			newOps = append(newOps, fsrec.Op{
+				Type: fsrec.OpExtent, Ino: inoNum, Off: fileOff, Delta: delta, N: run.Len,
+			})
+			fileOff += run.Len
+			remaining -= run.Len
+		}
+	}
+
+	// Write back through the page cache: the data lands in DRAM pages now
+	// and reaches the device at eviction or fsync, in sorted order.
+	for pg := firstPage; pg <= lastPage; pg++ {
+		pgStart := pg * PageSize
+		lo, hi := off, off+n
+		if lo < pgStart {
+			lo = pgStart
+		}
+		if hi > pgStart+PageSize {
+			hi = pgStart + PageSize
+		}
+		key := pagecache.Key{File: inoNum, Page: pg}
+		if data, ok := fs.cache.Peek(key); ok {
+			copy(data[lo-pgStart:hi-pgStart], p[lo-off:hi-off])
+			fs.cache.MarkDirty(key)
+			fs.clk.Advance(fs.costs.PerPage) // DRAM copy path
+			continue
+		}
+		// Miss: build the full page image (RMW fill from the device when
+		// the write covers only part of an already-mapped page).
+		buf := make([]byte, PageSize)
+		if lo != pgStart || hi != pgStart+PageSize {
+			if v, _, mapped := ino.ext.Lookup(pgStart); mapped {
+				if _, err := fs.dev.ReadAt(buf, pgStart+v); err != nil {
+					return 0, err
+				}
+			}
+		}
+		copy(buf[lo-pgStart:hi-pgStart], p[lo-off:hi-off])
+		ev, evicted := fs.cache.Put(key, buf, true)
+		if evicted {
+			if err := fs.writeback(ev); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	now := fs.now()
+	if off+n > ino.meta.Size {
+		ino.meta.Size = off + n
+	}
+	ino.meta.ModTime = now
+
+	recs := make([]journal.Record, 0, len(newOps)+1)
+	for _, op := range newOps {
+		op.Size = ino.meta.Size
+		op.MTime = now
+		recs = append(recs, op.Record())
+	}
+	recs = append(recs, fsrec.Op{Type: fsrec.OpSizeTime, Ino: inoNum, Size: ino.meta.Size, MTime: now}.Record())
+	if err := fs.queue(recs...); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// rollbackNewRuns undoes partial allocations of a failed write.
+func (fs *FS) rollbackNewRuns(ino *inode, ops []fsrec.Op) {
+	for _, op := range ops {
+		fs.placer.Free(op.Off+op.Delta-fs.dataStart, op.N)
+		ino.ext.Delete(op.Off, op.N)
+	}
+}

@@ -1,0 +1,93 @@
+package blockfs
+
+import (
+	"muxfs/internal/alloc"
+	"muxfs/internal/pagecache"
+)
+
+func pagecacheKey(ino uint64, page int64) pagecache.Key {
+	return pagecache.Key{File: ino, Page: page}
+}
+
+// ExtentPlacer manages space with a first-fit extent allocator — the
+// xfslite strategy: large contiguous grants, few extents per file.
+type ExtentPlacer struct {
+	ea *alloc.ExtentAlloc
+}
+
+// NewExtentPlacer creates an extent placer over size bytes.
+func NewExtentPlacer(size int64) Placer {
+	return &ExtentPlacer{ea: alloc.NewExtentAlloc(size / PageSize * PageSize)}
+}
+
+// Alloc grants up to n bytes (page-aligned), possibly short.
+func (p *ExtentPlacer) Alloc(n int64) (Run, error) {
+	n = (n + PageSize - 1) / PageSize * PageSize
+	off, got, err := p.ea.Alloc(n)
+	if err != nil {
+		return Run{}, err
+	}
+	// Trim a ragged grant down to whole pages; return the remainder.
+	if rem := got % PageSize; rem != 0 {
+		if got < PageSize {
+			p.ea.Free(off, got)
+			return Run{}, alloc.ErrNoSpace
+		}
+		p.ea.Free(off+got-rem, rem)
+		got -= rem
+	}
+	return Run{DevOff: off, Len: got}, nil
+}
+
+// Free releases a run.
+func (p *ExtentPlacer) Free(devOff, n int64) { p.ea.Free(devOff, n) }
+
+// MarkUsed reserves a run during recovery.
+func (p *ExtentPlacer) MarkUsed(devOff, n int64) { p.ea.Reserve(devOff, n) }
+
+// TotalBytes reports managed capacity.
+func (p *ExtentPlacer) TotalBytes() int64 { return p.ea.Size() }
+
+// UsedBytes reports allocated bytes.
+func (p *ExtentPlacer) UsedBytes() int64 { return p.ea.Size() - p.ea.FreeBytes() }
+
+// BitmapPlacer manages space one page at a time with a next-fit block
+// bitmap — the extlite strategy: per-block pointers, goal allocation keeps
+// sequential files mostly contiguous.
+type BitmapPlacer struct {
+	bm *alloc.Bitmap
+}
+
+// NewBitmapPlacer creates a bitmap placer over size bytes.
+func NewBitmapPlacer(size int64) Placer {
+	return &BitmapPlacer{bm: alloc.NewBitmap(size / PageSize)}
+}
+
+// Alloc grants exactly one page per call (block-mapped design).
+func (p *BitmapPlacer) Alloc(n int64) (Run, error) {
+	blk, err := p.bm.Alloc()
+	if err != nil {
+		return Run{}, err
+	}
+	return Run{DevOff: blk * PageSize, Len: PageSize}, nil
+}
+
+// Free releases pages of a run.
+func (p *BitmapPlacer) Free(devOff, n int64) {
+	for b := devOff / PageSize; b < (devOff+n)/PageSize; b++ {
+		p.bm.FreeBlock(b)
+	}
+}
+
+// MarkUsed reserves pages during recovery.
+func (p *BitmapPlacer) MarkUsed(devOff, n int64) {
+	for b := devOff / PageSize; b < (devOff+n+PageSize-1)/PageSize; b++ {
+		p.bm.MarkUsed(b)
+	}
+}
+
+// TotalBytes reports managed capacity.
+func (p *BitmapPlacer) TotalBytes() int64 { return p.bm.Blocks() * PageSize }
+
+// UsedBytes reports allocated bytes.
+func (p *BitmapPlacer) UsedBytes() int64 { return p.bm.Used() * PageSize }

@@ -1,0 +1,150 @@
+// Package fsrec defines the shared metadata log-record vocabulary used by
+// every persistent component in the repository: novafs's inode log, the
+// xfslite/extlite write-ahead journals, Strata's operation log, and Mux's
+// own meta file. One codec, one replay grammar.
+package fsrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"muxfs/internal/journal"
+	"muxfs/internal/vfs"
+)
+
+// Op types.
+const (
+	OpCreate   = 1 // Ino, Mode, Path
+	OpMkdir    = 2 // Ino, Mode, Path
+	OpRemove   = 3 // Path
+	OpRename   = 4 // Path -> Path2
+	OpExtent   = 5 // Ino, Off, Delta, N, Size, MTime: map [Off,Off+N) at Off+Delta
+	OpSetAttr  = 6 // Ino, Size, Mode, MTime, ATime, CTime
+	OpSizeTime = 7 // Ino, Size, MTime
+	OpPunch    = 8 // Ino, Off, N, MTime
+	OpTruncate = 9 // Ino, Size, MTime
+)
+
+// Op is one decoded metadata operation.
+type Op struct {
+	Type  uint8
+	Ino   uint64
+	Path  string
+	Path2 string
+	Mode  vfs.FileMode
+	Off   int64
+	Delta int64
+	N     int64
+	Size  int64
+	MTime time.Duration
+	ATime time.Duration
+	CTime time.Duration
+}
+
+// Record encodes the op as a journal record.
+func (op Op) Record() journal.Record {
+	switch op.Type {
+	case OpCreate, OpMkdir:
+		return journal.Record{Type: op.Type, A: int64(op.Ino), B: int64(op.Mode), Payload: []byte(op.Path)}
+	case OpRemove:
+		return journal.Record{Type: op.Type, Payload: []byte(op.Path)}
+	case OpRename:
+		return journal.Record{Type: op.Type, Payload: []byte(op.Path + "\x00" + op.Path2)}
+	case OpExtent:
+		p := make([]byte, 32)
+		binary.LittleEndian.PutUint64(p[0:8], uint64(op.Delta))
+		binary.LittleEndian.PutUint64(p[8:16], uint64(op.N))
+		binary.LittleEndian.PutUint64(p[16:24], uint64(op.Size))
+		binary.LittleEndian.PutUint64(p[24:32], uint64(op.MTime))
+		return journal.Record{Type: op.Type, A: int64(op.Ino), B: op.Off, Payload: p}
+	case OpSetAttr:
+		p := make([]byte, 40)
+		binary.LittleEndian.PutUint64(p[0:8], uint64(op.Size))
+		binary.LittleEndian.PutUint64(p[8:16], uint64(op.Mode))
+		binary.LittleEndian.PutUint64(p[16:24], uint64(op.MTime))
+		binary.LittleEndian.PutUint64(p[24:32], uint64(op.ATime))
+		binary.LittleEndian.PutUint64(p[32:40], uint64(op.CTime))
+		return journal.Record{Type: op.Type, A: int64(op.Ino), Payload: p}
+	case OpSizeTime:
+		p := make([]byte, 8)
+		binary.LittleEndian.PutUint64(p, uint64(op.MTime))
+		return journal.Record{Type: op.Type, A: int64(op.Ino), B: op.Size, Payload: p}
+	case OpPunch:
+		p := make([]byte, 16)
+		binary.LittleEndian.PutUint64(p[0:8], uint64(op.N))
+		binary.LittleEndian.PutUint64(p[8:16], uint64(op.MTime))
+		return journal.Record{Type: op.Type, A: int64(op.Ino), B: op.Off, Payload: p}
+	case OpTruncate:
+		p := make([]byte, 8)
+		binary.LittleEndian.PutUint64(p, uint64(op.MTime))
+		return journal.Record{Type: op.Type, A: int64(op.Ino), B: op.Size, Payload: p}
+	default:
+		panic(fmt.Sprintf("fsrec: unknown op type %d", op.Type))
+	}
+}
+
+// Parse decodes a journal record back into an Op.
+func Parse(r journal.Record) (Op, error) {
+	op := Op{Type: r.Type}
+	switch r.Type {
+	case OpCreate, OpMkdir:
+		op.Ino = uint64(r.A)
+		op.Mode = vfs.FileMode(r.B)
+		op.Path = string(r.Payload)
+	case OpRemove:
+		op.Path = string(r.Payload)
+	case OpRename:
+		parts := strings.SplitN(string(r.Payload), "\x00", 2)
+		if len(parts) != 2 {
+			return op, fmt.Errorf("fsrec: bad rename payload %q", r.Payload)
+		}
+		op.Path, op.Path2 = parts[0], parts[1]
+	case OpExtent:
+		if len(r.Payload) != 32 {
+			return op, fmt.Errorf("fsrec: bad extent payload len %d", len(r.Payload))
+		}
+		op.Ino = uint64(r.A)
+		op.Off = r.B
+		op.Delta = int64(binary.LittleEndian.Uint64(r.Payload[0:8]))
+		op.N = int64(binary.LittleEndian.Uint64(r.Payload[8:16]))
+		op.Size = int64(binary.LittleEndian.Uint64(r.Payload[16:24]))
+		op.MTime = time.Duration(binary.LittleEndian.Uint64(r.Payload[24:32]))
+	case OpSetAttr:
+		if len(r.Payload) != 40 {
+			return op, fmt.Errorf("fsrec: bad setattr payload len %d", len(r.Payload))
+		}
+		op.Ino = uint64(r.A)
+		op.Size = int64(binary.LittleEndian.Uint64(r.Payload[0:8]))
+		op.Mode = vfs.FileMode(binary.LittleEndian.Uint64(r.Payload[8:16]))
+		op.MTime = time.Duration(binary.LittleEndian.Uint64(r.Payload[16:24]))
+		op.ATime = time.Duration(binary.LittleEndian.Uint64(r.Payload[24:32]))
+		op.CTime = time.Duration(binary.LittleEndian.Uint64(r.Payload[32:40]))
+	case OpSizeTime:
+		if len(r.Payload) != 8 {
+			return op, fmt.Errorf("fsrec: bad sizetime payload len %d", len(r.Payload))
+		}
+		op.Ino = uint64(r.A)
+		op.Size = r.B
+		op.MTime = time.Duration(binary.LittleEndian.Uint64(r.Payload))
+	case OpPunch:
+		if len(r.Payload) != 16 {
+			return op, fmt.Errorf("fsrec: bad punch payload len %d", len(r.Payload))
+		}
+		op.Ino = uint64(r.A)
+		op.Off = r.B
+		op.N = int64(binary.LittleEndian.Uint64(r.Payload[0:8]))
+		op.MTime = time.Duration(binary.LittleEndian.Uint64(r.Payload[8:16]))
+	case OpTruncate:
+		if len(r.Payload) != 8 {
+			return op, fmt.Errorf("fsrec: bad truncate payload len %d", len(r.Payload))
+		}
+		op.Ino = uint64(r.A)
+		op.Size = r.B
+		op.MTime = time.Duration(binary.LittleEndian.Uint64(r.Payload))
+	default:
+		return op, fmt.Errorf("fsrec: unknown record type %d", r.Type)
+	}
+	return op, nil
+}

@@ -1,0 +1,201 @@
+package novafs
+
+import "muxfs/internal/vfs"
+
+// file is an open novafs handle.
+type file struct {
+	fs     *FS
+	path   string
+	ino    uint64
+	closed bool
+}
+
+var _ vfs.File = (*file)(nil)
+
+// node returns the inode, or an error if the handle is closed or the file
+// was removed underneath it.
+func (f *file) node() (*inode, error) {
+	if f.closed {
+		return nil, vfs.ErrClosed
+	}
+	ino, ok := f.fs.inodes[f.ino]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	return ino, nil
+}
+
+// Path returns the path the handle was opened with.
+func (f *file) Path() string { return f.path }
+
+// ReadAt implements io.ReaderAt with DAX semantics: data comes straight off
+// the PM device.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return 0, vfs.Errf("read", f.fs.name, f.path, err)
+	}
+	n, err := f.fs.readLocked(ino, p, off)
+	if err != nil && n == 0 {
+		return n, err // io.EOF or device error, unwrapped for io semantics
+	}
+	return n, err
+}
+
+// WriteAt writes in place and persists synchronously.
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return 0, vfs.Errf("write", f.fs.name, f.path, err)
+	}
+	return f.fs.writeLocked(ino, f.ino, p, off)
+}
+
+// Truncate sets the logical size.
+func (f *file) Truncate(size int64) error {
+	if size < 0 {
+		return vfs.Errf("truncate", f.fs.name, f.path, vfs.ErrInvalid)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return vfs.Errf("truncate", f.fs.name, f.path, err)
+	}
+	return f.fs.truncateLocked(ino, f.ino, size)
+}
+
+// Sync is cheap: all novafs writes are already persisted (CLFLUSH model).
+func (f *file) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, err := f.node(); err != nil {
+		return vfs.Errf("sync", f.fs.name, f.path, err)
+	}
+	f.fs.clk.Advance(f.fs.costs.MetaOp)
+	return nil
+}
+
+// Close releases the handle.
+func (f *file) Close() error {
+	f.closed = true
+	return nil
+}
+
+// Stat returns current metadata.
+func (f *file) Stat() (vfs.FileInfo, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return vfs.FileInfo{}, vfs.Errf("stat", f.fs.name, f.path, err)
+	}
+	fi := ino.meta.Info(f.path)
+	fi.Blocks = ino.ext.MappedBytes()
+	return fi, nil
+}
+
+// Extents lists allocated runs in file-offset order, merging runs that are
+// adjacent in file space (physical contiguity is irrelevant to callers).
+func (f *file) Extents() ([]vfs.Extent, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return nil, vfs.Errf("extents", f.fs.name, f.path, err)
+	}
+	var out []vfs.Extent
+	ino.ext.Walk(func(off, n int64, _ int64) bool {
+		if len(out) > 0 && out[len(out)-1].End() == off {
+			out[len(out)-1].Len += n
+		} else {
+			out = append(out, vfs.Extent{Off: off, Len: n})
+		}
+		return true
+	})
+	return out, nil
+}
+
+// PunchHole deallocates whole pages inside the range and zeroes the ragged
+// edges in place.
+func (f *file) PunchHole(off, n int64) error {
+	if off < 0 || n < 0 {
+		return vfs.Errf("punch", f.fs.name, f.path, vfs.ErrInvalid)
+	}
+	if n == 0 {
+		return nil
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return vfs.Errf("punch", f.fs.name, f.path, err)
+	}
+	return f.fs.punchLocked(ino, f.ino, off, n)
+}
+
+// truncateLocked implements Truncate under fs.mu.
+func (fs *FS) truncateLocked(ino *inode, inoNum uint64, size int64) error {
+	fs.clk.Advance(fs.costs.MetaOp)
+	now := fs.now()
+	if size < ino.meta.Size {
+		fs.freeRange(ino, size, ino.meta.Size-size)
+		// Zero the ragged tail of the partial page so growing back reads
+		// zeros.
+		fs.zeroEdge(ino, size, ino.meta.Size)
+	}
+	ino.meta.Size = size
+	ino.meta.ModTime = now
+	ino.meta.CTime = now
+	return fs.logCommit(recTruncate(inoNum, size, now))
+}
+
+// punchLocked implements PunchHole under fs.mu.
+func (fs *FS) punchLocked(ino *inode, inoNum uint64, off, n int64) error {
+	fs.clk.Advance(fs.costs.MetaOp)
+	end := off + n
+	if end > ino.meta.Size {
+		end = ino.meta.Size
+	}
+	if end <= off {
+		return nil
+	}
+	fs.freeRange(ino, off, end-off)
+	// Zero the ragged edges still mapped.
+	firstWhole := (off + PageSize - 1) / PageSize * PageSize
+	lastWhole := end / PageSize * PageSize
+	if firstWhole > lastWhole { // range inside one page
+		fs.zeroEdge(ino, off, end)
+	} else {
+		fs.zeroEdge(ino, off, firstWhole)
+		fs.zeroEdge(ino, lastWhole, end)
+	}
+	now := fs.now()
+	ino.meta.ModTime = now
+	ino.meta.CTime = now
+	return fs.logCommit(recPunch(inoNum, off, end-off, now))
+}
+
+// zeroEdge writes zeros over mapped bytes of [from, to) (both inside one
+// page in practice). Caller holds fs.mu.
+func (fs *FS) zeroEdge(ino *inode, from, to int64) {
+	if to <= from {
+		return
+	}
+	for _, seg := range ino.ext.Segments(from, to-from) {
+		if seg.Hole {
+			continue
+		}
+		zeros := make([]byte, seg.Len)
+		pm := seg.Off + seg.Val
+		fs.dev.WriteAt(zeros, pm)
+		fs.dev.Persist(pm, seg.Len)
+	}
+}

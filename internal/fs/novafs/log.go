@@ -1,0 +1,152 @@
+package novafs
+
+import (
+	"fmt"
+	"time"
+
+	"muxfs/internal/fs/fsrec"
+	"muxfs/internal/fsbase"
+	"muxfs/internal/journal"
+	"muxfs/internal/vfs"
+)
+
+// Record constructors: novafs logs fsrec ops to its on-PM metadata log.
+
+func recCreate(ino uint64, path string, mode vfs.FileMode) journal.Record {
+	return fsrec.Op{Type: fsrec.OpCreate, Ino: ino, Path: path, Mode: mode}.Record()
+}
+
+func recMkdir(ino uint64, path string, mode vfs.FileMode) journal.Record {
+	return fsrec.Op{Type: fsrec.OpMkdir, Ino: ino, Path: path, Mode: mode}.Record()
+}
+
+func recRemove(path string) journal.Record {
+	return fsrec.Op{Type: fsrec.OpRemove, Path: path}.Record()
+}
+
+func recRename(oldPath, newPath string) journal.Record {
+	return fsrec.Op{Type: fsrec.OpRename, Path: oldPath, Path2: newPath}.Record()
+}
+
+func recExtent(ino uint64, foff, delta, n, size int64, mtime time.Duration) journal.Record {
+	return fsrec.Op{Type: fsrec.OpExtent, Ino: ino, Off: foff, Delta: delta, N: n, Size: size, MTime: mtime}.Record()
+}
+
+func recSetAttr(ino uint64, m *fsbase.Meta) journal.Record {
+	return fsrec.Op{
+		Type: fsrec.OpSetAttr, Ino: ino,
+		Size: m.Size, Mode: m.Mode, MTime: m.ModTime, ATime: m.ATime, CTime: m.CTime,
+	}.Record()
+}
+
+func recSizeTime(ino uint64, size int64, mtime time.Duration) journal.Record {
+	return fsrec.Op{Type: fsrec.OpSizeTime, Ino: ino, Size: size, MTime: mtime}.Record()
+}
+
+func recPunch(ino uint64, off, n int64, mtime time.Duration) journal.Record {
+	return fsrec.Op{Type: fsrec.OpPunch, Ino: ino, Off: off, N: n, MTime: mtime}.Record()
+}
+
+func recTruncate(ino uint64, size int64, mtime time.Duration) journal.Record {
+	return fsrec.Op{Type: fsrec.OpTruncate, Ino: ino, Size: size, MTime: mtime}.Record()
+}
+
+// applyRecord replays one committed log record during Recover. Caller holds
+// fs.mu and has reset the in-memory state.
+func (fs *FS) applyRecord(r journal.Record) error {
+	op, err := fsrec.Parse(r)
+	if err != nil {
+		return err
+	}
+	switch op.Type {
+	case fsrec.OpCreate:
+		node, err := fs.ns.CreateFileIno(op.Path, op.Mode, op.Ino)
+		if err != nil {
+			return fmt.Errorf("replay create %q: %w", op.Path, err)
+		}
+		fs.inodes[node.Ino] = &inode{meta: fsbase.Meta{Mode: op.Mode}}
+
+	case fsrec.OpMkdir:
+		if _, err := fs.ns.Mkdir(op.Path, op.Mode); err != nil {
+			return fmt.Errorf("replay mkdir %q: %w", op.Path, err)
+		}
+		fs.ns.BumpIno(op.Ino)
+
+	case fsrec.OpRemove:
+		node, err := fs.ns.Remove(op.Path)
+		if err != nil {
+			return fmt.Errorf("replay remove %q: %w", op.Path, err)
+		}
+		if ino, ok := fs.inodes[node.Ino]; ok {
+			fs.freeRange(ino, 0, ino.meta.Size)
+			delete(fs.inodes, node.Ino)
+		}
+
+	case fsrec.OpRename:
+		if _, err := fs.ns.Rename(op.Path, op.Path2); err != nil {
+			return fmt.Errorf("replay rename %q->%q: %w", op.Path, op.Path2, err)
+		}
+
+	case fsrec.OpExtent:
+		ino, ok := fs.inodes[op.Ino]
+		if !ok {
+			return fmt.Errorf("replay extent: unknown inode %d", op.Ino)
+		}
+		ino.ext.Insert(op.Off, op.N, op.Delta)
+		pm := op.Off + op.Delta
+		for b := pm; b < pm+op.N; b += PageSize {
+			fs.pages.MarkUsed((b - fs.dataStart) / PageSize)
+		}
+		if op.Size > ino.meta.Size {
+			ino.meta.Size = op.Size
+		}
+		ino.meta.ModTime = op.MTime
+
+	case fsrec.OpSetAttr:
+		ino, ok := fs.inodes[op.Ino]
+		if !ok {
+			return fmt.Errorf("replay setattr: unknown inode %d", op.Ino)
+		}
+		if op.Size < ino.meta.Size {
+			fs.freeRange(ino, op.Size, ino.meta.Size-op.Size)
+		}
+		ino.meta.Size = op.Size
+		ino.meta.Mode = op.Mode
+		ino.meta.ModTime = op.MTime
+		ino.meta.ATime = op.ATime
+		ino.meta.CTime = op.CTime
+
+	case fsrec.OpSizeTime:
+		ino, ok := fs.inodes[op.Ino]
+		if !ok {
+			return fmt.Errorf("replay sizetime: unknown inode %d", op.Ino)
+		}
+		if op.Size > ino.meta.Size {
+			ino.meta.Size = op.Size
+		}
+		ino.meta.ModTime = op.MTime
+
+	case fsrec.OpPunch:
+		ino, ok := fs.inodes[op.Ino]
+		if !ok {
+			return fmt.Errorf("replay punch: unknown inode %d", op.Ino)
+		}
+		fs.freeRange(ino, op.Off, op.N)
+		ino.meta.ModTime = op.MTime
+
+	case fsrec.OpTruncate:
+		ino, ok := fs.inodes[op.Ino]
+		if !ok {
+			return fmt.Errorf("replay truncate: unknown inode %d", op.Ino)
+		}
+		if op.Size < ino.meta.Size {
+			fs.freeRange(ino, op.Size, ino.meta.Size-op.Size)
+		}
+		ino.meta.Size = op.Size
+		ino.meta.ModTime = op.MTime
+
+	default:
+		return fmt.Errorf("replay: unhandled op type %d", op.Type)
+	}
+	return nil
+}

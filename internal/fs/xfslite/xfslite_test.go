@@ -1,0 +1,144 @@
+package xfslite
+
+import (
+	"testing"
+
+	"muxfs/internal/device"
+	"muxfs/internal/fs/blockfs"
+	"muxfs/internal/fstest"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+func newFS(t *testing.T) *blockfs.FS {
+	t.Helper()
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs, err := New("xfs@ssd0", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConformance(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) vfs.FileSystem { return newFS(t) })
+}
+
+func TestCrashRecovery(t *testing.T) {
+	fstest.RunCrashRecovery(t, func(t *testing.T) (vfs.FileSystem, func() vfs.FileSystem) {
+		fs := newFS(t)
+		return fs, func() vfs.FileSystem {
+			fs.Crash()
+			if err := fs.Recover(); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			return fs
+		}
+	})
+}
+
+func TestLargeFileFewExtents(t *testing.T) {
+	// The extent allocator must grant big contiguous runs: a 16 MiB
+	// sequential write should produce very few extents.
+	fs := newFS(t)
+	f, err := fs.Create("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	chunk := make([]byte, 1<<20)
+	for i := 0; i < 16; i++ {
+		if _, err := f.WriteAt(chunk, int64(i)<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exts, err := f.Extents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exts) > 4 {
+		t.Fatalf("sequential 16 MiB write fragmented into %d extents", len(exts))
+	}
+}
+
+func TestCachedReadIsCheaperThanMiss(t *testing.T) {
+	// Second read of the same page must hit DRAM, not the SSD — the effect
+	// E3's Mux-over-XFS overhead ratio depends on.
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs, err := New("xfs@ssd0", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/c")
+	f.WriteAt(make([]byte, 4096), 0)
+	f.Sync()
+	f.Close()
+	// Restart to drop the (write-populated) DRAM cache: reads start cold.
+	fs.Crash()
+	if err := fs.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = fs.Open("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	clk := dev.Clock()
+	w := simclock.StartWatch(clk)
+	f.ReadAt(buf, 10)
+	missCost := w.Elapsed()
+	w.Restart()
+	f.ReadAt(buf, 10)
+	hitCost := w.Elapsed()
+	if hitCost*5 > missCost {
+		t.Fatalf("cache hit %v not much cheaper than miss %v", hitCost, missCost)
+	}
+	stats := fs.CacheStats()
+	if stats.Hits == 0 || stats.Misses == 0 {
+		t.Fatalf("cache stats = %+v", stats)
+	}
+}
+
+func TestGroupCommitBatchesJournal(t *testing.T) {
+	// Many small writes then one Sync: the journal should see few commits
+	// (group commit), not one per write.
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs, err := New("xfs@ssd0", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/batch")
+	defer f.Close()
+	before := dev.Stats().Persists
+	for i := 0; i < 100; i++ {
+		f.WriteAt([]byte("x"), int64(i*8192))
+	}
+	mid := dev.Stats().Persists
+	if mid-before > 2 {
+		t.Fatalf("journal persisted %d times during unsynced writes", mid-before)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Persists == mid {
+		t.Fatal("Sync did not persist anything")
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	fstest.RunConcurrency(t, func(t *testing.T) vfs.FileSystem { return newFS(t) })
+}
+
+func TestCrashTorture(t *testing.T) {
+	fstest.RunCrashTorture(t, func(t *testing.T) (vfs.FileSystem, func() vfs.FileSystem) {
+		fs := newFS(t)
+		return fs, func() vfs.FileSystem {
+			fs.Crash()
+			if err := fs.Recover(); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			return fs
+		}
+	}, 12)
+}

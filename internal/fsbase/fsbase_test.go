@@ -1,0 +1,150 @@
+package fsbase
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"muxfs/internal/vfs"
+)
+
+func TestNamespaceBasics(t *testing.T) {
+	ns := NewNamespace()
+	if ns.FileCount() != 0 {
+		t.Fatal("fresh namespace not empty")
+	}
+	root, err := ns.Lookup("/")
+	if err != nil || !root.IsDir() {
+		t.Fatalf("root lookup: %v", err)
+	}
+
+	n, err := ns.CreateFile("/a", 0o644)
+	if err != nil || n.Ino == 0 || n.IsDir() {
+		t.Fatalf("CreateFile: %+v, %v", n, err)
+	}
+	if _, err := ns.CreateFile("/a", 0o644); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := ns.CreateFile("/", 0o644); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatalf("create at root: %v", err)
+	}
+	if _, err := ns.CreateFile("/missing/f", 0o644); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("create under missing dir: %v", err)
+	}
+	if _, err := ns.CreateFile("/a/f", 0o644); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("create under file: %v", err)
+	}
+	if ns.FileCount() != 1 {
+		t.Fatalf("FileCount = %d", ns.FileCount())
+	}
+}
+
+func TestNamespaceInoAllocation(t *testing.T) {
+	ns := NewNamespace()
+	a, _ := ns.CreateFile("/a", 0o644)
+	b, _ := ns.CreateFile("/b", 0o644)
+	if a.Ino == b.Ino {
+		t.Fatal("duplicate ino")
+	}
+	// Recovery-style creation with an explicit high ino bumps the allocator.
+	c, err := ns.CreateFileIno("/c", 0o644, 1000)
+	if err != nil || c.Ino != 1000 {
+		t.Fatalf("CreateFileIno: %+v, %v", c, err)
+	}
+	d, _ := ns.CreateFile("/d", 0o644)
+	if d.Ino <= 1000 {
+		t.Fatalf("allocator did not bump past explicit ino: %d", d.Ino)
+	}
+}
+
+func TestNamespaceRenameSemantics(t *testing.T) {
+	ns := NewNamespace()
+	ns.Mkdir("/d1", vfs.ModeDir|0o755)
+	ns.Mkdir("/d2", vfs.ModeDir|0o755)
+	f, _ := ns.CreateFile("/d1/f", 0o644)
+
+	node, err := ns.Rename("/d1/f", "/d2/g")
+	if err != nil || node.Ino != f.Ino {
+		t.Fatalf("rename: %+v, %v", node, err)
+	}
+	if _, err := ns.Lookup("/d1/f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("old name lingers")
+	}
+	if _, err := ns.Lookup("/d2/g"); err != nil {
+		t.Fatal("new name missing")
+	}
+	// Rename a whole directory; children follow.
+	ns.CreateFile("/d2/child", 0o644)
+	if _, err := ns.Rename("/d2", "/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Lookup("/renamed/g"); err != nil {
+		t.Fatal("child lost in directory rename")
+	}
+}
+
+func TestWalkOrders(t *testing.T) {
+	ns := NewNamespace()
+	ns.Mkdir("/b", vfs.ModeDir|0o755)
+	ns.Mkdir("/a", vfs.ModeDir|0o755)
+	ns.CreateFile("/a/z", 0o644)
+	ns.CreateFile("/a/y", 0o644)
+	ns.CreateFile("/top", 0o644)
+
+	var all []string
+	ns.WalkAll(func(path string, node *Node) { all = append(all, path) })
+	want := []string{"/a", "/a/y", "/a/z", "/b", "/top"}
+	if fmt.Sprint(all) != fmt.Sprint(want) {
+		t.Fatalf("WalkAll = %v, want %v", all, want)
+	}
+
+	var files []string
+	ns.WalkFiles(func(path string, node *Node) { files = append(files, path) })
+	wantFiles := []string{"/a/y", "/a/z", "/top"}
+	if fmt.Sprint(files) != fmt.Sprint(wantFiles) {
+		t.Fatalf("WalkFiles = %v, want %v", files, wantFiles)
+	}
+}
+
+func TestMetaApply(t *testing.T) {
+	m := Meta{Size: 100, Mode: 0o644, ModTime: 1, ATime: 2, CTime: 3}
+	now := 50 * time.Nanosecond
+
+	// Empty attr: no change, ctime untouched.
+	if m.Apply(vfs.SetAttr{}, now) {
+		t.Fatal("empty SetAttr reported change")
+	}
+	if m.CTime != 3 {
+		t.Fatal("ctime bumped without change")
+	}
+
+	size := int64(200)
+	mode := vfs.FileMode(0o600)
+	if !m.Apply(vfs.SetAttr{Size: &size, Mode: &mode}, now) {
+		t.Fatal("change not reported")
+	}
+	if m.Size != 200 || m.Mode != 0o600 || m.CTime != now {
+		t.Fatalf("apply result: %+v", m)
+	}
+
+	// Dir bit cannot be smuggled in through SetAttr.
+	dirMode := vfs.ModeDir | 0o777
+	m.Apply(vfs.SetAttr{Mode: &dirMode}, now)
+	if m.Mode.IsDir() {
+		t.Fatal("SetAttr turned a file into a directory")
+	}
+
+	// Same values again: no change.
+	if m.Apply(vfs.SetAttr{Size: &size}, now+1) {
+		t.Fatal("idempotent SetAttr reported change")
+	}
+}
+
+func TestMetaInfo(t *testing.T) {
+	m := Meta{Size: 10, Blocks: 4096, Mode: 0o644, ModTime: 5, ATime: 6, CTime: 7}
+	fi := m.Info("/p")
+	if fi.Path != "/p" || fi.Size != 10 || fi.Blocks != 4096 || fi.ModTime != 5 {
+		t.Fatalf("Info = %+v", fi)
+	}
+}

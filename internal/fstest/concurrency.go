@@ -1,0 +1,260 @@
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"muxfs/internal/vfs"
+)
+
+// RunConcurrency exercises a file system with parallel clients. It checks
+// for data races (under -race), panics, and cross-file interference; it is
+// deliberately light on timing assumptions so it works for every
+// implementation, including the RPC proxy.
+func RunConcurrency(t *testing.T, mk Maker) {
+	t.Run("WritersOnDistinctFiles", func(t *testing.T) { testWritersDistinctFiles(t, mk(t)) })
+	t.Run("WritersOnDisjointRegions", func(t *testing.T) { testWritersDisjointRegions(t, mk(t)) })
+	t.Run("MixedMetadataStorm", func(t *testing.T) { testMixedMetadataStorm(t, mk(t)) })
+	t.Run("ReadersDuringWrites", func(t *testing.T) { testReadersDuringWrites(t, mk(t)) })
+}
+
+func testWritersDistinctFiles(t *testing.T, fs vfs.FileSystem) {
+	const workers = 8
+	const perFile = 64 * 1024
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/w%d", w)
+			f, err := fs.Create(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			payload := bytes.Repeat([]byte{byte(w + 1)}, perFile)
+			if _, err := f.WriteAt(payload, 0); err != nil {
+				errs <- fmt.Errorf("%s: %w", path, err)
+				return
+			}
+			if err := f.Sync(); err != nil {
+				errs <- fmt.Errorf("%s sync: %w", path, err)
+				return
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// No cross-file bleed.
+	for w := 0; w < workers; w++ {
+		f, err := fs.Open(fmt.Sprintf("/w%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, perFile)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(w + 1)}, perFile)) {
+			t.Fatalf("file %d corrupted by concurrent writers", w)
+		}
+	}
+}
+
+func testWritersDisjointRegions(t *testing.T, fs vfs.FileSystem) {
+	const workers = 8
+	const region = 32 * 1024
+	f, err := fs.Create("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := fs.Open("/shared")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Close()
+			payload := bytes.Repeat([]byte{byte(w + 1)}, region)
+			if _, err := h.WriteAt(payload, int64(w)*region); err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	h, err := fs.Open("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	got := make([]byte, workers*region)
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < region; i++ {
+			if got[w*region+i] != byte(w+1) {
+				t.Fatalf("byte %d of region %d = %#x", i, w, got[w*region+i])
+			}
+		}
+	}
+}
+
+func testMixedMetadataStorm(t *testing.T, fs vfs.FileSystem) {
+	if err := fs.Mkdir("/storm"); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 60; i++ {
+				path := fmt.Sprintf("/storm/f%d-%d", w, rng.Intn(8))
+				switch rng.Intn(6) {
+				case 0:
+					if f, err := fs.Create(path); err == nil {
+						f.WriteAt([]byte("x"), 0)
+						f.Close()
+					}
+				case 1:
+					fs.Remove(path)
+				case 2:
+					fs.Rename(path, path+"-r")
+					fs.Rename(path+"-r", path)
+				case 3:
+					fs.Stat(path)
+				case 4:
+					fs.ReadDir("/storm")
+				case 5:
+					if f, err := fs.Open(path); err == nil {
+						buf := make([]byte, 4)
+						f.ReadAt(buf, 0)
+						f.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(panics)
+	for p := range panics {
+		t.Fatalf("panic under metadata storm: %v", p)
+	}
+	// The FS must still be fully functional.
+	f, err := fs.Create("/storm/after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("alive"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testReadersDuringWrites(t *testing.T, fs vfs.FileSystem) {
+	const size = 256 * 1024
+	f, err := fs.Create("/rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xAA}, size), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	errs := make(chan error, 8)
+	// Writers flip whole 4 KiB blocks between two valid patterns.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			h, err := fs.Open("/rw")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Close()
+			patterns := [][]byte{bytes.Repeat([]byte{0xAA}, 4096), bytes.Repeat([]byte{0xBB}, 4096)}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := int64((i*2+w)%(size/4096)) * 4096
+				if _, err := h.WriteAt(patterns[i%2], off); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: every byte must be one of the two valid patterns.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			h, err := fs.Open("/rw")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Close()
+			buf := make([]byte, 4096)
+			for i := 0; i < 200; i++ {
+				off := int64(i%(size/4096)) * 4096
+				if _, err := h.ReadAt(buf, off); err != nil && !errors.Is(err, io.EOF) {
+					errs <- err
+					return
+				}
+				for j, b := range buf {
+					if b != 0xAA && b != 0xBB {
+						errs <- fmt.Errorf("torn byte %d at %d: %#x", j, off, b)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"muxfs/internal/vfs"
+)
+
+// RunCrashTorture drives a randomized workload with crashes injected
+// between rounds, verifying after every recovery that the fsync contract
+// holds: a file with no modifications since its last sync must recover
+// byte-exact; files dirtied after their last sync may recover either
+// version but must stay readable; never-synced files may vanish.
+func RunCrashTorture(t *testing.T, mk CrashMaker, rounds int) {
+	fs, crash := mk(t)
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+
+	type modelFile struct {
+		synced []byte // contents as of the last sync covering this file
+		latest []byte // contents now
+		dirty  bool   // modified since last sync
+	}
+	model := map[string]*modelFile{}
+	oplog := map[string][]string{}
+	logOp := func(path, format string, args ...any) {
+		oplog[path] = append(oplog[path], fmt.Sprintf(format, args...))
+	}
+
+	paths := make([]string, 8)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/t%d", i)
+	}
+
+	markSynced := func(mf *modelFile) {
+		mf.synced = append([]byte(nil), mf.latest...)
+		mf.dirty = false
+	}
+
+	syncAll := func() {
+		if err := fs.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		for _, mf := range model {
+			markSynced(mf)
+		}
+	}
+
+	applyOps := func() {
+		for op := 0; op < 25; op++ {
+			path := paths[rng.Intn(len(paths))]
+			mf := model[path]
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // write
+				f, err := fs.Create(path)
+				if errors.Is(err, vfs.ErrExist) {
+					f, err = fs.Open(path)
+				}
+				if err != nil {
+					t.Fatalf("open %s: %v", path, err)
+				}
+				if mf == nil {
+					// Unknown to the model (fresh, or resurrected by a
+					// crash): adopt the file's actual contents first.
+					mf = &modelFile{dirty: true}
+					if fi, serr := f.Stat(); serr == nil && fi.Size > 0 {
+						mf.latest = make([]byte, fi.Size)
+						if _, rerr := f.ReadAt(mf.latest, 0); rerr != nil && !errors.Is(rerr, io.EOF) {
+							t.Fatalf("adopt %s: %v", path, rerr)
+						}
+					}
+					model[path] = mf
+				}
+				off := int64(rng.Intn(64 * 1024))
+				data := make([]byte, rng.Intn(16*1024)+1)
+				rng.Read(data)
+				if _, err := f.WriteAt(data, off); err != nil {
+					t.Fatalf("write %s: %v", path, err)
+				}
+				f.Close()
+				for int64(len(mf.latest)) < off+int64(len(data)) {
+					mf.latest = append(mf.latest, 0)
+				}
+				copy(mf.latest[off:], data)
+				mf.dirty = true
+				logOp(path, "write off=%d n=%d", off, len(data))
+			case 5: // truncate
+				if mf == nil {
+					continue
+				}
+				size := int64(rng.Intn(64 * 1024))
+				if err := fs.Truncate(path, size); err != nil {
+					t.Fatalf("truncate %s: %v", path, err)
+				}
+				if size <= int64(len(mf.latest)) {
+					mf.latest = mf.latest[:size]
+				} else {
+					mf.latest = append(mf.latest, make([]byte, size-int64(len(mf.latest)))...)
+				}
+				mf.dirty = true
+				logOp(path, "truncate %d", size)
+			case 6: // remove
+				if mf == nil {
+					continue
+				}
+				if err := fs.Remove(path); err != nil {
+					t.Fatalf("remove %s: %v", path, err)
+				}
+				delete(model, path)
+				logOp(path, "remove")
+			case 7, 8: // per-file fsync
+				if mf == nil {
+					continue
+				}
+				f, err := fs.Open(path)
+				if err != nil {
+					t.Fatalf("open %s: %v", path, err)
+				}
+				if err := f.Sync(); err != nil {
+					t.Fatalf("fsync %s: %v", path, err)
+				}
+				f.Close()
+				markSynced(mf)
+				logOp(path, "fsync")
+			case 9:
+				syncAll()
+				logOp(path, "syncall")
+			}
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		applyOps()
+		if rng.Intn(2) == 0 {
+			syncAll()
+		}
+
+		fs = crash()
+
+		// Reconcile the model with what recovery produced.
+		for name, mf := range model {
+			_, statErr := fs.Stat(name)
+			if mf.synced == nil {
+				// Never synced: existence is implementation-defined; adopt
+				// reality (drop from the model either way — contents are
+				// unspecified until the next write re-establishes them).
+				if errors.Is(statErr, vfs.ErrNotExist) {
+					delete(model, name)
+					continue
+				}
+				delete(model, name) // exists with unspecified contents
+				continue
+			}
+			if statErr != nil {
+				t.Fatalf("round %d: synced file %s lost: %v", round, name, statErr)
+			}
+			if !mf.dirty {
+				// Clean at crash time: byte-exact recovery required.
+				f, err := fs.Open(name)
+				if err != nil {
+					t.Fatalf("round %d: open %s: %v", round, name, err)
+				}
+				fi, err := f.Stat()
+				if err != nil {
+					t.Fatalf("round %d: stat %s: %v", round, name, err)
+				}
+				if fi.Size != int64(len(mf.synced)) {
+					t.Fatalf("round %d: %s size %d, want %d", round, name, fi.Size, len(mf.synced))
+				}
+				if len(mf.synced) > 0 {
+					got := make([]byte, len(mf.synced))
+					if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+						t.Fatalf("round %d: read %s: %v", round, name, err)
+					}
+					if !bytes.Equal(got, mf.synced) {
+						i := 0
+						for i < len(got) && got[i] == mf.synced[i] {
+							i++
+						}
+						t.Fatalf("round %d: synced contents of %s corrupted at byte %d of %d (got %#x want %#x)\nops: %v",
+							round, name, i, len(got), got[i], mf.synced[i], oplog[name])
+					}
+				}
+				f.Close()
+				mf.latest = append([]byte(nil), mf.synced...)
+				continue
+			}
+			// Dirty at crash time: either version (or a prefix-consistent
+			// mix at page granularity) may have survived. Adopt reality so
+			// the model stays exact for the next round.
+			f, err := fs.Open(name)
+			if err != nil {
+				t.Fatalf("round %d: dirty synced file %s unreadable: %v", round, name, err)
+			}
+			fi, err := f.Stat()
+			if err != nil {
+				t.Fatalf("round %d: stat %s: %v", round, name, err)
+			}
+			actual := make([]byte, fi.Size)
+			if fi.Size > 0 {
+				if _, err := f.ReadAt(actual, 0); err != nil && !errors.Is(err, io.EOF) {
+					t.Fatalf("round %d: read %s: %v", round, name, err)
+				}
+			}
+			f.Close()
+			mf.latest = actual
+			markSynced(mf)
+			logOp(name, "adopt(size=%d)", len(actual))
+		}
+		// Unsynced removals may resurrect files recovery-side; they are
+		// outside the model now and will be re-adopted on next touch.
+	}
+}

@@ -1,0 +1,236 @@
+// Package journal implements a write-ahead log over a region of a simulated
+// device, with transactions, checksummed commit records, and crash replay.
+//
+// xfslite journals metadata, extlite journals metadata in ordered mode, and
+// Mux journals its own meta file (Block Lookup Table and affinity table)
+// through the same machinery. The journal is the component that turns the
+// device layer's "un-persisted writes vanish on Crash" semantics into
+// recoverable file systems.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"muxfs/internal/device"
+)
+
+// Record types are defined by the client file system; the journal treats
+// Type opaquely except for the reserved commit marker.
+const commitType = 0xFF
+
+const magic = 0x4D4C4E4A // "JNLM"
+
+// headerSize: magic(4) + seq(8) + type(1) + a(8) + b(8) + plen(4) + crc(4).
+const headerSize = 4 + 8 + 1 + 8 + 8 + 4 + 4
+
+// Errors.
+var (
+	// ErrFull reports that the journal region cannot hold the transaction;
+	// the caller must checkpoint first.
+	ErrFull = errors.New("journal: full")
+	// ErrCorrupt reports a checksum mismatch during replay.
+	ErrCorrupt = errors.New("journal: corrupt record")
+)
+
+// Record is one logged operation. A and B are client-defined operands
+// (an inode number and a block index, say); Payload carries variable data.
+type Record struct {
+	Type    uint8
+	A, B    int64
+	Payload []byte
+}
+
+// Journal is a write-ahead log in [start, start+size) of dev. Safe for
+// concurrent Commit calls; records within one Tx stay contiguous.
+type Journal struct {
+	dev   *device.Device
+	start int64
+	size  int64
+
+	mu   sync.Mutex
+	head int64  // next write offset, relative to start
+	seq  uint64 // next transaction sequence number
+}
+
+// New creates a journal over [start, start+size) of dev. The region is
+// assumed empty (all zeros) on first use; Replay recovers prior state.
+func New(dev *device.Device, start, size int64) *Journal {
+	return &Journal{dev: dev, start: start, size: size, seq: 1}
+}
+
+// Tx is an open transaction. Append records, then Commit; an abandoned Tx
+// costs nothing.
+type Tx struct {
+	j    *Journal
+	recs []Record
+}
+
+// Begin opens a transaction.
+func (j *Journal) Begin() *Tx { return &Tx{j: j} }
+
+// Append adds a record to the transaction.
+func (tx *Tx) Append(r Record) { tx.recs = append(tx.recs, r) }
+
+// Len returns the number of records appended so far.
+func (tx *Tx) Len() int { return len(tx.recs) }
+
+// Commit durably writes the transaction: all records followed by a commit
+// marker, then a persistence barrier. Either the whole transaction replays
+// after a crash or none of it does.
+func (tx *Tx) Commit() error {
+	j := tx.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	var buf []byte
+	for _, r := range tx.recs {
+		buf = appendRecord(buf, j.seq, r)
+	}
+	buf = appendRecord(buf, j.seq, Record{Type: commitType})
+
+	if j.head+int64(len(buf)) > j.size {
+		return fmt.Errorf("%w: need %d bytes, %d left", ErrFull, len(buf), j.size-j.head)
+	}
+	off := j.start + j.head
+	if _, err := j.dev.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("journal commit: %w", err)
+	}
+	if err := j.dev.Persist(off, int64(len(buf))); err != nil {
+		return fmt.Errorf("journal persist: %w", err)
+	}
+	j.head += int64(len(buf))
+	j.seq++
+	return nil
+}
+
+// Replay scans the journal and applies every record of every committed
+// transaction, in order, via apply. Records of transactions that never
+// reached their commit marker are discarded (torn tail). Replay also
+// rebuilds the head and sequence so logging can resume. It returns the
+// number of transactions applied.
+func (j *Journal) Replay(apply func(Record) error) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	pos := int64(0)
+	applied := 0
+	var pending []Record
+	var pendingSeq uint64
+	lastCommitEnd := int64(0)
+	maxSeq := uint64(0)
+
+	hdr := make([]byte, headerSize)
+	for pos+headerSize <= j.size {
+		if _, err := j.dev.ReadAt(hdr, j.start+pos); err != nil {
+			return applied, fmt.Errorf("journal replay read: %w", err)
+		}
+		m := binary.LittleEndian.Uint32(hdr[0:4])
+		if m != magic {
+			break // end of log (zero-filled or terminator)
+		}
+		seq := binary.LittleEndian.Uint64(hdr[4:12])
+		typ := hdr[12]
+		a := int64(binary.LittleEndian.Uint64(hdr[13:21]))
+		b := int64(binary.LittleEndian.Uint64(hdr[21:29]))
+		plen := binary.LittleEndian.Uint32(hdr[29:33])
+		wantCRC := binary.LittleEndian.Uint32(hdr[33:37])
+		if pos+headerSize+int64(plen) > j.size {
+			break // torn record running past the region
+		}
+		var payload []byte
+		if plen > 0 {
+			payload = make([]byte, plen)
+			if _, err := j.dev.ReadAt(payload, j.start+pos+headerSize); err != nil {
+				return applied, fmt.Errorf("journal replay read: %w", err)
+			}
+		}
+		if recordCRC(seq, typ, a, b, payload) != wantCRC {
+			break // torn write: stop at the first bad checksum
+		}
+		pos += headerSize + int64(plen)
+
+		if pendingSeq != 0 && seq != pendingSeq {
+			// A new transaction started without the previous committing:
+			// drop the uncommitted one.
+			pending = pending[:0]
+		}
+		pendingSeq = seq
+
+		if typ == commitType {
+			for _, r := range pending {
+				if err := apply(r); err != nil {
+					return applied, fmt.Errorf("journal replay apply: %w", err)
+				}
+			}
+			applied++
+			pending = pending[:0]
+			pendingSeq = 0
+			lastCommitEnd = pos
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+			continue
+		}
+		pending = append(pending, Record{Type: typ, A: a, B: b, Payload: payload})
+	}
+
+	j.head = lastCommitEnd
+	j.seq = maxSeq + 1
+	return applied, nil
+}
+
+// Checkpoint logically empties the journal after the client has flushed the
+// state the journal protects. It writes a terminator at the region start so
+// stale committed records are not replayed again.
+func (j *Journal) Checkpoint() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	term := make([]byte, headerSize) // zero magic terminates replay scan
+	if _, err := j.dev.WriteAt(term, j.start); err != nil {
+		return fmt.Errorf("journal checkpoint: %w", err)
+	}
+	if err := j.dev.Persist(j.start, headerSize); err != nil {
+		return fmt.Errorf("journal checkpoint persist: %w", err)
+	}
+	j.head = 0
+	return nil
+}
+
+// UsedBytes returns the bytes currently occupied by the log.
+func (j *Journal) UsedBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.head
+}
+
+// Size returns the journal region size.
+func (j *Journal) Size() int64 { return j.size }
+
+func appendRecord(buf []byte, seq uint64, r Record) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	hdr[12] = r.Type
+	binary.LittleEndian.PutUint64(hdr[13:21], uint64(r.A))
+	binary.LittleEndian.PutUint64(hdr[21:29], uint64(r.B))
+	binary.LittleEndian.PutUint32(hdr[29:33], uint32(len(r.Payload)))
+	binary.LittleEndian.PutUint32(hdr[33:37], recordCRC(seq, r.Type, r.A, r.B, r.Payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, r.Payload...)
+}
+
+func recordCRC(seq uint64, typ uint8, a, b int64, payload []byte) uint32 {
+	h := crc32.NewIEEE()
+	var tmp [25]byte
+	binary.LittleEndian.PutUint64(tmp[0:8], seq)
+	tmp[8] = typ
+	binary.LittleEndian.PutUint64(tmp[9:17], uint64(a))
+	binary.LittleEndian.PutUint64(tmp[17:25], uint64(b))
+	h.Write(tmp[:])
+	h.Write(payload)
+	return h.Sum32()
+}

@@ -1,0 +1,280 @@
+package muxrpc
+
+import (
+	"io"
+	"net/rpc"
+
+	"muxfs/internal/vfs"
+)
+
+// Client is a vfs.FileSystem whose operations execute on a remote Server.
+// Register it with Mux via AddTier and the remote machine becomes a tier.
+type Client struct {
+	rc   *rpc.Client
+	name string
+}
+
+var _ vfs.FileSystem = (*Client)(nil)
+
+// Dial connects to a muxrpc server at addr ("host:port").
+func Dial(network, addr string) (*Client, error) {
+	rc, err := rpc.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{rc: rc}
+	var nr NameReply
+	if err := rc.Call("MuxTier.Name", struct{}{}, &nr); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	c.name = "remote:" + nr.Name
+	return c, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rc.Close() }
+
+// Name identifies the remote file system.
+func (c *Client) Name() string { return c.name }
+
+func (c *Client) callOK(method string, args any) error {
+	var reply OKReply
+	if err := c.rc.Call(method, args, &reply); err != nil {
+		return err
+	}
+	return reply.Err()
+}
+
+// Create makes and opens a remote file.
+func (c *Client) Create(path string) (vfs.File, error) {
+	var reply HandleReply
+	if err := c.rc.Call("MuxTier.Create", PathArgs{Path: path}, &reply); err != nil {
+		return nil, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, err
+	}
+	return &remoteFile{c: c, handle: reply.Handle, path: vfs.CleanPath(path)}, nil
+}
+
+// Open opens a remote file.
+func (c *Client) Open(path string) (vfs.File, error) {
+	var reply HandleReply
+	if err := c.rc.Call("MuxTier.Open", PathArgs{Path: path}, &reply); err != nil {
+		return nil, err
+	}
+	if err := reply.Err(); err != nil {
+		return nil, err
+	}
+	return &remoteFile{c: c, handle: reply.Handle, path: vfs.CleanPath(path)}, nil
+}
+
+// Remove deletes a remote file or empty directory.
+func (c *Client) Remove(path string) error {
+	return c.callOK("MuxTier.Remove", PathArgs{Path: path})
+}
+
+// Rename moves a remote file.
+func (c *Client) Rename(oldPath, newPath string) error {
+	return c.callOK("MuxTier.Rename", RenameArgs{Old: oldPath, New: newPath})
+}
+
+// Mkdir creates a remote directory.
+func (c *Client) Mkdir(path string) error {
+	return c.callOK("MuxTier.Mkdir", PathArgs{Path: path})
+}
+
+// ReadDir lists a remote directory.
+func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	var reply ReadDirReply
+	if err := c.rc.Call("MuxTier.ReadDir", PathArgs{Path: path}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Entries, reply.Err()
+}
+
+// Stat returns remote metadata.
+func (c *Client) Stat(path string) (vfs.FileInfo, error) {
+	var reply StatReply
+	if err := c.rc.Call("MuxTier.Stat", PathArgs{Path: path}, &reply); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return reply.Info, reply.Err()
+}
+
+// SetAttr applies a partial metadata update remotely.
+func (c *Client) SetAttr(path string, attr vfs.SetAttr) error {
+	args := SetAttrArgs{Path: path}
+	if attr.Size != nil {
+		args.HasSize, args.Size = true, *attr.Size
+	}
+	if attr.Mode != nil {
+		args.HasMode, args.Mode = true, uint32(*attr.Mode)
+	}
+	if attr.ModTime != nil {
+		args.HasModTime, args.ModTime = true, int64(*attr.ModTime)
+	}
+	if attr.ATime != nil {
+		args.HasATime, args.ATime = true, int64(*attr.ATime)
+	}
+	return c.callOK("MuxTier.SetAttr", args)
+}
+
+// Truncate sets a remote file's size by path.
+func (c *Client) Truncate(path string, size int64) error {
+	return c.callOK("MuxTier.Truncate", TruncatePathArgs{Path: path, Size: size})
+}
+
+// Statfs reports remote capacity.
+func (c *Client) Statfs() (vfs.StatFS, error) {
+	var reply StatfsReply
+	if err := c.rc.Call("MuxTier.Statfs", struct{}{}, &reply); err != nil {
+		return vfs.StatFS{}, err
+	}
+	return reply.Stat, reply.Err()
+}
+
+// Sync persists the remote file system.
+func (c *Client) Sync() error {
+	return c.callOK("MuxTier.Sync", struct{}{})
+}
+
+// remoteFile is a vfs.File proxied over the connection.
+type remoteFile struct {
+	c      *Client
+	handle uint64
+	path   string
+	closed bool
+}
+
+var _ vfs.File = (*remoteFile)(nil)
+
+// Path returns the path the handle was opened with.
+func (f *remoteFile) Path() string { return f.path }
+
+func (f *remoteFile) check() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	return nil
+}
+
+// ReadAt reads from the remote file.
+func (f *remoteFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	var reply ReadReply
+	if err := f.c.rc.Call("MuxTier.ReadAt", ReadArgs{Handle: f.handle, Off: off, N: len(p)}, &reply); err != nil {
+		return 0, err
+	}
+	if err := reply.Err(); err != nil {
+		return 0, err
+	}
+	n := copy(p, reply.Data)
+	if reply.EOF {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes to the remote file.
+func (f *remoteFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	var reply WriteReply
+	if err := f.c.rc.Call("MuxTier.WriteAt", WriteArgs{Handle: f.handle, Off: off, Data: p}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.N, reply.Err()
+}
+
+// Truncate sets the remote file's size.
+func (f *remoteFile) Truncate(size int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	var reply OKReply
+	if err := f.c.rc.Call("MuxTier.TruncateHandle", TruncateArgs{Handle: f.handle, Size: size}, &reply); err != nil {
+		return err
+	}
+	return reply.Err()
+}
+
+// Sync fsyncs the remote file.
+func (f *remoteFile) Sync() error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	var reply OKReply
+	if err := f.c.rc.Call("MuxTier.SyncHandle", HandleArgs{Handle: f.handle}, &reply); err != nil {
+		return err
+	}
+	return reply.Err()
+}
+
+// Close releases the remote handle.
+func (f *remoteFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var reply OKReply
+	if err := f.c.rc.Call("MuxTier.CloseHandle", HandleArgs{Handle: f.handle}, &reply); err != nil {
+		return err
+	}
+	return reply.Err()
+}
+
+// Stat returns the remote file's metadata.
+func (f *remoteFile) Stat() (vfs.FileInfo, error) {
+	if err := f.check(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	var reply StatReply
+	if err := f.c.rc.Call("MuxTier.StatHandle", HandleArgs{Handle: f.handle}, &reply); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return reply.Info, reply.Err()
+}
+
+// Extents lists the remote file's allocated runs.
+func (f *remoteFile) Extents() ([]vfs.Extent, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	var reply ExtentsReply
+	if err := f.c.rc.Call("MuxTier.Extents", HandleArgs{Handle: f.handle}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Extents, reply.Err()
+}
+
+// PunchHole deallocates a remote range.
+func (f *remoteFile) PunchHole(off, n int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	var reply OKReply
+	if err := f.c.rc.Call("MuxTier.PunchHole", PunchArgs{Handle: f.handle, Off: off, N: n}, &reply); err != nil {
+		return err
+	}
+	return reply.Err()
+}
+
+// Crash asks the remote node to simulate power loss (fault drills).
+func (c *Client) Crash() {
+	var reply OKReply
+	_ = c.rc.Call("MuxTier.Crash", struct{}{}, &reply)
+}
+
+// Recover asks the remote node to run crash recovery.
+func (c *Client) Recover() error {
+	var reply OKReply
+	if err := c.rc.Call("MuxTier.Recover", struct{}{}, &reply); err != nil {
+		return err
+	}
+	return reply.Err()
+}

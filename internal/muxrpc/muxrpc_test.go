@@ -1,0 +1,88 @@
+package muxrpc
+
+import (
+	"net"
+	"testing"
+
+	"muxfs/internal/device"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/fstest"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+// newRemoteFS serves a fresh xfslite over a loopback TCP connection and
+// returns the dialed client.
+func newRemoteFS(t *testing.T) *Client {
+	t.Helper()
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs, err := xfslite.New("xfs@remote", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv := NewServer(fs)
+	go srv.Serve(l)
+
+	c, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestConformance runs the full VFS contract across the RPC boundary —
+// the property Distributed Mux (§4) depends on: a remote file system is
+// indistinguishable from a local one at the interface.
+func TestConformance(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) vfs.FileSystem { return newRemoteFS(t) })
+}
+
+func TestRemoteName(t *testing.T) {
+	c := newRemoteFS(t)
+	if c.Name() != "remote:xfs@remote" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestClosedRemoteHandle(t *testing.T) {
+	c := newRemoteFS(t)
+	f, err := c.Create("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("tcp", "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	fstest.RunConcurrency(t, func(t *testing.T) vfs.FileSystem { return newRemoteFS(t) })
+}
+
+func TestRemoteCrashRecovery(t *testing.T) {
+	fstest.RunCrashRecovery(t, func(t *testing.T) (vfs.FileSystem, func() vfs.FileSystem) {
+		c := newRemoteFS(t)
+		return c, func() vfs.FileSystem {
+			c.Crash()
+			if err := c.Recover(); err != nil {
+				t.Fatalf("remote recover: %v", err)
+			}
+			return c
+		}
+	})
+}

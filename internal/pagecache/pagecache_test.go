@@ -1,0 +1,234 @@
+package pagecache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"muxfs/internal/simclock"
+)
+
+func newTestCache(capacity int) (*Cache, *simclock.Clock) {
+	clk := simclock.New()
+	return New(capacity, clk, 100*time.Nanosecond), clk
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	c, clk := newTestCache(4)
+	k := Key{File: 1, Page: 0}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("hello"), false)
+	before := clk.Now()
+	data, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(data[:5], []byte("hello")) {
+		t.Fatalf("data = %q", data[:5])
+	}
+	if clk.Now()-before != 100*time.Nanosecond {
+		t.Fatalf("hit cost not charged: %v", clk.Now()-before)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutZeroExtendsShortPage(t *testing.T) {
+	c, _ := newTestCache(4)
+	k := Key{File: 1, Page: 0}
+	c.Put(k, []byte("abc"), false)
+	data, _ := c.Get(k)
+	if len(data) != PageSize {
+		t.Fatalf("page len = %d", len(data))
+	}
+	if data[3] != 0 || data[PageSize-1] != 0 {
+		t.Fatal("short page not zero-extended")
+	}
+	// Replacing with shorter data must clear the tail.
+	full := bytes.Repeat([]byte{0xEE}, PageSize)
+	c.Put(k, full, false)
+	c.Put(k, []byte("xy"), false)
+	data, _ = c.Get(k)
+	if data[0] != 'x' || data[2] != 0 || data[100] != 0 {
+		t.Fatal("replacement did not clear stale bytes")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := newTestCache(2)
+	k1, k2, k3 := Key{1, 0}, Key{1, 1}, Key{1, 2}
+	c.Put(k1, []byte("1"), false)
+	c.Put(k2, []byte("2"), false)
+	c.Get(k1) // k1 now more recent than k2
+	ev, evicted := c.Put(k3, []byte("3"), false)
+	if !evicted || ev.Key != k2 {
+		t.Fatalf("evicted = %v %+v, want k2", evicted, ev.Key)
+	}
+	if !c.Contains(k1) || c.Contains(k2) || !c.Contains(k3) {
+		t.Fatal("wrong residency after eviction")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestEvictionReturnsDirtyData(t *testing.T) {
+	c, _ := newTestCache(1)
+	k1, k2 := Key{1, 0}, Key{1, 1}
+	c.Put(k1, []byte("dirty!"), true)
+	ev, evicted := c.Put(k2, []byte("x"), false)
+	if !evicted || !ev.Dirty {
+		t.Fatalf("dirty eviction lost: %+v", ev)
+	}
+	if !bytes.Equal(ev.Data[:6], []byte("dirty!")) {
+		t.Fatalf("evicted data = %q", ev.Data[:6])
+	}
+}
+
+func TestPutReplaceKeepsDirty(t *testing.T) {
+	c, _ := newTestCache(4)
+	k := Key{1, 0}
+	c.Put(k, []byte("a"), true)
+	c.Put(k, []byte("b"), false) // replace with clean data must keep dirty
+	var flushed int
+	c.FlushFile(1, func(Key, []byte) error { flushed++; return nil })
+	if flushed != 1 {
+		t.Fatalf("dirty bit lost on replace: flushed %d", flushed)
+	}
+}
+
+func TestMarkDirtyAndFlushFile(t *testing.T) {
+	c, _ := newTestCache(8)
+	c.Put(Key{1, 0}, []byte("a"), false)
+	c.Put(Key{1, 1}, []byte("b"), false)
+	c.Put(Key{2, 0}, []byte("c"), false)
+	c.MarkDirty(Key{1, 0})
+	c.MarkDirty(Key{2, 0})
+	c.MarkDirty(Key{9, 9}) // not resident: no-op
+
+	var flushedPages []Key
+	err := c.FlushFile(1, func(k Key, data []byte) error {
+		flushedPages = append(flushedPages, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushedPages) != 1 || flushedPages[0] != (Key{1, 0}) {
+		t.Fatalf("flushed = %v", flushedPages)
+	}
+	// Second flush: nothing dirty for file 1.
+	flushedPages = nil
+	c.FlushFile(1, func(k Key, data []byte) error {
+		flushedPages = append(flushedPages, k)
+		return nil
+	})
+	if len(flushedPages) != 0 {
+		t.Fatalf("pages flushed twice: %v", flushedPages)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c, _ := newTestCache(8)
+	c.Put(Key{1, 0}, []byte("a"), true)
+	c.Put(Key{2, 0}, []byte("b"), true)
+	c.Put(Key{3, 0}, []byte("c"), false)
+	var n int
+	if err := c.FlushAll(func(Key, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("flushed %d pages, want 2", n)
+	}
+}
+
+func TestFlushErrorStopsAndKeepsDirty(t *testing.T) {
+	c, _ := newTestCache(8)
+	c.Put(Key{1, 0}, []byte("a"), true)
+	boom := errors.New("disk gone")
+	if err := c.FlushFile(1, func(Key, []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Page must remain dirty for a retry.
+	var n int
+	c.FlushFile(1, func(Key, []byte) error { n++; return nil })
+	if n != 1 {
+		t.Fatal("dirty bit cleared despite failed writeback")
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	c, _ := newTestCache(8)
+	c.Put(Key{1, 0}, []byte("a"), true)
+	c.Put(Key{2, 0}, []byte("b"), false)
+	c.InvalidateFile(1)
+	if c.Contains(Key{1, 0}) {
+		t.Fatal("file 1 survived invalidation")
+	}
+	if !c.Contains(Key{2, 0}) {
+		t.Fatal("file 2 wrongly invalidated")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c, _ := newTestCache(16)
+	for pg := int64(0); pg < 8; pg++ {
+		c.Put(Key{1, pg}, []byte{byte(pg)}, false)
+	}
+	// Invalidate bytes [PageSize+1, 3*PageSize): pages 1 and 2.
+	c.InvalidateRange(1, PageSize+1, 2*PageSize-1)
+	for pg := int64(0); pg < 8; pg++ {
+		want := pg != 1 && pg != 2
+		if got := c.Contains(Key{1, pg}); got != want {
+			t.Fatalf("page %d residency = %v, want %v", pg, got, want)
+		}
+	}
+	c.InvalidateRange(1, 0, 0) // no-op
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c, _ := newTestCache(8)
+	c.Put(Key{1, 0}, []byte("a"), true)
+	c.InvalidateAll()
+	if c.Stats().Pages != 0 {
+		t.Fatal("InvalidateAll left pages")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := newTestCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{File: uint64(w), Page: int64(i % 16)}
+				c.Put(k, []byte(fmt.Sprintf("%d-%d", w, i)), i%2 == 0)
+				c.Get(k)
+				if i%10 == 0 {
+					c.FlushFile(uint64(w), func(Key, []byte) error { return nil })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Stats().Pages > 64 {
+		t.Fatalf("cache over capacity: %d", c.Stats().Pages)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New(0, simclock.New(), 0)
+	c.Put(Key{1, 0}, []byte("a"), false)
+	if !c.Contains(Key{1, 0}) {
+		t.Fatal("capacity floor of 1 page not applied")
+	}
+}

@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"sort"
+	"time"
+)
+
+// Pinned always places on one tier and never migrates. The benchmark
+// harness uses it to direct I/O at a single device (experiment E2) and to
+// isolate the Mux indirection overhead (E3/E4).
+type Pinned struct {
+	Tier int
+}
+
+// Name identifies the policy.
+func (p Pinned) Name() string { return "pinned" }
+
+// PlaceWrite always returns the pinned tier.
+func (p Pinned) PlaceWrite(WriteCtx, []TierInfo) int { return p.Tier }
+
+// PlanMigrations never migrates.
+func (p Pinned) PlanMigrations([]TierInfo, []FileStat, time.Duration) []Move { return nil }
+
+// LRU is the policy used in the paper's §3 comparison: place data on the
+// fastest tier with room; when a tier fills past the high watermark, evict
+// the coldest files down one tier; promote files back up when they are
+// accessed again ("promotes data back upon access").
+type LRU struct {
+	// HighWatermark is the fill fraction that triggers demotion (default 0.9).
+	HighWatermark float64
+	// LowWatermark is the fill demotion drains down to (default 0.7).
+	LowWatermark float64
+	// PromoteWindow: files accessed within this window get promoted
+	// (default 1ms of virtual time — "recently accessed").
+	PromoteWindow time.Duration
+}
+
+// DefaultLRU returns the watermarks used in the evaluation.
+func DefaultLRU() *LRU {
+	return &LRU{HighWatermark: 0.9, LowWatermark: 0.7, PromoteWindow: time.Millisecond}
+}
+
+// Name identifies the policy.
+func (p *LRU) Name() string { return "lru" }
+
+// PlaceWrite picks the fastest tier with room under the high watermark.
+func (p *LRU) PlaceWrite(ctx WriteCtx, tiers []TierInfo) int {
+	return fastestWithRoom(tiers, ctx.N, p.highWM())
+}
+
+func (p *LRU) highWM() float64 {
+	if p.HighWatermark <= 0 {
+		return 0.9
+	}
+	return p.HighWatermark
+}
+
+func (p *LRU) lowWM() float64 {
+	if p.LowWatermark <= 0 {
+		return 0.7
+	}
+	return p.LowWatermark
+}
+
+// PlanMigrations demotes cold files off over-full tiers and promotes
+// recently accessed files to faster tiers with room.
+func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Duration) []Move {
+	var moves []Move
+	onTier := func(f FileStat, id int) bool {
+		for _, t := range f.Tiers {
+			if t == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Demotion: for each over-watermark tier, push coldest files down.
+	for i, t := range tiers {
+		if i == len(tiers)-1 || t.UsedFrac() < p.highWM() {
+			continue
+		}
+		dst := tiers[i+1].ID
+		var candidates []FileStat
+		for _, f := range files {
+			if onTier(f, t.ID) {
+				candidates = append(candidates, f)
+			}
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			return candidates[a].LastAccess < candidates[b].LastAccess
+		})
+		need := t.Used - int64(p.lowWM()*float64(t.Capacity))
+		for _, f := range candidates {
+			if need <= 0 {
+				break
+			}
+			moves = append(moves, Move{Path: f.Path, SrcTier: t.ID, DstTier: dst, Off: 0, N: -1})
+			need -= f.Size
+		}
+	}
+
+	// Promotion: recently accessed files living on slower tiers move up
+	// when the faster tier has room.
+	window := p.PromoteWindow
+	if window <= 0 {
+		window = time.Millisecond
+	}
+	for i := 1; i < len(tiers); i++ {
+		src := tiers[i]
+		dst := tiers[i-1]
+		room := int64(p.lowWM()*float64(dst.Capacity)) - dst.Used
+		for _, f := range files {
+			if room <= 0 {
+				break
+			}
+			if !onTier(f, src.ID) || now-f.LastAccess > window {
+				continue
+			}
+			moves = append(moves, Move{Path: f.Path, SrcTier: src.ID, DstTier: dst.ID, Off: 0, N: -1, Promote: true})
+			room -= f.Size
+		}
+	}
+	return moves
+}
+
+// TPFSLike reproduces the TPFS placement rule the paper cites as an example
+// of a policy expressible as a simple function (§2.1): small or synchronous
+// writes go to the fastest (PM) tier, large asynchronous writes go down the
+// hierarchy by size.
+type TPFSLike struct {
+	// SmallThreshold routes writes below it to the fastest tier
+	// (default 64 KiB).
+	SmallThreshold int64
+	// LargeThreshold routes writes above it to the slowest tier
+	// (default 4 MiB); in-between sizes go to the middle tier.
+	LargeThreshold int64
+}
+
+// DefaultTPFS returns thresholds in the spirit of TPFS.
+func DefaultTPFS() *TPFSLike {
+	return &TPFSLike{SmallThreshold: 64 << 10, LargeThreshold: 4 << 20}
+}
+
+// Name identifies the policy.
+func (p *TPFSLike) Name() string { return "tpfs" }
+
+// PlaceWrite routes by I/O size and synchronicity.
+func (p *TPFSLike) PlaceWrite(ctx WriteCtx, tiers []TierInfo) int {
+	if len(tiers) == 1 {
+		return tiers[0].ID
+	}
+	if ctx.Sync || ctx.N <= p.SmallThreshold {
+		return fastestWithRoom(tiers, ctx.N, 0.95)
+	}
+	if ctx.N >= p.LargeThreshold {
+		return tiers[len(tiers)-1].ID
+	}
+	mid := tiers[len(tiers)/2]
+	if float64(mid.Used+ctx.N) <= 0.95*float64(mid.Capacity) {
+		return mid.ID
+	}
+	return tiers[len(tiers)-1].ID
+}
+
+// PlanMigrations demotes like LRU so the fast tier never wedges full.
+func (p *TPFSLike) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Duration) []Move {
+	return DefaultLRU().PlanMigrations(tiers, files, now)
+}
+
+// HotCold classifies files by decayed access frequency: hot files climb to
+// fast tiers, cold files sink, regardless of recency spikes.
+type HotCold struct {
+	// HotHeat is the heat above which a file is promoted (default 5).
+	HotHeat float64
+	// ColdHeat is the heat below which a file is demoted (default 0.5).
+	ColdHeat float64
+}
+
+// DefaultHotCold returns the default classification thresholds.
+func DefaultHotCold() *HotCold { return &HotCold{HotHeat: 5, ColdHeat: 0.5} }
+
+// Name identifies the policy.
+func (p *HotCold) Name() string { return "hotcold" }
+
+// PlaceWrite starts everything on the fastest tier with room; heat sorts it
+// out later.
+func (p *HotCold) PlaceWrite(ctx WriteCtx, tiers []TierInfo) int {
+	return fastestWithRoom(tiers, ctx.N, 0.9)
+}
+
+// PlanMigrations promotes hot files and demotes cold ones one tier at a
+// time.
+func (p *HotCold) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Duration) []Move {
+	var moves []Move
+	tierIdx := make(map[int]int, len(tiers))
+	for i, t := range tiers {
+		tierIdx[t.ID] = i
+	}
+	for _, f := range files {
+		for _, tid := range f.Tiers {
+			i := tierIdx[tid]
+			switch {
+			case f.Heat >= p.HotHeat && i > 0:
+				dst := tiers[i-1]
+				if float64(dst.Used+f.Size) <= 0.9*float64(dst.Capacity) {
+					moves = append(moves, Move{Path: f.Path, SrcTier: tid, DstTier: dst.ID, Off: 0, N: -1, Promote: true})
+				}
+			case f.Heat <= p.ColdHeat && i < len(tiers)-1:
+				moves = append(moves, Move{Path: f.Path, SrcTier: tid, DstTier: tiers[i+1].ID, Off: 0, N: -1})
+			}
+		}
+	}
+	return moves
+}
+
+// Func adapts plain functions into a Policy — the "register a tiering rule"
+// extensibility hook (the paper's eBPF analogue).
+type Func struct {
+	PolicyName string
+	Place      func(ctx WriteCtx, tiers []TierInfo) int
+	Plan       func(tiers []TierInfo, files []FileStat, now time.Duration) []Move
+}
+
+// Name identifies the policy.
+func (p Func) Name() string {
+	if p.PolicyName == "" {
+		return "func"
+	}
+	return p.PolicyName
+}
+
+// PlaceWrite delegates to Place (fastest tier when nil).
+func (p Func) PlaceWrite(ctx WriteCtx, tiers []TierInfo) int {
+	if p.Place == nil {
+		return tiers[0].ID
+	}
+	return p.Place(ctx, tiers)
+}
+
+// PlanMigrations delegates to Plan (no moves when nil).
+func (p Func) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Duration) []Move {
+	if p.Plan == nil {
+		return nil
+	}
+	return p.Plan(tiers, files, now)
+}

@@ -1,0 +1,90 @@
+// Package policy defines Mux's user-defined tiering policy interface and
+// the built-in policies.
+//
+// The paper (§2.1) argues that "all the placement and migration policies in
+// existing tiered file systems can be expressed using simple functions" —
+// and encodes them as kernel modules or eBPF programs. Here a policy is a
+// plain Go value implementing Policy: PlaceWrite is the synchronous
+// placement hook on the write path, PlanMigrations is the asynchronous
+// rebalancing hook the Policy Runner invokes.
+package policy
+
+import (
+	"time"
+
+	"muxfs/internal/device"
+)
+
+// TierInfo is the device profile + usage snapshot a policy decides over.
+type TierInfo struct {
+	ID       int
+	Name     string
+	Class    device.Class
+	Capacity int64
+	Used     int64
+	ReadLat  time.Duration
+	WriteLat time.Duration
+}
+
+// Free returns the unallocated bytes of the tier.
+func (t TierInfo) Free() int64 { return t.Capacity - t.Used }
+
+// UsedFrac returns the fill fraction in [0, 1].
+func (t TierInfo) UsedFrac() float64 {
+	if t.Capacity == 0 {
+		return 1
+	}
+	return float64(t.Used) / float64(t.Capacity)
+}
+
+// WriteCtx describes one write about to be placed.
+type WriteCtx struct {
+	Path     string
+	Off, N   int64
+	FileSize int64 // size before this write
+	Sync     bool  // caller hinted synchronous durability (O_SYNC-ish)
+}
+
+// FileStat is the per-file heat snapshot used for migration planning.
+type FileStat struct {
+	Path       string
+	Size       int64
+	LastAccess time.Duration // virtual time of last read/write
+	Heat       float64       // decayed access frequency
+	Tiers      []int         // tier IDs currently holding blocks
+	TierBytes  map[int]int64 // bytes of the file mapped on each tier
+}
+
+// Move is one recommended block migration. N == -1 means the whole file.
+type Move struct {
+	Path    string
+	SrcTier int
+	DstTier int
+	Off, N  int64
+	Promote bool // true when moving toward a faster tier
+}
+
+// Policy is the user-defined tiering rule set. Implementations must be
+// stateless or internally synchronized: Mux may call PlaceWrite
+// concurrently.
+type Policy interface {
+	// Name identifies the policy in logs and benchmark output.
+	Name() string
+	// PlaceWrite picks the tier for newly allocated blocks of a write.
+	// Tiers arrive sorted fastest-first.
+	PlaceWrite(ctx WriteCtx, tiers []TierInfo) int
+	// PlanMigrations proposes moves given current usage and file heat.
+	// The Policy Runner executes them via the OCC Synchronizer.
+	PlanMigrations(tiers []TierInfo, files []FileStat, now time.Duration) []Move
+}
+
+// fastestWithRoom returns the id of the first (fastest) tier that can hold
+// n more bytes below the given fill watermark, else the last tier.
+func fastestWithRoom(tiers []TierInfo, n int64, watermark float64) int {
+	for _, t := range tiers {
+		if float64(t.Used+n) <= watermark*float64(t.Capacity) {
+			return t.ID
+		}
+	}
+	return tiers[len(tiers)-1].ID
+}

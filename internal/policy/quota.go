@@ -1,0 +1,85 @@
+package policy
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Quota caps how many bytes files under a path prefix may occupy on one
+// tier — the §4 "Configuring Mux" direction: sharing a Mux among
+// applications needs capacity isolation so one workload cannot squeeze
+// others off the fast tiers.
+type Quota struct {
+	// Prefix selects files whose path starts with it ("/" matches all).
+	Prefix string
+	// Tier is the tier the cap applies to.
+	Tier int
+	// Bytes is the cap. Excess demotes to the next slower tier.
+	Bytes int64
+}
+
+// QuotaPolicy wraps a base policy with per-prefix tier quotas. Placement
+// delegates to the base policy; quota violations are corrected lazily by
+// the Policy Runner (PlanMigrations), demoting the coldest offending files
+// first.
+type QuotaPolicy struct {
+	Base   Policy
+	Quotas []Quota
+}
+
+// Name identifies the composite policy.
+func (p *QuotaPolicy) Name() string { return p.Base.Name() + "+quota" }
+
+// PlaceWrite delegates to the base policy; over-quota placements are pulled
+// back by the next planning round.
+func (p *QuotaPolicy) PlaceWrite(ctx WriteCtx, tiers []TierInfo) int {
+	return p.Base.PlaceWrite(ctx, tiers)
+}
+
+// PlanMigrations first emits quota-enforcement demotions, then the base
+// policy's own plan.
+func (p *QuotaPolicy) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Duration) []Move {
+	var moves []Move
+
+	// next maps a tier to the next slower one (tiers arrive fastest-first).
+	next := map[int]int{}
+	for i := 0; i+1 < len(tiers); i++ {
+		next[tiers[i].ID] = tiers[i+1].ID
+	}
+
+	for _, q := range p.Quotas {
+		dst, ok := next[q.Tier]
+		if !ok {
+			continue // no slower tier to demote to
+		}
+		var matching []FileStat
+		var used int64
+		for _, f := range files {
+			if !strings.HasPrefix(f.Path, q.Prefix) {
+				continue
+			}
+			if b := f.TierBytes[q.Tier]; b > 0 {
+				matching = append(matching, f)
+				used += b
+			}
+		}
+		if used <= q.Bytes {
+			continue
+		}
+		// Demote coldest first until the prefix fits its budget.
+		sort.Slice(matching, func(i, j int) bool {
+			return matching[i].LastAccess < matching[j].LastAccess
+		})
+		over := used - q.Bytes
+		for _, f := range matching {
+			if over <= 0 {
+				break
+			}
+			moves = append(moves, Move{Path: f.Path, SrcTier: q.Tier, DstTier: dst, Off: 0, N: -1})
+			over -= f.TierBytes[q.Tier]
+		}
+	}
+
+	return append(moves, p.Base.PlanMigrations(tiers, files, now)...)
+}

@@ -1,0 +1,65 @@
+// Package simclock provides a virtual clock used for deterministic time
+// accounting across the simulated storage stack.
+//
+// Every component that consumes "time" — device media access, seek
+// penalties, file-system software paths, Mux dispatch overhead — charges its
+// cost to a shared Clock instead of sleeping. Benchmarks then report
+// simulated latency and throughput (bytes / virtual elapsed time), which
+// makes experiment results deterministic, immune to host-machine noise, and
+// fast to produce regardless of the modeled device speeds.
+//
+// The clock is a monotonic counter of virtual nanoseconds. Advance is an
+// atomic add, so concurrent goroutines may charge costs safely; under
+// concurrency the clock models total serialized resource time, which is the
+// quantity the single-threaded paper microbenchmarks measure.
+package simclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a virtual monotonic clock. The zero value is ready to use and
+// starts at virtual time zero.
+type Clock struct {
+	now atomic.Int64 // virtual nanoseconds since epoch
+}
+
+// New returns a clock starting at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as a duration since the clock epoch.
+func (c *Clock) Now() time.Duration {
+	return time.Duration(c.now.Load())
+}
+
+// Advance moves the clock forward by d and returns the new virtual time.
+// A negative d is ignored so cost formulas never rewind time.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Duration(c.now.Load())
+	}
+	return time.Duration(c.now.Add(int64(d)))
+}
+
+// Reset rewinds the clock to zero. Only benchmarks use this, between runs.
+func (c *Clock) Reset() { c.now.Store(0) }
+
+// Stopwatch measures virtual elapsed time on a clock.
+type Stopwatch struct {
+	clk   *Clock
+	start time.Duration
+}
+
+// StartWatch begins measuring virtual time on c.
+func StartWatch(c *Clock) *Stopwatch {
+	return &Stopwatch{clk: c, start: c.Now()}
+}
+
+// Elapsed reports the virtual time accumulated since the watch started.
+func (s *Stopwatch) Elapsed() time.Duration {
+	return s.clk.Now() - s.start
+}
+
+// Restart resets the watch to the current virtual time.
+func (s *Stopwatch) Restart() { s.start = s.clk.Now() }

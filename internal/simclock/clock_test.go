@@ -1,0 +1,88 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	if got := c.Advance(5 * time.Microsecond); got != 5*time.Microsecond {
+		t.Fatalf("Advance returned %v, want 5µs", got)
+	}
+	c.Advance(3 * time.Nanosecond)
+	if got := c.Now(); got != 5*time.Microsecond+3*time.Nanosecond {
+		t.Fatalf("Now() = %v, want 5.003µs", got)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if got := c.Now(); got != time.Second {
+		t.Fatalf("negative advance changed clock: %v", got)
+	}
+}
+
+func TestAdvanceZeroIgnored(t *testing.T) {
+	c := New()
+	c.Advance(0)
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero advance changed clock: %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Reset did not rewind: %v", got)
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	c := New()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*perWorker*time.Nanosecond {
+		t.Fatalf("concurrent advance lost updates: %v", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	w := StartWatch(c)
+	c.Advance(7 * time.Millisecond)
+	if got := w.Elapsed(); got != 7*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 7ms", got)
+	}
+	w.Restart()
+	if got := w.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed after Restart = %v, want 0", got)
+	}
+	c.Advance(time.Millisecond)
+	if got := w.Elapsed(); got != time.Millisecond {
+		t.Fatalf("Elapsed after Restart+Advance = %v, want 1ms", got)
+	}
+}

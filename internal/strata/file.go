@@ -1,0 +1,195 @@
+package strata
+
+import (
+	"muxfs/internal/device"
+	"muxfs/internal/extent"
+	"muxfs/internal/vfs"
+)
+
+// segment is the extent-tree segment specialization used across the package.
+type segment = extent.Segment[loc]
+
+// file is an open Strata handle.
+type file struct {
+	fs     *FS
+	path   string
+	ino    uint64
+	closed bool
+}
+
+var _ vfs.File = (*file)(nil)
+
+func (f *file) node() (*inode, error) {
+	if f.closed {
+		return nil, vfs.ErrClosed
+	}
+	ino, ok := f.fs.inodes[f.ino]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	return ino, nil
+}
+
+// Path returns the path the handle was opened with.
+func (f *file) Path() string { return f.path }
+
+// ReadAt resolves each segment to the log or its final tier.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return 0, vfs.Errf("read", f.fs.name, f.path, err)
+	}
+	return f.fs.readLocked(ino, p, off)
+}
+
+// WriteAt appends to the PM operation log (log-then-digest).
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return 0, vfs.Errf("write", f.fs.name, f.path, err)
+	}
+	return f.fs.writeLocked(ino, f.ino, p, off)
+}
+
+// Truncate sets the logical size.
+func (f *file) Truncate(size int64) error {
+	if size < 0 {
+		return vfs.Errf("truncate", f.fs.name, f.path, vfs.ErrInvalid)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return vfs.Errf("truncate", f.fs.name, f.path, err)
+	}
+	fs := f.fs
+	fs.clk.Advance(fs.costs.MetaOp)
+	now := fs.now()
+	if size < ino.meta.Size {
+		fs.freeRange(ino, size, ino.meta.Size-size)
+		fs.zeroEdge(ino, size, ino.meta.Size)
+	}
+	ino.meta.Size = size
+	ino.meta.ModTime = now
+	ino.meta.CTime = now
+	return nil
+}
+
+// Sync digests pending log entries and persists all tiers.
+func (f *file) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, err := f.node(); err != nil {
+		return vfs.Errf("sync", f.fs.name, f.path, err)
+	}
+	if err := f.fs.digestLocked(); err != nil {
+		return vfs.Errf("sync", f.fs.name, f.path, err)
+	}
+	for _, d := range f.fs.devs {
+		d.PersistAll()
+	}
+	return nil
+}
+
+// Close releases the handle.
+func (f *file) Close() error {
+	f.closed = true
+	return nil
+}
+
+// Stat returns current metadata.
+func (f *file) Stat() (vfs.FileInfo, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return vfs.FileInfo{}, vfs.Errf("stat", f.fs.name, f.path, err)
+	}
+	fi := ino.meta.Info(f.path)
+	fi.Blocks = ino.ext.MappedBytes()
+	return fi, nil
+}
+
+// Extents lists allocated runs merged in file-offset order.
+func (f *file) Extents() ([]vfs.Extent, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return nil, vfs.Errf("extents", f.fs.name, f.path, err)
+	}
+	var out []vfs.Extent
+	ino.ext.Walk(func(off, n int64, _ loc) bool {
+		if len(out) > 0 && out[len(out)-1].End() == off {
+			out[len(out)-1].Len += n
+		} else {
+			out = append(out, vfs.Extent{Off: off, Len: n})
+		}
+		return true
+	})
+	return out, nil
+}
+
+// PunchHole deallocates whole pages and zeroes ragged edges.
+func (f *file) PunchHole(off, n int64) error {
+	if off < 0 || n < 0 {
+		return vfs.Errf("punch", f.fs.name, f.path, vfs.ErrInvalid)
+	}
+	if n == 0 {
+		return nil
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.node()
+	if err != nil {
+		return vfs.Errf("punch", f.fs.name, f.path, err)
+	}
+	fs := f.fs
+	fs.clk.Advance(fs.costs.MetaOp)
+	end := off + n
+	if end > ino.meta.Size {
+		end = ino.meta.Size
+	}
+	if end <= off {
+		return nil
+	}
+	fs.freeRange(ino, off, end-off)
+	firstWhole := (off + PageSize - 1) / PageSize * PageSize
+	lastWhole := end / PageSize * PageSize
+	if firstWhole > lastWhole {
+		fs.zeroEdge(ino, off, end)
+	} else {
+		fs.zeroEdge(ino, off, firstWhole)
+		fs.zeroEdge(ino, lastWhole, end)
+	}
+	now := fs.now()
+	ino.meta.ModTime = now
+	ino.meta.CTime = now
+	return nil
+}
+
+// zeroEdge writes zeros over still-mapped bytes of [from, to), wherever
+// they live. Caller holds fs.mu.
+func (fs *FS) zeroEdge(ino *inode, from, to int64) {
+	if to <= from {
+		return
+	}
+	for _, seg := range ino.ext.Segments(from, to-from) {
+		if seg.Hole {
+			continue
+		}
+		dev := fs.devs[seg.Val.Class]
+		if seg.Val.InLog {
+			dev = fs.devs[device.PM]
+		}
+		zeros := make([]byte, seg.Len)
+		dev.WriteAt(zeros, seg.Off+seg.Val.Delta)
+	}
+}

@@ -1,0 +1,45 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors shared by all file systems. Callers match them with
+// errors.Is; implementations wrap them with operation and path context via
+// PathError.
+var (
+	ErrNotExist = errors.New("file does not exist")
+	ErrExist    = errors.New("file already exists")
+	ErrIsDir    = errors.New("is a directory")
+	ErrNotDir   = errors.New("not a directory")
+	ErrNotEmpty = errors.New("directory not empty")
+	ErrNoSpace  = errors.New("no space left on device")
+	ErrInvalid  = errors.New("invalid argument")
+	ErrClosed   = errors.New("file already closed")
+	ErrReadOnly = errors.New("read-only file system")
+	// ErrConflict reports an OCC version conflict that exhausted retries.
+	ErrConflict = errors.New("concurrent modification conflict")
+)
+
+// PathError records an error with the operation, file system, and path that
+// caused it, mirroring os.PathError.
+type PathError struct {
+	Op   string // "open", "write", "migrate", ...
+	FS   string // file system instance name
+	Path string
+	Err  error
+}
+
+// Error formats as "op fs:path: cause".
+func (e *PathError) Error() string {
+	return fmt.Sprintf("%s %s:%s: %v", e.Op, e.FS, e.Path, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *PathError) Unwrap() error { return e.Err }
+
+// Errf builds a PathError wrapping err.
+func Errf(op, fs, path string, err error) error {
+	return &PathError{Op: op, FS: fs, Path: path, Err: err}
+}

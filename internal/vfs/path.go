@@ -1,0 +1,57 @@
+package vfs
+
+import "strings"
+
+// Paths in this VFS are slash-separated, absolute, and rooted at "/".
+// "/" names the root directory itself.
+
+// CleanPath canonicalizes p: ensures a leading slash, removes duplicate
+// slashes, trailing slashes, and "."/".." segments (".." clamps at the
+// root). An empty path cleans to "/".
+func CleanPath(p string) string {
+	segs := SplitPath(p)
+	if len(segs) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(segs, "/")
+}
+
+// SplitPath returns the cleaned path segments of p. The root splits to nil.
+func SplitPath(p string) []string {
+	var out []string
+	for _, seg := range strings.Split(p, "/") {
+		switch seg {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// ParentPath returns the parent directory of p and the final segment.
+// The root's parent is the root with an empty name.
+func ParentPath(p string) (dir, name string) {
+	segs := SplitPath(p)
+	if len(segs) == 0 {
+		return "/", ""
+	}
+	name = segs[len(segs)-1]
+	if len(segs) == 1 {
+		return "/", name
+	}
+	return "/" + strings.Join(segs[:len(segs)-1], "/"), name
+}
+
+// BasePath returns the final segment of p ("" for the root).
+func BasePath(p string) string {
+	_, name := ParentPath(p)
+	return name
+}
+
+// IsRoot reports whether p cleans to the root directory.
+func IsRoot(p string) bool { return CleanPath(p) == "/" }

@@ -1,0 +1,173 @@
+// Package vfs defines the virtual file system interface that every file
+// system in this repository implements — the analogue of the Linux VFS layer
+// the paper builds on.
+//
+// The interface is the architectural pivot of Mux: the tiered file system
+// implements FileSystem *upward* (so applications see one file system) and
+// calls the same FileSystem interface *downward* on the native, device-
+// specific file systems it multiplexes over. "Talk to file systems, not
+// device drivers" is exactly this double use of one interface.
+package vfs
+
+import (
+	"io"
+	"time"
+)
+
+// FileMode holds permission bits plus the directory flag. Only the subset
+// the evaluation exercises is modeled.
+type FileMode uint32
+
+// ModeDir marks directories.
+const ModeDir FileMode = 1 << 31
+
+// IsDir reports whether the mode describes a directory.
+func (m FileMode) IsDir() bool { return m&ModeDir != 0 }
+
+// Perm returns the permission bits.
+func (m FileMode) Perm() FileMode { return m & 0o777 }
+
+// FileInfo describes a file, the collective-inode view. Timestamps are
+// virtual durations on the experiment clock.
+type FileInfo struct {
+	Path    string
+	Size    int64 // logical file size
+	Blocks  int64 // bytes actually allocated (sparse files: Blocks <= ceil(Size))
+	Mode    FileMode
+	ModTime time.Duration // mtime: last data modification
+	ATime   time.Duration // atime: last access
+	CTime   time.Duration // ctime: last metadata change
+}
+
+// IsDir reports whether the info describes a directory.
+func (fi FileInfo) IsDir() bool { return fi.Mode.IsDir() }
+
+// SetAttr carries a partial metadata update; nil fields are unchanged.
+// This is the downward call Mux uses to lazily synchronize attribute owners
+// (§2.3 metadata affinity).
+type SetAttr struct {
+	Size    *int64
+	Mode    *FileMode
+	ModTime *time.Duration
+	ATime   *time.Duration
+}
+
+// DirEntry is one directory member.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// StatFS reports file-system-wide capacity accounting. Mux aggregates these
+// across tiers for metadata that "cannot have a single owner such as disk
+// consumption" (§2.3).
+type StatFS struct {
+	Capacity  int64 // total bytes
+	Used      int64 // allocated bytes
+	Available int64 // Capacity - Used
+	Files     int64 // live inodes
+}
+
+// Extent describes a run of allocated data within a file. Files are sparse:
+// gaps between extents read as zeros and consume no space. This is the
+// SEEK_HOLE/SEEK_DATA analogue Mux relies on to preserve block offsets
+// across tiers (§2.2).
+type Extent struct {
+	Off int64
+	Len int64
+}
+
+// End returns the first offset past the extent.
+func (e Extent) End() int64 { return e.Off + e.Len }
+
+// File is an open file handle.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+
+	// Truncate sets the logical size; growing leaves a hole.
+	Truncate(size int64) error
+
+	// Sync persists the file's data and metadata (fsync).
+	Sync() error
+
+	// Close releases the handle. Closing does not imply Sync.
+	Close() error
+
+	// Stat returns the file's current metadata.
+	Stat() (FileInfo, error)
+
+	// Extents lists the allocated runs of the file in offset order.
+	Extents() ([]Extent, error)
+
+	// PunchHole deallocates [off, off+n), which subsequently reads as
+	// zeros. Mux punches holes in the source file system after migrating
+	// blocks away.
+	PunchHole(off, n int64) error
+
+	// Path returns the path the handle was opened with.
+	Path() string
+}
+
+// FileSystem is the VFS interface. Implementations: the three native file
+// systems (novafs, xfslite, extlite), the Strata baseline, the RPC proxy for
+// distributed tiers, and Mux itself.
+type FileSystem interface {
+	// Name identifies the instance, e.g. "nova@pmem0".
+	Name() string
+
+	// Create makes a new regular file (parents must exist) and opens it.
+	// Creating an existing path fails with ErrExist.
+	Create(path string) (File, error)
+
+	// Open opens an existing regular file.
+	Open(path string) (File, error)
+
+	// Remove deletes a file or an empty directory.
+	Remove(path string) error
+
+	// Rename moves a file. The target must not exist.
+	Rename(oldPath, newPath string) error
+
+	// Mkdir creates a directory (parent must exist).
+	Mkdir(path string) error
+
+	// ReadDir lists a directory in lexical order.
+	ReadDir(path string) ([]DirEntry, error)
+
+	// Stat returns metadata for a path.
+	Stat(path string) (FileInfo, error)
+
+	// SetAttr applies a partial metadata update to a path.
+	SetAttr(path string, attr SetAttr) error
+
+	// Truncate sets the logical size of a file by path.
+	Truncate(path string, size int64) error
+
+	// Statfs reports capacity accounting.
+	Statfs() (StatFS, error)
+
+	// Sync persists all dirty state (the whole-FS sync(2) analogue).
+	Sync() error
+}
+
+// CrashRecoverer is implemented by file systems that support failure
+// injection: Crash drops all un-persisted state (delegating to the
+// underlying device) and Recover replays logs/journals to a consistent
+// state. Tests use it; Mux composes it across tiers.
+type CrashRecoverer interface {
+	Crash()
+	Recover() error
+}
+
+// Profiled is implemented by file systems bound to a simulated device; the
+// Mux Policy Runner reads the profile to make placement decisions, and the
+// I/O scheduler uses it for cost estimates.
+type Profiled interface {
+	DeviceName() string
+	// ReadCostHint and WriteCostHint estimate the cost of an n-byte access,
+	// used by the scheduler. Implementations derive them from the device
+	// profile.
+	ReadCostHint(n int64) time.Duration
+	WriteCostHint(n int64) time.Duration
+}

@@ -1,0 +1,113 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string]string{
+		"":               "/",
+		"/":              "/",
+		"//":             "/",
+		"a":              "/a",
+		"/a/b":           "/a/b",
+		"/a//b/":         "/a/b",
+		"/a/./b":         "/a/b",
+		"/a/../b":        "/b",
+		"/../..":         "/",
+		"a/b/../../c/d/": "/c/d",
+	}
+	for in, want := range cases {
+		if got := CleanPath(in); got != want {
+			t.Errorf("CleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCleanPathIdempotent(t *testing.T) {
+	f := func(p string) bool {
+		c := CleanPath(p)
+		return CleanPath(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentPath(t *testing.T) {
+	cases := []struct{ in, dir, name string }{
+		{"/", "/", ""},
+		{"/a", "/", "a"},
+		{"/a/b/c", "/a/b", "c"},
+		{"a/b", "/a", "b"},
+	}
+	for _, c := range cases {
+		dir, name := ParentPath(c.in)
+		if dir != c.dir || name != c.name {
+			t.Errorf("ParentPath(%q) = (%q, %q), want (%q, %q)", c.in, dir, name, c.dir, c.name)
+		}
+	}
+}
+
+func TestIsRoot(t *testing.T) {
+	if !IsRoot("/") || !IsRoot("") || !IsRoot("/a/..") {
+		t.Error("IsRoot false negatives")
+	}
+	if IsRoot("/a") {
+		t.Error("IsRoot(/a) = true")
+	}
+}
+
+func TestBasePath(t *testing.T) {
+	if got := BasePath("/a/b/c"); got != "c" {
+		t.Errorf("BasePath = %q", got)
+	}
+	if got := BasePath("/"); got != "" {
+		t.Errorf("BasePath(/) = %q", got)
+	}
+}
+
+func TestPathErrorWrapping(t *testing.T) {
+	err := Errf("open", "nova@pmem0", "/x", ErrNotExist)
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatal("PathError does not unwrap to sentinel")
+	}
+	var pe *PathError
+	if !errors.As(err, &pe) || pe.Op != "open" || pe.FS != "nova@pmem0" || pe.Path != "/x" {
+		t.Fatalf("PathError fields lost: %+v", pe)
+	}
+	want := "open nova@pmem0:/x: file does not exist"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestFileModeHelpers(t *testing.T) {
+	m := ModeDir | 0o755
+	if !m.IsDir() {
+		t.Error("IsDir lost")
+	}
+	if m.Perm() != 0o755 {
+		t.Errorf("Perm = %o", m.Perm())
+	}
+	var f FileMode = 0o644
+	if f.IsDir() {
+		t.Error("plain file IsDir = true")
+	}
+}
+
+func TestExtentEnd(t *testing.T) {
+	e := Extent{Off: 4096, Len: 8192}
+	if e.End() != 12288 {
+		t.Fatalf("End = %d", e.End())
+	}
+}
+
+func TestFileInfoIsDir(t *testing.T) {
+	fi := FileInfo{Mode: ModeDir | 0o700}
+	if !fi.IsDir() {
+		t.Error("FileInfo.IsDir false for dir")
+	}
+}

@@ -1,0 +1,243 @@
+// Package muxfs is the public API of the Mux tiered file system — a Go
+// reproduction of "Rethinking Tiered Storage: Talk to File Systems, Not
+// Device Drivers" (HotOS '25).
+//
+// Mux aggregates device-specific file systems (NOVA-like on persistent
+// memory, XFS-like on SSD, Ext4-like on HDD — all implemented in this
+// module over simulated devices) into a single tiered file system. Tiering
+// policies decide data placement; an optimistic-concurrency migration
+// engine moves blocks between tiers without locking out user I/O; metadata
+// is tracked per-attribute by its "affinitive" file system.
+//
+// Quick start:
+//
+//	sys, err := muxfs.New(muxfs.Config{
+//		Tiers: []muxfs.TierSpec{
+//			{Kind: muxfs.PM, Name: "pmem0"},
+//			{Kind: muxfs.SSD, Name: "ssd0"},
+//			{Kind: muxfs.HDD, Name: "hdd0"},
+//		},
+//		Policy: muxfs.NewLRUPolicy(),
+//	})
+//	f, err := sys.FS.Create("/data/log")
+//	f.WriteAt([]byte("hello tiers"), 0)
+//	sys.FS.Migrate("/data/log", sys.TierID("pmem0"), sys.TierID("hdd0"))
+package muxfs
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"muxfs/internal/core"
+	"muxfs/internal/device"
+	"muxfs/internal/fs/extlite"
+	"muxfs/internal/fs/novafs"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/muxrpc"
+	"muxfs/internal/policy"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+// DeviceKind selects a simulated device class and its matching native file
+// system.
+type DeviceKind int
+
+const (
+	// PM is persistent memory, served by the NOVA-like novafs.
+	PM DeviceKind = iota
+	// SSD is a low-latency flash device, served by the XFS-like xfslite.
+	SSD
+	// HDD is a rotational disk, served by the Ext4-like extlite.
+	HDD
+)
+
+// TierSpec describes one tier to assemble: a device plus its native FS.
+type TierSpec struct {
+	Kind DeviceKind
+	// Name labels the device (e.g. "pmem0"); it must be unique.
+	Name string
+	// Capacity overrides the class default when > 0.
+	Capacity int64
+}
+
+// Config assembles a complete Mux system.
+type Config struct {
+	// Name labels the Mux instance (default "mux").
+	Name string
+	// Tiers lists the devices/file systems to register, any number ≥ 1.
+	Tiers []TierSpec
+	// Policy is the tiering policy (default: the paper's LRU policy).
+	Policy Policy
+	// MetaJournal, when true, persists Mux's own metadata (block lookup
+	// table, affinity) on a dedicated PM meta device, enabling crash
+	// recovery of the Mux layer itself.
+	MetaJournal bool
+	// SCMCacheBytes, when > 0, enables the SCM cache (§2.5) of this size on
+	// the fastest PM tier.
+	SCMCacheBytes int64
+	// Clock supplies the virtual clock; one is created when nil.
+	Clock *simclock.Clock
+}
+
+// TierHandle exposes an assembled tier.
+type TierHandle struct {
+	ID     int
+	Spec   TierSpec
+	Device *device.Device
+	FS     FileSystem
+}
+
+// System is an assembled Mux stack: the tiered file system plus handles to
+// the devices and native file systems underneath (exposed for inspection,
+// benchmarks, and direct native access).
+type System struct {
+	FS      *Mux
+	Clock   *simclock.Clock
+	Tiers   []TierHandle
+	MetaDev *device.Device // nil unless Config.MetaJournal
+}
+
+// New builds devices, mounts the matching native file system on each, and
+// registers them with a fresh Mux.
+func New(cfg Config) (*System, error) {
+	if len(cfg.Tiers) == 0 {
+		return nil, fmt.Errorf("muxfs: config needs at least one tier")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = simclock.New()
+	}
+	sys := &System{Clock: clk}
+
+	mcfg := core.Config{Name: cfg.Name, Clock: clk, Policy: cfg.Policy}
+	if cfg.MetaJournal {
+		prof := device.PMProfile("muxmeta")
+		prof.Capacity = 32 << 20
+		sys.MetaDev = device.New(prof, clk)
+		mcfg.MetaDevice = sys.MetaDev
+	}
+	m, err := core.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, spec := range cfg.Tiers {
+		var prof device.Profile
+		switch spec.Kind {
+		case PM:
+			prof = device.PMProfile(spec.Name)
+		case SSD:
+			prof = device.SSDProfile(spec.Name)
+		case HDD:
+			prof = device.HDDProfile(spec.Name)
+		default:
+			return nil, fmt.Errorf("muxfs: unknown device kind %d", spec.Kind)
+		}
+		if spec.Capacity > 0 {
+			prof.Capacity = spec.Capacity
+		}
+		dev := device.New(prof, clk)
+
+		var fs vfs.FileSystem
+		switch spec.Kind {
+		case PM:
+			fs, err = novafs.New("nova@"+spec.Name, dev, novafs.DefaultCosts())
+		case SSD:
+			fs, err = xfslite.New("xfs@"+spec.Name, dev)
+		case HDD:
+			fs, err = extlite.New("ext4@"+spec.Name, dev)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("muxfs: mounting tier %s: %w", spec.Name, err)
+		}
+		id := m.AddTier(fs, prof)
+		sys.Tiers = append(sys.Tiers, TierHandle{ID: id, Spec: spec, Device: dev, FS: fs})
+	}
+	sys.FS = m
+
+	if cfg.SCMCacheBytes > 0 {
+		scmTier := -1
+		for _, t := range sys.Tiers {
+			if t.Spec.Kind == PM {
+				scmTier = t.ID
+				break
+			}
+		}
+		if scmTier < 0 {
+			return nil, fmt.Errorf("muxfs: SCM cache requires a PM tier")
+		}
+		if err := m.EnableSCMCache(scmTier, cfg.SCMCacheBytes); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// AddRemoteTier dials a muxfs tier server (cmd/muxd) and registers the
+// remote file system as a tier — Distributed Mux (paper §4). kind declares
+// the remote device class so policies can reason about its speed; netLat is
+// added to the profile's access latencies to model the network hop.
+func (s *System) AddRemoteTier(network, addr string, kind DeviceKind, netLat time.Duration) (int, error) {
+	client, err := muxrpc.Dial(network, addr)
+	if err != nil {
+		return -1, fmt.Errorf("muxfs: dialing remote tier: %w", err)
+	}
+	var prof device.Profile
+	switch kind {
+	case PM:
+		prof = device.PMProfile("remote")
+	case SSD:
+		prof = device.SSDProfile("remote")
+	case HDD:
+		prof = device.HDDProfile("remote")
+	default:
+		return -1, fmt.Errorf("muxfs: unknown device kind %d", kind)
+	}
+	prof.Name = "remote:" + addr
+	prof.ReadLatency += netLat
+	prof.WriteLatency += netLat
+	id := s.FS.AddTier(client, prof)
+	s.Tiers = append(s.Tiers, TierHandle{ID: id, Spec: TierSpec{Kind: kind, Name: prof.Name}, FS: client})
+	return id, nil
+}
+
+// ServeTier exposes a local file system as a remote tier on l, blocking
+// until the listener closes — the server half of Distributed Mux. Most
+// callers use cmd/muxd instead.
+func ServeTier(l net.Listener, fs FileSystem) error {
+	return muxrpc.NewServer(fs).Serve(l)
+}
+
+// TierID resolves a device name to its tier id (-1 when unknown).
+func (s *System) TierID(deviceName string) int {
+	for _, t := range s.Tiers {
+		if t.Spec.Name == deviceName {
+			return t.ID
+		}
+	}
+	return -1
+}
+
+// Policy constructors, re-exported so applications don't import internals.
+
+// NewLRUPolicy returns the paper's §3 policy: fastest-tier placement, cold
+// eviction downward, promotion on access.
+func NewLRUPolicy() Policy { return policy.DefaultLRU() }
+
+// NewTPFSPolicy returns the TPFS-like size/synchronicity placement policy.
+func NewTPFSPolicy() Policy { return policy.DefaultTPFS() }
+
+// NewHotColdPolicy returns the heat-classification policy.
+func NewHotColdPolicy() Policy { return policy.DefaultHotCold() }
+
+// NewPinnedPolicy returns a policy that places everything on one tier.
+func NewPinnedPolicy(tier int) Policy { return policy.Pinned{Tier: tier} }
+
+// NewFuncPolicy registers plain functions as a policy — the paper's
+// "user-defined policy" extension point (§2.1).
+func NewFuncPolicy(name string, place func(WriteCtx, []TierInfo) int,
+	plan func([]TierInfo, []FileStat, TimeStamp) []Move) Policy {
+	return policy.Func{PolicyName: name, Place: place, Plan: plan}
+}

@@ -1,0 +1,86 @@
+package muxfs
+
+import (
+	"time"
+
+	"muxfs/internal/core"
+	"muxfs/internal/policy"
+	"muxfs/internal/vfs"
+)
+
+// Core types, re-exported as the public API surface.
+
+// Mux is the tiered file system (the paper's contribution).
+type Mux = core.Mux
+
+// FileSystem is the VFS interface implemented by Mux and by every native
+// file system in this module.
+type FileSystem = vfs.FileSystem
+
+// File is an open file handle.
+type File = vfs.File
+
+// FileInfo describes a file.
+type FileInfo = vfs.FileInfo
+
+// DirEntry is one directory listing entry.
+type DirEntry = vfs.DirEntry
+
+// StatFS is file-system-wide capacity accounting.
+type StatFS = vfs.StatFS
+
+// SetAttr is a partial metadata update.
+type SetAttr = vfs.SetAttr
+
+// Extent is an allocated run of a sparse file.
+type Extent = vfs.Extent
+
+// OCCStats reports the OCC Synchronizer's counters.
+type OCCStats = core.OCCStats
+
+// CacheStats reports SCM cache counters.
+type CacheStats = core.CacheStats
+
+// Policy is the tiering policy interface (§2.1).
+type Policy = policy.Policy
+
+// WriteCtx describes a write being placed.
+type WriteCtx = policy.WriteCtx
+
+// TierInfo is the per-tier usage/profile snapshot policies decide over.
+type TierInfo = policy.TierInfo
+
+// FileStat is the per-file heat snapshot for migration planning.
+type FileStat = policy.FileStat
+
+// Move is one planned migration.
+type Move = policy.Move
+
+// Quota caps the bytes a path prefix may occupy on one tier.
+type Quota = policy.Quota
+
+// NewQuotaPolicy wraps base with per-prefix tier quotas; the Policy Runner
+// demotes the coldest over-quota files to the next slower tier.
+func NewQuotaPolicy(base Policy, quotas ...Quota) Policy {
+	return &policy.QuotaPolicy{Base: base, Quotas: quotas}
+}
+
+// TimeStamp is a virtual-clock timestamp.
+type TimeStamp = time.Duration
+
+// Sentinel errors.
+var (
+	ErrNotExist        = vfs.ErrNotExist
+	ErrExist           = vfs.ErrExist
+	ErrIsDir           = vfs.ErrIsDir
+	ErrNotDir          = vfs.ErrNotDir
+	ErrNotEmpty        = vfs.ErrNotEmpty
+	ErrNoSpace         = vfs.ErrNoSpace
+	ErrInvalid         = vfs.ErrInvalid
+	ErrClosed          = vfs.ErrClosed
+	ErrConflict        = vfs.ErrConflict
+	ErrNoTiers         = core.ErrNoTiers
+	ErrTierBusy        = core.ErrTierBusy
+	ErrUnknownTier     = core.ErrUnknownTier
+	ErrMigrationActive = core.ErrMigrationActive
+)
