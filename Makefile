@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: compile everything, vet, then the full test suite
+# under the race detector (the migration engine is concurrent; -race is
+# load-bearing, not optional).
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+clean:
+	$(GO) clean ./...

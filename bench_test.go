@@ -10,6 +10,7 @@
 package muxfs_test
 
 import (
+	"fmt"
 	"testing"
 
 	"muxfs"
@@ -113,6 +114,27 @@ func BenchmarkA5BLTOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.BytesPer4K, "blt-bytes-per-4K")
+	}
+}
+
+// BenchmarkMigrationThroughput compares the parallel migration engine at
+// 1, 4, and 8 workers on a multi-file workload spread across 3 tiers, with
+// per-device wall-clock service-time governors (see bench.RunE5). Placement
+// must be identical at every worker count.
+func BenchmarkMigrationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Deterministic {
+			b.Fatal("post-migration placement diverged across worker counts")
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.WallMs, fmt.Sprintf("wall-ms-%dw", row.Workers))
+		}
+		b.ReportMetric(r.SpeedupAt4, "speedup-4w-x")
+		b.ReportMetric(r.SpeedupAt8, "speedup-8w-x")
 	}
 }
 

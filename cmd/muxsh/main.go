@@ -118,11 +118,12 @@ func (s *shell) dispatch(line string) error {
 		}
 		return s.policy(rest[0])
 	case "balance":
-		n, err := s.sys.FS.RunPolicyOnce()
+		st, err := s.sys.FS.RunPolicyOnce()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(s.out, "policy runner executed %d migrations\n", n)
+		fmt.Fprintf(s.out, "policy round: planned=%d executed=%d skipped=%d conflicts=%d bytes=%d virt=%v wall=%v\n",
+			st.Planned, st.Executed, st.Skipped, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
 		return nil
 	case "occ":
 		st := s.sys.FS.OCC()

@@ -366,11 +366,11 @@ func runA4One(pol policy.Policy) (A4Row, error) {
 				}
 			}
 		}
-		n, err := s.Mux.RunPolicyOnce()
+		st, err := s.Mux.RunPolicyOnce()
 		if err != nil {
 			return A4Row{}, err
 		}
-		executed += n
+		executed += st.Executed
 	}
 	// Measure hot-set read latency.
 	const reads = 2000

@@ -203,3 +203,30 @@ func TestA6Shape(t *testing.T) {
 		t.Errorf("throughputs: plain %.1f, replicated %.1f", r.PlainMBps, r.ReplicatedMBps)
 	}
 }
+
+func TestE5Shape(t *testing.T) {
+	r, err := RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("want rows for 1/4/8 workers, got %d", len(r.Rows))
+	}
+	if !r.Deterministic {
+		t.Fatal("post-migration placement diverged across worker counts")
+	}
+	for _, row := range r.Rows {
+		if row.Executed != e5Files {
+			t.Errorf("workers=%d executed %d moves, want %d", row.Workers, row.Executed, e5Files)
+		}
+		if row.BytesMoved != int64(e5Files)*e5FileSize {
+			t.Errorf("workers=%d moved %d bytes", row.Workers, row.BytesMoved)
+		}
+	}
+	// Wall-clock must improve with workers; the acceptance bar (>= 2x at 4
+	// workers) is asserted loosely here to keep CI robust under load, and
+	// recorded precisely in EXPERIMENTS.md.
+	if r.SpeedupAt4 < 1.3 {
+		t.Errorf("4-worker speedup = %.2fx, want clearly > 1x", r.SpeedupAt4)
+	}
+}

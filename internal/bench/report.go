@@ -66,6 +66,22 @@ func FormatE4(w io.Writer, r *E4Result) {
 	}
 }
 
+// FormatE5 prints the migration-engine throughput comparison.
+func FormatE5(w io.Writer, r *E5Result) {
+	fmt.Fprintln(w, "E5 — parallel migration engine: one rotate-all round, 18 files x 2 MiB across 3 tiers")
+	fmt.Fprintln(w, "  (wall time under per-device service-time governors; virtual time is work, not speed)")
+	fmt.Fprintf(w, "  %-8s %12s %12s %10s %12s\n", "Workers", "Wall ms", "Virtual ms", "Moves", "Speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %12.1f %12.1f %10d %11.2fx\n",
+			row.Workers, row.WallMs, row.VirtualMs, row.Executed, row.Speedup)
+	}
+	det := "identical placement at every worker count"
+	if !r.Deterministic {
+		det = "PLACEMENT DIVERGED — nondeterministic engine"
+	}
+	fmt.Fprintf(w, "  determinism: %s\n", det)
+}
+
 // Rule prints a section separator.
 func Rule(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muxfs/internal/device"
+	"muxfs/internal/policy"
+	"muxfs/internal/vfs"
+)
+
+// The parallel migration engine executes the Policy Runner's planned moves
+// on a bounded worker pool instead of one at a time. Real tiered systems
+// win by exploiting parallel tier bandwidth: while one move streams off the
+// HDD, another can run PM→SSD, and within a move the pipelined copier
+// (occ.go) overlaps source reads with destination writes. Three invariants
+// shape the design:
+//
+//   - Per-file ordering. Moves are grouped by path and each group runs on a
+//     single worker in planned order, so per-file OCC serialization is
+//     preserved and the runner itself can never trip ErrMigrationActive.
+//   - Per-tier throttling. A weighted semaphore per tier, sized from the
+//     device profile (tierWidth), keeps N workers from oversubscribing a
+//     slow tier while a fast one idles.
+//   - Outcome determinism. Workers change interleaving, not results: moves
+//     on distinct files are independent, and MigrationWorkers=1 degrades to
+//     exactly the old serial behavior (no goroutines, single-buffer copy).
+
+// MigrationStats summarizes one Policy Runner round.
+type MigrationStats struct {
+	Planned    int   // moves the policy proposed
+	Executed   int   // moves that relocated at least one byte
+	Skipped    int   // file vanished or was already migrating
+	Conflicts  int64 // OCC conflict rounds observed during the round*
+	BytesMoved int64 // bytes committed to their destination tier
+
+	Virtual time.Duration // virtual ns charged to the simclock by the round
+	Wall    time.Duration // host wall-clock time of the round
+
+	// *Conflicts is derived from the OCC Synchronizer's global counter, so
+	// user-initiated MigrateRange calls racing the round are attributed to
+	// it; under the Policy Runner alone it is exact.
+}
+
+// Add accumulates other into s (aggregating stats across rounds).
+func (s *MigrationStats) Add(other MigrationStats) {
+	s.Planned += other.Planned
+	s.Executed += other.Executed
+	s.Skipped += other.Skipped
+	s.Conflicts += other.Conflicts
+	s.BytesMoved += other.BytesMoved
+	s.Virtual += other.Virtual
+	s.Wall += other.Wall
+}
+
+// SetMigrationWorkers resizes the migration worker pool at runtime. Values
+// below 1 are clamped to 1 (serial execution, single-buffer copy).
+func (m *Mux) SetMigrationWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.migWorkers.Store(int32(n))
+}
+
+// MigrationWorkers reports the configured worker-pool size.
+func (m *Mux) MigrationWorkers() int { return int(m.migWorkers.Load()) }
+
+// workers is the internal accessor.
+func (m *Mux) workers() int { return int(m.migWorkers.Load()) }
+
+// LastMigration returns the stats of the most recent RunPolicyOnce round.
+func (m *Mux) LastMigration() MigrationStats {
+	m.lastMigMu.Lock()
+	defer m.lastMigMu.Unlock()
+	return m.lastMig
+}
+
+func (m *Mux) setLastMigration(st MigrationStats) {
+	m.lastMigMu.Lock()
+	m.lastMig = st
+	m.lastMigMu.Unlock()
+}
+
+// executeMoves runs the planned moves through the worker pool and reports
+// per-round stats. Moves for the same path execute serially in planned
+// order on one worker; distinct paths proceed concurrently, throttled per
+// tier. The first hard error stops dispatch and is returned after in-flight
+// moves drain; ErrNotExist and ErrMigrationActive skip the move, matching
+// the old serial runner.
+func (m *Mux) executeMoves(moves []policy.Move) (MigrationStats, error) {
+	st := MigrationStats{Planned: len(moves)}
+	if len(moves) == 0 {
+		return st, nil
+	}
+	virtStart := m.clk.Now()
+	wallStart := time.Now()
+	occBefore := m.occ.snapshot()
+
+	// Group by path, preserving planned order within and across groups.
+	order := make([]string, 0, len(moves))
+	byPath := make(map[string][]policy.Move, len(moves))
+	for _, mv := range moves {
+		p := vfs.CleanPath(mv.Path)
+		if _, ok := byPath[p]; !ok {
+			order = append(order, p)
+		}
+		byPath[p] = append(byPath[p], mv)
+	}
+
+	var (
+		resMu    sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+	)
+	apply := func(moved int64, err error) {
+		resMu.Lock()
+		defer resMu.Unlock()
+		switch {
+		case err == nil:
+			if moved > 0 {
+				st.Executed++
+				st.BytesMoved += moved
+			}
+		case errors.Is(err, vfs.ErrNotExist), errors.Is(err, ErrMigrationActive):
+			st.Skipped++
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+			failed.Store(true)
+		}
+	}
+
+	workers := m.workers()
+	if workers > len(order) {
+		workers = len(order)
+	}
+
+	if workers <= 1 {
+		// Serial mode: today's behavior, no goroutines, no throttles.
+		for _, p := range order {
+			for _, mv := range byPath[p] {
+				if failed.Load() {
+					break
+				}
+				moved, err := m.MigrateRange(mv.Path, mv.SrcTier, mv.DstTier, mv.Off, mv.N)
+				apply(moved, err)
+			}
+			if failed.Load() {
+				break
+			}
+		}
+	} else {
+		throttle := m.tierThrottles(workers)
+		groupCh := make(chan []policy.Move)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for grp := range groupCh {
+					for _, mv := range grp {
+						if failed.Load() {
+							break
+						}
+						release := acquireTierSlots(throttle, mv.SrcTier, mv.DstTier)
+						moved, err := m.MigrateRange(mv.Path, mv.SrcTier, mv.DstTier, mv.Off, mv.N)
+						release()
+						apply(moved, err)
+					}
+				}
+			}()
+		}
+		for _, p := range order {
+			if failed.Load() {
+				break
+			}
+			groupCh <- byPath[p]
+		}
+		close(groupCh)
+		wg.Wait()
+	}
+
+	st.Conflicts = m.occ.snapshot().Conflicts - occBefore.Conflicts
+	st.Virtual = m.clk.Now() - virtStart
+	st.Wall = time.Since(wallStart)
+	return st, firstErr
+}
+
+// tierThrottles builds one weighted semaphore per live tier for a round.
+func (m *Mux) tierThrottles(workers int) map[int]chan struct{} {
+	th := make(map[int]chan struct{})
+	for _, t := range m.Tiers() {
+		th[t.ID] = make(chan struct{}, tierWidth(t.Prof, workers))
+	}
+	return th
+}
+
+// tierWidth derives a tier's migration concurrency from its device profile:
+// rotational devices take a single stream (parallel streams would only add
+// seeks), solid-state tiers get one slot per ~512 MiB/s of sustained
+// bandwidth, capped at the pool size. A PM tier therefore admits the whole
+// pool while an HDD tier admits one mover at a time.
+func tierWidth(p device.Profile, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if p.SeekLatency > 0 {
+		return 1
+	}
+	bw := p.ReadBandwidth
+	if p.WriteBandwidth > 0 && (bw == 0 || p.WriteBandwidth < bw) {
+		bw = p.WriteBandwidth
+	}
+	w := int(bw / (512 << 20))
+	if w < 1 {
+		w = 1
+	}
+	if w > workers {
+		w = workers
+	}
+	return w
+}
+
+// acquireTierSlots takes one slot on the move's source and destination
+// throttles, in ascending tier-id order so two movers can never deadlock on
+// opposite pairs, and returns the release function.
+func acquireTierSlots(th map[int]chan struct{}, src, dst int) func() {
+	a, b := src, dst
+	if a > b {
+		a, b = b, a
+	}
+	ids := [2]int{a, b}
+	n := 2
+	if a == b {
+		n = 1
+	}
+	held := make([]chan struct{}, 0, 2)
+	for _, id := range ids[:n] {
+		if c, ok := th[id]; ok {
+			c <- struct{}{}
+			held = append(held, c)
+		}
+	}
+	return func() {
+		for _, c := range held {
+			<-c
+		}
+	}
+}

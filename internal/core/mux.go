@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -98,6 +99,15 @@ type Config struct {
 	// MigrationRetries bounds OCC retry rounds before the lock fallback
 	// (§2.4). Default 3.
 	MigrationRetries int
+	// MigrationWorkers sizes the parallel migration engine's worker pool
+	// (engine.go): the Policy Runner executes up to this many planned moves
+	// concurrently, grouped by path so per-file OCC ordering is preserved.
+	// Default runtime.GOMAXPROCS(0); 1 degrades to serial execution with
+	// the single-buffer copy path.
+	MigrationWorkers int
+	// MigrationLogf, when set, receives a log line from PolicyRunner after
+	// each round that planned at least one move (and after failed rounds).
+	MigrationLogf func(format string, args ...any)
 	// LockMigration disables the OCC Synchronizer: migrations hold the
 	// per-file lock for their whole duration, the way traditional tiered
 	// file systems do (§2.4). Ablation A1 compares the two modes.
@@ -132,6 +142,12 @@ type Mux struct {
 	lockMig   bool
 	syncAll   bool
 
+	// Parallel migration engine state (engine.go).
+	migWorkers atomic.Int32 // worker-pool size; 1 = serial
+	migLogf    func(format string, args ...any)
+	lastMigMu  sync.Mutex
+	lastMig    MigrationStats
+
 	occ occCounter
 
 	// hookAfterCopy, when set (tests only), runs after each optimistic copy
@@ -160,6 +176,9 @@ func New(cfg Config) (*Mux, error) {
 	if cfg.Name == "" {
 		cfg.Name = "mux"
 	}
+	if cfg.MigrationWorkers <= 0 {
+		cfg.MigrationWorkers = runtime.GOMAXPROCS(0)
+	}
 	m := &Mux{
 		name:      cfg.Name,
 		clk:       cfg.Clock,
@@ -171,7 +190,9 @@ func New(cfg Config) (*Mux, error) {
 		maxRetry:  cfg.MigrationRetries,
 		lockMig:   cfg.LockMigration,
 		syncAll:   cfg.SyncAllMeta,
+		migLogf:   cfg.MigrationLogf,
 	}
+	m.migWorkers.Store(int32(cfg.MigrationWorkers))
 	empty := []*atomic.Int64{}
 	m.tierUsed.Store(&empty)
 	if m.costs == (Costs{}) {

@@ -302,34 +302,128 @@ func (m *Mux) collectOnTier(f *muxFile, tier int, off, n int64) []vfs.Extent {
 }
 
 // copyRanges copies the given ranges between two downward handles in
-// migrateChunk pieces, charging OCC bookkeeping per block.
+// migrateChunk pieces, charging OCC bookkeeping per block. With more than
+// one migration worker configured the copy is pipelined (pipeCopy), so
+// source reads and destination writes overlap; with one worker it degrades
+// to the single-buffer read-then-write loop.
+//
+// Writes are clamped to the bytes actually read: the source may be shorter
+// than the mapped range (a concurrent truncate racing the copy), and
+// writing the full chunk would resurrect zero-filled garbage past EOF on
+// the destination.
 func (m *Mux) copyRanges(srcH, dstH vfs.File, ranges []vfs.Extent) error {
+	read := func(p []byte, off int64) (int, error) {
+		blocks := (int64(len(p)) + BlockSize - 1) / BlockSize
+		m.clk.Advance(time.Duration(blocks) * m.costs.OCCPerBlock)
+		nr, err := srcH.ReadAt(p, off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nr, fmt.Errorf("migration read: %w", err)
+		}
+		return nr, nil
+	}
+	write := func(p []byte, off int64) error {
+		if _, err := dstH.WriteAt(p, off); err != nil {
+			return fmt.Errorf("migration write: %w", err)
+		}
+		return nil
+	}
+	if m.workers() > 1 {
+		return pipeCopy(ranges, migrateChunk, read, write)
+	}
 	buf := make([]byte, migrateChunk)
 	for _, r := range ranges {
-		pos := r.Off
-		for pos < r.End() {
+		for pos := r.Off; pos < r.End(); {
 			chunk := int64(len(buf))
 			if rem := r.End() - pos; chunk > rem {
 				chunk = rem
 			}
-			blocks := (chunk + BlockSize - 1) / BlockSize
-			m.clk.Advance(time.Duration(blocks) * m.costs.OCCPerBlock)
-			nr, err := srcH.ReadAt(buf[:chunk], pos)
-			if err != nil && !errors.Is(err, io.EOF) {
-				return fmt.Errorf("migration read: %w", err)
+			nr, err := read(buf[:chunk], pos)
+			if err != nil {
+				return err
 			}
-			if nr < int(chunk) {
-				// Source file shorter than the mapped range (possible only
-				// transiently during truncation); zero-fill the remainder.
-				zero(buf[nr:chunk])
-			}
-			if _, err := dstH.WriteAt(buf[:chunk], pos); err != nil {
-				return fmt.Errorf("migration write: %w", err)
+			if nr > 0 {
+				if err := write(buf[:nr], pos); err != nil {
+					return err
+				}
 			}
 			pos += chunk
 		}
 	}
 	return nil
+}
+
+// pipeDepth is the number of in-flight buffers in the pipelined copier: one
+// being filled by the reader while the previous drains to the writer.
+const pipeDepth = 2
+
+// pipeChunk is one filled buffer in flight from reader to writer.
+type pipeChunk struct {
+	buf []byte
+	off int64
+	n   int
+	err error
+}
+
+// pipeCopy streams ranges from read to write with double buffering: a
+// reader goroutine fills buffers while the calling goroutine writes the
+// previous one, so source and destination device time overlap instead of
+// summing. Short reads are clamped, never zero-filled. The first error from
+// either side tears the pipeline down and is returned once both sides have
+// quiesced; the reader goroutine never outlives the call.
+func pipeCopy(ranges []vfs.Extent, chunkSize int64,
+	read func([]byte, int64) (int, error), write func([]byte, int64) error) error {
+	free := make(chan []byte, pipeDepth)
+	for i := 0; i < pipeDepth; i++ {
+		free <- make([]byte, chunkSize)
+	}
+	work := make(chan pipeChunk, pipeDepth)
+	stop := make(chan struct{})
+	go func() {
+		defer close(work)
+		for _, r := range ranges {
+			for pos := r.Off; pos < r.End(); {
+				n := chunkSize
+				if rem := r.End() - pos; n > rem {
+					n = rem
+				}
+				var buf []byte
+				select {
+				case buf = <-free:
+				case <-stop:
+					return
+				}
+				nr, err := read(buf[:n], pos)
+				select {
+				case work <- pipeChunk{buf: buf, off: pos, n: nr, err: err}:
+				case <-stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+				pos += n
+			}
+		}
+	}()
+	var firstErr error
+	for c := range work {
+		if firstErr == nil {
+			switch {
+			case c.err != nil:
+				firstErr = c.err
+			case c.n > 0:
+				firstErr = write(c.buf[:c.n], c.off)
+			}
+			if firstErr != nil {
+				close(stop) // reader may be blocked on free or work; wake it
+			}
+		}
+		select {
+		case free <- c.buf:
+		default:
+		}
+	}
+	return firstErr
 }
 
 // subtractRanges returns work minus conflicts.

@@ -128,36 +128,44 @@ func (m *Mux) RepairFile(path string) error {
 }
 
 // mirrorLocked copies the file's authoritative contents to the replica
-// handle. Caller holds f.mu.
+// handle through the same pipelined copier migrations use (pipeCopy), so
+// assembling a chunk from the source tiers overlaps with writing the
+// previous chunk to the replica. Caller holds f.mu for the whole call; the
+// reader closure runs on the pipeline goroutine, which is safe because the
+// lock is held until the pipeline has drained.
 func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File) error {
-	buf := make([]byte, migrateChunk)
-	for pos := int64(0); pos < f.meta.Size; {
-		chunk := int64(len(buf))
-		if rem := f.meta.Size - pos; chunk > rem {
-			chunk = rem
-		}
-		for _, seg := range f.blt.Segments(pos, chunk) {
-			dst := buf[seg.Off-pos : seg.Off-pos+seg.Len]
+	read := func(p []byte, pos int64) (int, error) {
+		for _, seg := range f.blt.Segments(pos, int64(len(p))) {
+			dst := p[seg.Off-pos : seg.Off-pos+seg.Len]
 			if seg.Hole {
 				zero(dst)
 				continue
 			}
 			t, err := m.tier(seg.Val)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			sh, err := m.ensureHandleLocked(f, t)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			if _, err := sh.ReadAt(dst, seg.Off); err != nil && !errors.Is(err, io.EOF) {
-				return err
+				return 0, err
 			}
 		}
-		if _, err := rh.WriteAt(buf[:chunk], pos); err != nil {
+		// The mirror always materializes the full logical chunk (holes are
+		// zeroed above), unlike migration copies which clamp to the source.
+		return len(p), nil
+	}
+	write := func(p []byte, pos int64) error {
+		_, err := rh.WriteAt(p, pos)
+		return err
+	}
+	if f.meta.Size > 0 {
+		whole := []vfs.Extent{{Off: 0, Len: f.meta.Size}}
+		if err := pipeCopy(whole, migrateChunk, read, write); err != nil {
 			return err
 		}
-		pos += chunk
 	}
 	return rh.Truncate(f.meta.Size)
 }

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"errors"
 	"sort"
 	"time"
 
 	"muxfs/internal/policy"
-	"muxfs/internal/vfs"
 )
 
 // heatDecay halves file heat each policy round, giving PlanMigrations a
@@ -15,12 +13,13 @@ const heatDecay = 0.5
 
 // RunPolicyOnce is the Policy Runner (Figure 1c): snapshot tier usage and
 // per-file heat, ask the policy for moves, order them with the I/O
-// scheduler's cost estimates, and execute them through the OCC
-// Synchronizer. It returns the number of moves executed.
-func (m *Mux) RunPolicyOnce() (int, error) {
+// scheduler's cost estimates, and execute them through the parallel
+// migration engine (engine.go) and the OCC Synchronizer. It returns the
+// round's MigrationStats.
+func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 	tiers := m.tierInfos()
 	if len(tiers) == 0 {
-		return 0, ErrNoTiers
+		return MigrationStats{}, ErrNoTiers
 	}
 
 	m.mu.Lock()
@@ -47,29 +46,26 @@ func (m *Mux) RunPolicyOnce() (int, error) {
 			Tiers:      onTiers,
 			TierBytes:  perTier,
 		})
-		f.heat *= heatDecay
 		f.mu.Unlock()
 	}
 
 	moves := m.policy().PlanMigrations(tiers, stats, m.now())
 	m.orderMoves(moves)
 
-	executed := 0
-	for _, mv := range moves {
-		off, n := mv.Off, mv.N
-		moved, err := m.MigrateRange(mv.Path, mv.SrcTier, mv.DstTier, off, n)
-		switch {
-		case err == nil:
-			if moved > 0 {
-				executed++
-			}
-		case errors.Is(err, vfs.ErrNotExist), errors.Is(err, ErrMigrationActive):
-			// The file vanished or is already moving; skip.
-		default:
-			return executed, err
+	st, err := m.executeMoves(moves)
+	if err == nil {
+		// Heat decays only once the round has fully executed. Decaying at
+		// snapshot time (the old behavior) cooled the working set even when
+		// the round failed and had to be retried — halving heat twice for
+		// one effective round — and cooled it before the planned moves ran.
+		for _, f := range filePtrs {
+			f.mu.Lock()
+			f.heat *= heatDecay
+			f.mu.Unlock()
 		}
 	}
-	return executed, nil
+	m.setLastMigration(st)
+	return st, err
 }
 
 // orderMoves is the simple device-profile I/O scheduler (§4): promotions —
@@ -108,7 +104,8 @@ func (m *Mux) orderMoves(moves []policy.Move) {
 // PolicyRunner runs RunPolicyOnce on a wall-clock interval until stop is
 // closed. Long-running applications (and the examples) use it as the
 // background tiering daemon; benchmarks call RunPolicyOnce directly for
-// determinism.
+// determinism. Each round's MigrationStats are logged through
+// Config.MigrationLogf when one is configured.
 func (m *Mux) PolicyRunner(interval time.Duration, stop <-chan struct{}) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -118,7 +115,16 @@ func (m *Mux) PolicyRunner(interval time.Duration, stop <-chan struct{}) {
 			return
 		case <-tick.C:
 			// Policy errors are advisory here; the next round retries.
-			_, _ = m.RunPolicyOnce()
+			st, err := m.RunPolicyOnce()
+			if m.migLogf == nil {
+				continue
+			}
+			if err != nil {
+				m.migLogf("mux %s: policy round failed: %v", m.name, err)
+			} else if st.Planned > 0 {
+				m.migLogf("mux %s: policy round: planned=%d executed=%d skipped=%d conflicts=%d bytes=%d virt=%v wall=%v",
+					m.name, st.Planned, st.Executed, st.Skipped, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
+			}
 		}
 	}
 }

@@ -77,6 +77,11 @@ type Config struct {
 	// SCMCacheBytes, when > 0, enables the SCM cache (§2.5) of this size on
 	// the fastest PM tier.
 	SCMCacheBytes int64
+	// MigrationWorkers sizes the parallel migration engine's worker pool:
+	// the Policy Runner executes up to this many planned moves concurrently
+	// (grouped by path, throttled per tier). 0 defaults to
+	// runtime.GOMAXPROCS; 1 runs migrations serially, as before.
+	MigrationWorkers int
 	// Clock supplies the virtual clock; one is created when nil.
 	Clock *simclock.Clock
 }
@@ -111,7 +116,12 @@ func New(cfg Config) (*System, error) {
 	}
 	sys := &System{Clock: clk}
 
-	mcfg := core.Config{Name: cfg.Name, Clock: clk, Policy: cfg.Policy}
+	mcfg := core.Config{
+		Name:             cfg.Name,
+		Clock:            clk,
+		Policy:           cfg.Policy,
+		MigrationWorkers: cfg.MigrationWorkers,
+	}
 	if cfg.MetaJournal {
 		prof := device.PMProfile("muxmeta")
 		prof.Capacity = 32 << 20

@@ -38,6 +38,10 @@ type Extent = vfs.Extent
 // OCCStats reports the OCC Synchronizer's counters.
 type OCCStats = core.OCCStats
 
+// MigrationStats summarizes one Policy Runner round: moves planned,
+// executed, skipped, OCC conflicts, bytes moved, and virtual/wall time.
+type MigrationStats = core.MigrationStats
+
 // CacheStats reports SCM cache counters.
 type CacheStats = core.CacheStats
 
