@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race smoke check bench clean
 
 all: check
 
@@ -16,10 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: compile everything, vet, then the full test suite
-# under the race detector (the migration engine is concurrent; -race is
-# load-bearing, not optional).
-check: build vet race
+# smoke runs the E6 fault drill end to end: injected device faults, breaker
+# quarantine, replica fallback, and reintegration must all hold (the drill
+# is virtual-time deterministic, so it doubles as a regression oracle).
+smoke:
+	$(GO) run ./cmd/muxbench -exp e6
+
+# check is the CI gate: compile everything, vet, the full test suite under
+# the race detector (the migration engine is concurrent; -race is
+# load-bearing, not optional), then the fault-drill smoke.
+check: build vet race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

@@ -9,6 +9,7 @@
 //	muxbench -exp e3    # §3.2 read latency overhead
 //	muxbench -exp e4    # §3.2 write throughput overhead
 //	muxbench -exp e5    # parallel migration engine throughput
+//	muxbench -exp e6    # tier fault drill (quarantine + replica fallback)
 //	muxbench -exp a1..a6  # ablations
 //
 // All numbers are virtual-time measurements from the simulated device
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, a1, a2, a3, a4, a5, a6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, a1, a2, a3, a4, a5, a6")
 	flag.Parse()
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
@@ -67,6 +68,13 @@ func main() {
 		r, err := bench.RunE5()
 		fail(err)
 		bench.FormatE5(out, r)
+	}
+	if want("e6") {
+		ran = true
+		bench.Rule(out, "E6 — tier fault drill")
+		r, err := bench.RunE6()
+		fail(err)
+		bench.FormatE6(out, r)
 	}
 	if want("a1") {
 		ran = true

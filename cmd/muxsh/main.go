@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"muxfs"
+	"muxfs/internal/device"
 )
 
 func main() {
@@ -122,9 +123,14 @@ func (s *shell) dispatch(line string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(s.out, "policy round: planned=%d executed=%d skipped=%d conflicts=%d bytes=%d virt=%v wall=%v\n",
-			st.Planned, st.Executed, st.Skipped, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
+		fmt.Fprintf(s.out, "policy round: planned=%d executed=%d skipped=%d qskipped=%d repaired=%d conflicts=%d bytes=%d virt=%v wall=%v\n",
+			st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.ReplicasRepaired, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
 		return nil
+	case "health":
+		s.health()
+		return nil
+	case "fault":
+		return s.fault(rest)
 	case "occ":
 		st := s.sys.FS.OCC()
 		fmt.Fprintf(s.out, "migrations=%d bytes=%d conflicts=%d retries=%d lock-fallbacks=%d\n",
@@ -186,6 +192,9 @@ func (s *shell) help() {
   migrate <path> <src> <dst>   move a file's blocks between tiers (by name)
   policy lru|tpfs|hotcold      switch the tiering policy
   balance                      run the policy runner once
+  health                       show per-tier breaker state and fault counters
+  fault <tier> <p> [wp] [seed] inject faults: read-prob p, write-prob wp
+  fault <tier> off             clear injected faults
   occ                          show OCC synchronizer counters
   replica <path> [tier|off]    show/set/clear a file's replica tier
   fsck                         check Mux metadata against the tiers
@@ -310,6 +319,62 @@ func (s *shell) tiers() {
 		fmt.Fprintf(s.out, "%-10s id=%d  mux-mapped=%-10d fs-used=%-10d capacity=%d\n",
 			t.Spec.Name, t.ID, usage[t.ID], st.Used, st.Capacity)
 	}
+}
+
+func (s *shell) health() {
+	fmt.Fprintf(s.out, "%-10s %-12s %8s %8s %8s %8s %10s  %s\n",
+		"tier", "state", "ops", "faults", "retries", "quar", "degraded", "last fault")
+	for _, h := range s.sys.FS.TierHealth() {
+		last := h.LastFault
+		if last == "" {
+			last = "-"
+		}
+		fmt.Fprintf(s.out, "%-10s %-12s %8d %8d %8d %8d %10d  %s\n",
+			h.Name, h.State, h.Ops, h.Faults, h.Retries, h.Quarantines, h.DegradedReplicas, last)
+	}
+}
+
+// fault drives the device-level fault injector for one tier:
+//
+//	fault <tier> <read-prob> [write-prob] [seed]
+//	fault <tier> off
+func (s *shell) fault(rest []string) error {
+	if len(rest) < 2 {
+		return errors.New("usage: fault <tier> <read-prob>|off [write-prob] [seed]")
+	}
+	id := s.sys.TierID(rest[0])
+	if id < 0 {
+		return fmt.Errorf("unknown tier (have: %s)", tierNames(s.sys))
+	}
+	dev := s.sys.Tiers[id].Device
+	if rest[1] == "off" {
+		dev.ClearFaults()
+		fmt.Fprintf(s.out, "faults cleared on %s\n", rest[0])
+		return nil
+	}
+	rp, err := strconv.ParseFloat(rest[1], 64)
+	if err != nil {
+		return fmt.Errorf("read-prob: %w", err)
+	}
+	wp := rp
+	if len(rest) > 2 {
+		if wp, err = strconv.ParseFloat(rest[2], 64); err != nil {
+			return fmt.Errorf("write-prob: %w", err)
+		}
+	}
+	var seed int64 = 1
+	if len(rest) > 3 {
+		if seed, err = strconv.ParseInt(rest[3], 10, 64); err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+	}
+	dev.InjectFaults(device.FaultPlan{
+		Seed:         seed,
+		ReadErrProb:  rp,
+		WriteErrProb: wp,
+	})
+	fmt.Fprintf(s.out, "injecting faults on %s: read-prob=%g write-prob=%g seed=%d\n", rest[0], rp, wp, seed)
+	return nil
 }
 
 func (s *shell) migrate(path, srcName, dstName string) error {

@@ -230,3 +230,53 @@ func TestE5Shape(t *testing.T) {
 		t.Errorf("4-worker speedup = %.2fx, want clearly > 1x", r.SpeedupAt4)
 	}
 }
+
+func TestE6Shape(t *testing.T) {
+	r, err := RunE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicated working set rides out both fault phases without a single
+	// user-visible error; the unreplicated baseline collapses.
+	if r.TransientUserErrs != 0 {
+		t.Errorf("transient phase: %d user-visible errors, want 0", r.TransientUserErrs)
+	}
+	if r.OutageUserErrs != 0 {
+		t.Errorf("outage phase: %d user-visible errors, want 0", r.OutageUserErrs)
+	}
+	if r.PlainUserErrs == 0 {
+		t.Error("unreplicated baseline saw no errors — the injected outage did nothing")
+	}
+	// Transient faults are absorbed by retry, not masked by chance.
+	if r.TransientFaults == 0 {
+		t.Error("transient phase injected no device faults — probability miscalibrated")
+	}
+	if r.TransientRetries == 0 {
+		t.Error("no retries recorded — transient faults were not absorbed by the retry path")
+	}
+	// The breaker quarantined the faulty tier and the runner refused to
+	// migrate onto it.
+	if !r.Quarantined {
+		t.Error("sticky outage did not quarantine the faulty tier")
+	}
+	if !r.MigrateRefused {
+		t.Error("migration onto the quarantined tier was not refused")
+	}
+	// Every PM-mirrored file degraded during the outage and every one was
+	// repaired by reintegration.
+	if r.DegradedReplicas != e6WFiles {
+		t.Errorf("degraded replicas = %d, want %d", r.DegradedReplicas, e6WFiles)
+	}
+	if r.Repaired != r.DegradedReplicas {
+		t.Errorf("repaired %d of %d degraded replicas", r.Repaired, r.DegradedReplicas)
+	}
+	if !r.HealthyAfter {
+		t.Error("tier did not return to healthy after recovery")
+	}
+	if !r.FailbackOK {
+		t.Error("repaired PM mirrors could not serve reads when the SSD tier failed")
+	}
+	if !r.Deterministic {
+		t.Error("drill counters diverged across seeded reruns")
+	}
+}

@@ -82,6 +82,26 @@ func FormatE5(w io.Writer, r *E5Result) {
 	fmt.Fprintf(w, "  determinism: %s\n", det)
 }
 
+// FormatE6 prints the tier fault-drill report.
+func FormatE6(w io.Writer, r *E6Result) {
+	fmt.Fprintf(w, "E6 — tier fault drill (seed %d): PM faults injected under a replicated working set\n", r.Seed)
+	fmt.Fprintf(w, "  workload: %d reads + %d writes per drill (12 PM files w/ HDD replicas, 8 SSD files w/ PM replicas)\n",
+		r.ReadOps, r.WriteOps)
+	fmt.Fprintf(w, "  phase A (~1%% transient faults): %d device faults, %d absorbed by retry, %d user-visible errors\n",
+		r.TransientFaults, r.TransientRetries, r.TransientUserErrs)
+	fmt.Fprintf(w, "  phase B (sticky outage):        %d user-visible errors; quarantined=%v migrate-refused=%v degraded-mirrors=%d\n",
+		r.OutageUserErrs, r.Quarantined, r.MigrateRefused, r.DegradedReplicas)
+	fmt.Fprintf(w, "  phase C (recovery):             %d replicas repaired; healthy-after=%v failback-from-ssd=%v\n",
+		r.Repaired, r.HealthyAfter, r.FailbackOK)
+	fmt.Fprintf(w, "  unreplicated baseline:          %d of %d ops failed during the same outage\n",
+		r.PlainUserErrs, r.PlainOps)
+	det := "all counters identical across seeded reruns"
+	if !r.Deterministic {
+		det = "COUNTERS DIVERGED — nondeterministic drill"
+	}
+	fmt.Fprintf(w, "  determinism: %s\n", det)
+}
+
 // Rule prints a section separator.
 func Rule(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))

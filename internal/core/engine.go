@@ -36,6 +36,14 @@ type MigrationStats struct {
 	Conflicts  int64 // OCC conflict rounds observed during the round*
 	BytesMoved int64 // bytes committed to their destination tier
 
+	// QuarantineSkipped counts moves dropped because their source or
+	// destination tier was quarantined (health.go) — either filtered at
+	// planning time or aborted mid-round by the breaker opening.
+	QuarantineSkipped int
+	// ReplicasRepaired counts degraded replicas re-mirrored by this round's
+	// reintegration pass (after a quarantined tier recovered).
+	ReplicasRepaired int
+
 	Virtual time.Duration // virtual ns charged to the simclock by the round
 	Wall    time.Duration // host wall-clock time of the round
 
@@ -51,6 +59,8 @@ func (s *MigrationStats) Add(other MigrationStats) {
 	s.Skipped += other.Skipped
 	s.Conflicts += other.Conflicts
 	s.BytesMoved += other.BytesMoved
+	s.QuarantineSkipped += other.QuarantineSkipped
+	s.ReplicasRepaired += other.ReplicasRepaired
 	s.Virtual += other.Virtual
 	s.Wall += other.Wall
 }
@@ -125,6 +135,10 @@ func (m *Mux) executeMoves(moves []policy.Move) (MigrationStats, error) {
 			}
 		case errors.Is(err, vfs.ErrNotExist), errors.Is(err, ErrMigrationActive):
 			st.Skipped++
+		case errors.Is(err, ErrTierQuarantined):
+			// The breaker opened mid-round; the move is retried by a later
+			// round once the tier recovers (or its blocks drain elsewhere).
+			st.QuarantineSkipped++
 		default:
 			if firstErr == nil {
 				firstErr = err

@@ -42,6 +42,10 @@ type muxFile struct {
 
 	// replica is the shadow-copy tier for §4-style replication (-1 = none).
 	replica int
+	// replicaDegraded marks a mirror that diverged after a failed mirror
+	// write (replica tier fault). Fallback reads skip a degraded replica;
+	// RepairFile or tier reintegration clears the mark after re-syncing.
+	replicaDegraded bool
 
 	// Policy Runner inputs.
 	heat       float64
@@ -256,19 +260,26 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	scm := m.scm
 	f.mu.Unlock()
 
-	// Downward reads happen outside the bookkeeping lock. A failed
-	// segment read retries against the replica, if one exists (§4).
+	// Downward reads happen outside the bookkeeping lock, each through the
+	// tier's health tracker (health.go): transient faults retry with
+	// backoff, a quarantined tier fails fast, and a failed segment read
+	// retries against the replica, if one exists (§4).
 	for _, s := range plan {
 		dst := p[s.bufStart : s.bufStart+s.ln]
+		var err error
 		if scm != nil && scm.cacheable(s.tier) {
-			if err := scm.read(f.ino, s.tier, s.h, dst, s.off); err != nil {
-				if ferr := m.readWithReplicaFallback(f, dst, s.off, err); ferr != nil {
-					return 0, vfs.Errf("read", m.name, f.path, ferr)
+			err = m.tierIO(s.tier, func() error {
+				return scm.read(f.ino, s.tier, s.h, dst, s.off)
+			})
+		} else {
+			err = m.tierIO(s.tier, func() error {
+				if _, rerr := s.h.ReadAt(dst, s.off); rerr != nil && !errors.Is(rerr, io.EOF) {
+					return rerr
 				}
-			}
-			continue
+				return nil
+			})
 		}
-		if _, err := s.h.ReadAt(dst, s.off); err != nil && !errors.Is(err, io.EOF) {
+		if err != nil {
 			if ferr := m.readWithReplicaFallback(f, dst, s.off, err); ferr != nil {
 				return 0, vfs.Errf("read", m.name, f.path, ferr)
 			}
@@ -320,7 +331,10 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	defer f.mu.Unlock()
 
 	// Build the per-tier write plan: mapped segments stay on their tier,
-	// holes go where the policy says.
+	// holes go where the policy says. Segments mapped on a quarantined tier
+	// are treated like holes — the write is redirected to a healthy
+	// placement and the BLT repointed, so a sick tier drains as its blocks
+	// are overwritten (health.go).
 	target := -1
 	type ioSeg struct {
 		tier    int
@@ -329,7 +343,7 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	var plan []ioSeg
 	for _, seg := range f.blt.Segments(off, n) {
 		tier := seg.Val
-		if seg.Hole {
+		if seg.Hole || m.tierQuarantined(tier) {
 			if target == -1 {
 				target = m.policy().PlaceWrite(policy.WriteCtx{
 					Path: f.path, Off: off, N: n, FileSize: f.meta.Size,
@@ -354,7 +368,11 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return 0, vfs.Errf("write", m.name, f.path, err)
 		}
-		if _, err := dh.WriteAt(p[s.off-off:s.off-off+s.ln], s.off); err != nil {
+		buf := p[s.off-off : s.off-off+s.ln]
+		if err := m.tierIO(s.tier, func() error {
+			_, werr := dh.WriteAt(buf, s.off)
+			return werr
+		}); err != nil {
 			return 0, vfs.Errf("write", m.name, f.path, err)
 		}
 		m.bltRepoint(f, s.off, s.ln, s.tier)
@@ -365,7 +383,11 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	}
 
 	if err := m.mirrorWriteLocked(f, p, off); err != nil {
-		return 0, vfs.Errf("write", m.name, f.path, err)
+		// The mirror diverged, not the authoritative write: degrade the
+		// replica (fallback reads skip it, RepairFile or reintegration
+		// re-syncs it) instead of failing the user op. fsync still fans out
+		// to the replica tier and surfaces the loss of durable redundancy.
+		f.replicaDegraded = true
 	}
 
 	now := m.now()

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"muxfs/internal/device"
+)
+
+// Tier fault domains (§4 direction): every downward data op runs through a
+// per-tier health tracker. Transient device faults are absorbed by bounded
+// retry-plus-backoff (charged to the virtual clock, like every other cost);
+// a run of consecutive faults opens a circuit breaker that quarantines the
+// tier. While quarantined:
+//
+//   - reads of blocks mapped there fall back to the file's replica,
+//   - writes to blocks mapped there are redirected to a healthy tier (the
+//     policy re-places them, progressively draining the sick tier),
+//   - placement and Policy Runner planning skip the tier entirely.
+//
+// After BreakerCooldown of virtual time the breaker goes half-open: the next
+// op is admitted as a probe. A successful probe closes the breaker and
+// flags the Mux for reintegration — the next Policy Runner round re-mirrors
+// every replica that degraded during the outage (RepairDegradedReplicas).
+//
+// Only injected/device faults (device.IsFault) count against a tier's
+// breaker; logical errors like ErrNoSpace or ErrNotExist never quarantine
+// a tier.
+
+// ErrTierQuarantined reports an operation denied because the target tier's
+// circuit breaker is open.
+var ErrTierQuarantined = errors.New("mux: tier quarantined")
+
+// Health tracker defaults (overridable via Config).
+const (
+	defaultBreakerThreshold = 4
+	defaultIORetries        = 3
+	defaultRetryBackoff     = 50 * time.Microsecond
+	defaultBreakerCooldown  = 10 * time.Millisecond
+)
+
+// breaker states.
+type breakerState int
+
+const (
+	tierHealthy breakerState = iota
+	tierQuarantined
+	tierProbing
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case tierHealthy:
+		return "healthy"
+	case tierQuarantined:
+		return "quarantined"
+	case tierProbing:
+		return "probing"
+	default:
+		return "unknown"
+	}
+}
+
+// tierHealth is one tier's error/latency bookkeeping plus its circuit
+// breaker. All fields are guarded by mu; the struct is shared via the same
+// copy-and-swap slice pattern as the tier usage counters, so hot paths
+// reach it without m.mu.
+type tierHealth struct {
+	mu          sync.Mutex
+	state       breakerState
+	consecFails int
+	openedAt    time.Duration // virtual time the breaker last opened
+
+	ops         int64 // downward ops attempted (first tries, not retries)
+	faults      int64 // op attempts failed by a device fault
+	retries     int64 // transient-fault retry attempts
+	quarantines int64 // times the breaker opened
+	lastFault   string
+}
+
+// TierHealthInfo is the public snapshot of one tier's health tracker.
+type TierHealthInfo struct {
+	TierID int
+	Name   string
+	State  string // "healthy", "quarantined", or "probing"
+
+	Ops         int64 // downward data ops attempted
+	Faults      int64 // attempts failed by device faults
+	Retries     int64 // transient-fault retries performed
+	ConsecFails int   // current consecutive-fault run
+	Quarantines int64 // times the circuit breaker opened
+	// SinceOpen is the virtual time since the breaker opened (zero when
+	// healthy); LastFault is the most recent fault's message.
+	SinceOpen time.Duration
+	LastFault string
+
+	// DegradedReplicas counts files whose replica lives on this tier and
+	// diverged after a failed mirror write (cleared by repair).
+	DegradedReplicas int
+}
+
+// healthOf returns the health tracker for tier id (nil for unknown ids).
+func (m *Mux) healthOf(id int) *tierHealth {
+	tab := *m.healthTab.Load()
+	if id < 0 || id >= len(tab) {
+		return nil
+	}
+	return tab[id]
+}
+
+// tierQuarantined reports whether tier id is currently under quarantine
+// (breaker open or probing). Placement and write redirection consult it.
+func (m *Mux) tierQuarantined(id int) bool {
+	h := m.healthOf(id)
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state != tierHealthy
+}
+
+// admit decides whether one op may proceed against the tier. A quarantined
+// tier denies everything until the cooldown elapses, then flips to probing
+// and admits exactly the ops that race in before the probe resolves.
+func (h *tierHealth) admit(now, cooldown time.Duration) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == tierQuarantined {
+		if now-h.openedAt < cooldown {
+			return false
+		}
+		h.state = tierProbing // half-open: admit the next op as a probe
+	}
+	return true
+}
+
+// record books the outcome of one op (after retries). It returns true when
+// a successful probe just closed the breaker — i.e. the tier recovered and
+// the Mux should schedule reintegration.
+func (h *tierHealth) record(err error, now time.Duration, threshold int) (recovered bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ops++
+	switch {
+	case err == nil:
+		h.consecFails = 0
+		if h.state != tierHealthy {
+			h.state = tierHealthy
+			h.openedAt = 0
+			return true
+		}
+	case device.IsFault(err):
+		h.faults++
+		h.lastFault = err.Error()
+		h.consecFails++
+		if h.state == tierProbing {
+			// Failed probe: reopen and restart the cooldown.
+			h.state = tierQuarantined
+			h.openedAt = now
+		} else if h.state == tierHealthy && h.consecFails >= threshold {
+			h.state = tierQuarantined
+			h.openedAt = now
+			h.quarantines++
+		}
+	default:
+		// Logical errors (EOF was filtered by the caller, ErrNoSpace,
+		// ErrNotExist, ...) neither heal nor harm the breaker.
+	}
+	return false
+}
+
+// snapshot returns the tracker's public view.
+func (h *tierHealth) snapshot(id int, name string, now time.Duration) TierHealthInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	info := TierHealthInfo{
+		TierID:      id,
+		Name:        name,
+		State:       h.state.String(),
+		Ops:         h.ops,
+		Faults:      h.faults,
+		Retries:     h.retries,
+		ConsecFails: h.consecFails,
+		Quarantines: h.quarantines,
+		LastFault:   h.lastFault,
+	}
+	if h.state != tierHealthy && h.openedAt > 0 {
+		info.SinceOpen = now - h.openedAt
+	}
+	return info
+}
+
+func (h *tierHealth) addRetry() {
+	h.mu.Lock()
+	h.retries++
+	h.faults++
+	h.mu.Unlock()
+}
+
+// tierIO runs one downward data op against tier id with circuit-breaker
+// admission, bounded retry-plus-backoff on transient faults, and health
+// accounting. The backoff is charged to the virtual clock (doubling each
+// attempt), so drills measure its cost deterministically. op must swallow
+// io.EOF itself when EOF is benign for the caller.
+func (m *Mux) tierIO(id int, op func() error) error {
+	h := m.healthOf(id)
+	if h == nil {
+		return op()
+	}
+	if !h.admit(m.now(), m.breakerCooldown) {
+		return fmt.Errorf("%w: tier %d", ErrTierQuarantined, id)
+	}
+	backoff := m.retryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || !device.IsTransient(err) || attempt >= m.ioRetries {
+			break
+		}
+		h.addRetry()
+		m.clk.Advance(backoff)
+		backoff *= 2
+	}
+	if h.record(err, m.now(), m.breakerThreshold) {
+		// A probe just closed the breaker. Don't repair inline — tierIO may
+		// run under a file lock; the next Policy Runner round (or an explicit
+		// RepairDegradedReplicas call) re-mirrors what degraded.
+		m.repairPending.Store(true)
+	}
+	return err
+}
+
+// TierHealth reports the health snapshot of every live tier, fastest first.
+func (m *Mux) TierHealth() []TierHealthInfo {
+	degraded := m.degradedByTier()
+	now := m.now()
+	var out []TierHealthInfo
+	for _, t := range m.Tiers() {
+		h := m.healthOf(t.ID)
+		if h == nil {
+			continue
+		}
+		info := h.snapshot(t.ID, t.Prof.Name, now)
+		info.DegradedReplicas = degraded[t.ID]
+		out = append(out, info)
+	}
+	return out
+}
+
+// degradedByTier counts degraded replicas per replica tier.
+func (m *Mux) degradedByTier() map[int]int {
+	m.mu.Lock()
+	ptrs := make([]*muxFile, 0, len(m.files))
+	for _, f := range m.files {
+		ptrs = append(ptrs, f)
+	}
+	m.mu.Unlock()
+	out := map[int]int{}
+	for _, f := range ptrs {
+		f.mu.Lock()
+		if f.replica >= 0 && f.replicaDegraded {
+			out[f.replica]++
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// RepairDegradedReplicas re-mirrors every file whose replica diverged after
+// a failed mirror write (tier outage, transient fault burst). It returns
+// the number of replicas repaired and the first error encountered; files
+// that fail to repair stay degraded and are retried on the next call. The
+// Policy Runner invokes this automatically after a quarantined tier
+// recovers.
+func (m *Mux) RepairDegradedReplicas() (int, error) {
+	m.mu.Lock()
+	ptrs := make([]*muxFile, 0, len(m.files))
+	for _, f := range m.files {
+		ptrs = append(ptrs, f)
+	}
+	m.mu.Unlock()
+
+	var paths []string
+	for _, f := range ptrs {
+		f.mu.Lock()
+		if f.replica >= 0 && f.replicaDegraded {
+			paths = append(paths, f.path)
+		}
+		f.mu.Unlock()
+	}
+	repaired := 0
+	var firstErr error
+	for _, p := range paths {
+		if err := m.RepairFile(p); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		repaired++
+	}
+	if firstErr != nil {
+		// Something is still degraded; keep the reintegration flag set so
+		// the next Policy Runner round tries again.
+		m.repairPending.Store(true)
+	}
+	return repaired, firstErr
+}

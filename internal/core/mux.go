@@ -116,6 +116,21 @@ type Config struct {
 	// the attributes through to every file system holding the file, instead
 	// of only the affinitive owner (§2.3). Ablation A2 compares the two.
 	SyncAllMeta bool
+
+	// Tier fault-domain knobs (health.go). Zero values take the defaults.
+	//
+	// BreakerThreshold is the consecutive device-fault count that opens a
+	// tier's circuit breaker (quarantine). Default 4.
+	BreakerThreshold int
+	// IORetries bounds retries of a transient-faulting downward op before
+	// the error surfaces to the health tracker. Default 3.
+	IORetries int
+	// RetryBackoff is the first retry's virtual-clock delay; it doubles per
+	// attempt. Default 50µs.
+	RetryBackoff time.Duration
+	// BreakerCooldown is the virtual time a quarantined tier sits out
+	// before the breaker goes half-open and admits a probe. Default 10ms.
+	BreakerCooldown time.Duration
 }
 
 // Mux is the tiered file system. Safe for concurrent use.
@@ -133,6 +148,16 @@ type Mux struct {
 	// replaced wholesale (copy + atomic pointer swap) when a tier is added,
 	// so hot paths may index it without m.mu while AddTier runs.
 	tierUsed atomic.Pointer[[]*atomic.Int64]
+
+	// healthTab holds one health tracker per tier id, shared the same way
+	// (health.go). repairPending flags that a tier recovered and degraded
+	// replicas await re-mirroring.
+	healthTab        atomic.Pointer[[]*tierHealth]
+	repairPending    atomic.Bool
+	breakerThreshold int
+	ioRetries        int
+	retryBackoff     time.Duration
+	breakerCooldown  time.Duration
 
 	pol       policy.Policy
 	meta      *metaLog
@@ -179,6 +204,18 @@ func New(cfg Config) (*Mux, error) {
 	if cfg.MigrationWorkers <= 0 {
 		cfg.MigrationWorkers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = defaultBreakerThreshold
+	}
+	if cfg.IORetries <= 0 {
+		cfg.IORetries = defaultIORetries
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = defaultBreakerCooldown
+	}
 	m := &Mux{
 		name:      cfg.Name,
 		clk:       cfg.Clock,
@@ -191,10 +228,17 @@ func New(cfg Config) (*Mux, error) {
 		lockMig:   cfg.LockMigration,
 		syncAll:   cfg.SyncAllMeta,
 		migLogf:   cfg.MigrationLogf,
+
+		breakerThreshold: cfg.BreakerThreshold,
+		ioRetries:        cfg.IORetries,
+		retryBackoff:     cfg.RetryBackoff,
+		breakerCooldown:  cfg.BreakerCooldown,
 	}
 	m.migWorkers.Store(int32(cfg.MigrationWorkers))
 	empty := []*atomic.Int64{}
 	m.tierUsed.Store(&empty)
+	emptyHealth := []*tierHealth{}
+	m.healthTab.Store(&emptyHealth)
 	if m.costs == (Costs{}) {
 		m.costs = DefaultCosts()
 	}
@@ -221,6 +265,11 @@ func (m *Mux) AddTier(fs vfs.FileSystem, prof device.Profile) int {
 	copy(counters, old)
 	counters[len(old)] = &atomic.Int64{}
 	m.tierUsed.Store(&counters)
+	oldH := *m.healthTab.Load()
+	health := make([]*tierHealth, len(oldH)+1)
+	copy(health, oldH)
+	health[len(oldH)] = &tierHealth{}
+	m.healthTab.Store(&health)
 	return id
 }
 
@@ -275,6 +324,8 @@ func (m *Mux) tier(id int) (*Tier, error) {
 }
 
 // tierInfos snapshots the policy view of all tiers, fastest first.
+// Quarantined tiers are hidden from the policy so placement and migration
+// planning route around the fault domain (health.go).
 func (m *Mux) tierInfos() []policy.TierInfo {
 	live := m.Tiers()
 	out := make([]policy.TierInfo, 0, len(live))
@@ -288,6 +339,22 @@ func (m *Mux) tierInfos() []policy.TierInfo {
 			ReadLat:  t.Prof.ReadLatency,
 			WriteLat: t.Prof.WriteLatency,
 		})
+	}
+	return m.filterHealthy(out)
+}
+
+// filterHealthy drops quarantined tiers from a policy snapshot. If every
+// tier is quarantined the unfiltered list is returned — writes must land
+// somewhere, and a fully-quarantined hierarchy has no better option.
+func (m *Mux) filterHealthy(infos []policy.TierInfo) []policy.TierInfo {
+	out := infos[:0:0]
+	for _, ti := range infos {
+		if !m.tierQuarantined(ti.ID) {
+			out = append(out, ti)
+		}
+	}
+	if len(out) == 0 {
+		return infos
 	}
 	return out
 }
@@ -448,7 +515,7 @@ func (m *Mux) tierInfosLocked() []policy.TierInfo {
 			WriteLat: t.Prof.WriteLatency,
 		})
 	}
-	return out
+	return m.filterHealthy(out)
 }
 
 // Open opens an existing regular file.

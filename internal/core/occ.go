@@ -119,7 +119,7 @@ func (m *Mux) MigrateRange(path string, src, dst int, off, n int64) (int64, erro
 	// lock for the entire copy, blocking user I/O — the design the OCC
 	// Synchronizer replaces.
 	if m.lockMig {
-		err := m.copyRanges(srcH, dstH, work)
+		err := m.copyRanges(srcH, dstH, src, dst, work)
 		if err == nil {
 			err = dstH.Sync()
 		}
@@ -152,7 +152,7 @@ func (m *Mux) MigrateRange(path string, src, dst int, off, n int64) (int64, erro
 	for round := 0; ; round++ {
 		// --- Optimistic copy: no lock held; concurrent reads and writes
 		// proceed against the still-authoritative source blocks. ---
-		if err := m.copyRanges(srcH, dstH, work); err != nil {
+		if err := m.copyRanges(srcH, dstH, src, dst, work); err != nil {
 			m.abortMigration(f)
 			return moved, vfs.Errf("migrate", m.name, path, err)
 		}
@@ -211,7 +211,7 @@ func (m *Mux) MigrateRange(path string, src, dst int, off, n int64) (int64, erro
 		// bookkeeping lock, blocking writers (§2.4's bounded completion
 		// guarantee). ---
 		m.occ.add(func(s *OCCStats) { s.LockFallbacks++ })
-		if err := m.copyRanges(srcH, dstH, conflicts); err != nil {
+		if err := m.copyRanges(srcH, dstH, src, dst, conflicts); err != nil {
 			f.migrating = false
 			f.version++
 			f.mu.Unlock()
@@ -305,24 +305,35 @@ func (m *Mux) collectOnTier(f *muxFile, tier int, off, n int64) []vfs.Extent {
 // migrateChunk pieces, charging OCC bookkeeping per block. With more than
 // one migration worker configured the copy is pipelined (pipeCopy), so
 // source reads and destination writes overlap; with one worker it degrades
-// to the single-buffer read-then-write loop.
+// to the single-buffer read-then-write loop. Both sides run through the
+// tier health trackers (health.go), so transient faults retry with backoff
+// and a breaker opening mid-copy aborts the move with ErrTierQuarantined.
 //
 // Writes are clamped to the bytes actually read: the source may be shorter
 // than the mapped range (a concurrent truncate racing the copy), and
 // writing the full chunk would resurrect zero-filled garbage past EOF on
 // the destination.
-func (m *Mux) copyRanges(srcH, dstH vfs.File, ranges []vfs.Extent) error {
+func (m *Mux) copyRanges(srcH, dstH vfs.File, src, dst int, ranges []vfs.Extent) error {
 	read := func(p []byte, off int64) (int, error) {
 		blocks := (int64(len(p)) + BlockSize - 1) / BlockSize
 		m.clk.Advance(time.Duration(blocks) * m.costs.OCCPerBlock)
-		nr, err := srcH.ReadAt(p, off)
-		if err != nil && !errors.Is(err, io.EOF) {
+		nr := 0
+		if err := m.tierIO(src, func() error {
+			var e error
+			if nr, e = srcH.ReadAt(p, off); e != nil && !errors.Is(e, io.EOF) {
+				return e
+			}
+			return nil
+		}); err != nil {
 			return nr, fmt.Errorf("migration read: %w", err)
 		}
 		return nr, nil
 	}
 	write := func(p []byte, off int64) error {
-		if _, err := dstH.WriteAt(p, off); err != nil {
+		if err := m.tierIO(dst, func() error {
+			_, e := dstH.WriteAt(p, off)
+			return e
+		}); err != nil {
 			return fmt.Errorf("migration write: %w", err)
 		}
 		return nil

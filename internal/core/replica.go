@@ -42,18 +42,22 @@ func (m *Mux) SetReplica(path string, tier int) error {
 	if err != nil {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
-	if err := m.mirrorLocked(f, rh); err != nil {
+	if err := m.mirrorLocked(f, rh, tier); err != nil {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
 	if err := rh.Sync(); err != nil {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
 	f.replica = tier
+	f.replicaDegraded = false
 	return nil
 }
 
 // ClearReplica stops replicating the file and punches the mirror out of its
-// tier.
+// tier. The mirror bytes are reclaimed *before* the replica mark is
+// dropped: if reclamation fails the error propagates and the file stays
+// replicated, so a retry can still find and free the mirror (previously a
+// failed reclaim silently leaked the mirror bytes forever).
 func (m *Mux) ClearReplica(path string) error {
 	path = vfs.CleanPath(path)
 	m.mu.Lock()
@@ -68,16 +72,40 @@ func (m *Mux) ClearReplica(path string) error {
 		return vfs.Errf("replicate", m.name, path, ErrNoReplica)
 	}
 	t, err := m.tier(f.replica)
-	f.replica = -1
 	if err != nil {
-		return nil // tier vanished; nothing to reclaim
+		// The tier itself is gone; there is nothing left to reclaim.
+		f.replica = -1
+		f.replicaDegraded = false
+		return nil
 	}
 	rh, err := m.ensureHandleLocked(f, t)
 	if err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	if err := m.punchMirrorLocked(f, rh); err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	f.replica = -1
+	f.replicaDegraded = false
+	return nil
+}
+
+// punchMirrorLocked reclaims the mirror bytes from the replica tier's
+// same-path sparse file. Ranges the BLT maps *authoritatively* on the
+// replica tier are skipped: write redirection (quarantine drain) can land
+// authoritative blocks in the same underlying file as the mirror, and
+// punching those would destroy live data. Caller holds f.mu.
+func (m *Mux) punchMirrorLocked(f *muxFile, rh vfs.File) error {
+	if f.meta.Size == 0 {
 		return nil
 	}
-	if f.meta.Size > 0 {
-		_ = rh.PunchHole(0, f.meta.Size)
+	for _, seg := range f.blt.Segments(0, f.meta.Size) {
+		if !seg.Hole && seg.Val == f.replica {
+			continue
+		}
+		if err := rh.PunchHole(seg.Off, seg.Len); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -118,12 +146,13 @@ func (m *Mux) RepairFile(path string) error {
 	if err != nil {
 		return vfs.Errf("repair", m.name, path, err)
 	}
-	if err := m.mirrorLocked(f, rh); err != nil {
+	if err := m.mirrorLocked(f, rh, f.replica); err != nil {
 		return vfs.Errf("repair", m.name, path, err)
 	}
 	if err := rh.Sync(); err != nil {
 		return vfs.Errf("repair", m.name, path, err)
 	}
+	f.replicaDegraded = false
 	return nil
 }
 
@@ -133,7 +162,7 @@ func (m *Mux) RepairFile(path string) error {
 // previous chunk to the replica. Caller holds f.mu for the whole call; the
 // reader closure runs on the pipeline goroutine, which is safe because the
 // lock is held until the pipeline has drained.
-func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File) error {
+func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File, rtier int) error {
 	read := func(p []byte, pos int64) (int, error) {
 		for _, seg := range f.blt.Segments(pos, int64(len(p))) {
 			dst := p[seg.Off-pos : seg.Off-pos+seg.Len]
@@ -149,7 +178,13 @@ func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File) error {
 			if err != nil {
 				return 0, err
 			}
-			if _, err := sh.ReadAt(dst, seg.Off); err != nil && !errors.Is(err, io.EOF) {
+			segOff := seg.Off
+			if err := m.tierIO(seg.Val, func() error {
+				if _, rerr := sh.ReadAt(dst, segOff); rerr != nil && !errors.Is(rerr, io.EOF) {
+					return rerr
+				}
+				return nil
+			}); err != nil {
 				return 0, err
 			}
 		}
@@ -158,8 +193,10 @@ func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File) error {
 		return len(p), nil
 	}
 	write := func(p []byte, pos int64) error {
-		_, err := rh.WriteAt(p, pos)
-		return err
+		return m.tierIO(rtier, func() error {
+			_, err := rh.WriteAt(p, pos)
+			return err
+		})
 	}
 	if f.meta.Size > 0 {
 		whole := []vfs.Extent{{Off: 0, Len: f.meta.Size}}
@@ -171,10 +208,11 @@ func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File) error {
 }
 
 // mirrorWriteLocked mirrors one user write to the replica. Caller holds
-// f.mu. Mirror failures are returned so callers surface degraded
-// replication instead of silently diverging.
+// f.mu. Mirror failures are returned so the caller can mark the replica
+// degraded; an already-degraded mirror is skipped (it diverged — more
+// writes cannot un-diverge it, only RepairFile can).
 func (m *Mux) mirrorWriteLocked(f *muxFile, p []byte, off int64) error {
-	if f.replica < 0 {
+	if f.replica < 0 || f.replicaDegraded {
 		return nil
 	}
 	t, err := m.tier(f.replica)
@@ -185,31 +223,52 @@ func (m *Mux) mirrorWriteLocked(f *muxFile, p []byte, off int64) error {
 	if err != nil {
 		return fmt.Errorf("replica handle: %w", err)
 	}
-	if _, err := rh.WriteAt(p, off); err != nil {
+	if err := m.tierIO(f.replica, func() error {
+		_, werr := rh.WriteAt(p, off)
+		return werr
+	}); err != nil {
 		return fmt.Errorf("replica write: %w", err)
 	}
 	return nil
 }
 
 // readWithReplicaFallback retries a failed segment read from the replica.
-// Returns the original error if no replica exists or the replica also
-// fails.
+// Returns the original error if no replica exists, the replica is
+// degraded (it diverged after a failed mirror write — serving it would
+// return stale data), or the replica read fails or comes up short. A
+// short replica (e.g. a truncate-then-extend raced the mirror) zeroes the
+// unread tail so no stale bytes from the failed authoritative read leak
+// into the caller's buffer.
 func (m *Mux) readWithReplicaFallback(f *muxFile, dst []byte, off int64, orig error) error {
 	f.mu.Lock()
 	replica := f.replica
+	degraded := f.replicaDegraded
 	var rh vfs.File
 	var err error
-	if replica >= 0 {
+	if replica >= 0 && !degraded {
 		var t *Tier
 		if t, err = m.tier(replica); err == nil {
 			rh, err = m.ensureHandleLocked(f, t)
 		}
 	}
 	f.mu.Unlock()
-	if replica < 0 || err != nil || rh == nil {
+	if replica < 0 || degraded || err != nil || rh == nil {
 		return orig
 	}
-	if _, rerr := rh.ReadAt(dst, off); rerr != nil && !errors.Is(rerr, io.EOF) {
+	nr := 0
+	if rerr := m.tierIO(replica, func() error {
+		var e error
+		// io.EOF here is a logical short read, not a device fault: strip it
+		// so it neither trips the breaker nor masks the shortfall below.
+		if nr, e = rh.ReadAt(dst, off); e != nil && !errors.Is(e, io.EOF) {
+			return e
+		}
+		return nil
+	}); rerr != nil {
+		return orig
+	}
+	if nr < len(dst) {
+		zero(dst[nr:])
 		return orig
 	}
 	return nil

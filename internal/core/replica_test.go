@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"muxfs/internal/device"
 	"muxfs/internal/policy"
 )
 
@@ -130,6 +131,180 @@ func TestRepairFileAfterReplicaOutage(t *testing.T) {
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatal("repaired replica diverged")
+	}
+}
+
+func TestClearReplicaPropagatesReclaimFailure(t *testing.T) {
+	// Regression: ClearReplica used to drop the replica mark first and
+	// reclaim second, so a failed reclaim leaked the mirror bytes forever —
+	// with the mark gone, nothing knew the mirror existed. Now reclamation
+	// runs first and its error propagates, leaving the file replicated so a
+	// retry can still find and free the mirror.
+	r := newRig(t, policy.Pinned{Tier: 1}, false)
+	f := writeFile(t, r.m, "/leak", bytes.Repeat([]byte{3}, 16*1024))
+	defer f.Close()
+	if err := r.m.SetReplica("/leak", r.ids.pm); err != nil {
+		t.Fatal(err)
+	}
+	// The replica device dies; punching the mirror cannot commit.
+	r.pm.InjectFailure(true)
+	if err := r.m.ClearReplica("/leak"); err == nil {
+		t.Fatal("ClearReplica succeeded with an unreachable mirror")
+	}
+	if got, _ := r.m.Replica("/leak"); got != r.ids.pm {
+		t.Fatalf("failed clear dropped the replica mark (replica=%d) — the mirror would leak", got)
+	}
+	// After the device returns the retry reclaims and clears.
+	r.pm.InjectFailure(false)
+	if err := r.m.ClearReplica("/leak"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.m.Replica("/leak"); got != -1 {
+		t.Fatalf("replica still set after successful clear: %d", got)
+	}
+	if fi, err := r.m.Tiers()[0].FS.Stat("/leak"); err == nil && fi.Blocks != 0 {
+		t.Fatalf("mirror still holds %d bytes after clear", fi.Blocks)
+	}
+}
+
+func TestReplicaFallbackShortMirrorZeroesTail(t *testing.T) {
+	// Regression: when the replica came up short, the fallback used to
+	// return success with whatever stale bytes the failed authoritative
+	// read left in the tail of the buffer. A short mirror must zero the
+	// unread tail and surface the original error.
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	const size = 16 * 1024
+	payload := bytes.Repeat([]byte{0x5A}, size)
+	f := writeFile(t, r.m, "/short", payload)
+	defer f.Close()
+	if err := r.m.SetReplica("/short", r.ids.ssd); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the mirror behind Mux's back, as a truncate racing the mirror
+	// write would.
+	rh, err := r.m.Tiers()[1].FS.Open("/short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rh.Truncate(size / 2); err != nil {
+		t.Fatal(err)
+	}
+	rh.Close()
+
+	r.pm.InjectFailure(true)
+	defer r.pm.InjectFailure(false)
+	buf := bytes.Repeat([]byte{0xFF}, size) // sentinel: stale bytes must not survive
+	if _, err := f.ReadAt(buf, 0); err == nil {
+		t.Fatal("short replica read reported success")
+	}
+	for i := size / 2; i < size; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("stale byte %#x leaked at offset %d past the short mirror", buf[i], i)
+		}
+	}
+}
+
+func TestDegradedMirrorSkippedUntilRepaired(t *testing.T) {
+	// Regression: a failed mirror write used to fail the user write while
+	// leaving the replica silently diverged — later fallback reads served
+	// stale data as if it were good. Now the user write succeeds, the
+	// replica is marked degraded, the fallback refuses it, and RepairFile
+	// restores service.
+	// Authoritative on SSD, mirrored on PM: novafs commits writes to the
+	// device synchronously, so an injected PM fault hits the mirror write
+	// itself (xfslite's write-back cache would absorb it).
+	r := newRig(t, policy.Pinned{Tier: 1}, false)
+	const size = 32 * 1024
+	payload := bytes.Repeat([]byte{0x11}, size)
+	f := writeFile(t, r.m, "/div", payload)
+	defer f.Close()
+	if err := r.m.SetReplica("/div", r.ids.pm); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica device faults exactly while a write's mirror lands.
+	r.pm.InjectFaults(device.FaultPlan{Seed: 5, WriteErrProb: 1, Sticky: true})
+	patch := bytes.Repeat([]byte{0x22}, 8*1024)
+	if _, err := f.WriteAt(patch, 0); err != nil {
+		t.Fatalf("user write failed on a mirror fault: %v", err)
+	}
+	copy(payload, patch)
+	r.pm.ClearFaults()
+
+	degraded := false
+	for _, h := range r.m.TierHealth() {
+		if h.TierID == r.ids.pm && h.DegradedReplicas == 1 {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatal("mirror-write fault did not mark the replica degraded")
+	}
+
+	// The stale mirror on the PM tier still holds pre-patch bytes; repair
+	// re-mirrors it from the authoritative copy.
+	if err := r.m.RepairFile("/div"); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range r.m.TierHealth() {
+		if h.TierID == r.ids.pm && h.DegradedReplicas != 0 {
+			t.Fatal("repair left the replica marked degraded")
+		}
+	}
+	mh, err := r.m.Tiers()[0].FS.Open("/div")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mh.Close()
+	mirror := make([]byte, size)
+	if _, err := mh.ReadAt(mirror, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mirror, payload) {
+		t.Fatal("repaired mirror does not match the authoritative copy")
+	}
+}
+
+func TestDegradedMirrorRefusedByFallback(t *testing.T) {
+	// A replica that diverged after a failed mirror write (the degraded
+	// mark; see TestDegradedMirrorSkippedUntilRepaired for the marking
+	// path) must never serve fallback reads — stale data passed off as
+	// good is worse than an error. RepairFile restores fallback service.
+	r := newRig(t, policy.Pinned{Tier: 0}, false)
+	const size = 32 * 1024
+	payload := bytes.Repeat([]byte{0x66}, size)
+	f := writeFile(t, r.m, "/stale", payload)
+	defer f.Close()
+	if err := r.m.SetReplica("/stale", r.ids.ssd); err != nil {
+		t.Fatal(err)
+	}
+	r.m.mu.Lock()
+	mf, err := r.m.lookupFile("/stale")
+	r.m.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.mu.Lock()
+	mf.replicaDegraded = true
+	mf.mu.Unlock()
+
+	r.pm.InjectFailure(true)
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err == nil {
+		t.Fatal("fallback served a mirror marked degraded")
+	}
+	r.pm.InjectFailure(false)
+
+	if err := r.m.RepairFile("/stale"); err != nil {
+		t.Fatal(err)
+	}
+	r.pm.InjectFailure(true)
+	defer r.pm.InjectFailure(false)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("repaired mirror diverged")
 	}
 }
 

@@ -17,6 +17,18 @@ const heatDecay = 0.5
 // migration engine (engine.go) and the OCC Synchronizer. It returns the
 // round's MigrationStats.
 func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
+	// Reintegration: a quarantined tier recovered since the last round
+	// (health.go flagged it); re-mirror the replicas that degraded during
+	// the outage before planning, so the round sees repaired state.
+	repaired := 0
+	if m.repairPending.CompareAndSwap(true, false) {
+		n, err := m.RepairDegradedReplicas()
+		repaired = n
+		if err != nil && m.migLogf != nil {
+			m.migLogf("mux %s: replica repair incomplete: %v", m.name, err)
+		}
+	}
+
 	tiers := m.tierInfos()
 	if len(tiers) == 0 {
 		return MigrationStats{}, ErrNoTiers
@@ -50,9 +62,27 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 	}
 
 	moves := m.policy().PlanMigrations(tiers, stats, m.now())
-	m.orderMoves(moves)
 
-	st, err := m.executeMoves(moves)
+	// Quarantined tiers were already hidden from the planning snapshot, but
+	// a policy may still propose moves touching one (Pinned ignores the
+	// tier list; a breaker can open between snapshot and here). Drop them —
+	// Planned keeps the policy's proposal count.
+	planned := len(moves)
+	quarantineSkipped := 0
+	kept := moves[:0]
+	for _, mv := range moves {
+		if m.tierQuarantined(mv.SrcTier) || m.tierQuarantined(mv.DstTier) {
+			quarantineSkipped++
+			continue
+		}
+		kept = append(kept, mv)
+	}
+	m.orderMoves(kept)
+
+	st, err := m.executeMoves(kept)
+	st.Planned = planned
+	st.QuarantineSkipped += quarantineSkipped
+	st.ReplicasRepaired = repaired
 	if err == nil {
 		// Heat decays only once the round has fully executed. Decaying at
 		// snapshot time (the old behavior) cooled the working set even when
@@ -121,9 +151,9 @@ func (m *Mux) PolicyRunner(interval time.Duration, stop <-chan struct{}) {
 			}
 			if err != nil {
 				m.migLogf("mux %s: policy round failed: %v", m.name, err)
-			} else if st.Planned > 0 {
-				m.migLogf("mux %s: policy round: planned=%d executed=%d skipped=%d conflicts=%d bytes=%d virt=%v wall=%v",
-					m.name, st.Planned, st.Executed, st.Skipped, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
+			} else if st.Planned > 0 || st.ReplicasRepaired > 0 {
+				m.migLogf("mux %s: policy round: planned=%d executed=%d skipped=%d qskipped=%d repaired=%d conflicts=%d bytes=%d virt=%v wall=%v",
+					m.name, st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.ReplicasRepaired, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
 			}
 		}
 	}

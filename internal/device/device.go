@@ -3,7 +3,9 @@ package device
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"muxfs/internal/simclock"
 )
@@ -14,7 +16,46 @@ var (
 	ErrOutOfRange = errors.New("device: access out of range")
 	// ErrShortBuffer reports an empty or nil transfer buffer.
 	ErrShortBuffer = errors.New("device: zero-length transfer")
+	// ErrInjectedFault is the base error of every injected device fault.
+	// Sticky faults and the all-or-nothing InjectFailure mode wrap it
+	// directly; a device returning it is down until service is restored.
+	ErrInjectedFault = errors.New("injected fault")
+	// ErrTransientFault marks a one-shot injected fault: the device is not
+	// latched failed and the next attempt may succeed. It wraps
+	// ErrInjectedFault, so errors.Is(err, ErrInjectedFault) matches both.
+	ErrTransientFault = fmt.Errorf("%w (transient)", ErrInjectedFault)
 )
+
+// IsFault reports whether err originates from fault injection (transient or
+// sticky), as opposed to a genuine usage error like ErrOutOfRange.
+func IsFault(err error) bool { return errors.Is(err, ErrInjectedFault) }
+
+// IsTransient reports whether err is a transient injected fault — the kind a
+// bounded retry may absorb.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransientFault) }
+
+// FaultPlan configures probabilistic partial fault injection on a device.
+// Unlike InjectFailure's all-or-nothing switch, a plan makes individual
+// operations fail (or stall) with the given probabilities, seeded so a
+// fault drill replays the exact same fault sequence for a given op order.
+type FaultPlan struct {
+	// Seed initializes the fault RNG; the same seed and operation sequence
+	// reproduce the same faults.
+	Seed int64
+	// ReadErrProb and WriteErrProb are per-operation error probabilities in
+	// [0, 1] for ReadAt and WriteAt respectively.
+	ReadErrProb  float64
+	WriteErrProb float64
+	// LatencyProb is the per-operation probability of a latency spike of
+	// LatencySpike charged to the virtual clock (a stalling-but-working
+	// device, the gray-failure mode).
+	LatencyProb  float64
+	LatencySpike time.Duration
+	// Sticky latches the device into the hard-failed state on the first
+	// injected error (a dying device); otherwise faults are transient and
+	// the next operation may succeed (a flaky link or media retry).
+	Sticky bool
+}
 
 const pageSize = 4096 // internal storage granule, independent of Profile.BlockSize
 
@@ -33,7 +74,9 @@ type Device struct {
 	pages   map[int64][]byte // pageNo -> 4 KiB page (current contents)
 	shadow  map[int64][]byte // pageNo -> durable copy for pages dirtied since last persist; nil entry = page did not exist
 	lastEnd int64            // end offset of the previous access, for seek detection
-	failed  bool             // set by InjectFailure: all ops error
+	failed  bool             // set by InjectFailure (or a sticky fault): all ops error
+	plan    FaultPlan        // probabilistic fault injection; zero = disabled
+	frand   *rand.Rand       // fault RNG, non-nil only while a plan is active
 
 	stats Stats
 }
@@ -80,7 +123,10 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
-		return 0, fmt.Errorf("device %s: injected failure", d.prof.Name)
+		return 0, fmt.Errorf("device %s: %w", d.prof.Name, ErrInjectedFault)
+	}
+	if err := d.faultCheck(false); err != nil {
+		return 0, err
 	}
 	d.charge(off, len(p), false)
 	d.copyOut(p, off)
@@ -100,7 +146,10 @@ func (d *Device) WriteAt(p []byte, off int64) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
-		return 0, fmt.Errorf("device %s: injected failure", d.prof.Name)
+		return 0, fmt.Errorf("device %s: %w", d.prof.Name, ErrInjectedFault)
+	}
+	if err := d.faultCheck(true); err != nil {
+		return 0, err
 	}
 	d.charge(off, len(p), true)
 	d.copyIn(p, off)
@@ -119,7 +168,7 @@ func (d *Device) Persist(off, n int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
-		return fmt.Errorf("device %s: injected failure", d.prof.Name)
+		return fmt.Errorf("device %s: %w", d.prof.Name, ErrInjectedFault)
 	}
 	d.clk.Advance(d.prof.PersistLatency)
 	d.stats.addPersist()
@@ -199,6 +248,54 @@ func (d *Device) InjectFailure(fail bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = fail
+}
+
+// InjectFaults arms probabilistic fault injection with the given plan,
+// replacing any previous plan and reseeding the fault RNG. A zero plan is
+// equivalent to ClearFaults.
+func (d *Device) InjectFaults(plan FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if plan == (FaultPlan{}) {
+		d.plan, d.frand = FaultPlan{}, nil
+		return
+	}
+	d.plan = plan
+	d.frand = rand.New(rand.NewSource(plan.Seed))
+}
+
+// ClearFaults disarms probabilistic fault injection and releases a sticky
+// fault latch (InjectFailure's switch included), restoring full service.
+func (d *Device) ClearFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plan, d.frand = FaultPlan{}, nil
+	d.failed = false
+}
+
+// faultCheck rolls the active fault plan for one operation: possibly charge
+// a latency spike, then possibly fail the op. Caller holds d.mu.
+func (d *Device) faultCheck(write bool) error {
+	if d.frand == nil {
+		return nil
+	}
+	if d.plan.LatencyProb > 0 && d.frand.Float64() < d.plan.LatencyProb {
+		d.clk.Advance(d.plan.LatencySpike)
+		d.stats.addSpike(d.plan.LatencySpike)
+	}
+	p := d.plan.ReadErrProb
+	if write {
+		p = d.plan.WriteErrProb
+	}
+	if p > 0 && d.frand.Float64() < p {
+		d.stats.addFault()
+		if d.plan.Sticky {
+			d.failed = true
+			return fmt.Errorf("device %s: %w", d.prof.Name, ErrInjectedFault)
+		}
+		return fmt.Errorf("device %s: %w", d.prof.Name, ErrTransientFault)
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the device's I/O statistics.

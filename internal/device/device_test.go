@@ -284,3 +284,112 @@ func TestProfileClassString(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	// The same seed and op sequence must produce the same fault sequence.
+	run := func() []bool {
+		d, _ := newTestDev(t, SSDProfile("ssd0"))
+		d.InjectFaults(FaultPlan{Seed: 42, ReadErrProb: 0.3})
+		buf := make([]byte, 512)
+		outcomes := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			_, err := d.ReadAt(buf, int64(i)*4096)
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at op %d", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("faults = %d/%d, want a partial failure pattern", faults, len(a))
+	}
+}
+
+func TestFaultPlanTransientVsSticky(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	buf := make([]byte, 512)
+
+	// Transient: every op rolls independently; the device never latches.
+	d.InjectFaults(FaultPlan{Seed: 1, WriteErrProb: 0.5})
+	sawErr, sawOK := false, false
+	for i := 0; i < 64; i++ {
+		_, err := d.WriteAt(buf, 0)
+		if err != nil {
+			sawErr = true
+			if !IsTransient(err) || !IsFault(err) {
+				t.Fatalf("transient fault misclassified: %v", err)
+			}
+		} else {
+			sawOK = true
+		}
+	}
+	if !sawErr || !sawOK {
+		t.Fatalf("transient plan: sawErr=%v sawOK=%v, want both", sawErr, sawOK)
+	}
+
+	// Sticky: the first fault latches the device hard-failed.
+	d.InjectFaults(FaultPlan{Seed: 1, WriteErrProb: 1, Sticky: true})
+	_, err := d.WriteAt(buf, 0)
+	if !IsFault(err) || IsTransient(err) {
+		t.Fatalf("sticky fault misclassified: %v", err)
+	}
+	d.InjectFaults(FaultPlan{}) // disarm the plan; the latch must remain
+	if _, err := d.ReadAt(buf, 0); !IsFault(err) {
+		t.Fatalf("sticky latch did not persist: %v", err)
+	}
+	d.ClearFaults()
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("ClearFaults did not restore service: %v", err)
+	}
+}
+
+func TestFaultPlanLatencySpikes(t *testing.T) {
+	d, clk := newTestDev(t, SSDProfile("ssd0"))
+	buf := make([]byte, 512)
+	base := func() time.Duration {
+		start := clk.Now()
+		if _, err := d.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		return clk.Now() - start
+	}()
+	d.InjectFaults(FaultPlan{Seed: 7, LatencyProb: 1, LatencySpike: time.Millisecond})
+	start := clk.Now()
+	if _, err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now() - start; got < base+time.Millisecond {
+		t.Fatalf("spiked read cost %v, want >= %v", got, base+time.Millisecond)
+	}
+	if s := d.Stats(); s.LatencySpikes == 0 || s.SpikeTime < time.Millisecond {
+		t.Fatalf("spike stats not recorded: %+v", s)
+	}
+}
+
+func TestInjectFailureWrapsSentinel(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	d.InjectFailure(true)
+	if _, err := d.ReadAt(make([]byte, 8), 0); !IsFault(err) || IsTransient(err) {
+		t.Fatalf("InjectFailure error misclassified: %v", err)
+	}
+}
+
+func TestFaultStatsCounted(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	d.InjectFaults(FaultPlan{Seed: 9, ReadErrProb: 1})
+	buf := make([]byte, 8)
+	for i := 0; i < 5; i++ {
+		d.ReadAt(buf, 0)
+	}
+	if s := d.Stats(); s.Faults != 5 {
+		t.Fatalf("Faults = %d, want 5", s.Faults)
+	}
+}

@@ -14,12 +14,22 @@ type Stats struct {
 	// BusyTime is the total virtual time this device spent servicing
 	// requests (the device's contribution to the shared clock).
 	BusyTime time.Duration
+	// Faults counts operations failed by probabilistic fault injection;
+	// LatencySpikes counts injected stalls and SpikeTime their total cost.
+	Faults        int64
+	LatencySpikes int64
+	SpikeTime     time.Duration
 }
 
 func (s *Stats) addRead(n int64)  { s.Reads++; s.BytesRead += n }
 func (s *Stats) addWrite(n int64) { s.Writes++; s.BytesWritten += n }
 func (s *Stats) addPersist()      { s.Persists++ }
 func (s *Stats) addBusy(ns int64) { s.BusyTime += time.Duration(ns) }
+func (s *Stats) addFault()        { s.Faults++ }
+func (s *Stats) addSpike(d time.Duration) {
+	s.LatencySpikes++
+	s.SpikeTime += d
+}
 
 func (s *Stats) snapshot() Stats { return *s }
 
@@ -27,12 +37,15 @@ func (s *Stats) snapshot() Stats { return *s }
 // one phase of a workload.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Reads:        s.Reads - prev.Reads,
-		Writes:       s.Writes - prev.Writes,
-		Persists:     s.Persists - prev.Persists,
-		BytesRead:    s.BytesRead - prev.BytesRead,
-		BytesWritten: s.BytesWritten - prev.BytesWritten,
-		BusyTime:     s.BusyTime - prev.BusyTime,
+		Reads:         s.Reads - prev.Reads,
+		Writes:        s.Writes - prev.Writes,
+		Persists:      s.Persists - prev.Persists,
+		BytesRead:     s.BytesRead - prev.BytesRead,
+		BytesWritten:  s.BytesWritten - prev.BytesWritten,
+		BusyTime:      s.BusyTime - prev.BusyTime,
+		Faults:        s.Faults - prev.Faults,
+		LatencySpikes: s.LatencySpikes - prev.LatencySpikes,
+		SpikeTime:     s.SpikeTime - prev.SpikeTime,
 	}
 }
 

@@ -39,8 +39,15 @@ type Extent = vfs.Extent
 type OCCStats = core.OCCStats
 
 // MigrationStats summarizes one Policy Runner round: moves planned,
-// executed, skipped, OCC conflicts, bytes moved, and virtual/wall time.
+// executed, skipped (including moves dropped against quarantined tiers),
+// replicas repaired by reintegration, OCC conflicts, bytes moved, and
+// virtual/wall time.
 type MigrationStats = core.MigrationStats
+
+// TierHealthInfo is a per-tier health snapshot: breaker state, device-fault
+// and retry counters, and the number of replicas degraded onto other tiers
+// while this tier was quarantined.
+type TierHealthInfo = core.TierHealthInfo
 
 // CacheStats reports SCM cache counters.
 type CacheStats = core.CacheStats
@@ -87,4 +94,5 @@ var (
 	ErrTierBusy        = core.ErrTierBusy
 	ErrUnknownTier     = core.ErrUnknownTier
 	ErrMigrationActive = core.ErrMigrationActive
+	ErrTierQuarantined = core.ErrTierQuarantined
 )
