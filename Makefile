@@ -16,15 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# smoke runs the E6 fault drill end to end: injected device faults, breaker
-# quarantine, replica fallback, and reintegration must all hold (the drill
-# is virtual-time deterministic, so it doubles as a regression oracle).
+# smoke runs the E6 fault drill and the E7 fan-out comparison end to end:
+# injected device faults, breaker quarantine, replica fallback, and
+# reintegration must all hold (the drill is virtual-time deterministic, so
+# it doubles as a regression oracle), and the parallel data path must stay
+# byte-identical and placement-deterministic while beating serial dispatch.
 smoke:
 	$(GO) run ./cmd/muxbench -exp e6
+	$(GO) run ./cmd/muxbench -exp e7
 
 # check is the CI gate: compile everything, vet, the full test suite under
-# the race detector (the migration engine is concurrent; -race is
-# load-bearing, not optional), then the fault-drill smoke.
+# the race detector (the migration and fan-out engines are concurrent;
+# -race is load-bearing, not optional), then the smoke experiments.
 check: build vet race smoke
 
 bench:

@@ -232,6 +232,21 @@ func BenchmarkMuxMigrate1MB(b *testing.B) {
 	}
 }
 
+func BenchmarkE7StripedRead(b *testing.B) {
+	// Whole-experiment benchmark: wall-clock read/write/fsync of files
+	// striped across all three tiers, serial dispatch vs parallel fan-out
+	// (the reported speedups are the metric; ns/op measures the harness).
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ReadSpeedup, "read-speedup-x")
+		b.ReportMetric(r.WriteSpeedup, "write-speedup-x")
+		b.ReportMetric(r.SyncSpeedup, "sync-speedup-x")
+	}
+}
+
 func BenchmarkA6Replication(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := bench.RunA6()

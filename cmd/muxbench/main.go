@@ -10,10 +10,13 @@
 //	muxbench -exp e4    # §3.2 write throughput overhead
 //	muxbench -exp e5    # parallel migration engine throughput
 //	muxbench -exp e6    # tier fault drill (quarantine + replica fallback)
+//	muxbench -exp e7    # data-path fan-out throughput
 //	muxbench -exp a1..a6  # ablations
+//	muxbench -json DIR  # also write BENCH_<exp>.json per experiment run
 //
 // All numbers are virtual-time measurements from the simulated device
-// models, so output is deterministic; see EXPERIMENTS.md for the
+// models, so output is deterministic (E5 and E7 additionally measure wall
+// clock under service-time governors); see EXPERIMENTS.md for the
 // paper-vs-measured comparison.
 package main
 
@@ -27,12 +30,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, a1, a2, a3, a4, a5, a6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, a1, a2, a3, a4, a5, a6")
+	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
 	flag.Parse()
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	ran := false
 	out := os.Stdout
+	emit := func(name string, r any) {
+		if *jsonDir == "" {
+			return
+		}
+		path, err := bench.WriteJSON(*jsonDir, name, r)
+		fail(err)
+		fmt.Fprintf(out, "  [json: %s]\n", path)
+	}
 
 	if want("e1") {
 		ran = true
@@ -40,6 +52,7 @@ func main() {
 		r, err := bench.RunE1()
 		fail(err)
 		bench.FormatE1(out, r)
+		emit("e1", r)
 	}
 	if want("e2") {
 		ran = true
@@ -47,6 +60,7 @@ func main() {
 		r, err := bench.RunE2()
 		fail(err)
 		bench.FormatE2(out, r)
+		emit("e2", r)
 	}
 	if want("e3") {
 		ran = true
@@ -54,6 +68,7 @@ func main() {
 		r, err := bench.RunE3()
 		fail(err)
 		bench.FormatE3(out, r)
+		emit("e3", r)
 	}
 	if want("e4") {
 		ran = true
@@ -61,6 +76,7 @@ func main() {
 		r, err := bench.RunE4()
 		fail(err)
 		bench.FormatE4(out, r)
+		emit("e4", r)
 	}
 	if want("e5") {
 		ran = true
@@ -68,6 +84,7 @@ func main() {
 		r, err := bench.RunE5()
 		fail(err)
 		bench.FormatE5(out, r)
+		emit("e5", r)
 	}
 	if want("e6") {
 		ran = true
@@ -75,6 +92,15 @@ func main() {
 		r, err := bench.RunE6()
 		fail(err)
 		bench.FormatE6(out, r)
+		emit("e6", r)
+	}
+	if want("e7") {
+		ran = true
+		bench.Rule(out, "E7 — data-path fan-out")
+		r, err := bench.RunE7()
+		fail(err)
+		bench.FormatE7(out, r)
+		emit("e7", r)
 	}
 	if want("a1") {
 		ran = true
@@ -82,6 +108,7 @@ func main() {
 		r, err := bench.RunA1()
 		fail(err)
 		bench.FormatA1(out, r)
+		emit("a1", r)
 	}
 	if want("a2") {
 		ran = true
@@ -89,6 +116,7 @@ func main() {
 		r, err := bench.RunA2()
 		fail(err)
 		bench.FormatA2(out, r)
+		emit("a2", r)
 	}
 	if want("a3") {
 		ran = true
@@ -96,6 +124,7 @@ func main() {
 		r, err := bench.RunA3()
 		fail(err)
 		bench.FormatA3(out, r)
+		emit("a3", r)
 	}
 	if want("a4") {
 		ran = true
@@ -103,6 +132,7 @@ func main() {
 		r, err := bench.RunA4()
 		fail(err)
 		bench.FormatA4(out, r)
+		emit("a4", r)
 	}
 	if want("a5") {
 		ran = true
@@ -110,6 +140,7 @@ func main() {
 		r, err := bench.RunA5()
 		fail(err)
 		bench.FormatA5(out, r)
+		emit("a5", r)
 	}
 	if want("a6") {
 		ran = true
@@ -117,6 +148,7 @@ func main() {
 		r, err := bench.RunA6()
 		fail(err)
 		bench.FormatA6(out, r)
+		emit("a6", r)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "muxbench: unknown experiment %q\n", *exp)

@@ -101,10 +101,14 @@ type slowFS struct {
 	mu        sync.Mutex
 	busyUntil time.Time
 	armed     atomic.Bool
+	// syncCharge is the bytes-equivalent charged per fsync (flush work is
+	// not proportional to the request size). Zero — the E5 default — makes
+	// fsync free, so adding the knob changes no existing measurement.
+	syncCharge int
 }
 
 func (s *slowFS) serve(n int) {
-	if !s.armed.Load() {
+	if n <= 0 || !s.armed.Load() {
 		return
 	}
 	d := time.Duration(n) * e5ServiceTime
@@ -149,6 +153,11 @@ func (f *slowFile) ReadAt(p []byte, off int64) (int, error) {
 func (f *slowFile) WriteAt(p []byte, off int64) (int, error) {
 	f.fs.serve(len(p))
 	return f.File.WriteAt(p, off)
+}
+
+func (f *slowFile) Sync() error {
+	f.fs.serve(f.fs.syncCharge)
+	return f.File.Sync()
 }
 
 // e5Stack is a three-tier Mux whose tiers sit behind slowFS governors.

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -100,6 +103,45 @@ func FormatE6(w io.Writer, r *E6Result) {
 		det = "COUNTERS DIVERGED — nondeterministic drill"
 	}
 	fmt.Fprintf(w, "  determinism: %s\n", det)
+}
+
+// FormatE7 prints the data-path fan-out comparison.
+func FormatE7(w io.Writer, r *E7Result) {
+	fmt.Fprintln(w, "E7 — data-path fan-out: full-file reads/writes/fsyncs, 6 files x 3 MiB striped across 3 tiers")
+	fmt.Fprintln(w, "  (wall time under per-device service-time governors; serial dispatch pays the sum of tiers, fan-out the max)")
+	fmt.Fprintf(w, "  %-8s %12s %12s %12s %10s %10s %10s\n",
+		"Width", "Read ms", "Write ms", "Sync ms", "R-speedup", "W-speedup", "S-speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %12.1f %12.1f %12.1f %9.2fx %9.2fx %9.2fx\n",
+			row.Width, row.ReadWallMs, row.WriteWallMs, row.SyncWallMs,
+			row.ReadSpeedup, row.WriteSpeedup, row.SyncSpeedup)
+	}
+	id := "byte-identical data at every width"
+	if !r.ByteIdentical {
+		id = "DATA DIVERGED — fan-out corrupted bytes"
+	}
+	det := "identical placement at every width"
+	if !r.Deterministic {
+		det = "PLACEMENT DIVERGED — nondeterministic data path"
+	}
+	fmt.Fprintf(w, "  integrity: %s; determinism: %s\n", id, det)
+}
+
+// WriteJSON writes one experiment's result to <dir>/BENCH_<exp>.json as
+// indented JSON, so the perf trajectory is machine-readable across runs.
+func WriteJSON(dir, exp string, result any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(map[string]any{"experiment": exp, "result": result}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // Rule prints a section separator.

@@ -216,7 +216,12 @@ func (m *Mux) tierThrottles(workers int) map[int]chan struct{} {
 // rotational devices take a single stream (parallel streams would only add
 // seeks), solid-state tiers get one slot per ~512 MiB/s of sustained
 // bandwidth, capped at the pool size. A PM tier therefore admits the whole
-// pool while an HDD tier admits one mover at a time.
+// pool while an HDD tier admits one mover at a time. The data-path fan-out
+// sizes its persistent per-tier semaphores with the same rule (mux.go
+// AddTier, capped at maxTierIOWidth) — the engine's per-round throttles
+// stay separate instances because movers hold their slots across whole
+// MigrateRange calls, which take f.mu; sharing them with the data path
+// (which fans out while holding f.mu on writes) could deadlock.
 func tierWidth(p device.Profile, workers int) int {
 	if workers < 1 {
 		workers = 1

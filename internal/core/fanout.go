@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"sync"
+
+	"muxfs/internal/vfs"
+)
+
+// The data-path fan-out engine parallelizes the user-facing hot path the
+// same way engine.go parallelizes migration: when one ReadAt/WriteAt plan
+// spans more than one tier, the per-tier segment groups dispatch
+// concurrently, so a file striped across PM+SSD+HDD pays the *max* of the
+// device times instead of the sum (§3.2's Mux overhead is the cost of
+// indirection; this claws back wall-clock time the indirection makes
+// available). Sync() fans out to every participating file system the same
+// way. Three rules keep it safe and deterministic:
+//
+//   - Groups, not segments, are the unit of parallelism. All segments of a
+//     request that target one tier run in file order on one goroutine, and
+//     groups touch disjoint tiers (distinct downward handles and file
+//     systems), so no two goroutines of a request ever share a downward
+//     handle. Buffer ranges are disjoint by construction (the plan tiles
+//     the request), so results are byte-identical to serial dispatch.
+//   - Every segment still goes through tierIO (health.go): retry/backoff,
+//     breaker fail-fast, and per-segment replica fallback compose with the
+//     fan-out unchanged. Per-tier semaphores — sized by the same tierWidth
+//     rule the migration engine uses (engine.go) — bound how many data-path
+//     ops pile onto one device, so a rotational tier is never seek-thrashed
+//     by concurrent fan-outs.
+//   - Semaphore holders never block on a file's bookkeeping lock. The write
+//     path fans out while holding f.mu, so a slot holder that waited on
+//     f.mu could deadlock against it; slots are therefore held only around
+//     the raw tierIO call (replica fallback, which re-locks f.mu, runs
+//     after release). This is also why the data path does not share the
+//     migration engine's per-round semaphores: the engine holds its slots
+//     across a whole MigrateRange, which takes f.mu to validate and commit.
+//
+// Errors keep serial semantics where it matters: the reported error is the
+// one belonging to the earliest group in plan order, so a multi-tier
+// failure surfaces deterministically regardless of goroutine interleaving.
+
+// defaultDataFanout is the default bound on concurrent per-tier groups per
+// request. Requests never split into more groups than live tiers, so the
+// default simply means "always overlap"; 1 degrades to serial dispatch.
+const defaultDataFanout = 8
+
+// maxTierIOWidth caps a tier's data-path semaphore width (tierWidth derives
+// the actual width from the device profile: 1 for rotational tiers, one
+// slot per ~512 MiB/s of sustained bandwidth otherwise).
+const maxTierIOWidth = 16
+
+// ioSeg is one downward segment of a split request: the cached handle, the
+// tier to charge, the file range, and where the segment's bytes live in the
+// caller's buffer.
+type ioSeg struct {
+	h        vfs.File
+	tier     int
+	off, ln  int64
+	bufStart int64
+}
+
+// planPool recycles request plan slices so steady-state multi-tier reads
+// and writes allocate nothing for the plan.
+var planPool = sync.Pool{
+	New: func() any {
+		s := make([]ioSeg, 0, 8)
+		return &s
+	},
+}
+
+func getPlan() *[]ioSeg {
+	p := planPool.Get().(*[]ioSeg)
+	*p = (*p)[:0]
+	return p
+}
+
+func putPlan(p *[]ioSeg) {
+	for i := range *p {
+		(*p)[i] = ioSeg{} // drop handle references
+	}
+	planPool.Put(p)
+}
+
+// SetDataFanout bounds how many per-tier segment groups of one request may
+// dispatch concurrently. Values below 1 clamp to 1 (serial dispatch, the
+// pre-fan-out behavior).
+func (m *Mux) SetDataFanout(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.fanWidth.Store(int32(n))
+}
+
+// DataFanout reports the configured fan-out width.
+func (m *Mux) DataFanout() int { return int(m.fanWidth.Load()) }
+
+// acquireIOSlot takes one data-path slot on tier id and returns its release
+// function. Unknown ids (no semaphore registered) are unbounded.
+func (m *Mux) acquireIOSlot(id int) func() {
+	tab := *m.ioSem.Load()
+	if id < 0 || id >= len(tab) {
+		return func() {}
+	}
+	c := tab[id]
+	c <- struct{}{}
+	return func() { <-c }
+}
+
+// readSegment serves one read segment: through the SCM cache when the tier
+// qualifies, otherwise straight from the downward handle, holding a
+// data-path slot for the duration of the device call. A short downward read
+// (io.EOF with partial n — e.g. the sparse file on that tier is shorter
+// than the mapped range after a racing truncate-extend) zeroes the unread
+// tail so stale caller-buffer bytes never masquerade as file content. On a
+// device error the segment retries against the file's replica, if any.
+func (m *Mux) readSegment(f *muxFile, scm *cacheCtl, dh vfs.File, tier int, dst []byte, off int64) error {
+	release := m.acquireIOSlot(tier)
+	var err error
+	if scm != nil && scm.cacheable(tier) {
+		err = m.tierIO(tier, func() error {
+			return scm.read(f.ino, tier, dh, dst, off)
+		})
+	} else {
+		err = m.tierIO(tier, func() error {
+			nr, rerr := dh.ReadAt(dst, off)
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				return rerr
+			}
+			if nr < len(dst) {
+				clear(dst[nr:])
+			}
+			return nil
+		})
+	}
+	release()
+	if err != nil {
+		return m.readWithReplicaFallback(f, dst, off, err)
+	}
+	return nil
+}
+
+// writeSegment writes one segment to its downward handle under a data-path
+// slot and the tier's health tracker.
+func (m *Mux) writeSegment(dh vfs.File, tier int, buf []byte, off int64) error {
+	release := m.acquireIOSlot(tier)
+	err := m.tierIO(tier, func() error {
+		_, werr := dh.WriteAt(buf, off)
+		return werr
+	})
+	release()
+	return err
+}
+
+// planTiers returns the distinct tiers of a plan in order of first
+// appearance — the fan-out groups.
+func planTiers(plan []ioSeg) []int {
+	tiers := make([]int, 0, 4)
+	for i := range plan {
+		seen := false
+		for _, t := range tiers {
+			if t == plan[i].tier {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			tiers = append(tiers, plan[i].tier)
+		}
+	}
+	return tiers
+}
+
+// fanoutRead dispatches a read plan. A single-tier plan (or fan-out width
+// 1) runs serially on the calling goroutine; otherwise each tier's segment
+// group runs concurrently, bounded by the fan-out width and the per-tier
+// data-path semaphores. The caller must not hold f.mu.
+func (m *Mux) fanoutRead(f *muxFile, scm *cacheCtl, p []byte, off int64, plan []ioSeg) error {
+	tiers := planTiers(plan)
+	if len(tiers) <= 1 || m.DataFanout() <= 1 {
+		for i := range plan {
+			s := &plan[i]
+			dst := p[s.bufStart : s.bufStart+s.ln]
+			if err := m.readSegment(f, scm, s.h, s.tier, dst, s.off); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	width := m.DataFanout()
+	gate := make(chan struct{}, width)
+	errs := make([]error, len(tiers))
+	var wg sync.WaitGroup
+	for gi, tid := range tiers {
+		wg.Add(1)
+		gate <- struct{}{}
+		go func(gi, tid int) {
+			defer wg.Done()
+			defer func() { <-gate }()
+			for i := range plan {
+				s := &plan[i]
+				if s.tier != tid {
+					continue
+				}
+				dst := p[s.bufStart : s.bufStart+s.ln]
+				if err := m.readSegment(f, scm, s.h, s.tier, dst, s.off); err != nil {
+					errs[gi] = err
+					return
+				}
+			}
+		}(gi, tid)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanoutWrite dispatches a write plan and reports, per segment, whether its
+// device write succeeded, plus the first error in group order. The caller
+// holds f.mu for the whole call (write atomicity), which is safe because
+// the spawned goroutines only touch downward handles and the per-tier
+// semaphores — never f. Serial dispatch stops at the first error (matching
+// the old write loop); parallel dispatch stops each *group* at its first
+// error, so segments of other tiers may still land — every landed segment
+// is reported so the caller repoints the BLT to match what the devices now
+// hold.
+func (m *Mux) fanoutWrite(p []byte, off int64, plan []ioSeg) ([]bool, error) {
+	done := make([]bool, len(plan))
+	tiers := planTiers(plan)
+	if len(tiers) <= 1 || m.DataFanout() <= 1 {
+		for i := range plan {
+			s := &plan[i]
+			buf := p[s.off-off : s.off-off+s.ln]
+			if err := m.writeSegment(s.h, s.tier, buf, s.off); err != nil {
+				return done, err
+			}
+			done[i] = true
+		}
+		return done, nil
+	}
+
+	width := m.DataFanout()
+	gate := make(chan struct{}, width)
+	errs := make([]error, len(tiers))
+	var wg sync.WaitGroup
+	for gi, tid := range tiers {
+		wg.Add(1)
+		gate <- struct{}{}
+		go func(gi, tid int) {
+			defer wg.Done()
+			defer func() { <-gate }()
+			for i := range plan {
+				s := &plan[i]
+				if s.tier != tid {
+					continue
+				}
+				buf := p[s.off-off : s.off-off+s.ln]
+				if err := m.writeSegment(s.h, s.tier, buf, s.off); err != nil {
+					errs[gi] = err
+					return
+				}
+				done[i] = true
+			}
+		}(gi, tid)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// syncTarget is one participating file system's handle in a Sync fan-out.
+type syncTarget struct {
+	tier int
+	dh   vfs.File
+}
+
+// fanoutSync fsyncs every target, in parallel when more than one tier
+// participates, each through its tier's health tracker and data-path
+// semaphore. The returned error is the lowest-tier failure (deterministic
+// regardless of completion order). The caller must not hold f.mu.
+func (m *Mux) fanoutSync(targets []syncTarget) error {
+	sort.Slice(targets, func(i, j int) bool { return targets[i].tier < targets[j].tier })
+	syncOne := func(t syncTarget) error {
+		release := m.acquireIOSlot(t.tier)
+		err := m.tierIO(t.tier, t.dh.Sync)
+		release()
+		return err
+	}
+	if len(targets) <= 1 || m.DataFanout() <= 1 {
+		for _, t := range targets {
+			if err := syncOne(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	width := m.DataFanout()
+	gate := make(chan struct{}, width)
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		gate <- struct{}{}
+		go func(i int, t syncTarget) {
+			defer wg.Done()
+			defer func() { <-gate }()
+			errs[i] = syncOne(t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

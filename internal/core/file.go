@@ -205,9 +205,25 @@ func (h *handle) check() error {
 	return nil
 }
 
+// touchReadLocked books one read: atime, heat, and the atime affinity owner
+// (§2.3) — updated only when it actually moved, so steady-state reads from
+// one tier don't rewrite the owner every op. Caller holds f.mu.
+func (f *muxFile) touchReadLocked(now time.Duration, lastTier int) {
+	f.meta.ATime = now
+	if lastTier >= 0 && f.aff.ATime != lastTier {
+		f.aff.ATime = lastTier
+	}
+	f.heat++
+	f.lastAccess = now
+}
+
 // ReadAt is the multiplexed read path: BLT lookup, split by tier, dispatch
 // downward, merge results (§2.2). The tier serving the last block becomes
-// the atime owner (§2.3).
+// the atime owner (§2.3). A request fully inside one mapped extent — the
+// overwhelmingly common case E3 measures — takes a fast path with no plan
+// allocation; a request spanning several tiers fans the per-tier segment
+// groups out concurrently (fanout.go). All bookkeeping happens inside the
+// single plan-building critical section, so the op takes f.mu exactly once.
 func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	m := h.m
 	if err := h.check(); err != nil {
@@ -230,21 +246,11 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 		n = f.meta.Size - off
 		short = true
 	}
-	segs := f.blt.Segments(off, n)
-	lastTier := -1
-	type ioSeg struct {
-		h        vfs.File
-		tier     int
-		off, ln  int64
-		bufStart int64
-	}
-	plan := make([]ioSeg, 0, len(segs))
-	for _, seg := range segs {
-		if seg.Hole {
-			zero(p[seg.Off-off : seg.Off-off+seg.Len])
-			continue
-		}
-		t, err := m.tierLockedFree(seg.Val)
+
+	// Fast path: the whole request lies inside one mapped extent. No plan,
+	// no segment walk, one downward call.
+	if tid, seg, ok := f.blt.Lookup(off); ok && seg.End() >= off+n {
+		t, err := m.tier(tid)
 		if err != nil {
 			f.mu.Unlock()
 			return 0, vfs.Errf("read", m.name, f.path, err)
@@ -254,47 +260,57 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 			f.mu.Unlock()
 			return 0, vfs.Errf("read", m.name, f.path, err)
 		}
+		f.touchReadLocked(m.now(), tid)
+		scm := m.scm
+		f.mu.Unlock()
+		if err := m.readSegment(f, scm, dh, tid, p[:n], off); err != nil {
+			return 0, vfs.Errf("read", m.name, f.path, err)
+		}
+		if short {
+			return int(n), io.EOF
+		}
+		return int(n), nil
+	}
+
+	segs := f.blt.Segments(off, n)
+	lastTier := -1
+	pp := getPlan()
+	plan := *pp
+	for _, seg := range segs {
+		if seg.Hole {
+			clear(p[seg.Off-off : seg.Off-off+seg.Len])
+			continue
+		}
+		t, err := m.tier(seg.Val)
+		if err != nil {
+			f.mu.Unlock()
+			putPlan(pp)
+			return 0, vfs.Errf("read", m.name, f.path, err)
+		}
+		dh, err := m.ensureHandleLocked(f, t)
+		if err != nil {
+			f.mu.Unlock()
+			putPlan(pp)
+			return 0, vfs.Errf("read", m.name, f.path, err)
+		}
 		plan = append(plan, ioSeg{h: dh, tier: seg.Val, off: seg.Off, ln: seg.Len, bufStart: seg.Off - off})
 		lastTier = seg.Val
 	}
+	f.touchReadLocked(m.now(), lastTier)
 	scm := m.scm
 	f.mu.Unlock()
 
 	// Downward reads happen outside the bookkeeping lock, each through the
 	// tier's health tracker (health.go): transient faults retry with
 	// backoff, a quarantined tier fails fast, and a failed segment read
-	// retries against the replica, if one exists (§4).
-	for _, s := range plan {
-		dst := p[s.bufStart : s.bufStart+s.ln]
-		var err error
-		if scm != nil && scm.cacheable(s.tier) {
-			err = m.tierIO(s.tier, func() error {
-				return scm.read(f.ino, s.tier, s.h, dst, s.off)
-			})
-		} else {
-			err = m.tierIO(s.tier, func() error {
-				if _, rerr := s.h.ReadAt(dst, s.off); rerr != nil && !errors.Is(rerr, io.EOF) {
-					return rerr
-				}
-				return nil
-			})
-		}
-		if err != nil {
-			if ferr := m.readWithReplicaFallback(f, dst, s.off, err); ferr != nil {
-				return 0, vfs.Errf("read", m.name, f.path, ferr)
-			}
-		}
+	// retries against the replica, if one exists (§4). Segment groups on
+	// distinct tiers dispatch concurrently (fanout.go).
+	err := m.fanoutRead(f, scm, p, off, plan)
+	*pp = plan
+	putPlan(pp)
+	if err != nil {
+		return 0, vfs.Errf("read", m.name, f.path, err)
 	}
-
-	f.mu.Lock()
-	now := m.now()
-	f.meta.ATime = now
-	if lastTier >= 0 {
-		f.aff.ATime = lastTier
-	}
-	f.heat++
-	f.lastAccess = now
-	f.mu.Unlock()
 
 	if short {
 		return int(n), io.EOF
@@ -302,15 +318,13 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	return int(n), nil
 }
 
-// tierLockedFree resolves a tier id without taking m.mu twice; callers may
-// hold f.mu but never m.mu.
-func (m *Mux) tierLockedFree(id int) (*Tier, error) {
-	return m.tier(id)
-}
-
 // WriteAt is the multiplexed write path: holes get a placement from the
 // Policy Runner, mapped ranges are overwritten in place on their current
-// tier, and the BLT + affinity are updated (§2.2, §2.3).
+// tier, and the BLT + affinity are updated (§2.2, §2.3). A write fully
+// inside one mapped extent on a healthy tier takes a fast path that skips
+// the plan and the BLT repoint (the mapping cannot change); a write
+// spanning several tiers fans the per-tier groups out concurrently
+// (fanout.go), repointing exactly the segments whose device write landed.
 func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	m := h.m
 	if err := h.check(); err != nil {
@@ -330,17 +344,35 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
+	// Fast path: the whole write overwrites one mapped extent in place on a
+	// healthy tier. No plan, no repoint — the mapping is already correct.
+	if tid, seg, ok := f.blt.Lookup(off); ok && seg.End() >= off+n && !m.tierQuarantined(tid) {
+		t, err := m.tier(tid)
+		if err != nil {
+			return 0, vfs.Errf("write", m.name, f.path, err)
+		}
+		dh, err := m.ensureHandleLocked(f, t)
+		if err != nil {
+			return 0, vfs.Errf("write", m.name, f.path, err)
+		}
+		if err := m.writeSegment(dh, tid, p, off); err != nil {
+			return 0, vfs.Errf("write", m.name, f.path, err)
+		}
+		if m.scm != nil {
+			m.scm.invalidate(f.ino, off, n)
+		}
+		m.writeEpilogueLocked(f, p, off, n, tid)
+		return int(n), nil
+	}
+
 	// Build the per-tier write plan: mapped segments stay on their tier,
 	// holes go where the policy says. Segments mapped on a quarantined tier
 	// are treated like holes — the write is redirected to a healthy
 	// placement and the BLT repointed, so a sick tier drains as its blocks
 	// are overwritten (health.go).
 	target := -1
-	type ioSeg struct {
-		tier    int
-		off, ln int64
-	}
-	var plan []ioSeg
+	pp := getPlan()
+	plan := *pp
 	for _, seg := range f.blt.Segments(off, n) {
 		tier := seg.Val
 		if seg.Hole || m.tierQuarantined(tier) {
@@ -353,35 +385,54 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 		}
 		if len(plan) > 0 && plan[len(plan)-1].tier == tier && plan[len(plan)-1].off+plan[len(plan)-1].ln == seg.Off {
 			plan[len(plan)-1].ln += seg.Len
-		} else {
-			plan = append(plan, ioSeg{tier: tier, off: seg.Off, ln: seg.Len})
+			continue
 		}
-	}
-
-	lastTier := -1
-	for _, s := range plan {
-		t, err := m.tier(s.tier)
+		t, err := m.tier(tier)
 		if err != nil {
+			*pp = plan
+			putPlan(pp)
 			return 0, vfs.Errf("write", m.name, f.path, err)
 		}
 		dh, err := m.ensureHandleLocked(f, t)
 		if err != nil {
+			*pp = plan
+			putPlan(pp)
 			return 0, vfs.Errf("write", m.name, f.path, err)
 		}
-		buf := p[s.off-off : s.off-off+s.ln]
-		if err := m.tierIO(s.tier, func() error {
-			_, werr := dh.WriteAt(buf, s.off)
-			return werr
-		}); err != nil {
-			return 0, vfs.Errf("write", m.name, f.path, err)
+		plan = append(plan, ioSeg{h: dh, tier: tier, off: seg.Off, ln: seg.Len, bufStart: seg.Off - off})
+	}
+
+	// Dispatch: per-tier groups run concurrently when the plan spans more
+	// than one tier (fanout.go). Every segment whose device write landed is
+	// repointed — even on partial failure, so the BLT reflects what the
+	// devices now hold.
+	done, werr := m.fanoutWrite(p, off, plan)
+	lastTier := -1
+	for i := range plan {
+		if !done[i] {
+			continue
 		}
+		s := &plan[i]
 		m.bltRepoint(f, s.off, s.ln, s.tier)
 		if m.scm != nil {
 			m.scm.invalidate(f.ino, s.off, s.ln)
 		}
 		lastTier = s.tier
 	}
+	*pp = plan
+	putPlan(pp)
+	if werr != nil {
+		return 0, vfs.Errf("write", m.name, f.path, werr)
+	}
 
+	m.writeEpilogueLocked(f, p, off, n, lastTier)
+	return int(n), nil
+}
+
+// writeEpilogueLocked books one successful write: replica mirror, collective
+// inode, affinity owners, heat, OCC version, write-ahead log, and lazy
+// metadata sync. Caller holds f.mu.
+func (m *Mux) writeEpilogueLocked(f *muxFile, p []byte, off, n int64, lastTier int) {
 	if err := m.mirrorWriteLocked(f, p, off); err != nil {
 		// The mirror diverged, not the authoritative write: degrade the
 		// replica (fallback reads skip it, RepairFile or reintegration
@@ -391,8 +442,7 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	}
 
 	now := m.now()
-	extended := off+n > f.meta.Size
-	if extended {
+	if off+n > f.meta.Size {
 		f.meta.Size = off + n
 		f.aff.Size = lastTier // tier that allocated the last block owns size
 	}
@@ -413,7 +463,6 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	if f.opsSinceSync >= m.syncEvery {
 		m.metaSyncLocked(f)
 	}
-	return int(n), nil
 }
 
 // metaSyncLocked lazily pushes collective-inode attributes down to the
@@ -489,7 +538,9 @@ func (h *handle) Truncate(size int64) error {
 }
 
 // Sync fans fsync out to every file system responsible for the file (§4)
-// and then commits Mux's own metadata.
+// and then commits Mux's own metadata. With more than one participating
+// file system the downward fsyncs run concurrently (fanout.go), each
+// through its tier's health tracker.
 func (h *handle) Sync() error {
 	m := h.m
 	if err := h.check(); err != nil {
@@ -499,7 +550,7 @@ func (h *handle) Sync() error {
 
 	f := h.f
 	f.mu.Lock()
-	var targets []vfs.File
+	var targets []syncTarget
 	for id := range f.tierSet() {
 		t, err := m.tier(id)
 		if err != nil {
@@ -510,15 +561,13 @@ func (h *handle) Sync() error {
 			f.mu.Unlock()
 			return vfs.Errf("sync", m.name, f.path, err)
 		}
-		targets = append(targets, dh)
+		targets = append(targets, syncTarget{tier: id, dh: dh})
 	}
 	m.metaSyncLocked(f)
 	f.mu.Unlock()
 
-	for _, dh := range targets {
-		if err := dh.Sync(); err != nil {
-			return vfs.Errf("sync", m.name, f.path, err)
-		}
+	if err := m.fanoutSync(targets); err != nil {
+		return vfs.Errf("sync", m.name, f.path, err)
 	}
 	return m.metaFlush()
 }
@@ -623,10 +672,4 @@ func (h *handle) PunchHole(off, n int64) error {
 	f.opsSinceSync++
 	m.logPunch(f, off, end-off)
 	return nil
-}
-
-func zero(b []byte) {
-	for i := range b {
-		b[i] = 0
-	}
 }

@@ -204,7 +204,11 @@ func (h *tierHealth) addRetry() {
 // admission, bounded retry-plus-backoff on transient faults, and health
 // accounting. The backoff is charged to the virtual clock (doubling each
 // attempt), so drills measure its cost deterministically. op must swallow
-// io.EOF itself when EOF is benign for the caller.
+// io.EOF itself when EOF is benign for the caller. tierIO is safe under
+// concurrent callers — the data-path fan-out (fanout.go) issues segment
+// groups of one request through it in parallel, one goroutine per tier —
+// because admission, retry accounting, and the clock advance are all
+// internally synchronized.
 func (m *Mux) tierIO(id int, op func() error) error {
 	h := m.healthOf(id)
 	if h == nil {

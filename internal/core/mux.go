@@ -117,6 +117,11 @@ type Config struct {
 	// of only the affinitive owner (§2.3). Ablation A2 compares the two.
 	SyncAllMeta bool
 
+	// DataFanout bounds how many per-tier segment groups of one
+	// ReadAt/WriteAt/Sync may dispatch concurrently (fanout.go). Default
+	// defaultDataFanout; 1 degrades to serial dispatch.
+	DataFanout int
+
 	// Tier fault-domain knobs (health.go). Zero values take the defaults.
 	//
 	// BreakerThreshold is the consecutive device-fault count that opens a
@@ -166,6 +171,12 @@ type Mux struct {
 	maxRetry  int
 	lockMig   bool
 	syncAll   bool
+
+	// Data-path fan-out state (fanout.go). fanWidth bounds concurrent
+	// per-tier groups per request; ioSem holds one data-path semaphore per
+	// tier id, replaced wholesale like tierUsed when a tier is added.
+	fanWidth atomic.Int32
+	ioSem    atomic.Pointer[[]chan struct{}]
 
 	// Parallel migration engine state (engine.go).
 	migWorkers atomic.Int32 // worker-pool size; 1 = serial
@@ -235,10 +246,16 @@ func New(cfg Config) (*Mux, error) {
 		breakerCooldown:  cfg.BreakerCooldown,
 	}
 	m.migWorkers.Store(int32(cfg.MigrationWorkers))
+	if cfg.DataFanout <= 0 {
+		cfg.DataFanout = defaultDataFanout
+	}
+	m.fanWidth.Store(int32(cfg.DataFanout))
 	empty := []*atomic.Int64{}
 	m.tierUsed.Store(&empty)
 	emptyHealth := []*tierHealth{}
 	m.healthTab.Store(&emptyHealth)
+	emptySem := []chan struct{}{}
+	m.ioSem.Store(&emptySem)
 	if m.costs == (Costs{}) {
 		m.costs = DefaultCosts()
 	}
@@ -270,6 +287,14 @@ func (m *Mux) AddTier(fs vfs.FileSystem, prof device.Profile) int {
 	copy(health, oldH)
 	health[len(oldH)] = &tierHealth{}
 	m.healthTab.Store(&health)
+	// Data-path semaphore, sized by the same width rule the migration
+	// engine applies per round (engine.go): rotational tiers admit one
+	// in-flight data op, solid-state tiers scale with profiled bandwidth.
+	oldS := *m.ioSem.Load()
+	sems := make([]chan struct{}, len(oldS)+1)
+	copy(sems, oldS)
+	sems[len(oldS)] = make(chan struct{}, tierWidth(prof, maxTierIOWidth))
+	m.ioSem.Store(&sems)
 	return id
 }
 

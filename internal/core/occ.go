@@ -14,6 +14,15 @@ import (
 // migrateChunk is the copy buffer size for data movement.
 const migrateChunk = 256 * 1024
 
+// copyBufPool recycles serial-copy buffers so single-worker migration
+// rounds don't allocate migrateChunk per call.
+var copyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, migrateChunk)
+		return &b
+	},
+}
+
 // OCCStats counts OCC Synchronizer activity (§2.4).
 type OCCStats struct {
 	Migrations    int64 // completed migration calls
@@ -341,7 +350,9 @@ func (m *Mux) copyRanges(srcH, dstH vfs.File, src, dst int, ranges []vfs.Extent)
 	if m.workers() > 1 {
 		return pipeCopy(ranges, migrateChunk, read, write)
 	}
-	buf := make([]byte, migrateChunk)
+	bp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bp)
+	buf := *bp
 	for _, r := range ranges {
 		for pos := r.Off; pos < r.End(); {
 			chunk := int64(len(buf))

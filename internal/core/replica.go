@@ -167,7 +167,7 @@ func (m *Mux) mirrorLocked(f *muxFile, rh vfs.File, rtier int) error {
 		for _, seg := range f.blt.Segments(pos, int64(len(p))) {
 			dst := p[seg.Off-pos : seg.Off-pos+seg.Len]
 			if seg.Hole {
-				zero(dst)
+				clear(dst)
 				continue
 			}
 			t, err := m.tier(seg.Val)
@@ -268,7 +268,7 @@ func (m *Mux) readWithReplicaFallback(f *muxFile, dst []byte, off int64, orig er
 		return orig
 	}
 	if nr < len(dst) {
-		zero(dst[nr:])
+		clear(dst[nr:])
 		return orig
 	}
 	return nil
