@@ -16,14 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# smoke runs the E6 fault drill and the E7 fan-out comparison end to end:
-# injected device faults, breaker quarantine, replica fallback, and
-# reintegration must all hold (the drill is virtual-time deterministic, so
-# it doubles as a regression oracle), and the parallel data path must stay
-# byte-identical and placement-deterministic while beating serial dispatch.
+# smoke runs the E6 fault drill, the E7 fan-out comparison, and the E8
+# metadata-scaling sweep end to end: injected device faults, breaker
+# quarantine, replica fallback, and reintegration must all hold (the drill
+# is virtual-time deterministic, so it doubles as a regression oracle), the
+# parallel data path must stay byte-identical and placement-deterministic
+# while beating serial dispatch, and the sharded-namespace/lock-free-read
+# concurrency must keep every cached read byte-identical with balanced
+# Statfs accounting.
 smoke:
 	$(GO) run ./cmd/muxbench -exp e6
 	$(GO) run ./cmd/muxbench -exp e7
+	$(GO) run ./cmd/muxbench -exp e8
 
 # check is the CI gate: compile everything, vet, the full test suite under
 # the race detector (the migration and fan-out engines are concurrent;

@@ -256,3 +256,17 @@ func BenchmarkA6Replication(b *testing.B) {
 		b.ReportMetric(r.OverheadPct, "replication-overhead-pct")
 	}
 }
+
+func BenchmarkE8MetaHot(b *testing.B) {
+	// Whole-experiment benchmark: hot metadata + cached-read scaling under
+	// the sharded namespace and lock-free read path (aggregate ops/sec at
+	// 16 goroutines is the metric; ns/op measures the harness).
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OpsAt16, "ops-at-16/s")
+		b.ReportMetric(r.ScaleAt16, "scale-at-16-x")
+	}
+}

@@ -11,12 +11,17 @@
 //	muxbench -exp e5    # parallel migration engine throughput
 //	muxbench -exp e6    # tier fault drill (quarantine + replica fallback)
 //	muxbench -exp e7    # data-path fan-out throughput
+//	muxbench -exp e8    # metadata hot-path scaling
 //	muxbench -exp a1..a6  # ablations
 //	muxbench -json DIR  # also write BENCH_<exp>.json per experiment run
 //
+// Profiling flags for lock-contention work (-cpuprofile, -mutexprofile,
+// -blockprofile) write runtime/pprof profiles covering the selected
+// experiments; see EXPERIMENTS.md.
+//
 // All numbers are virtual-time measurements from the simulated device
-// models, so output is deterministic (E5 and E7 additionally measure wall
-// clock under service-time governors); see EXPERIMENTS.md for the
+// models, so output is deterministic (E5, E7, and E8 additionally measure
+// wall clock under service-time governors); see EXPERIMENTS.md for the
 // paper-vs-measured comparison.
 package main
 
@@ -24,15 +29,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"muxfs/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, a1, a2, a3, a4, a5, a6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, a1, a2, a3, a4, a5, a6")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (records every contended acquisition)")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file (records every blocking event)")
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProfile, *mutexProfile, *blockProfile)
+	defer stopProfiles()
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	ran := false
@@ -102,6 +115,14 @@ func main() {
 		bench.FormatE7(out, r)
 		emit("e7", r)
 	}
+	if want("e8") {
+		ran = true
+		bench.Rule(out, "E8 — metadata hot-path scaling")
+		r, err := bench.RunE8()
+		fail(err)
+		bench.FormatE8(out, r)
+		emit("e8", r)
+	}
 	if want("a1") {
 		ran = true
 		bench.Rule(out, "A1 — OCC vs lock migration")
@@ -155,6 +176,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// startProfiles enables the requested runtime/pprof collectors and returns
+// a function that flushes them. Mutex and block profiling are sampled at
+// full rate so before/after contention comparisons see every event.
+func startProfiles(cpu, mutex, block string) func() {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+		stops = append(stops, func() {
+			writeProfile("mutex", mutex)
+			runtime.SetMutexProfileFraction(0)
+		})
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+		stops = append(stops, func() {
+			writeProfile("block", block)
+			runtime.SetBlockProfileRate(0)
+		})
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	fail(err)
+	defer f.Close()
+	fail(pprof.Lookup(name).WriteTo(f, 0))
 }
 
 func fail(err error) {

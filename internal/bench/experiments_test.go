@@ -310,3 +310,35 @@ func TestE7Shape(t *testing.T) {
 		t.Errorf("full-width sync speedup = %.2fx, want clearly > 1x", r.SyncSpeedup)
 	}
 }
+
+func TestE8Shape(t *testing.T) {
+	// Small iteration budget: the shape test checks correctness invariants
+	// and row structure, not throughput (exact numbers live in
+	// EXPERIMENTS.md; the acceptance comparison runs via muxbench -exp e8).
+	r, err := RunE8Sized(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(e8Goroutines) {
+		t.Fatalf("want %d sweep rows, got %d", len(e8Goroutines), len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if row.G != e8Goroutines[i] {
+			t.Fatalf("row %d: goroutines = %d, want %d", i, row.G, e8Goroutines[i])
+		}
+		if row.Ops <= 0 || row.OpsPerSec <= 0 {
+			t.Fatalf("row g=%d: no ops measured (ops=%d ops/s=%.0f)", row.G, row.Ops, row.OpsPerSec)
+		}
+	}
+	if r.OpsAt16 <= 0 {
+		t.Fatal("missing headline OpsAt16 measurement")
+	}
+	// Concurrency must never trade away correctness: every cached read saw
+	// the staged pattern and the namespace accounting balanced.
+	if !r.ByteIdentical {
+		t.Fatal("a concurrent cached read returned bytes != staged pattern")
+	}
+	if !r.Consistent {
+		t.Fatal("Statfs accounting did not balance after churn")
+	}
+}

@@ -127,6 +127,27 @@ func FormatE7(w io.Writer, r *E7Result) {
 	fmt.Fprintf(w, "  integrity: %s; determinism: %s\n", id, det)
 }
 
+// FormatE8 prints the metadata hot-path scaling measurement.
+func FormatE8(w io.Writer, r *E8Result) {
+	fmt.Fprintln(w, "E8 — metadata hot path: open/stat/cached-read/create-unlink churn, 1→32 client goroutines")
+	fmt.Fprintln(w, "  (wall time with governed background writers rewriting the hot set; lock-free reads dodge the write's device time)")
+	fmt.Fprintf(w, "  %-8s %12s %12s %14s %10s\n", "Clients", "Wall ms", "Ops", "Ops/sec", "Scaling")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %12.1f %12d %14.0f %9.2fx\n",
+			row.G, row.WallMs, row.Ops, row.OpsPerSec, row.Speedup)
+	}
+	id := "every cached read returned the staged pattern"
+	if !r.ByteIdentical {
+		id = "DATA DIVERGED — a cached read returned stale or torn bytes"
+	}
+	acc := "Statfs accounting balanced after churn"
+	if !r.Consistent {
+		acc = "ACCOUNTING DIVERGED — files lost or leaked"
+	}
+	fmt.Fprintf(w, "  integrity: %s; %s\n", id, acc)
+	fmt.Fprintf(w, "  headline: %.0f ops/sec aggregate at 16 clients (%.2fx the single-client rate)\n", r.OpsAt16, r.ScaleAt16)
+}
+
 // WriteJSON writes one experiment's result to <dir>/BENCH_<exp>.json as
 // indented JSON, so the perf trajectory is machine-readable across runs.
 func WriteJSON(dir, exp string, result any) (string, error) {

@@ -121,7 +121,7 @@ func TestMigrateClampsShortSourceTail(t *testing.T) {
 
 			// Shrink the underlying source file behind Mux's back,
 			// simulating the truncate racing the copy window.
-			srcFS := r.m.tiers[r.ids.pm].FS
+			srcFS := r.m.tierTab.Load().tiers[r.ids.pm].FS
 			if err := srcFS.Truncate("/tail", short); err != nil {
 				t.Fatal(err)
 			}
@@ -133,7 +133,7 @@ func TestMigrateClampsShortSourceTail(t *testing.T) {
 			if moved == 0 {
 				t.Fatal("nothing migrated")
 			}
-			fi, err := r.m.tiers[r.ids.ssd].FS.Stat("/tail")
+			fi, err := r.m.tierTab.Load().tiers[r.ids.ssd].FS.Stat("/tail")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,15 +157,11 @@ func TestHeatDecaySkipsFailedRounds(t *testing.T) {
 		}
 	}
 	heat := func() float64 {
-		r.m.mu.Lock()
 		mf, err := r.m.lookupFile("/hot")
-		r.m.mu.Unlock()
 		if err != nil {
 			t.Fatal(err)
 		}
-		mf.mu.Lock()
-		defer mf.mu.Unlock()
-		return mf.heat
+		return mf.heatLoad()
 	}
 	h0 := heat()
 	if h0 == 0 {
@@ -246,9 +242,7 @@ func placementOf(t *testing.T, r *rig, files int) map[string]map[int]int64 {
 	out := map[string]map[int]int64{}
 	for i := 0; i < files; i++ {
 		path := fmt.Sprintf("/rot%02d", i)
-		r.m.mu.Lock()
 		mf, err := r.m.lookupFile(path)
-		r.m.mu.Unlock()
 		if err != nil {
 			t.Fatal(err)
 		}

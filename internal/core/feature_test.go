@@ -56,15 +56,10 @@ func TestMetadataAffinityFollowsWrites(t *testing.T) {
 	r := newRig(t, policy.Pinned{Tier: 1}, false)
 	f := writeFile(t, r.m, "/aff", []byte("0123456789"))
 	defer f.Close()
-	mf := func() *muxFile {
-		r.m.mu.Lock()
-		defer r.m.mu.Unlock()
-		mfp, err := r.m.lookupFile("/aff")
-		if err != nil {
-			t.Fatal(err)
-		}
-		return mfp
-	}()
+	mf, err := r.m.lookupFile("/aff")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	mf.mu.Lock()
 	aff := mf.aff
@@ -74,7 +69,7 @@ func TestMetadataAffinityFollowsWrites(t *testing.T) {
 	}
 
 	// Extend the file with blocks landing on tier 2: size owner moves.
-	r.m.pol = policy.Pinned{Tier: 2}
+	r.m.SetPolicy(policy.Pinned{Tier: 2})
 	if _, err := f.WriteAt([]byte("tail"), 8192); err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +88,8 @@ func TestMetadataAffinityFollowsWrites(t *testing.T) {
 	if _, err := f.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
-	mf.mu.Lock()
-	aff = mf.aff
-	mf.mu.Unlock()
-	if aff.ATime != 1 {
-		t.Fatalf("atime owner = %d, want 1", aff.ATime)
+	if owner := mf.affATime.Load(); owner != 1 {
+		t.Fatalf("atime owner = %d, want 1", owner)
 	}
 }
 
@@ -211,7 +203,7 @@ func TestPolicyRunnerLRUDemotesAndPromotes(t *testing.T) {
 	// PM device: recreate rig pieces is heavy, instead write enough to
 	// cross 90% of 256 MiB? Too big for a unit test — use a custom policy
 	// watermark trick instead: a tiny high watermark demotes immediately.
-	r.m.pol = &policy.LRU{HighWatermark: 0.0000001, LowWatermark: 0.00000005, PromoteWindow: time.Millisecond}
+	r.m.SetPolicy(&policy.LRU{HighWatermark: 0.0000001, LowWatermark: 0.00000005, PromoteWindow: time.Millisecond})
 
 	var files []vfs.File
 	for i := 0; i < 4; i++ {
@@ -235,7 +227,7 @@ func TestPolicyRunnerLRUDemotesAndPromotes(t *testing.T) {
 	// With relaxed watermarks and all files recently touched, the next
 	// round promotes toward the fast tiers (§3: "promotes data back upon
 	// access").
-	r.m.pol = &policy.LRU{HighWatermark: 0.99, LowWatermark: 0.9, PromoteWindow: time.Hour}
+	r.m.SetPolicy(&policy.LRU{HighWatermark: 0.99, LowWatermark: 0.9, PromoteWindow: time.Hour})
 	buf := make([]byte, 16)
 	for _, f := range files {
 		f.ReadAt(buf, 0)

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"io"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"muxfs/internal/extent"
@@ -14,19 +16,30 @@ import (
 
 // affinity records, per metadata attribute, the file system that holds the
 // most up-to-date value — the paper's metadata affinity (§2.3). A value of
-// -1 means no downward owner yet (Mux-only state).
+// -1 means no downward owner yet (Mux-only state). The atime owner lives
+// outside this struct, in muxFile.affATime, because lock-free reads update
+// it without f.mu.
 type affinity struct {
 	Size  int // tier owning the logical file size (holds the last byte)
 	MTime int // tier that performed the last data update
-	ATime int // tier that served the last read
 }
 
 // muxFile is the per-file bookkeeping state: the collective inode, the
 // Block Lookup Table, the affinity table, and the OCC version counter.
+//
+// Two views coexist. Mutating ops hold f.mu and work on the plain fields;
+// before releasing the lock they publish immutable snapshots (publishMeta /
+// publishPath / publishBLT / publishHandles) into the atomic pointers.
+// Lock-free readers — the single-extent read fast path, Stat, policy
+// scans — load the snapshots and validate reads against mapVer, which bumps
+// whenever the mapping or the handle cache changes meaning (BLT repoint or
+// drop, handle close). In-place overwrites do NOT bump mapVer: a read
+// racing an overlapping write may see a mix of old and new bytes, the same
+// non-atomicity real file systems exhibit without range locks.
 type muxFile struct {
 	mu   sync.Mutex
 	ino  uint64
-	path string
+	path string // guarded by mu; pathA is the published copy
 
 	meta fsbase.Meta      // collective inode (cached attributes)
 	blt  extent.Tree[int] // Block Lookup Table: offset range -> tier id
@@ -47,22 +60,101 @@ type muxFile struct {
 	// RepairFile or tier reintegration clears the mark after re-syncing.
 	replicaDegraded bool
 
-	// Policy Runner inputs.
-	heat       float64
-	lastAccess time.Duration
-
 	opsSinceSync int // lazy metadata sync counter
+
+	// Published snapshots — stored under f.mu, loaded without it.
+	pathA      atomic.Pointer[string]
+	metaSnap   atomic.Pointer[fsbase.Meta]
+	bltSnap    atomic.Pointer[extent.Tree[int]]
+	handleSnap atomic.Pointer[map[int]vfs.File]
+	// mapVer versions the (BLT, handles) pair for the OCC read recheck.
+	mapVer atomic.Uint64
+
+	// Lock-free per-read bookkeeping: heat (float64 bits), last access,
+	// atime, and the atime affinity owner (§2.3).
+	heatBits    atomic.Uint64
+	lastAccessA atomic.Int64
+	atimeA      atomic.Int64
+	affATime    atomic.Int32
 }
 
 func newMuxFile(ino uint64, path string, now time.Duration, host int) *muxFile {
-	return &muxFile{
+	f := &muxFile{
 		ino:     ino,
 		path:    path,
 		meta:    fsbase.Meta{Mode: 0o644, ModTime: now, ATime: now, CTime: now},
-		aff:     affinity{Size: host, MTime: host, ATime: host},
+		aff:     affinity{Size: host, MTime: host},
 		handles: map[int]vfs.File{},
 		onTiers: map[int]bool{},
 		replica: -1,
+	}
+	f.affATime.Store(int32(host))
+	f.atimeA.Store(int64(now))
+	f.publishAll()
+	return f
+}
+
+// --- snapshot publication; all callers hold f.mu -------------------------
+
+func (f *muxFile) publishMeta() {
+	meta := f.meta
+	f.metaSnap.Store(&meta)
+}
+
+func (f *muxFile) publishPath() {
+	p := f.path
+	f.pathA.Store(&p)
+}
+
+// publishBLT snapshots the mapping and invalidates in-flight lock-free
+// reads. Every repoint/drop goes through here, so a reader whose bytes came
+// from a stale mapping always fails its mapVer recheck.
+func (f *muxFile) publishBLT() {
+	f.bltSnap.Store(f.blt.Clone())
+	f.mapVer.Add(1)
+}
+
+// publishHandles snapshots the downward handle cache. It does not bump
+// mapVer: adding a handle invalidates nothing.
+func (f *muxFile) publishHandles() {
+	hs := make(map[int]vfs.File, len(f.handles))
+	for id, h := range f.handles {
+		hs[id] = h
+	}
+	f.handleSnap.Store(&hs)
+}
+
+func (f *muxFile) publishAll() {
+	f.publishMeta()
+	f.publishPath()
+	f.publishBLT()
+	f.publishHandles()
+	f.atimeA.Store(int64(f.meta.ATime))
+}
+
+// loadPath returns the published path without taking f.mu (error messages,
+// policy scans).
+func (f *muxFile) loadPath() string { return *f.pathA.Load() }
+
+// --- lock-free heat/access bookkeeping -----------------------------------
+
+func (f *muxFile) heatLoad() float64 { return math.Float64frombits(f.heatBits.Load()) }
+
+func (f *muxFile) heatAdd(d float64) {
+	for {
+		old := f.heatBits.Load()
+		if f.heatBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func (f *muxFile) heatScale(k float64) {
+	for {
+		old := f.heatBits.Load()
+		if f.heatBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)*k)) {
+			return
+		}
 	}
 }
 
@@ -92,13 +184,15 @@ func (f *muxFile) bytesPerTier() map[int]int64 {
 	return out
 }
 
-// closeHandlesLocked closes and clears all downward handles. Caller holds
-// f.mu.
+// closeHandlesLocked closes and clears all downward handles, invalidating
+// lock-free reads that captured one of them. Caller holds f.mu.
 func (f *muxFile) closeHandlesLocked() {
 	for _, h := range f.handles {
 		h.Close()
 	}
 	f.handles = map[int]vfs.File{}
+	f.publishHandles()
+	f.mapVer.Add(1)
 }
 
 // ensureHandle returns an open downward handle on tier id, creating the
@@ -133,6 +227,7 @@ func (m *Mux) ensureHandleLocked(f *muxFile, t *Tier) (vfs.File, error) {
 	}
 	f.handles[t.ID] = h
 	f.onTiers[t.ID] = true
+	f.publishHandles()
 	return h, nil
 }
 
@@ -154,7 +249,7 @@ func (m *Mux) ensureDirs(t *Tier, path string) error {
 }
 
 // bltRepoint remaps [off, off+n) to tier, maintaining per-tier usage
-// accounting. Caller holds f.mu.
+// accounting and republishing the mapping. Caller holds f.mu.
 func (m *Mux) bltRepoint(f *muxFile, off, n int64, tier int) {
 	for _, seg := range f.blt.Segments(off, n) {
 		if !seg.Hole {
@@ -163,9 +258,11 @@ func (m *Mux) bltRepoint(f *muxFile, off, n int64, tier int) {
 	}
 	f.blt.Insert(off, n, tier)
 	m.used(tier).Add(n)
+	f.publishBLT()
 }
 
-// bltDrop unmaps [off, off+n), maintaining accounting. Caller holds f.mu.
+// bltDrop unmaps [off, off+n), maintaining accounting and republishing.
+// Caller holds f.mu.
 func (m *Mux) bltDrop(f *muxFile, off, n int64) {
 	for _, seg := range f.blt.Segments(off, n) {
 		if !seg.Hole {
@@ -173,6 +270,7 @@ func (m *Mux) bltDrop(f *muxFile, off, n int64) {
 		}
 	}
 	f.blt.Delete(off, n)
+	f.publishBLT()
 }
 
 // handle is the upward vfs.File Mux hands to applications.
@@ -186,9 +284,7 @@ var _ vfs.File = (*handle)(nil)
 
 // Path returns the file's current path.
 func (h *handle) Path() string {
-	h.f.mu.Lock()
-	defer h.f.mu.Unlock()
-	return h.f.path
+	return h.f.loadPath()
 }
 
 // Close releases the upward handle (downward handles stay cached on the
@@ -205,36 +301,79 @@ func (h *handle) check() error {
 	return nil
 }
 
-// touchReadLocked books one read: atime, heat, and the atime affinity owner
-// (§2.3) — updated only when it actually moved, so steady-state reads from
-// one tier don't rewrite the owner every op. Caller holds f.mu.
-func (f *muxFile) touchReadLocked(now time.Duration, lastTier int) {
-	f.meta.ATime = now
-	if lastTier >= 0 && f.aff.ATime != lastTier {
-		f.aff.ATime = lastTier
+// touchRead books one read: atime, heat, and the atime affinity owner
+// (§2.3) — the owner is rewritten only when it actually moved, so
+// steady-state reads from one tier don't ping a shared cache line every op.
+// Entirely atomic; callable with or without f.mu.
+func (f *muxFile) touchRead(now time.Duration, lastTier int) {
+	f.atimeA.Store(int64(now))
+	if lastTier >= 0 && f.affATime.Load() != int32(lastTier) {
+		f.affATime.Store(int32(lastTier))
 	}
-	f.heat++
-	f.lastAccess = now
+	f.heatAdd(1)
+	f.lastAccessA.Store(int64(now))
 }
 
 // ReadAt is the multiplexed read path: BLT lookup, split by tier, dispatch
 // downward, merge results (§2.2). The tier serving the last block becomes
-// the atime owner (§2.3). A request fully inside one mapped extent — the
-// overwhelmingly common case E3 measures — takes a fast path with no plan
-// allocation; a request spanning several tiers fans the per-tier segment
-// groups out concurrently (fanout.go). All bookkeeping happens inside the
-// single plan-building critical section, so the op takes f.mu exactly once.
+// the atime owner (§2.3).
+//
+// A request fully inside one mapped extent — the overwhelmingly common case
+// E3 and E8 measure — runs entirely lock-free: it reads the published
+// size/BLT/handle snapshots, issues the downward read, and then rechecks
+// mapVer (OCC). If a migration repointed the extent, a truncate dropped it,
+// or a rename closed the handle while the read was in flight, the recheck
+// fails and the op retries, falling back to the locked path. Bookkeeping
+// (atime, heat, affinity owner) is atomic, so a cached read never touches
+// f.mu and never convoys behind a writer holding it across governed device
+// time.
 func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	m := h.m
+	f := h.f
 	if err := h.check(); err != nil {
-		return 0, vfs.Errf("read", m.name, h.f.path, err)
+		return 0, vfs.Errf("read", m.name, f.loadPath(), err)
 	}
 	m.clk.Advance(m.costs.DispatchOp + m.costs.BLTLookup + m.costs.OCCCheck)
 	if off < 0 {
-		return 0, vfs.Errf("read", m.name, h.f.path, vfs.ErrInvalid)
+		return 0, vfs.Errf("read", m.name, f.loadPath(), vfs.ErrInvalid)
 	}
 
-	f := h.f
+	// Lock-free fast path with OCC-version recheck.
+	for attempt := 0; attempt < 2; attempt++ {
+		ver := f.mapVer.Load()
+		meta := f.metaSnap.Load()
+		if off >= meta.Size {
+			return 0, io.EOF
+		}
+		n := int64(len(p))
+		short := false
+		if off+n > meta.Size {
+			n = meta.Size - off
+			short = true
+		}
+		blt := f.bltSnap.Load()
+		tid, seg, ok := blt.Lookup(off)
+		if !ok || seg.End() < off+n {
+			break // spans holes or tiers: locked path
+		}
+		dh := (*f.handleSnap.Load())[tid]
+		if dh == nil {
+			break // no cached downward handle yet: locked path opens one
+		}
+		err := m.readSegment(f, m.scm(), dh, tid, p[:n], off)
+		if f.mapVer.Load() != ver {
+			continue // mapping moved mid-read; bytes may be stale — retry
+		}
+		if err != nil {
+			return 0, vfs.Errf("read", m.name, f.loadPath(), err)
+		}
+		f.touchRead(m.now(), tid)
+		if short {
+			return int(n), io.EOF
+		}
+		return int(n), nil
+	}
+
 	f.mu.Lock()
 	if off >= f.meta.Size {
 		f.mu.Unlock()
@@ -247,8 +386,8 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 		short = true
 	}
 
-	// Fast path: the whole request lies inside one mapped extent. No plan,
-	// no segment walk, one downward call.
+	// Locked fast path: one mapped extent, but the lock-free attempt could
+	// not run (no cached handle, or it kept losing the OCC race).
 	if tid, seg, ok := f.blt.Lookup(off); ok && seg.End() >= off+n {
 		t, err := m.tier(tid)
 		if err != nil {
@@ -260,11 +399,11 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 			f.mu.Unlock()
 			return 0, vfs.Errf("read", m.name, f.path, err)
 		}
-		f.touchReadLocked(m.now(), tid)
-		scm := m.scm
+		f.touchRead(m.now(), tid)
+		scm := m.scm()
 		f.mu.Unlock()
 		if err := m.readSegment(f, scm, dh, tid, p[:n], off); err != nil {
-			return 0, vfs.Errf("read", m.name, f.path, err)
+			return 0, vfs.Errf("read", m.name, f.loadPath(), err)
 		}
 		if short {
 			return int(n), io.EOF
@@ -296,8 +435,8 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 		plan = append(plan, ioSeg{h: dh, tier: seg.Val, off: seg.Off, ln: seg.Len, bufStart: seg.Off - off})
 		lastTier = seg.Val
 	}
-	f.touchReadLocked(m.now(), lastTier)
-	scm := m.scm
+	f.touchRead(m.now(), lastTier)
+	scm := m.scm()
 	f.mu.Unlock()
 
 	// Downward reads happen outside the bookkeeping lock, each through the
@@ -309,7 +448,7 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	*pp = plan
 	putPlan(pp)
 	if err != nil {
-		return 0, vfs.Errf("read", m.name, f.path, err)
+		return 0, vfs.Errf("read", m.name, f.loadPath(), err)
 	}
 
 	if short {
@@ -325,13 +464,15 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 // the plan and the BLT repoint (the mapping cannot change); a write
 // spanning several tiers fans the per-tier groups out concurrently
 // (fanout.go), repointing exactly the segments whose device write landed.
+// f.mu is held across the device dispatch deliberately: it is what makes a
+// write atomic against migration validation (§2.4).
 func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	m := h.m
 	if err := h.check(); err != nil {
-		return 0, vfs.Errf("write", m.name, h.f.path, err)
+		return 0, vfs.Errf("write", m.name, h.f.loadPath(), err)
 	}
 	if off < 0 {
-		return 0, vfs.Errf("write", m.name, h.f.path, vfs.ErrInvalid)
+		return 0, vfs.Errf("write", m.name, h.f.loadPath(), vfs.ErrInvalid)
 	}
 	if len(p) == 0 {
 		return 0, nil
@@ -358,8 +499,8 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 		if err := m.writeSegment(dh, tid, p, off); err != nil {
 			return 0, vfs.Errf("write", m.name, f.path, err)
 		}
-		if m.scm != nil {
-			m.scm.invalidate(f.ino, off, n)
+		if scm := m.scm(); scm != nil {
+			scm.invalidate(f.ino, off, n)
 		}
 		m.writeEpilogueLocked(f, p, off, n, tid)
 		return int(n), nil
@@ -408,14 +549,15 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	// devices now hold.
 	done, werr := m.fanoutWrite(p, off, plan)
 	lastTier := -1
+	scm := m.scm()
 	for i := range plan {
 		if !done[i] {
 			continue
 		}
 		s := &plan[i]
 		m.bltRepoint(f, s.off, s.ln, s.tier)
-		if m.scm != nil {
-			m.scm.invalidate(f.ino, s.off, s.ln)
+		if scm != nil {
+			scm.invalidate(f.ino, s.off, s.ln)
 		}
 		lastTier = s.tier
 	}
@@ -448,8 +590,8 @@ func (m *Mux) writeEpilogueLocked(f *muxFile, p []byte, off, n int64, lastTier i
 	}
 	f.meta.ModTime = now
 	f.aff.MTime = lastTier // tier that performed the last update owns mtime
-	f.heat++
-	f.lastAccess = now
+	f.heatAdd(1)
+	f.lastAccessA.Store(int64(now))
 
 	// OCC bookkeeping: every write bumps the version; writes during a
 	// migration window are recorded for conflict detection (§2.4).
@@ -458,6 +600,7 @@ func (m *Mux) writeEpilogueLocked(f *muxFile, p []byte, off, n int64, lastTier i
 		f.migDirty.Insert(off, n, struct{}{})
 	}
 
+	f.publishMeta()
 	m.logWrite(f, off, n)
 	f.opsSinceSync++
 	if f.opsSinceSync >= m.syncEvery {
@@ -497,40 +640,62 @@ func (m *Mux) metaSyncLocked(f *muxFile) {
 func (h *handle) Truncate(size int64) error {
 	m := h.m
 	if err := h.check(); err != nil {
-		return vfs.Errf("truncate", m.name, h.f.path, err)
+		return vfs.Errf("truncate", m.name, h.f.loadPath(), err)
 	}
 	if size < 0 {
-		return vfs.Errf("truncate", m.name, h.f.path, vfs.ErrInvalid)
+		return vfs.Errf("truncate", m.name, h.f.loadPath(), vfs.ErrInvalid)
 	}
 	m.clk.Advance(m.costs.MetaOp)
 
 	f := h.f
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := m.truncateLocked(f, size); err != nil {
+		return vfs.Errf("truncate", m.name, f.path, err)
+	}
+	return nil
+}
+
+// truncateLocked is the shared truncate body (handle.Truncate and the size
+// branch of Mux.SetAttr — one f.mu round-trip each). Caller holds f.mu and
+// has validated size >= 0.
+//
+// Shrinks invalidate the published mapping and size BEFORE the device
+// truncates run: a lock-free reader racing the shrink must fail its mapVer
+// recheck rather than observe device-zeroed blocks under a stable mapping.
+func (m *Mux) truncateLocked(f *muxFile, size int64) error {
+	now := m.now()
 	if size < f.meta.Size {
+		oldSize := f.meta.Size
+		held := f.tierSet()
+		m.bltDrop(f, size, oldSize-size) // publishes + bumps mapVer
+		if scm := m.scm(); scm != nil {
+			scm.invalidate(f.ino, size, oldSize-size)
+		}
+		f.meta.Size = size
+		f.meta.ModTime = now
+		f.meta.CTime = now
+		f.publishMeta()
 		// Truncate the underlying sparse file on every tier holding it.
-		for id := range f.tierSet() {
+		for id := range held {
 			t, err := m.tier(id)
 			if err != nil {
 				continue
 			}
 			dh, err := m.ensureHandleLocked(f, t)
 			if err != nil {
-				return vfs.Errf("truncate", m.name, f.path, err)
+				return err
 			}
 			if err := dh.Truncate(size); err != nil {
-				return vfs.Errf("truncate", m.name, f.path, err)
+				return err
 			}
 		}
-		m.bltDrop(f, size, f.meta.Size-size)
-		if m.scm != nil {
-			m.scm.invalidate(f.ino, size, f.meta.Size-size)
-		}
+	} else {
+		f.meta.Size = size
+		f.meta.ModTime = now
+		f.meta.CTime = now
+		f.publishMeta()
 	}
-	now := m.now()
-	f.meta.Size = size
-	f.meta.ModTime = now
-	f.meta.CTime = now
 	f.version++
 	f.opsSinceSync++
 	m.logTruncate(f, size)
@@ -544,7 +709,7 @@ func (h *handle) Truncate(size int64) error {
 func (h *handle) Sync() error {
 	m := h.m
 	if err := h.check(); err != nil {
-		return vfs.Errf("sync", m.name, h.f.path, err)
+		return vfs.Errf("sync", m.name, h.f.loadPath(), err)
 	}
 	m.clk.Advance(m.costs.DispatchOp)
 
@@ -567,29 +732,29 @@ func (h *handle) Sync() error {
 	f.mu.Unlock()
 
 	if err := m.fanoutSync(targets); err != nil {
-		return vfs.Errf("sync", m.name, f.path, err)
+		return vfs.Errf("sync", m.name, f.loadPath(), err)
 	}
 	return m.metaFlush()
 }
 
-// Stat serves the collective inode.
+// Stat serves the collective inode from the published snapshots — no locks.
 func (h *handle) Stat() (vfs.FileInfo, error) {
 	if err := h.check(); err != nil {
-		return vfs.FileInfo{}, vfs.Errf("stat", h.m.name, h.f.path, err)
+		return vfs.FileInfo{}, vfs.Errf("stat", h.m.name, h.f.loadPath(), err)
 	}
 	h.m.clk.Advance(h.m.costs.MetaOp)
 	f := h.f
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	fi := f.meta.Info(f.path)
-	fi.Blocks = f.blt.MappedBytes()
+	meta := *f.metaSnap.Load()
+	meta.ATime = time.Duration(f.atimeA.Load())
+	fi := meta.Info(f.loadPath())
+	fi.Blocks = f.bltSnap.Load().MappedBytes()
 	return fi, nil
 }
 
 // Extents lists the mapped runs of the BLT merged in file order.
 func (h *handle) Extents() ([]vfs.Extent, error) {
 	if err := h.check(); err != nil {
-		return nil, vfs.Errf("extents", h.m.name, h.f.path, err)
+		return nil, vfs.Errf("extents", h.m.name, h.f.loadPath(), err)
 	}
 	f := h.f
 	f.mu.Lock()
@@ -607,14 +772,17 @@ func (h *handle) Extents() ([]vfs.Extent, error) {
 }
 
 // PunchHole forwards the punch to each tier mapped in the range and drops
-// the BLT entries.
+// the BLT entries. Whole blocks leave the published mapping before the
+// device punches run, for the same lock-free-reader reason as truncate;
+// ragged edges stay mapped and are zeroed in place (a racing lock-free read
+// of those edges sees old bytes or zeros, like any racing overwrite).
 func (h *handle) PunchHole(off, n int64) error {
 	m := h.m
 	if err := h.check(); err != nil {
-		return vfs.Errf("punch", m.name, h.f.path, err)
+		return vfs.Errf("punch", m.name, h.f.loadPath(), err)
 	}
 	if off < 0 || n < 0 {
-		return vfs.Errf("punch", m.name, h.f.path, vfs.ErrInvalid)
+		return vfs.Errf("punch", m.name, h.f.loadPath(), vfs.ErrInvalid)
 	}
 	if n == 0 {
 		return nil
@@ -631,7 +799,7 @@ func (h *handle) PunchHole(off, n int64) error {
 	if end <= off {
 		return nil
 	}
-	// Forward to every tier mapped within the range.
+	// Collect the tiers mapped within the range before dropping the map.
 	seen := map[int]bool{}
 	for _, seg := range f.blt.Segments(off, end-off) {
 		if seg.Hole || seen[seg.Val] {
@@ -641,6 +809,16 @@ func (h *handle) PunchHole(off, n int64) error {
 	}
 	if f.replica >= 0 {
 		seen[f.replica] = true
+	}
+	// Whole blocks leave the BLT; ragged edges stay mapped (the underlying
+	// punch zeroes them in place).
+	firstWhole := (off + BlockSize - 1) / BlockSize * BlockSize
+	lastWhole := end / BlockSize * BlockSize
+	if lastWhole > firstWhole {
+		m.bltDrop(f, firstWhole, lastWhole-firstWhole)
+	}
+	if scm := m.scm(); scm != nil {
+		scm.invalidate(f.ino, off, end-off)
 	}
 	for id := range seen {
 		t, err := m.tier(id)
@@ -655,21 +833,12 @@ func (h *handle) PunchHole(off, n int64) error {
 			return vfs.Errf("punch", m.name, f.path, err)
 		}
 	}
-	// Whole blocks leave the BLT; ragged edges stay mapped (the underlying
-	// punch zeroed them in place).
-	firstWhole := (off + BlockSize - 1) / BlockSize * BlockSize
-	lastWhole := end / BlockSize * BlockSize
-	if lastWhole > firstWhole {
-		m.bltDrop(f, firstWhole, lastWhole-firstWhole)
-	}
-	if m.scm != nil {
-		m.scm.invalidate(f.ino, off, end-off)
-	}
 	now := m.now()
 	f.meta.ModTime = now
 	f.meta.CTime = now
 	f.version++
 	f.opsSinceSync++
+	f.publishMeta()
 	m.logPunch(f, off, end-off)
 	return nil
 }

@@ -30,12 +30,7 @@ func (r *FsckReport) addf(format string, args ...any) {
 func (m *Mux) Fsck() *FsckReport {
 	rep := &FsckReport{}
 
-	m.mu.Lock()
-	files := make([]*muxFile, 0, len(m.files))
-	for _, f := range m.files {
-		files = append(files, f)
-	}
-	m.mu.Unlock()
+	files := m.files.snapshot()
 
 	perTier := map[int]int64{}
 	for _, f := range files {

@@ -256,12 +256,7 @@ func (m *Mux) TierHealth() []TierHealthInfo {
 
 // degradedByTier counts degraded replicas per replica tier.
 func (m *Mux) degradedByTier() map[int]int {
-	m.mu.Lock()
-	ptrs := make([]*muxFile, 0, len(m.files))
-	for _, f := range m.files {
-		ptrs = append(ptrs, f)
-	}
-	m.mu.Unlock()
+	ptrs := m.files.snapshot()
 	out := map[int]int{}
 	for _, f := range ptrs {
 		f.mu.Lock()
@@ -280,13 +275,7 @@ func (m *Mux) degradedByTier() map[int]int {
 // Policy Runner invokes this automatically after a quarantined tier
 // recovers.
 func (m *Mux) RepairDegradedReplicas() (int, error) {
-	m.mu.Lock()
-	ptrs := make([]*muxFile, 0, len(m.files))
-	for _, f := range m.files {
-		ptrs = append(ptrs, f)
-	}
-	m.mu.Unlock()
-
+	ptrs := m.files.snapshot()
 	var paths []string
 	for _, f := range ptrs {
 		f.mu.Lock()

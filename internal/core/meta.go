@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"muxfs/internal/device"
 	"muxfs/internal/fs/fsrec"
-	"muxfs/internal/fsbase"
 	"muxfs/internal/journal"
 	"muxfs/internal/vfs"
 )
@@ -21,21 +21,40 @@ const opMuxHost = 20
 // separate metafile storage", §3.1). Records buffer in memory and group-
 // commit at metaFlush (Sync paths); commits are ordered after tier syncs so
 // recovered BLT state never references data the tiers lost.
+//
+// Flushes are single-flight: one caller becomes the flusher and commits the
+// whole pending buffer; concurrent callers wait on cond until the records
+// they observed are covered, then return — they never queue behind each
+// other on a flush mutex, so N syncing goroutines pay one journal commit,
+// not N.
 type metaLog struct {
 	dev *device.Device
 	jnl *journal.Journal
 
-	mu      sync.Mutex // guards pending; never held during I/O
+	mu      sync.Mutex // guards everything below; never held during I/O
+	cond    *sync.Cond
 	pending []journal.Record
-
-	flushMu sync.Mutex // serializes flush/compaction
+	seq     uint64 // records ever appended
+	// flushedSeq is the high-water mark of records resolved by a flush —
+	// committed, or consumed by a failed commit (parity with the old
+	// behavior: a failed flush drops its batch rather than retrying it).
+	flushedSeq uint64
+	flushing   bool
+	// lastErr/lastTo attribute a failed flush to the waiters whose records
+	// it consumed. A later successful flush clears lastErr; a waiter that
+	// wakes only then misses the error — a benign corner: its records are
+	// gone either way, and the error already surfaced to the flusher.
+	lastErr error
+	lastTo  uint64
 }
 
 func newMetaLog(dev *device.Device) (*metaLog, error) {
 	if !dev.Profile().ByteAddressable {
 		return nil, fmt.Errorf("mux: meta device %s should be byte-addressable (PM-class)", dev.Profile().Name)
 	}
-	return &metaLog{dev: dev, jnl: journal.New(dev, 0, dev.Capacity())}, nil
+	ml := &metaLog{dev: dev, jnl: journal.New(dev, 0, dev.Capacity())}
+	ml.cond = sync.NewCond(&ml.mu)
+	return ml, nil
 }
 
 // metaAppend buffers records. Cheap and lock-light: callers may hold f.mu.
@@ -43,44 +62,69 @@ func (m *Mux) metaAppend(recs ...journal.Record) {
 	if m.meta == nil {
 		return
 	}
-	m.meta.mu.Lock()
-	m.meta.pending = append(m.meta.pending, recs...)
-	m.meta.mu.Unlock()
+	ml := m.meta
+	ml.mu.Lock()
+	ml.pending = append(ml.pending, recs...)
+	ml.seq += uint64(len(recs))
+	ml.mu.Unlock()
 }
 
 // metaFlush commits buffered records, compacting the journal when full.
-// Must be called WITHOUT any f.mu held (compaction locks files).
+// Must be called WITHOUT any f.mu held (compaction locks files). Concurrent
+// callers coalesce: whoever finds no flush in progress commits everything
+// pending; the rest wait until their records' sequence is covered.
 func (m *Mux) metaFlush() error {
 	if m.meta == nil {
 		return nil
 	}
 	ml := m.meta
-	ml.flushMu.Lock()
-	defer ml.flushMu.Unlock()
-
 	ml.mu.Lock()
+	target := ml.seq
+	for {
+		if ml.flushedSeq >= target {
+			var err error
+			if ml.lastErr != nil && ml.lastTo >= target {
+				err = ml.lastErr
+			}
+			ml.mu.Unlock()
+			return err
+		}
+		if !ml.flushing {
+			break
+		}
+		ml.cond.Wait()
+	}
+	ml.flushing = true
 	stolen := ml.pending
 	ml.pending = nil
+	to := ml.seq
 	ml.mu.Unlock()
-	if len(stolen) == 0 {
-		return nil
+
+	var err error
+	if len(stolen) > 0 {
+		tx := ml.jnl.Begin()
+		for _, r := range stolen {
+			tx.Append(r)
+		}
+		err = tx.Commit()
+		if errors.Is(err, journal.ErrFull) {
+			// The snapshot reflects every effect the stolen records
+			// describe, so they are superseded wholesale.
+			err = m.metaCompact()
+		}
 	}
 
-	tx := ml.jnl.Begin()
-	for _, r := range stolen {
-		tx.Append(r)
-	}
-	err := tx.Commit()
-	if errors.Is(err, journal.ErrFull) {
-		// The snapshot reflects every effect the stolen records describe,
-		// so they are superseded wholesale.
-		return m.metaCompact()
-	}
+	ml.mu.Lock()
+	ml.flushing = false
+	ml.flushedSeq = to
+	ml.lastErr, ml.lastTo = err, to
+	ml.cond.Broadcast()
+	ml.mu.Unlock()
 	return err
 }
 
 // metaCompact rewrites the journal as a snapshot of current Mux state.
-// Caller holds flushMu and no f.mu.
+// Caller is the single in-progress flusher (ml.flushing) and holds no f.mu.
 func (m *Mux) metaCompact() error {
 	ml := m.meta
 	if err := ml.jnl.Checkpoint(); err != nil {
@@ -88,21 +132,19 @@ func (m *Mux) metaCompact() error {
 	}
 	tx := ml.jnl.Begin()
 
-	m.mu.Lock()
 	type dirEnt struct {
 		ino  uint64
 		path string
 	}
 	var dirs []dirEnt
 	var files []*muxFile
-	m.ns.WalkAll(func(path string, node *fsbase.Node) {
-		if node.IsDir() {
-			dirs = append(dirs, dirEnt{node.Ino, path})
-		} else if f := m.files[node.Ino]; f != nil {
+	m.ns.WalkAll(func(path string, ino uint64, mode vfs.FileMode, f *muxFile) {
+		if mode.IsDir() {
+			dirs = append(dirs, dirEnt{ino, path})
+		} else if f != nil {
 			files = append(files, f)
 		}
 	})
-	m.mu.Unlock()
 
 	for _, d := range dirs {
 		tx.Append(fsrec.Op{Type: fsrec.OpMkdir, Ino: d.ino, Path: d.path, Mode: vfs.ModeDir | 0o755}.Record())
@@ -114,7 +156,7 @@ func (m *Mux) metaCompact() error {
 		tx.Append(fsrec.Op{
 			Type: fsrec.OpSetAttr, Ino: f.ino,
 			Size: f.meta.Size, Mode: f.meta.Mode,
-			MTime: f.meta.ModTime, ATime: f.meta.ATime, CTime: f.meta.CTime,
+			MTime: f.meta.ModTime, ATime: time.Duration(f.atimeA.Load()), CTime: f.meta.CTime,
 		}.Record())
 		f.blt.Walk(func(off, n int64, tier int) bool {
 			tx.Append(fsrec.Op{
@@ -138,7 +180,7 @@ func (m *Mux) logCreate(f *muxFile, host int) {
 		return
 	}
 	m.metaAppend(
-		fsrec.Op{Type: fsrec.OpCreate, Ino: f.ino, Path: f.path, Mode: 0o644}.Record(),
+		fsrec.Op{Type: fsrec.OpCreate, Ino: f.ino, Path: f.loadPath(), Mode: 0o644}.Record(),
 		journal.Record{Type: opMuxHost, A: int64(f.ino), B: int64(host)},
 	)
 }
@@ -213,19 +255,22 @@ func (m *Mux) logSetAttr(f *muxFile) {
 	m.metaAppend(fsrec.Op{
 		Type: fsrec.OpSetAttr, Ino: f.ino,
 		Size: f.meta.Size, Mode: f.meta.Mode,
-		MTime: f.meta.ModTime, ATime: f.meta.ATime, CTime: f.meta.CTime,
+		MTime: f.meta.ModTime, ATime: time.Duration(f.atimeA.Load()), CTime: f.meta.CTime,
 	}.Record())
 }
 
-// replay rebuilds Mux state from the journal. Caller holds m.mu over reset
-// state. Replay is tolerant of re-applied records (the compaction snapshot
-// may overlap trailing per-op records), so every case is idempotent.
+// replay rebuilds Mux state from the journal. Recovery is quiesced — no
+// concurrent user ops — so records mutate file state directly; Recover
+// publishes every file's lock-free snapshots afterward. Replay is tolerant
+// of re-applied records (the compaction snapshot may overlap trailing
+// per-op records), so every case is idempotent.
 func (ml *metaLog) replay(m *Mux) error {
 	_, err := ml.jnl.Replay(func(r journal.Record) error {
 		if r.Type == opMuxHost {
-			if f := m.files[uint64(r.A)]; f != nil {
+			if f := m.files.get(uint64(r.A)); f != nil {
 				host := int(r.B)
-				f.aff = affinity{Size: host, MTime: host, ATime: host}
+				f.aff = affinity{Size: host, MTime: host}
+				f.affATime.Store(int32(host))
 				if host >= 0 {
 					f.onTiers[host] = true
 				}
@@ -238,14 +283,17 @@ func (ml *metaLog) replay(m *Mux) error {
 		}
 		switch op.Type {
 		case fsrec.OpCreate:
-			node, err := m.ns.CreateFileIno(op.Path, op.Mode, op.Ino)
+			_, err := m.ns.CreateFile(op.Path, op.Mode, op.Ino, func(ino uint64) *muxFile {
+				nf := newMuxFile(ino, op.Path, 0, -1)
+				m.files.put(ino, nf)
+				return nf
+			})
 			if errors.Is(err, vfs.ErrExist) {
 				return nil // idempotent re-apply
 			}
 			if err != nil {
 				return fmt.Errorf("mux replay create %q: %w", op.Path, err)
 			}
-			m.files[node.Ino] = newMuxFile(node.Ino, op.Path, 0, -1)
 
 		case fsrec.OpMkdir:
 			if _, err := m.ns.Mkdir(op.Path, op.Mode); err != nil && !errors.Is(err, vfs.ErrExist) {
@@ -254,34 +302,34 @@ func (ml *metaLog) replay(m *Mux) error {
 			m.ns.BumpIno(op.Ino)
 
 		case fsrec.OpRemove:
-			node, err := m.ns.Remove(op.Path)
+			info, err := m.ns.Remove(op.Path)
 			if errors.Is(err, vfs.ErrNotExist) {
 				return nil
 			}
 			if err != nil {
 				return fmt.Errorf("mux replay remove %q: %w", op.Path, err)
 			}
-			if f := m.files[node.Ino]; f != nil {
+			if f := info.File; f != nil {
 				for tier, bytes := range f.bytesPerTier() {
 					m.used(tier).Add(-bytes)
 				}
-				delete(m.files, node.Ino)
+				m.files.del(info.Ino)
 			}
 
 		case fsrec.OpRename:
-			node, err := m.ns.Rename(op.Path, op.Path2)
+			info, err := m.ns.Rename(op.Path, op.Path2)
 			if errors.Is(err, vfs.ErrNotExist) {
 				return nil
 			}
 			if err != nil {
 				return fmt.Errorf("mux replay rename: %w", err)
 			}
-			if f := m.files[node.Ino]; f != nil {
+			if f := info.File; f != nil {
 				f.path = op.Path2
 			}
 
 		case fsrec.OpExtent:
-			f := m.files[op.Ino]
+			f := m.files.get(op.Ino)
 			if f == nil {
 				return fmt.Errorf("mux replay extent: unknown inode %d", op.Ino)
 			}
@@ -294,7 +342,7 @@ func (ml *metaLog) replay(m *Mux) error {
 			f.meta.ModTime = op.MTime
 
 		case fsrec.OpSizeTime:
-			f := m.files[op.Ino]
+			f := m.files.get(op.Ino)
 			if f == nil {
 				return fmt.Errorf("mux replay sizetime: unknown inode %d", op.Ino)
 			}
@@ -304,7 +352,7 @@ func (ml *metaLog) replay(m *Mux) error {
 			f.meta.ModTime = op.MTime
 
 		case fsrec.OpSetAttr:
-			f := m.files[op.Ino]
+			f := m.files.get(op.Ino)
 			if f == nil {
 				return fmt.Errorf("mux replay setattr: unknown inode %d", op.Ino)
 			}
@@ -318,7 +366,7 @@ func (ml *metaLog) replay(m *Mux) error {
 			f.meta.CTime = op.CTime
 
 		case fsrec.OpTruncate:
-			f := m.files[op.Ino]
+			f := m.files.get(op.Ino)
 			if f == nil {
 				return fmt.Errorf("mux replay truncate: unknown inode %d", op.Ino)
 			}
@@ -329,7 +377,7 @@ func (ml *metaLog) replay(m *Mux) error {
 			f.meta.ModTime = op.MTime
 
 		case fsrec.OpPunch:
-			f := m.files[op.Ino]
+			f := m.files.get(op.Ino)
 			if f == nil {
 				return fmt.Errorf("mux replay punch: unknown inode %d", op.Ino)
 			}

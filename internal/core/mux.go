@@ -15,6 +15,12 @@
 //	OCC Synchronizer                                      — occ.go
 //	Policy Runner                                         — runner.go
 //	Cache Controller                                      — cachectl.go
+//	Sharded namespace / inode table                       — shardns.go
+//
+// Concurrency: there is no global Mux lock. The namespace is sharded
+// (shardns.go), the tier table is a copy-on-write snapshot behind an atomic
+// pointer, and per-read bookkeeping is lock-free; see DESIGN.md
+// "Concurrency & lock order".
 package core
 
 import (
@@ -27,7 +33,6 @@ import (
 	"time"
 
 	"muxfs/internal/device"
-	"muxfs/internal/fsbase"
 	"muxfs/internal/policy"
 	"muxfs/internal/simclock"
 	"muxfs/internal/vfs"
@@ -79,6 +84,27 @@ type Tier struct {
 	ID   int
 	FS   vfs.FileSystem
 	Prof device.Profile
+}
+
+// tierTable is the copy-on-write tier snapshot: AddTier/RemoveTier build a
+// new table and swap the pointer, so tier(id)/Tiers()/tierInfos on the data
+// path never take a lock and never observe a half-updated table.
+type tierTable struct {
+	tiers []*Tier // dense by id; nil holes after removal
+	live  []*Tier // non-nil entries, sorted fastest-first
+}
+
+func liveOf(tiers []*Tier) []*Tier {
+	out := make([]*Tier, 0, len(tiers))
+	for _, t := range tiers {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Prof.ReadLatency < out[j].Prof.ReadLatency
+	})
+	return out
 }
 
 // Config assembles a Mux instance.
@@ -144,14 +170,19 @@ type Mux struct {
 	clk   *simclock.Clock
 	costs Costs
 
-	mu    sync.Mutex // namespace + tier table; never held during block I/O
-	ns    *fsbase.Namespace
-	files map[uint64]*muxFile
-	tiers []*Tier // dense, sorted fastest-first; IDs are indexes at registration time
+	// Namespace and inode table — sharded, internally locked (shardns.go).
+	ns    *shardedNS
+	files *inoTable
+
+	// Tier table — copy-on-write snapshot. tierMu serializes writers
+	// (AddTier/RemoveTier and the companion tierUsed/healthTab/ioSem table
+	// swaps); readers go through tierTab.Load() and never block.
+	tierMu  sync.Mutex
+	tierTab atomic.Pointer[tierTable]
 
 	// tierUsed holds one shared counter per tier id. The slice itself is
 	// replaced wholesale (copy + atomic pointer swap) when a tier is added,
-	// so hot paths may index it without m.mu while AddTier runs.
+	// so hot paths may index it without locks while AddTier runs.
 	tierUsed atomic.Pointer[[]*atomic.Int64]
 
 	// healthTab holds one health tracker per tier id, shared the same way
@@ -164,9 +195,9 @@ type Mux struct {
 	retryBackoff     time.Duration
 	breakerCooldown  time.Duration
 
-	pol       policy.Policy
+	polP      atomic.Pointer[policy.Policy]
 	meta      *metaLog
-	scm       *cacheCtl
+	scmP      atomic.Pointer[cacheCtl]
 	syncEvery int
 	maxRetry  int
 	lockMig   bool
@@ -231,9 +262,8 @@ func New(cfg Config) (*Mux, error) {
 		name:      cfg.Name,
 		clk:       cfg.Clock,
 		costs:     cfg.Costs,
-		ns:        fsbase.NewNamespace(),
-		files:     map[uint64]*muxFile{},
-		pol:       cfg.Policy,
+		ns:        newShardedNS(),
+		files:     newInoTable(),
 		syncEvery: cfg.MetaSyncEvery,
 		maxRetry:  cfg.MigrationRetries,
 		lockMig:   cfg.LockMigration,
@@ -245,6 +275,8 @@ func New(cfg Config) (*Mux, error) {
 		retryBackoff:     cfg.RetryBackoff,
 		breakerCooldown:  cfg.BreakerCooldown,
 	}
+	m.polP.Store(&cfg.Policy)
+	m.tierTab.Store(&tierTable{})
 	m.migWorkers.Store(int32(cfg.MigrationWorkers))
 	if cfg.DataFanout <= 0 {
 		cfg.DataFanout = defaultDataFanout
@@ -273,14 +305,18 @@ func New(cfg Config) (*Mux, error) {
 // user only needs to mount the new file system and register it"). Tiers
 // sort fastest-first by read latency. It returns the tier id.
 func (m *Mux) AddTier(fs vfs.FileSystem, prof device.Profile) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id := len(m.tiers)
-	m.tiers = append(m.tiers, &Tier{ID: id, FS: fs, Prof: prof})
-	old := *m.tierUsed.Load()
-	counters := make([]*atomic.Int64, len(old)+1)
-	copy(counters, old)
-	counters[len(old)] = &atomic.Int64{}
+	m.tierMu.Lock()
+	defer m.tierMu.Unlock()
+	old := m.tierTab.Load()
+	id := len(old.tiers)
+	tiers := make([]*Tier, id+1)
+	copy(tiers, old.tiers)
+	tiers[id] = &Tier{ID: id, FS: fs, Prof: prof}
+
+	oldU := *m.tierUsed.Load()
+	counters := make([]*atomic.Int64, len(oldU)+1)
+	copy(counters, oldU)
+	counters[len(oldU)] = &atomic.Int64{}
 	m.tierUsed.Store(&counters)
 	oldH := *m.healthTab.Load()
 	health := make([]*tierHealth, len(oldH)+1)
@@ -295,41 +331,37 @@ func (m *Mux) AddTier(fs vfs.FileSystem, prof device.Profile) int {
 	copy(sems, oldS)
 	sems[len(oldS)] = make(chan struct{}, tierWidth(prof, maxTierIOWidth))
 	m.ioSem.Store(&sems)
+
+	// Publish the tier itself last, after its companion tables exist, so a
+	// concurrent reader that sees the new tier can index every table.
+	m.tierTab.Store(&tierTable{tiers: tiers, live: liveOf(tiers)})
 	return id
 }
 
 // RemoveTier unregisters a tier. The tier must be drained first
 // (DrainTier); removal fails with ErrTierBusy while it still holds data.
 func (m *Mux) RemoveTier(id int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if id < 0 || id >= len(m.tiers) || m.tiers[id] == nil {
+	m.tierMu.Lock()
+	defer m.tierMu.Unlock()
+	old := m.tierTab.Load()
+	if id < 0 || id >= len(old.tiers) || old.tiers[id] == nil {
 		return ErrUnknownTier
 	}
 	if m.used(id).Load() > 0 {
 		return ErrTierBusy
 	}
-	m.tiers[id] = nil
+	tiers := make([]*Tier, len(old.tiers))
+	copy(tiers, old.tiers)
+	tiers[id] = nil
+	m.tierTab.Store(&tierTable{tiers: tiers, live: liveOf(tiers)})
 	return nil
 }
 
 // Tiers returns the live tiers, fastest first.
 func (m *Mux) Tiers() []*Tier {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.liveTiersLocked()
-}
-
-func (m *Mux) liveTiersLocked() []*Tier {
-	out := make([]*Tier, 0, len(m.tiers))
-	for _, t := range m.tiers {
-		if t != nil {
-			out = append(out, t)
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].Prof.ReadLatency < out[j].Prof.ReadLatency
-	})
+	live := m.tierTab.Load().live
+	out := make([]*Tier, len(live))
+	copy(out, live)
 	return out
 }
 
@@ -338,21 +370,20 @@ func (m *Mux) used(id int) *atomic.Int64 {
 	return (*m.tierUsed.Load())[id]
 }
 
-// tier resolves a tier id.
+// tier resolves a tier id against the current snapshot — lock-free.
 func (m *Mux) tier(id int) (*Tier, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if id < 0 || id >= len(m.tiers) || m.tiers[id] == nil {
+	tab := m.tierTab.Load()
+	if id < 0 || id >= len(tab.tiers) || tab.tiers[id] == nil {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownTier, id)
 	}
-	return m.tiers[id], nil
+	return tab.tiers[id], nil
 }
 
 // tierInfos snapshots the policy view of all tiers, fastest first.
 // Quarantined tiers are hidden from the policy so placement and migration
 // planning route around the fault domain (health.go).
 func (m *Mux) tierInfos() []policy.TierInfo {
-	live := m.Tiers()
+	live := m.tierTab.Load().live
 	out := make([]policy.TierInfo, 0, len(live))
 	for _, t := range live {
 		out = append(out, policy.TierInfo{
@@ -386,10 +417,8 @@ func (m *Mux) filterHealthy(infos []policy.TierInfo) []policy.TierInfo {
 
 // TierUsage reports Mux's own accounting of allocated bytes per tier id.
 func (m *Mux) TierUsage() map[int]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := map[int]int64{}
-	for _, t := range m.tiers {
+	for _, t := range m.tierTab.Load().tiers {
 		if t != nil {
 			out[t.ID] = m.used(t.ID).Load()
 		}
@@ -403,16 +432,17 @@ func (m *Mux) SetPolicy(p policy.Policy) {
 	if p == nil {
 		return
 	}
-	m.mu.Lock()
-	m.pol = p
-	m.mu.Unlock()
+	m.polP.Store(&p)
 }
 
 // policy returns the current tiering policy.
 func (m *Mux) policy() policy.Policy {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pol
+	return *m.polP.Load()
+}
+
+// scm returns the SCM cache controller, or nil when disabled.
+func (m *Mux) scm() *cacheCtl {
+	return m.scmP.Load()
 }
 
 // EnableSCMCache attaches an SCM cache (§2.5) backed by a preallocated
@@ -426,17 +456,13 @@ func (m *Mux) EnableSCMCache(tierID int, bytes int64) error {
 	if err != nil {
 		return err
 	}
-	m.mu.Lock()
-	m.scm = ctl
-	m.mu.Unlock()
+	m.scmP.Store(ctl)
 	return nil
 }
 
 // CacheStats reports SCM cache counters (zero stats when disabled).
 func (m *Mux) CacheStats() CacheStats {
-	m.mu.Lock()
-	scm := m.scm
-	m.mu.Unlock()
+	scm := m.scm()
 	if scm == nil {
 		return CacheStats{}
 	}
@@ -455,14 +481,8 @@ func (m *Mux) SetMigrationInterleave(fn func(round int)) { m.hookAfterCopy = fn 
 // total mapped runs, mapped bytes, and the approximate in-memory size of
 // the tables (the §2.3 space-overhead claim, ablation A5).
 func (m *Mux) BLTStats() (files, runs int, mappedBytes, tableBytes int64) {
-	m.mu.Lock()
-	ptrs := make([]*muxFile, 0, len(m.files))
-	for _, f := range m.files {
-		ptrs = append(ptrs, f)
-	}
-	m.mu.Unlock()
 	const runBytes = 24 // off, end, tier-id entry in the extent tree
-	for _, f := range ptrs {
+	for _, f := range m.files.snapshot() {
 		f.mu.Lock()
 		files++
 		runs += f.blt.Len()
@@ -478,77 +498,56 @@ func (m *Mux) Name() string { return m.name }
 
 func (m *Mux) now() time.Duration { return m.clk.Now() }
 
-// lookupFile resolves a path to its muxFile state.
+// lookupFile resolves a path to its muxFile state — a single shared shard
+// lock, no global serialization.
 func (m *Mux) lookupFile(path string) (*muxFile, error) {
-	node, err := m.ns.Lookup(path)
+	info, err := m.ns.Lookup(path)
 	if err != nil {
 		return nil, err
 	}
-	if node.IsDir() {
+	if info.IsDir() {
 		return nil, vfs.ErrIsDir
 	}
-	return m.files[node.Ino], nil
+	return info.File, nil
 }
 
 // Create makes a new regular file. The "host" file system — the policy's
 // placement for its first byte — immediately gets the underlying sparse
-// file and becomes the affinitive owner of all metadata (§2.3).
+// file and becomes the affinitive owner of all metadata (§2.3). The muxFile
+// is built inside the namespace insert callback, under the shard lock, so
+// no concurrent lookup ever observes the entry without its file state.
 func (m *Mux) Create(path string) (vfs.File, error) {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
 
-	m.mu.Lock()
-	if len(m.liveTiersLocked()) == 0 {
-		m.mu.Unlock()
+	if len(m.tierTab.Load().live) == 0 {
 		return nil, vfs.Errf("create", m.name, path, ErrNoTiers)
 	}
-	node, err := m.ns.CreateFile(path, 0o644)
+	host := -1
+	f, err := m.ns.CreateFile(path, 0o644, 0, func(ino uint64) *muxFile {
+		host = m.policy().PlaceWrite(policy.WriteCtx{Path: path, Off: 0, N: 0}, m.tierInfos())
+		nf := newMuxFile(ino, path, m.now(), host)
+		m.files.put(ino, nf)
+		return nf
+	})
 	if err != nil {
-		m.mu.Unlock()
 		return nil, vfs.Errf("create", m.name, path, err)
 	}
-	now := m.now()
-	host := m.pol.PlaceWrite(policy.WriteCtx{Path: path, Off: 0, N: 0}, m.tierInfosLocked())
-	f := newMuxFile(node.Ino, path, now, host)
-	m.files[node.Ino] = f
-	m.mu.Unlock()
 
 	// Create the underlying sparse file on the host tier.
 	if _, err := m.ensureHandle(f, host); err != nil {
-		m.mu.Lock()
 		m.ns.Remove(path)
-		delete(m.files, node.Ino)
-		m.mu.Unlock()
+		m.files.del(f.ino)
 		return nil, vfs.Errf("create", m.name, path, err)
 	}
 	m.logCreate(f, host)
 	return &handle{m: m, f: f}, nil
 }
 
-// tierInfosLocked is tierInfos for callers already holding m.mu.
-func (m *Mux) tierInfosLocked() []policy.TierInfo {
-	live := m.liveTiersLocked()
-	out := make([]policy.TierInfo, 0, len(live))
-	for _, t := range live {
-		out = append(out, policy.TierInfo{
-			ID:       t.ID,
-			Name:     t.FS.Name(),
-			Class:    t.Prof.Class,
-			Capacity: t.Prof.Capacity,
-			Used:     m.used(t.ID).Load(),
-			ReadLat:  t.Prof.ReadLatency,
-			WriteLat: t.Prof.WriteLatency,
-		})
-	}
-	return m.filterHealthy(out)
-}
-
 // Open opens an existing regular file.
 func (m *Mux) Open(path string) (vfs.File, error) {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	f, err := m.lookupFile(path)
 	if err != nil {
 		return nil, vfs.Errf("open", m.name, path, err)
@@ -561,24 +560,18 @@ func (m *Mux) Remove(path string) error {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
 
-	m.mu.Lock()
-	node, err := m.ns.Remove(path)
+	info, err := m.ns.Remove(path)
 	if err != nil {
-		m.mu.Unlock()
 		return vfs.Errf("remove", m.name, path, err)
 	}
-	f := m.files[node.Ino]
-	delete(m.files, node.Ino)
-	m.mu.Unlock()
-
+	f := info.File
 	if f != nil {
+		m.files.del(info.Ino)
 		f.mu.Lock()
 		tiersHeld := f.tierSet()
-		mapped := f.blt.MappedBytes()
 		perTier := f.bytesPerTier()
 		f.closeHandlesLocked()
 		f.mu.Unlock()
-		_ = mapped
 		for id, bytes := range perTier {
 			m.used(id).Add(-bytes)
 		}
@@ -591,8 +584,8 @@ func (m *Mux) Remove(path string) error {
 				return vfs.Errf("remove", m.name, path, rmErr)
 			}
 		}
-		if m.scm != nil {
-			m.scm.RemoveFile(f.ino)
+		if scm := m.scm(); scm != nil {
+			scm.RemoveFile(f.ino)
 		}
 	}
 	m.logRemove(path)
@@ -600,27 +593,23 @@ func (m *Mux) Remove(path string) error {
 }
 
 // Rename moves a file or directory, mirrored on every tier that has it.
+// Cross-directory file renames lock the two parent shards in deterministic
+// index order (shardns.go), so a↔b renames from two goroutines cannot
+// deadlock.
 func (m *Mux) Rename(oldPath, newPath string) error {
 	oldPath, newPath = vfs.CleanPath(oldPath), vfs.CleanPath(newPath)
 	m.clk.Advance(m.costs.MetaOp)
 
-	m.mu.Lock()
-	node, err := m.ns.Rename(oldPath, newPath)
+	info, err := m.ns.Rename(oldPath, newPath)
 	if err != nil {
-		m.mu.Unlock()
 		return vfs.Errf("rename", m.name, oldPath, err)
 	}
-	var f *muxFile
-	if !node.IsDir() {
-		f = m.files[node.Ino]
-	}
-	tiers := m.liveTiersLocked()
-	m.mu.Unlock()
 
-	if f != nil {
+	if f := info.File; f != nil {
 		f.mu.Lock()
 		f.path = newPath
-		f.closeHandlesLocked() // handles cache the old path
+		f.publishPath()
+		f.closeHandlesLocked() // handles cache the old path; bumps mapVer
 		held := f.tierSet()
 		f.mu.Unlock()
 		for id := range held {
@@ -637,7 +626,7 @@ func (m *Mux) Rename(oldPath, newPath string) error {
 		}
 	} else {
 		// Directory: mirror on every tier that has it.
-		for _, t := range tiers {
+		for _, t := range m.Tiers() {
 			if rnErr := t.FS.Rename(oldPath, newPath); rnErr != nil && !errors.Is(rnErr, vfs.ErrNotExist) {
 				return vfs.Errf("rename", m.name, oldPath, rnErr)
 			}
@@ -652,21 +641,17 @@ func (m *Mux) Rename(oldPath, newPath string) error {
 func (m *Mux) Mkdir(path string) error {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
-	m.mu.Lock()
-	node, err := m.ns.Mkdir(path, 0o755)
-	m.mu.Unlock()
+	ino, err := m.ns.Mkdir(path, 0o755)
 	if err != nil {
 		return vfs.Errf("mkdir", m.name, path, err)
 	}
-	m.logMkdir(node.Ino, path)
+	m.logMkdir(ino, path)
 	return nil
 }
 
 // ReadDir lists the merged namespace.
 func (m *Mux) ReadDir(path string) ([]vfs.DirEntry, error) {
 	m.clk.Advance(m.costs.MetaOp)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	ents, err := m.ns.ReadDir(vfs.CleanPath(path))
 	if err != nil {
 		return nil, vfs.Errf("readdir", m.name, path, err)
@@ -675,63 +660,71 @@ func (m *Mux) ReadDir(path string) ([]vfs.DirEntry, error) {
 }
 
 // Stat serves metadata from the collective inode — no downward calls, the
-// point of caching attributes at the Mux layer (§2.3).
+// point of caching attributes at the Mux layer (§2.3). The file path reads
+// published snapshots only: no shard lock held past the lookup, no f.mu at
+// all.
 func (m *Mux) Stat(path string) (vfs.FileInfo, error) {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
-	m.mu.Lock()
-	node, err := m.ns.Lookup(path)
+	info, err := m.ns.Lookup(path)
 	if err != nil {
-		m.mu.Unlock()
 		return vfs.FileInfo{}, vfs.Errf("stat", m.name, path, err)
 	}
-	if node.IsDir() {
-		m.mu.Unlock()
-		return vfs.FileInfo{Path: path, Mode: node.Mode}, nil
+	if info.IsDir() {
+		return vfs.FileInfo{Path: path, Mode: info.Mode}, nil
 	}
-	f := m.files[node.Ino]
-	m.mu.Unlock()
-
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	fi := f.meta.Info(path)
-	fi.Blocks = f.blt.MappedBytes()
+	f := info.File
+	meta := *f.metaSnap.Load()
+	meta.ATime = time.Duration(f.atimeA.Load())
+	fi := meta.Info(path)
+	fi.Blocks = f.bltSnap.Load().MappedBytes()
 	return fi, nil
 }
 
-// SetAttr updates the collective inode and queues lazy downward sync.
+// SetAttr updates the collective inode and queues lazy downward sync. Size
+// changes fold into the same f.mu critical section as the attribute apply —
+// one lock round-trip, not a nested Truncate call.
 func (m *Mux) SetAttr(path string, attr vfs.SetAttr) error {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
-	m.mu.Lock()
-	node, err := m.ns.Lookup(path)
+	info, err := m.ns.Lookup(path)
 	if err != nil {
-		m.mu.Unlock()
 		return vfs.Errf("setattr", m.name, path, err)
 	}
-	if node.IsDir() {
-		m.mu.Unlock()
+	if info.IsDir() {
 		return vfs.Errf("setattr", m.name, path, vfs.ErrIsDir)
 	}
-	f := m.files[node.Ino]
-	m.mu.Unlock()
+	f := info.File
 
+	if attr.Size != nil && *attr.Size < 0 {
+		return vfs.Errf("truncate", m.name, path, vfs.ErrInvalid)
+	}
+	var newMode vfs.FileMode
+	modeChanged := false
+	f.mu.Lock()
 	if attr.Size != nil {
-		if err := (&handle{m: m, f: f}).Truncate(*attr.Size); err != nil {
-			return err
+		m.clk.Advance(m.costs.MetaOp) // the size change is its own namespace op
+		if err := m.truncateLocked(f, *attr.Size); err != nil {
+			f.mu.Unlock()
+			return vfs.Errf("truncate", m.name, path, err)
 		}
 		attr.Size = nil
 	}
-	f.mu.Lock()
 	if f.meta.Apply(attr, m.now()) && attr.Mode != nil {
-		m.mu.Lock()
-		node.Mode = f.meta.Mode
-		m.mu.Unlock()
+		newMode, modeChanged = f.meta.Mode, true
+	}
+	if attr.ATime != nil {
+		f.atimeA.Store(int64(f.meta.ATime))
 	}
 	f.version++
 	f.opsSinceSync++
 	m.logSetAttr(f)
+	f.publishMeta()
 	f.mu.Unlock()
+	if modeChanged {
+		// Shard lock taken after f.mu is released — never nested inside it.
+		m.ns.SetFileMode(path, newMode)
+	}
 	return nil
 }
 
@@ -759,9 +752,7 @@ func (m *Mux) Statfs() (vfs.StatFS, error) {
 		out.Used += s.Used
 		out.Available += s.Available
 	}
-	m.mu.Lock()
 	out.Files = m.ns.FileCount()
-	m.mu.Unlock()
 	return out, nil
 }
 
@@ -792,6 +783,8 @@ func (m *Mux) Crash() {
 
 // Recover rebuilds Mux state: each tier recovers itself first, then Mux
 // replays its meta journal (which only ever commits after tier syncs).
+// Recovery runs quiesced — no concurrent user ops, by the crash contract —
+// so it may replace the namespace and inode table wholesale.
 func (m *Mux) Recover() error {
 	for _, t := range m.Tiers() {
 		if cr, ok := t.FS.(vfs.CrashRecoverer); ok {
@@ -805,17 +798,30 @@ func (m *Mux) Recover() error {
 	}
 	// Pending (uncommitted) meta records describe pre-crash state that the
 	// crash erased; committing them after recovery would interleave stale
-	// history into the journal. Drop them.
-	m.meta.mu.Lock()
-	m.meta.pending = nil
-	m.meta.mu.Unlock()
+	// history into the journal. Drop them, and mark the dropped span
+	// resolved so no group-commit waiter stalls on records that will never
+	// flush.
+	ml := m.meta
+	ml.mu.Lock()
+	ml.pending = nil
+	ml.flushedSeq = ml.seq
+	ml.lastErr = nil
+	ml.mu.Unlock()
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.ns = fsbase.NewNamespace()
-	m.files = map[uint64]*muxFile{}
+	m.ns = newShardedNS()
+	m.files = newInoTable()
 	for _, c := range *m.tierUsed.Load() {
 		c.Store(0)
 	}
-	return m.meta.replay(m)
+	if err := m.meta.replay(m); err != nil {
+		return err
+	}
+	// Replay mutated file state directly; publish every lock-free snapshot
+	// before user ops resume.
+	for _, f := range m.files.snapshot() {
+		f.mu.Lock()
+		f.publishAll()
+		f.mu.Unlock()
+	}
+	return nil
 }

@@ -83,9 +83,7 @@ func (m *Mux) MigrateRange(path string, src, dst int, off, n int64) (int64, erro
 		return 0, vfs.Errf("migrate", m.name, path, err)
 	}
 
-	m.mu.Lock()
 	f, err := m.lookupFile(path)
-	m.mu.Unlock()
 	if err != nil {
 		return 0, vfs.Errf("migrate", m.name, path, err)
 	}
@@ -277,9 +275,9 @@ func (m *Mux) reclaimSource(f *muxFile, srcH vfs.File, committed []vfs.Extent) e
 			return err
 		}
 	}
-	if m.scm != nil {
+	if scm := m.scm(); scm != nil {
 		for _, c := range committed {
-			m.scm.invalidate(f.ino, c.Off, c.Len)
+			scm.invalidate(f.ino, c.Off, c.Len)
 		}
 	}
 	return nil
@@ -472,12 +470,11 @@ func subtractRanges(work, conflicts []vfs.Extent) []vfs.Extent {
 // preparation for RemoveTier (§2.1: "to remove a device, data must be
 // migrated first").
 func (m *Mux) DrainTier(src, dst int) (int64, error) {
-	m.mu.Lock()
-	paths := make([]string, 0, len(m.files))
-	for _, f := range m.files {
-		paths = append(paths, f.path)
+	files := m.files.snapshot()
+	paths := make([]string, 0, len(files))
+	for _, f := range files {
+		paths = append(paths, f.loadPath())
 	}
-	m.mu.Unlock()
 	var total int64
 	for _, p := range paths {
 		moved, err := m.Migrate(p, src, dst)

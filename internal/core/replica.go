@@ -29,9 +29,7 @@ func (m *Mux) SetReplica(path string, tier int) error {
 	if err != nil {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
-	m.mu.Lock()
 	f, err := m.lookupFile(path)
-	m.mu.Unlock()
 	if err != nil {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
@@ -60,9 +58,7 @@ func (m *Mux) SetReplica(path string, tier int) error {
 // failed reclaim silently leaked the mirror bytes forever).
 func (m *Mux) ClearReplica(path string) error {
 	path = vfs.CleanPath(path)
-	m.mu.Lock()
 	f, err := m.lookupFile(path)
-	m.mu.Unlock()
 	if err != nil {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
@@ -112,9 +108,7 @@ func (m *Mux) punchMirrorLocked(f *muxFile, rh vfs.File) error {
 
 // Replica reports the file's replica tier (-1 when unreplicated).
 func (m *Mux) Replica(path string) (int, error) {
-	m.mu.Lock()
 	f, err := m.lookupFile(vfs.CleanPath(path))
-	m.mu.Unlock()
 	if err != nil {
 		return -1, vfs.Errf("replicate", m.name, path, err)
 	}
@@ -127,9 +121,7 @@ func (m *Mux) Replica(path string) (int, error) {
 // device recovered from a fault, say).
 func (m *Mux) RepairFile(path string) error {
 	path = vfs.CleanPath(path)
-	m.mu.Lock()
 	f, err := m.lookupFile(path)
-	m.mu.Unlock()
 	if err != nil {
 		return vfs.Errf("repair", m.name, path, err)
 	}

@@ -278,9 +278,7 @@ func TestDegradedMirrorRefusedByFallback(t *testing.T) {
 	if err := r.m.SetReplica("/stale", r.ids.ssd); err != nil {
 		t.Fatal(err)
 	}
-	r.m.mu.Lock()
 	mf, err := r.m.lookupFile("/stale")
-	r.m.mu.Unlock()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,13 +34,7 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 		return MigrationStats{}, ErrNoTiers
 	}
 
-	m.mu.Lock()
-	filePtrs := make([]*muxFile, 0, len(m.files))
-	for _, f := range m.files {
-		filePtrs = append(filePtrs, f)
-	}
-	m.mu.Unlock()
-
+	filePtrs := m.files.snapshot()
 	stats := make([]policy.FileStat, 0, len(filePtrs))
 	for _, f := range filePtrs {
 		f.mu.Lock()
@@ -53,8 +47,8 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 		stats = append(stats, policy.FileStat{
 			Path:       f.path,
 			Size:       f.meta.Size,
-			LastAccess: f.lastAccess,
-			Heat:       f.heat,
+			LastAccess: time.Duration(f.lastAccessA.Load()),
+			Heat:       f.heatLoad(),
 			Tiers:      onTiers,
 			TierBytes:  perTier,
 		})
@@ -89,9 +83,7 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 		// the round failed and had to be retried — halving heat twice for
 		// one effective round — and cooled it before the planned moves ran.
 		for _, f := range filePtrs {
-			f.mu.Lock()
-			f.heat *= heatDecay
-			f.mu.Unlock()
+			f.heatScale(heatDecay)
 		}
 	}
 	m.setLastMigration(st)
