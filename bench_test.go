@@ -270,3 +270,15 @@ func BenchmarkE8MetaHot(b *testing.B) {
 		b.ReportMetric(r.ScaleAt16, "scale-at-16-x")
 	}
 }
+
+func BenchmarkE9TelemetryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunE9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverheadPct, "telemetry-overhead-pct")
+		b.ReportMetric(r.OnOpsPerSec, "ops/s-telemetry-on")
+		b.ReportMetric(r.OffOpsPerSec, "ops/s-telemetry-off")
+	}
+}

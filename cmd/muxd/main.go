@@ -5,14 +5,28 @@
 // Usage:
 //
 //	muxd -addr :9321 -kind ssd -capacity 1073741824
+//	muxd -addr :9321 -full -metrics :9322
+//
+// With -metrics, muxd exposes the Mux telemetry surface over HTTP:
+// GET /metrics (Prometheus text, ?format=json for the unified snapshot)
+// and GET /debug/trace (recent slow/failed operations). SIGINT/SIGTERM
+// shut down gracefully: the policy runner drains, Mux metadata takes a
+// final journal flush, and both listeners close.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"muxfs"
 )
@@ -22,6 +36,8 @@ func main() {
 	kind := flag.String("kind", "ssd", "device kind to serve: pm, ssd, hdd")
 	capacity := flag.Int64("capacity", 0, "device capacity in bytes (0 = class default)")
 	full := flag.Bool("full", false, "serve a whole three-tier Mux instead of a single native file system")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics and /debug/trace (empty = disabled)")
+	policyEvery := flag.Duration("policy-interval", 2*time.Second, "policy runner interval in -full mode (0 = disabled)")
 	flag.Parse()
 
 	var dk muxfs.DeviceKind
@@ -36,11 +52,13 @@ func main() {
 		log.Fatalf("muxd: unknown kind %q (want pm, ssd, or hdd)", *kind)
 	}
 
+	var sys *muxfs.System
 	var served muxfs.FileSystem
+	var err error
 	if *full {
 		// Serve an entire tiered Mux: remote clients see the merged
 		// namespace with tiering running on this node.
-		sys, err := muxfs.New(muxfs.Config{
+		sys, err = muxfs.New(muxfs.Config{
 			Name: "muxd",
 			Tiers: []muxfs.TierSpec{
 				{Kind: muxfs.PM, Name: "pmem0"},
@@ -56,7 +74,7 @@ func main() {
 		served = sys.FS
 	} else {
 		// A single-tier system gives us a device + matching native FS.
-		sys, err := muxfs.New(muxfs.Config{
+		sys, err = muxfs.New(muxfs.Config{
 			Name:   "muxd",
 			Tiers:  []muxfs.TierSpec{{Kind: dk, Name: "served0", Capacity: *capacity}},
 			Policy: muxfs.NewPinnedPolicy(0),
@@ -71,8 +89,62 @@ func main() {
 	if err != nil {
 		log.Fatalf("muxd: %v", err)
 	}
+
+	// Background tiering daemon: in -full mode the policy runner migrates on
+	// a wall-clock cadence; shutdown stops it and waits for the in-flight
+	// round to drain before the final flush.
+	var runnerWG sync.WaitGroup
+	policyStop := make(chan struct{})
+	if *full && *policyEvery > 0 {
+		runnerWG.Add(1)
+		go func() {
+			defer runnerWG.Done()
+			sys.FS.PolicyRunner(*policyEvery, policyStop)
+		}()
+	}
+
+	// Telemetry endpoint: /metrics (Prometheus text; ?format=json for the
+	// unified snapshot) and /debug/trace.
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		ml, merr := net.Listen("tcp", *metrics)
+		if merr != nil {
+			log.Fatalf("muxd: metrics listener: %v", merr)
+		}
+		metricsSrv = &http.Server{Handler: sys.FS.MetricsHandler()}
+		go func() {
+			if serr := metricsSrv.Serve(ml); serr != nil && serr != http.ErrServerClosed {
+				log.Printf("muxd: metrics server: %v", serr)
+			}
+		}()
+		fmt.Printf("muxd: telemetry on http://%s/metrics\n", ml.Addr())
+	}
+
+	// Graceful shutdown: close the RPC listener (Serve returns nil on
+	// net.ErrClosed), drain the policy runner, and flush Mux metadata so the
+	// journal is consistent at exit.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Printf("muxd: %v: shutting down\n", sig)
+		l.Close()
+	}()
+
 	fmt.Printf("muxd: serving %s (%s) on %s\n", served.Name(), *kind, l.Addr())
 	if err := muxfs.ServeTier(l, served); err != nil {
 		log.Fatalf("muxd: %v", err)
 	}
+
+	close(policyStop)
+	runnerWG.Wait()
+	if err := sys.FS.Sync(); err != nil {
+		log.Printf("muxd: final flush: %v", err)
+	}
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		metricsSrv.Shutdown(ctx)
+		cancel()
+	}
+	fmt.Println("muxd: bye")
 }

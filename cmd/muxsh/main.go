@@ -136,6 +136,12 @@ func (s *shell) dispatch(line string) error {
 		fmt.Fprintf(s.out, "migrations=%d bytes=%d conflicts=%d retries=%d lock-fallbacks=%d\n",
 			st.Migrations, st.BytesMoved, st.Conflicts, st.Retries, st.LockFallbacks)
 		return nil
+	case "stats":
+		return s.stats(rest)
+	case "trace":
+		return s.trace()
+	case "telemetry":
+		return s.telemetry(rest)
 	case "replica":
 		if len(rest) < 1 {
 			return errors.New("usage: replica <path> [tier-name|off]")
@@ -196,6 +202,9 @@ func (s *shell) help() {
   fault <tier> <p> [wp] [seed] inject faults: read-prob p, write-prob wp
   fault <tier> off             clear injected faults
   occ                          show OCC synchronizer counters
+  stats [-json]                unified telemetry snapshot (all stats surfaces)
+  trace                        recent slow/failed operations (trace ring)
+  telemetry on|off|reset       toggle or zero telemetry recording
   replica <path> [tier|off]    show/set/clear a file's replica tier
   fsck                         check Mux metadata against the tiers
   sync                         persist everything

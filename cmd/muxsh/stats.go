@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// stats renders the unified telemetry snapshot — the one surface that
+// subsumes the old scattered cache/occ/blt/migration/health outputs.
+// "stats -json" dumps the same snapshot as JSON.
+func (s *shell) stats(rest []string) error {
+	snap := s.sys.FS.Telemetry()
+	if len(rest) > 0 && rest[0] == "-json" {
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, string(b))
+		return nil
+	}
+
+	state := "off"
+	if snap.Enabled {
+		state = "on"
+	}
+	fmt.Fprintf(s.out, "telemetry: %s\n\n", state)
+
+	fmt.Fprintf(s.out, "%-12s %-8s %10s %12s %8s %10s %10s %10s %10s\n",
+		"tier", "op", "count", "bytes", "errors", "p50", "p95", "p99", "max")
+	for _, op := range snap.Ops {
+		if op.Count == 0 && op.Errors == 0 {
+			continue
+		}
+		name := op.TierName
+		if op.Tier < 0 {
+			name = "-"
+		}
+		fmt.Fprintf(s.out, "%-12s %-8s %10d %12d %8d %10v %10v %10v %10v\n",
+			name, op.Op, op.Count, op.Bytes, op.Errors,
+			rnd(op.P50), rnd(op.P95), rnd(op.P99), rnd(op.Max))
+	}
+
+	fmt.Fprintf(s.out, "\nmeta ops:")
+	total := int64(0)
+	for _, name := range []string{"create", "open", "stat", "remove", "rename", "mkdir", "readdir", "setattr", "truncate", "punch", "sync"} {
+		if c := snap.MetaOps[name]; c > 0 {
+			fmt.Fprintf(s.out, " %s=%d", name, c)
+			total += c
+		}
+	}
+	if total == 0 {
+		fmt.Fprint(s.out, " (none)")
+	}
+	fmt.Fprintln(s.out)
+	fmt.Fprintf(s.out, "flush records: %d\n", snap.FlushRecords)
+
+	c := snap.Cache
+	fmt.Fprintf(s.out, "cache: hits=%d misses=%d evictions=%d slots=%d/%d\n",
+		c.Hits, c.Misses, c.Evictions, c.UsedSlots, c.Slots)
+	o := snap.OCC
+	fmt.Fprintf(s.out, "occ: migrations=%d bytes=%d conflicts=%d retries=%d lock-fallbacks=%d\n",
+		o.Migrations, o.BytesMoved, o.Conflicts, o.Retries, o.LockFallbacks)
+	b := snap.BLT
+	fmt.Fprintf(s.out, "blt: files=%d runs=%d mapped=%d table=%d\n",
+		b.Files, b.Runs, b.MappedBytes, b.TableBytes)
+	m := snap.LastMigration
+	fmt.Fprintf(s.out, "last policy round: planned=%d executed=%d skipped=%d bytes=%d\n",
+		m.Planned, m.Executed, m.Skipped, m.BytesMoved)
+	for _, h := range snap.Tiers {
+		fmt.Fprintf(s.out, "tier %-10s state=%-12s ops=%d faults=%d retries=%d quarantines=%d\n",
+			h.Name, h.State, h.Ops, h.Faults, h.Retries, h.Quarantines)
+	}
+	fmt.Fprintf(s.out, "traces held: %d (see 'trace')\n", len(snap.Traces))
+	return nil
+}
+
+// trace prints the slow/failed-operation ring, oldest first.
+func (s *shell) trace() error {
+	evs := s.sys.FS.TelemetryRegistry().Trace.Snapshot()
+	if len(evs) == 0 {
+		fmt.Fprintln(s.out, "no trace events (only slow or failed ops record)")
+		return nil
+	}
+	for _, ev := range evs {
+		tier := fmt.Sprintf("tier %d", ev.Tier)
+		if ev.Tier < 0 {
+			tier = "-"
+		}
+		line := fmt.Sprintf("#%d %-10s %-8s %10v", ev.Seq, ev.Op, tier, rnd(ev.Dur))
+		if ev.Path != "" {
+			line += " " + ev.Path
+		}
+		if ev.Note != "" {
+			line += " (" + ev.Note + ")"
+		}
+		if ev.Err != "" {
+			line += " ERR: " + ev.Err
+		}
+		fmt.Fprintln(s.out, line)
+	}
+	return nil
+}
+
+// telemetry toggles or resets recording.
+func (s *shell) telemetry(rest []string) error {
+	if len(rest) != 1 {
+		return errors.New("usage: telemetry on|off|reset")
+	}
+	switch rest[0] {
+	case "on":
+		s.sys.FS.SetTelemetryEnabled(true)
+	case "off":
+		s.sys.FS.SetTelemetryEnabled(false)
+	case "reset":
+		s.sys.FS.ResetTelemetry()
+	default:
+		return errors.New("usage: telemetry on|off|reset")
+	}
+	fmt.Fprintf(s.out, "telemetry %s\n", rest[0])
+	return nil
+}
+
+// rnd trims a duration for table display.
+func rnd(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

@@ -143,7 +143,7 @@ func (s *e8Stack) arm(on bool) {
 	}
 }
 
-func newE8Stack() (*e8Stack, error) {
+func newE8Stack(disableTel bool) (*e8Stack, error) {
 	clk := simclock.New()
 	profs := [3]device.Profile{
 		device.PMProfile("pmem0"),
@@ -171,9 +171,10 @@ func newE8Stack() (*e8Stack, error) {
 	s.govs[1] = &writeLagFS{FileSystem: xfs}
 	s.govs[2] = &writeLagFS{FileSystem: ext}
 	m, err := core.New(core.Config{
-		Name:   "mux-e8",
-		Clock:  clk,
-		Policy: policy.Pinned{Tier: 0},
+		Name:             "mux-e8",
+		Clock:            clk,
+		Policy:           policy.Pinned{Tier: 0},
+		DisableTelemetry: disableTel,
 	})
 	if err != nil {
 		return nil, err
@@ -233,22 +234,31 @@ func e8Stage(s *e8Stack, hotPat []byte) error {
 // runE8Config measures one client count against a fresh stack. iters is the
 // total measured loop iterations, split evenly across the g clients.
 func runE8Config(g, iters int) (E8Row, bool, bool, error) {
+	row, identical, consistent, _, err := runE8ConfigTel(g, iters, false)
+	return row, identical, consistent, err
+}
+
+// runE8ConfigTel is runE8Config with an explicit telemetry mode; it also
+// returns the stack's telemetry snapshot so E9 can report per-tier latency
+// distributions from the instrumented run.
+func runE8ConfigTel(g, iters int, disableTel bool) (E8Row, bool, bool, core.TelemetrySnapshot, error) {
+	var noTel core.TelemetrySnapshot
 	row := E8Row{G: g}
-	s, err := newE8Stack()
+	s, err := newE8Stack(disableTel)
 	if err != nil {
-		return row, false, false, err
+		return row, false, false, noTel, err
 	}
 	hotPat := make([]byte, e8HotSize)
 	for i := range hotPat {
 		hotPat[i] = byte(i*13 + i/257)
 	}
 	if err := e8Stage(s, hotPat); err != nil {
-		return row, false, false, err
+		return row, false, false, noTel, err
 	}
 	m := s.mux
 	before, err := m.Statfs()
 	if err != nil {
-		return row, false, false, err
+		return row, false, false, noTel, err
 	}
 
 	// Background governed writers: continuously rewrite the hot files with
@@ -257,7 +267,7 @@ func runE8Config(g, iters int) (E8Row, bool, bool, error) {
 	var hotHandles [e8HotFiles]vfs.File
 	for i := range hotHandles {
 		if hotHandles[i], err = m.Open(e8HotPath(i)); err != nil {
-			return row, false, false, err
+			return row, false, false, noTel, err
 		}
 	}
 	defer func() {
@@ -375,7 +385,7 @@ func runE8Config(g, iters int) (E8Row, bool, bool, error) {
 	writerWG.Wait()
 	s.arm(false)
 	if ep := firstErr.Load(); ep != nil {
-		return row, false, false, *ep
+		return row, false, false, noTel, *ep
 	}
 
 	// Oracles, off the clock: the hot bytes must still be exactly the
@@ -385,7 +395,7 @@ func runE8Config(g, iters int) (E8Row, bool, bool, error) {
 	full := make([]byte, e8HotSize)
 	for i := range hotHandles {
 		if _, err := hotHandles[i].ReadAt(full, 0); err != nil {
-			return row, false, false, err
+			return row, false, false, noTel, err
 		}
 		if !bytes.Equal(full, hotPat) {
 			byteIdentical = false
@@ -393,7 +403,7 @@ func runE8Config(g, iters int) (E8Row, bool, bool, error) {
 	}
 	after, err := m.Statfs()
 	if err != nil {
-		return row, false, false, err
+		return row, false, false, noTel, err
 	}
 	consistent := after.Files == before.Files
 
@@ -402,7 +412,7 @@ func runE8Config(g, iters int) (E8Row, bool, bool, error) {
 	if wall > 0 {
 		row.OpsPerSec = float64(row.Ops) / wall.Seconds()
 	}
-	return row, byteIdentical, consistent, nil
+	return row, byteIdentical, consistent, s.mux.Telemetry(), nil
 }
 
 // RunE8 measures the full client sweep at the default iteration budget.

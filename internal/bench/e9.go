@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"muxfs/internal/core"
+)
+
+// E9 — telemetry overhead: the E8 metadata-hot workload at 16 clients, run
+// with telemetry recording enabled vs disabled, reporting the throughput
+// delta. Telemetry's design budget is "cheap enough to leave on" — per-tier
+// instruments are pre-resolved, recording is a handful of atomics, and the
+// disabled path is one atomic load — so the gate is a ≤5% ops/sec cost.
+//
+// Wall-clock noise control: each mode runs Reps times in alternating order
+// (off/on/off/on/...) and the per-mode MEDIAN throughput is compared, so a
+// scheduler hiccup in one rep cannot manufacture (or mask) overhead in
+// either direction. The enabled run's own snapshot supplies the per-tier op
+// counts and latency quantiles the experiment reports — E9 doubles as the
+// end-to-end check that the instruments actually saw the workload.
+
+const (
+	e9Clients      = 16
+	e9DefaultIters = 16384
+	e9DefaultReps  = 5
+)
+
+// E9Rep is one repetition of one mode.
+type E9Rep struct {
+	Enabled   bool
+	WallMs    float64
+	Ops       int64
+	OpsPerSec float64
+}
+
+// E9Op is one per-tier op series from the telemetry-enabled run: count,
+// bytes, errors, and wall-latency quantiles in nanoseconds.
+type E9Op struct {
+	Tier  int    `json:"tier"`
+	Name  string `json:"tier_name,omitempty"`
+	Op    string `json:"op"`
+	Count int64  `json:"count"`
+	Bytes int64  `json:"bytes,omitempty"`
+	Errs  int64  `json:"errors"`
+	P50   int64  `json:"p50_ns"`
+	P95   int64  `json:"p95_ns"`
+	P99   int64  `json:"p99_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+// E9Result is the telemetry-overhead measurement.
+type E9Result struct {
+	G     int
+	Iters int
+	Reps  []E9Rep
+
+	// OnOpsPerSec/OffOpsPerSec are each mode's median rep.
+	OnOpsPerSec  float64
+	OffOpsPerSec float64
+	// OverheadPct is the telemetry-on throughput cost in percent of the
+	// telemetry-off rate (negative values mean "on" measured faster — noise).
+	OverheadPct float64
+
+	// Ops is the per-tier telemetry from the fastest enabled rep: counts,
+	// bytes, and latency quantiles per tier+op, plus the flush/migrate rows.
+	Ops []E9Op
+	// MetaOps counts namespace operations by kind from the enabled run.
+	MetaOps map[string]int64
+
+	// Recorded reports that the enabled run's instruments saw the workload
+	// (nonzero read count on the hot tier and nonzero meta-op counts).
+	Recorded bool
+	// ByteIdentical/Consistent carry the E8 oracles across every rep.
+	ByteIdentical bool
+	Consistent    bool
+}
+
+// RunE9 measures telemetry overhead at the default budget.
+func RunE9() (*E9Result, error) {
+	return RunE9Sized(e9DefaultIters, e9DefaultReps)
+}
+
+// RunE9Sized is RunE9 with custom per-rep iterations and rep count (tests
+// use small ones).
+func RunE9Sized(iters, reps int) (*E9Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	res := &E9Result{G: e9Clients, Iters: iters, ByteIdentical: true, Consistent: true}
+	var bestOnTel core.TelemetrySnapshot
+	var bestOn float64
+	var onRates, offRates []float64
+
+	for rep := 0; rep < reps; rep++ {
+		// Alternate off-first so slow drift (thermal, host load) hits both
+		// modes symmetrically.
+		for _, enabled := range []bool{false, true} {
+			row, identical, consistent, tel, err := runE8ConfigTel(e9Clients, iters, !enabled)
+			if err != nil {
+				return nil, fmt.Errorf("E9 rep %d (telemetry=%v): %w", rep, enabled, err)
+			}
+			if !identical {
+				res.ByteIdentical = false
+			}
+			if !consistent {
+				res.Consistent = false
+			}
+			res.Reps = append(res.Reps, E9Rep{
+				Enabled: enabled, WallMs: row.WallMs, Ops: row.Ops, OpsPerSec: row.OpsPerSec,
+			})
+			if enabled {
+				onRates = append(onRates, row.OpsPerSec)
+				if row.OpsPerSec > bestOn {
+					bestOn = row.OpsPerSec
+					bestOnTel = tel
+				}
+			} else {
+				offRates = append(offRates, row.OpsPerSec)
+			}
+		}
+	}
+	res.OnOpsPerSec = median(onRates)
+	res.OffOpsPerSec = median(offRates)
+	if res.OffOpsPerSec > 0 {
+		res.OverheadPct = (res.OffOpsPerSec - res.OnOpsPerSec) / res.OffOpsPerSec * 100
+	}
+
+	res.MetaOps = bestOnTel.MetaOps
+	var hotReads int64
+	for _, op := range bestOnTel.Ops {
+		if op.Count == 0 && op.Errors == 0 {
+			continue
+		}
+		res.Ops = append(res.Ops, E9Op{
+			Tier: op.Tier, Name: op.TierName, Op: op.Op,
+			Count: op.Count, Bytes: op.Bytes, Errs: op.Errors,
+			P50: int64(op.P50), P95: int64(op.P95), P99: int64(op.P99), Max: int64(op.Max),
+		})
+		if op.Op == "read" && op.Count > 0 {
+			hotReads += op.Count
+		}
+	}
+	var metaTotal int64
+	for _, c := range res.MetaOps {
+		metaTotal += c
+	}
+	res.Recorded = hotReads > 0 && metaTotal > 0
+	return res, nil
+}
+
+// median returns the middle value (mean of the middle two for even n).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// CheckE9Gate returns an error when the measured telemetry-on overhead
+// exceeds maxPct (the CI gate).
+func CheckE9Gate(r *E9Result, maxPct float64) error {
+	if r.OverheadPct > maxPct {
+		return fmt.Errorf("E9 gate: telemetry-on overhead %.2f%% exceeds %.2f%%", r.OverheadPct, maxPct)
+	}
+	return nil
+}
+
+// FormatE9 prints the telemetry-overhead comparison.
+func FormatE9(w io.Writer, r *E9Result) {
+	fmt.Fprintf(w, "E9 — telemetry overhead: E8 metadata-hot workload at %d clients, recording on vs off\n", r.G)
+	fmt.Fprintln(w, "  (wall time, median of alternating reps per mode; gate is ≤5% ops/sec cost)")
+	fmt.Fprintf(w, "  %-6s %-10s %12s %12s %14s\n", "Rep", "Telemetry", "Wall ms", "Ops", "Ops/sec")
+	for i, rep := range r.Reps {
+		mode := "off"
+		if rep.Enabled {
+			mode = "on"
+		}
+		fmt.Fprintf(w, "  %-6d %-10s %12.1f %12d %14.0f\n", i/2, mode, rep.WallMs, rep.Ops, rep.OpsPerSec)
+	}
+	fmt.Fprintf(w, "  median: off=%.0f ops/sec  on=%.0f ops/sec  overhead=%.2f%%\n",
+		r.OffOpsPerSec, r.OnOpsPerSec, r.OverheadPct)
+
+	fmt.Fprintf(w, "  %-10s %-8s %10s %12s %8s %10s %10s %10s\n",
+		"tier", "op", "count", "bytes", "errors", "p50", "p95", "p99")
+	for _, op := range r.Ops {
+		name := op.Name
+		if op.Tier < 0 {
+			name = "-"
+		}
+		fmt.Fprintf(w, "  %-10s %-8s %10d %12d %8d %10v %10v %10v\n",
+			name, op.Op, op.Count, op.Bytes, op.Errs,
+			time.Duration(op.P50).Round(time.Microsecond),
+			time.Duration(op.P95).Round(time.Microsecond),
+			time.Duration(op.P99).Round(time.Microsecond))
+	}
+
+	rec := "instruments saw the workload (reads + meta ops recorded)"
+	if !r.Recorded {
+		rec = "INSTRUMENTS EMPTY — telemetry missed the workload"
+	}
+	id := "every cached read returned the staged pattern"
+	if !r.ByteIdentical {
+		id = "DATA DIVERGED — a cached read returned stale or torn bytes"
+	}
+	acc := "Statfs accounting balanced"
+	if !r.Consistent {
+		acc = "ACCOUNTING DIVERGED — files lost or leaked"
+	}
+	fmt.Fprintf(w, "  recording: %s\n  integrity: %s; %s\n", rec, id, acc)
+	fmt.Fprintf(w, "  headline: telemetry-on costs %.2f%% of off throughput (budget 5%%)\n", r.OverheadPct)
+}

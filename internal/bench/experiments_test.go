@@ -342,3 +342,42 @@ func TestE8Shape(t *testing.T) {
 		t.Fatal("Statfs accounting did not balance after churn")
 	}
 }
+
+func TestE9Shape(t *testing.T) {
+	// Small budget, one rep per mode: the shape test checks that both modes
+	// run, the oracles hold, and the enabled run's instruments actually saw
+	// the workload. The overhead number itself is noise at this size — the
+	// 5% acceptance gate runs via muxbench -exp e9 -e9gate 5.
+	r, err := RunE9Sized(512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reps) != 2 {
+		t.Fatalf("want 2 reps (off+on), got %d", len(r.Reps))
+	}
+	if r.Reps[0].Enabled || !r.Reps[1].Enabled {
+		t.Fatalf("want alternating off/on order, got %+v", r.Reps)
+	}
+	if r.OnOpsPerSec <= 0 || r.OffOpsPerSec <= 0 {
+		t.Fatalf("missing mode throughput (on=%.0f off=%.0f)", r.OnOpsPerSec, r.OffOpsPerSec)
+	}
+	if !r.Recorded {
+		t.Fatal("telemetry-enabled run recorded no reads or meta ops")
+	}
+	if !r.ByteIdentical {
+		t.Fatal("a cached read returned bytes != staged pattern")
+	}
+	if !r.Consistent {
+		t.Fatal("Statfs accounting did not balance after churn")
+	}
+	// The enabled run must report per-tier quantiles for the hot tier.
+	var sawHotRead bool
+	for _, op := range r.Ops {
+		if op.Op == "read" && op.Tier == 0 && op.Count > 0 && op.P50 > 0 {
+			sawHotRead = true
+		}
+	}
+	if !sawHotRead {
+		t.Fatal("no per-tier read latency distribution in the enabled run")
+	}
+}

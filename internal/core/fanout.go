@@ -117,6 +117,7 @@ func (m *Mux) acquireIOSlot(id int) func() {
 // tail so stale caller-buffer bytes never masquerade as file content. On a
 // device error the segment retries against the file's replica, if any.
 func (m *Mux) readSegment(f *muxFile, scm *cacheCtl, dh vfs.File, tier int, dst []byte, off int64) error {
+	t0 := m.telStart()
 	release := m.acquireIOSlot(tier)
 	var err error
 	if scm != nil && scm.cacheable(tier) {
@@ -136,6 +137,7 @@ func (m *Mux) readSegment(f *muxFile, scm *cacheCtl, dh vfs.File, tier int, dst 
 		})
 	}
 	release()
+	m.telIO("read", tier, f.loadPath(), int64(len(dst)), t0, err)
 	if err != nil {
 		return m.readWithReplicaFallback(f, dst, off, err)
 	}
@@ -143,14 +145,16 @@ func (m *Mux) readSegment(f *muxFile, scm *cacheCtl, dh vfs.File, tier int, dst 
 }
 
 // writeSegment writes one segment to its downward handle under a data-path
-// slot and the tier's health tracker.
-func (m *Mux) writeSegment(dh vfs.File, tier int, buf []byte, off int64) error {
+// slot and the tier's health tracker. path is only for telemetry traces.
+func (m *Mux) writeSegment(dh vfs.File, tier int, path string, buf []byte, off int64) error {
+	t0 := m.telStart()
 	release := m.acquireIOSlot(tier)
 	err := m.tierIO(tier, func() error {
 		_, werr := dh.WriteAt(buf, off)
 		return werr
 	})
 	release()
+	m.telIO("write", tier, path, int64(len(buf)), t0, err)
 	return err
 }
 
@@ -231,14 +235,14 @@ func (m *Mux) fanoutRead(f *muxFile, scm *cacheCtl, p []byte, off int64, plan []
 // error, so segments of other tiers may still land — every landed segment
 // is reported so the caller repoints the BLT to match what the devices now
 // hold.
-func (m *Mux) fanoutWrite(p []byte, off int64, plan []ioSeg) ([]bool, error) {
+func (m *Mux) fanoutWrite(path string, p []byte, off int64, plan []ioSeg) ([]bool, error) {
 	done := make([]bool, len(plan))
 	tiers := planTiers(plan)
 	if len(tiers) <= 1 || m.DataFanout() <= 1 {
 		for i := range plan {
 			s := &plan[i]
 			buf := p[s.off-off : s.off-off+s.ln]
-			if err := m.writeSegment(s.h, s.tier, buf, s.off); err != nil {
+			if err := m.writeSegment(s.h, s.tier, path, buf, s.off); err != nil {
 				return done, err
 			}
 			done[i] = true
@@ -262,7 +266,7 @@ func (m *Mux) fanoutWrite(p []byte, off int64, plan []ioSeg) ([]bool, error) {
 					continue
 				}
 				buf := p[s.off-off : s.off-off+s.ln]
-				if err := m.writeSegment(s.h, s.tier, buf, s.off); err != nil {
+				if err := m.writeSegment(s.h, s.tier, path, buf, s.off); err != nil {
 					errs[gi] = err
 					return
 				}
@@ -289,12 +293,14 @@ type syncTarget struct {
 // participates, each through its tier's health tracker and data-path
 // semaphore. The returned error is the lowest-tier failure (deterministic
 // regardless of completion order). The caller must not hold f.mu.
-func (m *Mux) fanoutSync(targets []syncTarget) error {
+func (m *Mux) fanoutSync(path string, targets []syncTarget) error {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].tier < targets[j].tier })
 	syncOne := func(t syncTarget) error {
+		t0 := m.telStart()
 		release := m.acquireIOSlot(t.tier)
 		err := m.tierIO(t.tier, t.dh.Sync)
 		release()
+		m.telIO("sync", t.tier, path, 0, t0, err)
 		return err
 	}
 	if len(targets) <= 1 || m.DataFanout() <= 1 {

@@ -496,7 +496,7 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return 0, vfs.Errf("write", m.name, f.path, err)
 		}
-		if err := m.writeSegment(dh, tid, p, off); err != nil {
+		if err := m.writeSegment(dh, tid, f.path, p, off); err != nil {
 			return 0, vfs.Errf("write", m.name, f.path, err)
 		}
 		if scm := m.scm(); scm != nil {
@@ -547,7 +547,7 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	// than one tier (fanout.go). Every segment whose device write landed is
 	// repointed — even on partial failure, so the BLT reflects what the
 	// devices now hold.
-	done, werr := m.fanoutWrite(p, off, plan)
+	done, werr := m.fanoutWrite(f.path, p, off, plan)
 	lastTier := -1
 	scm := m.scm()
 	for i := range plan {
@@ -646,6 +646,7 @@ func (h *handle) Truncate(size int64) error {
 		return vfs.Errf("truncate", m.name, h.f.loadPath(), vfs.ErrInvalid)
 	}
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopTruncate)
 
 	f := h.f
 	f.mu.Lock()
@@ -712,6 +713,7 @@ func (h *handle) Sync() error {
 		return vfs.Errf("sync", m.name, h.f.loadPath(), err)
 	}
 	m.clk.Advance(m.costs.DispatchOp)
+	m.telMetaOp(mopSync)
 
 	f := h.f
 	f.mu.Lock()
@@ -731,7 +733,7 @@ func (h *handle) Sync() error {
 	m.metaSyncLocked(f)
 	f.mu.Unlock()
 
-	if err := m.fanoutSync(targets); err != nil {
+	if err := m.fanoutSync(f.loadPath(), targets); err != nil {
 		return vfs.Errf("sync", m.name, f.loadPath(), err)
 	}
 	return m.metaFlush()
@@ -788,6 +790,7 @@ func (h *handle) PunchHole(off, n int64) error {
 		return nil
 	}
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopPunch)
 
 	f := h.f
 	f.mu.Lock()

@@ -137,10 +137,12 @@ func (h *tierHealth) admit(now, cooldown time.Duration) bool {
 	return true
 }
 
-// record books the outcome of one op (after retries). It returns true when
-// a successful probe just closed the breaker — i.e. the tier recovered and
-// the Mux should schedule reintegration.
-func (h *tierHealth) record(err error, now time.Duration, threshold int) (recovered bool) {
+// record books the outcome of one op (after retries). recovered reports
+// that a successful probe just closed the breaker — i.e. the tier recovered
+// and the Mux should schedule reintegration; opened reports that this op
+// just opened (or reopened) the breaker. Both transitions feed the
+// telemetry trace ring.
+func (h *tierHealth) record(err error, now time.Duration, threshold int) (recovered, opened bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.ops++
@@ -150,7 +152,7 @@ func (h *tierHealth) record(err error, now time.Duration, threshold int) (recove
 		if h.state != tierHealthy {
 			h.state = tierHealthy
 			h.openedAt = 0
-			return true
+			return true, false
 		}
 	case device.IsFault(err):
 		h.faults++
@@ -160,16 +162,18 @@ func (h *tierHealth) record(err error, now time.Duration, threshold int) (recove
 			// Failed probe: reopen and restart the cooldown.
 			h.state = tierQuarantined
 			h.openedAt = now
+			opened = true
 		} else if h.state == tierHealthy && h.consecFails >= threshold {
 			h.state = tierQuarantined
 			h.openedAt = now
 			h.quarantines++
+			opened = true
 		}
 	default:
 		// Logical errors (EOF was filtered by the caller, ErrNoSpace,
 		// ErrNotExist, ...) neither heal nor harm the breaker.
 	}
-	return false
+	return false, opened
 }
 
 // snapshot returns the tracker's public view.
@@ -228,11 +232,15 @@ func (m *Mux) tierIO(id int, op func() error) error {
 		m.clk.Advance(backoff)
 		backoff *= 2
 	}
-	if h.record(err, m.now(), m.breakerThreshold) {
+	recovered, opened := h.record(err, m.now(), m.breakerThreshold)
+	if recovered {
 		// A probe just closed the breaker. Don't repair inline — tierIO may
 		// run under a file lock; the next Policy Runner round (or an explicit
 		// RepairDegradedReplicas call) re-mirrors what degraded.
 		m.repairPending.Store(true)
+		m.telTraceQuarantine(id, false, "")
+	} else if opened {
+		m.telTraceQuarantine(id, true, err.Error())
 	}
 	return err
 }

@@ -102,6 +102,7 @@ func (m *Mux) metaFlush() error {
 
 	var err error
 	if len(stolen) > 0 {
+		t0 := m.telStart()
 		tx := ml.jnl.Begin()
 		for _, r := range stolen {
 			tx.Append(r)
@@ -112,6 +113,7 @@ func (m *Mux) metaFlush() error {
 			// describe, so they are superseded wholesale.
 			err = m.metaCompact()
 		}
+		m.telFlush(len(stolen), t0, err)
 	}
 
 	ml.mu.Lock()

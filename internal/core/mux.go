@@ -35,6 +35,7 @@ import (
 	"muxfs/internal/device"
 	"muxfs/internal/policy"
 	"muxfs/internal/simclock"
+	"muxfs/internal/telemetry"
 	"muxfs/internal/vfs"
 )
 
@@ -148,6 +149,18 @@ type Config struct {
 	// defaultDataFanout; 1 degrades to serial dispatch.
 	DataFanout int
 
+	// Telemetry knobs (telemetry.go). Recording is ON by default — E9
+	// gates its overhead at 5% of the E8 metadata-hot workload, so it is
+	// cheap enough to leave on; DisableTelemetry turns it off (one atomic
+	// load per would-be record). It can also be toggled at runtime with
+	// SetTelemetryEnabled.
+	DisableTelemetry bool
+	// TelemetrySlowOp is the wall-time threshold above which a data op,
+	// migration move, or group commit records a trace event. Default 5ms.
+	TelemetrySlowOp time.Duration
+	// TelemetryRing sizes the trace ring. Default telemetry.DefaultRingSize.
+	TelemetryRing int
+
 	// Tier fault-domain knobs (health.go). Zero values take the defaults.
 	//
 	// BreakerThreshold is the consecutive device-fault count that opens a
@@ -216,6 +229,20 @@ type Mux struct {
 	lastMig    MigrationStats
 
 	occ occCounter
+
+	// Telemetry state (telemetry.go). tel is always non-nil; telTab holds
+	// the pre-resolved per-tier instrument sets, replaced wholesale like
+	// tierUsed when a tier is added. The remaining handles are resolved
+	// once at construction.
+	tel          *telemetry.Registry
+	telTab       atomic.Pointer[[]*tierTel]
+	telMeta      [mopCount]*telemetry.Counter
+	telFlushLat  *telemetry.Histogram
+	telFlushErrs *telemetry.Counter
+	telFlushRecs *telemetry.Counter
+	telMigLat    *telemetry.Histogram
+	telMigErrs   *telemetry.Counter
+	telSlow      time.Duration
 
 	// hookAfterCopy, when set (tests only), runs after each optimistic copy
 	// round before validation — a deterministic window to inject racing
@@ -288,6 +315,27 @@ func New(cfg Config) (*Mux, error) {
 	m.healthTab.Store(&emptyHealth)
 	emptySem := []chan struct{}{}
 	m.ioSem.Store(&emptySem)
+
+	// Telemetry: registry + pre-resolved non-tier instruments. Per-tier
+	// instruments are resolved as tiers register (AddTier).
+	if cfg.TelemetrySlowOp <= 0 {
+		cfg.TelemetrySlowOp = defaultSlowOp
+	}
+	m.telSlow = cfg.TelemetrySlowOp
+	m.tel = telemetry.NewRegistry(cfg.TelemetryRing)
+	m.tel.SetEnabled(!cfg.DisableTelemetry)
+	for op := metaOp(0); op < mopCount; op++ {
+		m.telMeta[op] = m.tel.Counter("mux_meta_ops_total",
+			"Namespace/metadata operations by kind.",
+			telemetry.Label{Key: "op", Value: metaOpNames[op]})
+	}
+	m.telFlushLat = m.tel.Histogram("mux_flush_latency_ns", "Group-commit journal flush wall latency in nanoseconds.")
+	m.telFlushErrs = m.tel.Counter("mux_flush_errors_total", "Group-commit journal flushes that failed.")
+	m.telFlushRecs = m.tel.Counter("mux_flush_records_total", "Journal records committed by group commits.")
+	m.telMigLat = m.tel.Histogram("mux_migrate_move_latency_ns", "Migration move wall latency in nanoseconds.")
+	m.telMigErrs = m.tel.Counter("mux_migrate_move_errors_total", "Migration moves that failed.")
+	emptyTel := []*tierTel{}
+	m.telTab.Store(&emptyTel)
 	if m.costs == (Costs{}) {
 		m.costs = DefaultCosts()
 	}
@@ -331,6 +379,13 @@ func (m *Mux) AddTier(fs vfs.FileSystem, prof device.Profile) int {
 	copy(sems, oldS)
 	sems[len(oldS)] = make(chan struct{}, tierWidth(prof, maxTierIOWidth))
 	m.ioSem.Store(&sems)
+	// Per-tier telemetry instruments, pre-resolved so the data path never
+	// touches the registry lock (telemetry.go).
+	oldT := *m.telTab.Load()
+	tels := make([]*tierTel, len(oldT)+1)
+	copy(tels, oldT)
+	tels[len(oldT)] = m.newTierTel(len(oldT), prof.Name)
+	m.telTab.Store(&tels)
 
 	// Publish the tier itself last, after its companion tables exist, so a
 	// concurrent reader that sees the new tier can index every table.
@@ -519,6 +574,7 @@ func (m *Mux) lookupFile(path string) (*muxFile, error) {
 func (m *Mux) Create(path string) (vfs.File, error) {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopCreate)
 
 	if len(m.tierTab.Load().live) == 0 {
 		return nil, vfs.Errf("create", m.name, path, ErrNoTiers)
@@ -548,6 +604,7 @@ func (m *Mux) Create(path string) (vfs.File, error) {
 func (m *Mux) Open(path string) (vfs.File, error) {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopOpen)
 	f, err := m.lookupFile(path)
 	if err != nil {
 		return nil, vfs.Errf("open", m.name, path, err)
@@ -559,6 +616,7 @@ func (m *Mux) Open(path string) (vfs.File, error) {
 func (m *Mux) Remove(path string) error {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopRemove)
 
 	info, err := m.ns.Remove(path)
 	if err != nil {
@@ -599,6 +657,7 @@ func (m *Mux) Remove(path string) error {
 func (m *Mux) Rename(oldPath, newPath string) error {
 	oldPath, newPath = vfs.CleanPath(oldPath), vfs.CleanPath(newPath)
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopRename)
 
 	info, err := m.ns.Rename(oldPath, newPath)
 	if err != nil {
@@ -641,6 +700,7 @@ func (m *Mux) Rename(oldPath, newPath string) error {
 func (m *Mux) Mkdir(path string) error {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopMkdir)
 	ino, err := m.ns.Mkdir(path, 0o755)
 	if err != nil {
 		return vfs.Errf("mkdir", m.name, path, err)
@@ -652,6 +712,7 @@ func (m *Mux) Mkdir(path string) error {
 // ReadDir lists the merged namespace.
 func (m *Mux) ReadDir(path string) ([]vfs.DirEntry, error) {
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopReaddir)
 	ents, err := m.ns.ReadDir(vfs.CleanPath(path))
 	if err != nil {
 		return nil, vfs.Errf("readdir", m.name, path, err)
@@ -666,6 +727,7 @@ func (m *Mux) ReadDir(path string) ([]vfs.DirEntry, error) {
 func (m *Mux) Stat(path string) (vfs.FileInfo, error) {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopStat)
 	info, err := m.ns.Lookup(path)
 	if err != nil {
 		return vfs.FileInfo{}, vfs.Errf("stat", m.name, path, err)
@@ -687,6 +749,7 @@ func (m *Mux) Stat(path string) (vfs.FileInfo, error) {
 func (m *Mux) SetAttr(path string, attr vfs.SetAttr) error {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopSetattr)
 	info, err := m.ns.Lookup(path)
 	if err != nil {
 		return vfs.Errf("setattr", m.name, path, err)
@@ -760,6 +823,7 @@ func (m *Mux) Statfs() (vfs.StatFS, error) {
 // Mux metadata never references data a tier lost.
 func (m *Mux) Sync() error {
 	m.clk.Advance(m.costs.MetaOp)
+	m.telMetaOp(mopSync)
 	for _, t := range m.Tiers() {
 		if err := t.FS.Sync(); err != nil {
 			return err

@@ -69,6 +69,13 @@ func (m *Mux) Migrate(path string, src, dst int) (int64, error) {
 // saw no write is correct by construction; conflicted copies are dropped
 // with no side effects (§2.4).
 func (m *Mux) MigrateRange(path string, src, dst int, off, n int64) (int64, error) {
+	t0 := m.telStart()
+	moved, err := m.migrateRange(path, src, dst, off, n)
+	m.telMigrate(path, src, dst, moved, t0, err)
+	return moved, err
+}
+
+func (m *Mux) migrateRange(path string, src, dst int, off, n int64) (int64, error) {
 	path = vfs.CleanPath(path)
 	m.clk.Advance(m.costs.MetaOp)
 	if src == dst {

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"muxfs/internal/telemetry"
+)
+
+// Telemetry integration: Mux instruments its natural seams — the tierIO
+// dispatch in fanout.go, the migration engine, the health tracker, the SCM
+// cache, and the journal group commit — against a telemetry.Registry. The
+// design budget is "cheap enough to leave on" (E9 gates the overhead at 5%
+// of the E8 metadata-hot workload):
+//
+//   - Per-tier instruments are pre-resolved into a copy-on-write table
+//     (telTab, swapped wholesale in AddTier like tierUsed), so the hot path
+//     never takes the registry lock or hashes a label set.
+//   - Every record site checks Registry.Enabled() first and skips all clock
+//     reads and atomics when off — the disabled cost is one atomic load.
+//   - Latency is wall clock, never the simulated clock, so telemetry cannot
+//     perturb virtual-time results: E1–E8 stay byte-identical either way.
+//
+// The trace ring records only slow (> slowOp wall time) or failed
+// operations, plus quarantine transitions and slow/failed group commits —
+// a bounded flight recorder for "why was that op slow", not a log.
+
+// defaultSlowOp is the wall-time threshold above which an op records a
+// trace event. Governed experiment writes sleep ~1.5 ms; real device stalls
+// and breaker retry storms exceed this comfortably.
+const defaultSlowOp = 5 * time.Millisecond
+
+// tierTel is one tier's pre-resolved instrument set.
+type tierTel struct {
+	readLat  *telemetry.Histogram
+	writeLat *telemetry.Histogram
+	syncLat  *telemetry.Histogram
+
+	readBytes  *telemetry.Counter
+	writeBytes *telemetry.Counter
+
+	readErrs  *telemetry.Counter
+	writeErrs *telemetry.Counter
+	syncErrs  *telemetry.Counter
+}
+
+// metaOp enumerates the namespace/metadata operations counted per kind.
+type metaOp int
+
+const (
+	mopCreate metaOp = iota
+	mopOpen
+	mopStat
+	mopRemove
+	mopRename
+	mopMkdir
+	mopReaddir
+	mopSetattr
+	mopTruncate
+	mopPunch
+	mopSync
+	mopCount
+)
+
+var metaOpNames = [mopCount]string{
+	"create", "open", "stat", "remove", "rename", "mkdir",
+	"readdir", "setattr", "truncate", "punch", "sync",
+}
+
+// newTierTel resolves the per-tier instrument handles.
+func (m *Mux) newTierTel(id int, dev string) *tierTel {
+	ls := func(op string) []telemetry.Label {
+		return []telemetry.Label{
+			{Key: "tier", Value: strconv.Itoa(id)},
+			{Key: "dev", Value: dev},
+			{Key: "op", Value: op},
+		}
+	}
+	return &tierTel{
+		readLat:    m.tel.Histogram("mux_tier_op_latency_ns", "Per-tier downward op wall latency in nanoseconds.", ls("read")...),
+		writeLat:   m.tel.Histogram("mux_tier_op_latency_ns", "Per-tier downward op wall latency in nanoseconds.", ls("write")...),
+		syncLat:    m.tel.Histogram("mux_tier_op_latency_ns", "Per-tier downward op wall latency in nanoseconds.", ls("sync")...),
+		readBytes:  m.tel.Counter("mux_tier_op_bytes_total", "Bytes moved by per-tier downward ops.", ls("read")...),
+		writeBytes: m.tel.Counter("mux_tier_op_bytes_total", "Bytes moved by per-tier downward ops.", ls("write")...),
+		readErrs:   m.tel.Counter("mux_tier_op_errors_total", "Per-tier downward ops that returned an error.", ls("read")...),
+		writeErrs:  m.tel.Counter("mux_tier_op_errors_total", "Per-tier downward ops that returned an error.", ls("write")...),
+		syncErrs:   m.tel.Counter("mux_tier_op_errors_total", "Per-tier downward ops that returned an error.", ls("sync")...),
+	}
+}
+
+// telTier returns the instrument set for tier id (nil for unknown ids).
+func (m *Mux) telTier(id int) *tierTel {
+	tab := *m.telTab.Load()
+	if id < 0 || id >= len(tab) {
+		return nil
+	}
+	return tab[id]
+}
+
+// telStart opens a latency measurement: the zero time when telemetry is
+// off, so record sites can gate everything on one atomic load.
+func (m *Mux) telStart() time.Time {
+	if !m.tel.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// telIO books one per-tier data op: latency, bytes, error count, and a
+// trace event when the op failed or ran slow. t0 is the telStart result —
+// zero means telemetry was off when the op began and nothing records.
+func (m *Mux) telIO(op string, tier int, path string, bytes int64, t0 time.Time, err error) {
+	if t0.IsZero() {
+		return
+	}
+	tt := m.telTier(tier)
+	if tt == nil {
+		return
+	}
+	dur := time.Since(t0)
+	var lat *telemetry.Histogram
+	var bytesCtr, errCtr *telemetry.Counter
+	switch op {
+	case "read":
+		lat, bytesCtr, errCtr = tt.readLat, tt.readBytes, tt.readErrs
+	case "write":
+		lat, bytesCtr, errCtr = tt.writeLat, tt.writeBytes, tt.writeErrs
+	default: // "sync"
+		lat, errCtr = tt.syncLat, tt.syncErrs
+	}
+	lat.Record(int64(dur))
+	if bytesCtr != nil && bytes > 0 {
+		bytesCtr.Add(bytes)
+	}
+	if err != nil {
+		errCtr.Add(1)
+	}
+	if err != nil || dur >= m.telSlow {
+		ev := telemetry.TraceEvent{Op: op, Tier: tier, Path: path, Dur: dur}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		if bytes > 0 {
+			ev.Note = fmt.Sprintf("%d bytes", bytes)
+		}
+		m.tel.Trace.Add(ev)
+	}
+}
+
+// telMigrate books one migration move: wall latency, error count, and a
+// trace event when the move failed or ran slow.
+func (m *Mux) telMigrate(path string, src, dst int, moved int64, t0 time.Time, err error) {
+	if t0.IsZero() {
+		return
+	}
+	dur := time.Since(t0)
+	m.telMigLat.Record(int64(dur))
+	if err != nil {
+		m.telMigErrs.Add(1)
+	}
+	if err != nil || dur >= m.telSlow {
+		ev := telemetry.TraceEvent{
+			Op: "migrate", Tier: dst, Path: path, Dur: dur,
+			Note: fmt.Sprintf("tier %d -> %d, %d bytes", src, dst, moved),
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		m.tel.Trace.Add(ev)
+	}
+}
+
+// telFlush books one journal group commit: wall latency, records committed,
+// error count, and a trace event when the flush failed or ran slow.
+func (m *Mux) telFlush(records int, t0 time.Time, err error) {
+	if t0.IsZero() {
+		return
+	}
+	dur := time.Since(t0)
+	m.telFlushLat.Record(int64(dur))
+	m.telFlushRecs.Add(int64(records))
+	if err != nil {
+		m.telFlushErrs.Add(1)
+	}
+	if err != nil || dur >= m.telSlow {
+		ev := telemetry.TraceEvent{
+			Op: "flush", Tier: -1, Dur: dur,
+			Note: fmt.Sprintf("%d records", records),
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		m.tel.Trace.Add(ev)
+	}
+}
+
+// telMetaOp counts one namespace/metadata operation.
+func (m *Mux) telMetaOp(op metaOp) {
+	if !m.tel.Enabled() {
+		return
+	}
+	m.telMeta[op].Add(1)
+}
+
+// telTraceQuarantine records a breaker transition.
+func (m *Mux) telTraceQuarantine(tier int, opened bool, lastFault string) {
+	if !m.tel.Enabled() {
+		return
+	}
+	note := "breaker closed (tier recovered)"
+	if opened {
+		note = "breaker opened"
+	}
+	m.tel.Trace.Add(telemetry.TraceEvent{Op: "quarantine", Tier: tier, Err: lastFault, Note: note})
+}
+
+// --- public surface -------------------------------------------------------
+
+// TelemetryRegistry exposes the raw registry (HTTP export, tests).
+func (m *Mux) TelemetryRegistry() *telemetry.Registry { return m.tel }
+
+// TelemetryEnabled reports whether recording is on.
+func (m *Mux) TelemetryEnabled() bool { return m.tel.Enabled() }
+
+// SetTelemetryEnabled toggles recording at runtime.
+func (m *Mux) SetTelemetryEnabled(on bool) { m.tel.SetEnabled(on) }
+
+// ResetTelemetry zeroes every instrument and clears the trace ring.
+func (m *Mux) ResetTelemetry() { m.tel.Reset() }
+
+// BLTInfo is the Block Lookup Table footprint as one struct (the four
+// scattered BLTStats return values, unified for the telemetry snapshot).
+type BLTInfo struct {
+	Files       int   `json:"files"`
+	Runs        int   `json:"runs"`
+	MappedBytes int64 `json:"mapped_bytes"`
+	TableBytes  int64 `json:"table_bytes"`
+}
+
+// BLTInfo reports the aggregate BLT footprint.
+func (m *Mux) BLTInfo() BLTInfo {
+	files, runs, mapped, table := m.BLTStats()
+	return BLTInfo{Files: files, Runs: runs, MappedBytes: mapped, TableBytes: table}
+}
+
+// OpTelemetry summarizes one per-tier op series: count, bytes, errors, and
+// the latency distribution (wall-clock quantiles).
+type OpTelemetry struct {
+	Tier     int           `json:"tier"` // -1 for non-tier ops (flush, migrate)
+	TierName string        `json:"tier_name,omitempty"`
+	Op       string        `json:"op"`
+	Count    int64         `json:"count"`
+	Bytes    int64         `json:"bytes,omitempty"`
+	Errors   int64         `json:"errors"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	Max      time.Duration `json:"max_ns"`
+	Mean     time.Duration `json:"mean_ns"`
+}
+
+func opTelemetryFrom(tier int, name, op string, h telemetry.HistSnapshot, bytes, errs int64) OpTelemetry {
+	return OpTelemetry{
+		Tier: tier, TierName: name, Op: op,
+		Count: h.Count, Bytes: bytes, Errors: errs,
+		P50:  time.Duration(h.Quantile(0.50)),
+		P95:  time.Duration(h.Quantile(0.95)),
+		P99:  time.Duration(h.Quantile(0.99)),
+		Max:  time.Duration(h.Max),
+		Mean: time.Duration(h.Mean()),
+	}
+}
+
+// TelemetrySnapshot is the unified observability view: it subsumes the
+// scattered CacheStats/OCCStats/BLTStats/MigrationStats/TierHealth surfaces
+// and adds the per-tier latency distributions and the trace ring.
+type TelemetrySnapshot struct {
+	Enabled bool `json:"enabled"`
+
+	// Ops carries one entry per tier+op data-path series (read/write/sync),
+	// plus tier -1 entries for the group-commit flush and migration moves.
+	Ops []OpTelemetry `json:"ops"`
+
+	// MetaOps counts namespace/metadata operations by kind.
+	MetaOps map[string]int64 `json:"meta_ops"`
+
+	// FlushRecords is the total journal records committed by group commits.
+	FlushRecords int64 `json:"flush_records"`
+
+	Cache         CacheStats       `json:"cache"`
+	OCC           OCCStats         `json:"occ"`
+	BLT           BLTInfo          `json:"blt"`
+	LastMigration MigrationStats   `json:"last_migration"`
+	Tiers         []TierHealthInfo `json:"tiers"`
+
+	Traces []telemetry.TraceEvent `json:"traces"`
+}
+
+// Telemetry returns the unified snapshot.
+func (m *Mux) Telemetry() TelemetrySnapshot {
+	snap := TelemetrySnapshot{
+		Enabled:       m.tel.Enabled(),
+		MetaOps:       map[string]int64{},
+		Cache:         m.CacheStats(),
+		OCC:           m.OCC(),
+		BLT:           m.BLTInfo(),
+		LastMigration: m.LastMigration(),
+		Tiers:         m.TierHealth(),
+		Traces:        m.tel.Trace.Snapshot(),
+		FlushRecords:  m.telFlushRecs.Value(),
+	}
+	for op, c := range m.telMeta {
+		snap.MetaOps[metaOpNames[op]] = c.Value()
+	}
+	for _, t := range m.Tiers() {
+		tt := m.telTier(t.ID)
+		if tt == nil {
+			continue
+		}
+		snap.Ops = append(snap.Ops,
+			opTelemetryFrom(t.ID, t.Prof.Name, "read", tt.readLat.Snapshot(), tt.readBytes.Value(), tt.readErrs.Value()),
+			opTelemetryFrom(t.ID, t.Prof.Name, "write", tt.writeLat.Snapshot(), tt.writeBytes.Value(), tt.writeErrs.Value()),
+			opTelemetryFrom(t.ID, t.Prof.Name, "sync", tt.syncLat.Snapshot(), 0, tt.syncErrs.Value()),
+		)
+	}
+	sort.SliceStable(snap.Ops, func(i, j int) bool {
+		if snap.Ops[i].Tier != snap.Ops[j].Tier {
+			return snap.Ops[i].Tier < snap.Ops[j].Tier
+		}
+		return snap.Ops[i].Op < snap.Ops[j].Op
+	})
+	snap.Ops = append(snap.Ops,
+		opTelemetryFrom(-1, "", "flush", m.telFlushLat.Snapshot(), 0, m.telFlushErrs.Value()),
+		opTelemetryFrom(-1, "", "migrate", m.telMigLat.Snapshot(), 0, m.telMigErrs.Value()),
+	)
+	return snap
+}
+
+// promFamilies synthesizes export families for the stats surfaces that live
+// outside the registry (cache, OCC, BLT, health, usage), so /metrics is the
+// complete picture, not just the hot-path instruments.
+func (m *Mux) promFamilies() []telemetry.FamilySnapshot {
+	counterFam := func(name, help string, vals ...telemetry.SeriesSnapshot) telemetry.FamilySnapshot {
+		return telemetry.FamilySnapshot{Name: name, Help: help, Kind: "counter", Series: vals}
+	}
+	gaugeFam := func(name, help string, vals ...telemetry.SeriesSnapshot) telemetry.FamilySnapshot {
+		return telemetry.FamilySnapshot{Name: name, Help: help, Kind: "gauge", Series: vals}
+	}
+	one := func(v int64, labels ...telemetry.Label) telemetry.SeriesSnapshot {
+		return telemetry.SeriesSnapshot{Labels: labels, Value: v}
+	}
+
+	cache := m.CacheStats()
+	occ := m.OCC()
+	blt := m.BLTInfo()
+
+	fams := []telemetry.FamilySnapshot{
+		counterFam("mux_cache_hits_total", "SCM cache hits.", one(cache.Hits)),
+		counterFam("mux_cache_misses_total", "SCM cache misses.", one(cache.Misses)),
+		counterFam("mux_cache_evictions_total", "SCM cache evictions.", one(cache.Evictions)),
+		gaugeFam("mux_cache_slots", "SCM cache slot capacity.", one(cache.Slots)),
+		gaugeFam("mux_cache_used_slots", "SCM cache slots in use.", one(int64(cache.UsedSlots))),
+		counterFam("mux_occ_migrations_total", "Completed migration calls.", one(occ.Migrations)),
+		counterFam("mux_occ_bytes_moved_total", "Bytes committed by migrations.", one(occ.BytesMoved)),
+		counterFam("mux_occ_conflicts_total", "Migration rounds that saw concurrent writes.", one(occ.Conflicts)),
+		counterFam("mux_occ_retries_total", "Migration re-copy rounds.", one(occ.Retries)),
+		counterFam("mux_occ_lock_fallbacks_total", "Migrations that fell back to lock-based copy.", one(occ.LockFallbacks)),
+		gaugeFam("mux_blt_files", "Live files tracked by the BLT.", one(int64(blt.Files))),
+		gaugeFam("mux_blt_runs", "Total mapped BLT runs.", one(int64(blt.Runs))),
+		gaugeFam("mux_blt_mapped_bytes", "Bytes mapped by the BLT.", one(blt.MappedBytes)),
+		gaugeFam("mux_blt_table_bytes", "Approximate in-memory BLT size.", one(blt.TableBytes)),
+	}
+
+	var used, healthOps, healthFaults, healthRetries, healthQuar, healthState []telemetry.SeriesSnapshot
+	now := m.now()
+	for _, t := range m.Tiers() {
+		labels := []telemetry.Label{
+			{Key: "tier", Value: strconv.Itoa(t.ID)},
+			{Key: "dev", Value: t.Prof.Name},
+		}
+		used = append(used, one(m.used(t.ID).Load(), labels...))
+		if h := m.healthOf(t.ID); h != nil {
+			info := h.snapshot(t.ID, t.Prof.Name, now)
+			healthOps = append(healthOps, one(info.Ops, labels...))
+			healthFaults = append(healthFaults, one(info.Faults, labels...))
+			healthRetries = append(healthRetries, one(info.Retries, labels...))
+			healthQuar = append(healthQuar, one(info.Quarantines, labels...))
+			var st int64
+			switch info.State {
+			case "quarantined":
+				st = 1
+			case "probing":
+				st = 2
+			}
+			healthState = append(healthState, one(st, labels...))
+		}
+	}
+	fams = append(fams,
+		gaugeFam("mux_tier_used_bytes", "Mux-accounted bytes per tier.", used...),
+		counterFam("mux_tier_health_ops_total", "Downward data ops attempted per tier.", healthOps...),
+		counterFam("mux_tier_health_faults_total", "Downward op attempts failed by device faults.", healthFaults...),
+		counterFam("mux_tier_health_retries_total", "Transient-fault retries per tier.", healthRetries...),
+		counterFam("mux_tier_quarantines_total", "Times a tier's circuit breaker opened.", healthQuar...),
+		gaugeFam("mux_tier_state", "Breaker state per tier: 0 healthy, 1 quarantined, 2 probing.", healthState...),
+	)
+	return fams
+}

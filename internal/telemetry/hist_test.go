@@ -1,0 +1,323 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries checks the geometry invariants exhaustively: every
+// bucket's bounds tile the number line with no gaps or overlaps, and every
+// value maps into the bucket whose bounds contain it.
+func TestBucketBoundaries(t *testing.T) {
+	// Tiling: bucket i's hi must be bucket i+1's lo.
+	prevHi := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if i > 0 && lo != prevHi {
+			t.Fatalf("bucket %d: lo=%d, want %d (gap or overlap)", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d: empty range [%d, %d)", i, lo, hi)
+		}
+		prevHi = hi
+	}
+
+	// Membership: boundary values and interior values land where the bounds
+	// say they should — up to the overflow clamp at 2^histMaxExp, past which
+	// everything collapses into the last bucket.
+	clamp := int64(1) << histMaxExp
+	for i := 0; i < histBuckets-1; i++ {
+		lo, hi := bucketBounds(i)
+		if lo >= clamp {
+			break
+		}
+		for _, v := range []int64{lo, (lo + hi - 1) / 2, hi - 1} {
+			if got := bucketIndex(v); got != i {
+				t.Fatalf("bucketIndex(%d) = %d, want %d (bounds [%d,%d))", v, got, i, lo, hi)
+			}
+		}
+		if hi >= clamp {
+			continue
+		}
+		if got := bucketIndex(hi); got != i+1 {
+			t.Fatalf("bucketIndex(%d) = %d, want %d (hi is exclusive)", hi, got, i+1)
+		}
+	}
+	for _, v := range []int64{clamp, clamp + 1, 1 << 62} {
+		if got := bucketIndex(v); got != histBuckets-1 {
+			t.Fatalf("overflow value %d bucket = %d, want last (%d)", v, got, histBuckets-1)
+		}
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value bucket = %d, want 0", got)
+	}
+
+	// Exact low range: values 0..7 each get their own unit bucket.
+	for v := int64(0); v < histSub; v++ {
+		lo, hi := bucketBounds(int(v))
+		if lo != v || hi != v+1 {
+			t.Fatalf("low bucket %d: bounds [%d,%d), want [%d,%d)", v, lo, hi, v, v+1)
+		}
+	}
+
+	// Relative width: above the exact range each bucket spans 1/8 octave, so
+	// hi/lo ≤ 1+1/8 — the quantile error bound the package doc claims.
+	for i := histSub; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if float64(hi)/float64(lo) > 1.0+1.0/histSub+1e-9 {
+			t.Fatalf("bucket %d: relative width %f too wide", i, float64(hi)/float64(lo))
+		}
+	}
+}
+
+// TestHistogramRecordAndCount checks Count/Sum/Max bookkeeping.
+func TestHistogramRecordAndCount(t *testing.T) {
+	h := NewHistogram()
+	vals := []int64{0, 1, 7, 8, 100, 4096, 5000, 1 << 20}
+	var sum int64
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(vals))
+	}
+	if s.Sum != sum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, sum)
+	}
+	if s.Max != 1<<20 {
+		t.Fatalf("Max = %d, want %d", s.Max, 1<<20)
+	}
+	if got := s.Mean(); got != float64(sum)/float64(len(vals)) {
+		t.Fatalf("Mean = %f", got)
+	}
+	h.reset()
+	s = h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("reset left %+v", s)
+	}
+}
+
+// TestQuantileInterpolation checks the quantile math on known
+// distributions.
+func TestQuantileInterpolation(t *testing.T) {
+	// Empty histogram: all quantiles zero.
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty p50 = %d", q)
+	}
+
+	// Single value: every quantile is that value (clamped to max).
+	h := NewHistogram()
+	h.Record(5000)
+	s := h.Snapshot()
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := s.Quantile(p); q != 5000 {
+			t.Fatalf("single-value q(%g) = %d, want 5000 (max-clamped)", p, q)
+		}
+	}
+
+	// Exact buckets: values 0..7 recorded once each. The low buckets are
+	// unit-width, so quantiles land within one unit of the true order
+	// statistic (interpolation uses the bucket's right edge at frac=1).
+	h = NewHistogram()
+	for v := int64(0); v < 8; v++ {
+		h.Record(v)
+	}
+	s = h.Snapshot()
+	if q := s.Quantile(0.5); q < 3 || q > 4 {
+		t.Fatalf("uniform 0..7 p50 = %d, want 3..4", q)
+	}
+	if q := s.Quantile(1); q != 7 {
+		t.Fatalf("uniform 0..7 p100 = %d, want 7 (max-clamped)", q)
+	}
+	if q := s.Quantile(0); q > 1 {
+		t.Fatalf("uniform 0..7 p0 = %d, want <=1", q)
+	}
+
+	// Bimodal: 90 fast ops (~1µs), 10 slow ops (~1ms). p50 must sit in the
+	// fast mode, p99 in the slow mode — the "tail latency visible" property
+	// the trace ring and quantiles exist for.
+	h = NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Record(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1_000_000)
+	}
+	s = h.Snapshot()
+	p50, p99 := s.Quantile(0.50), s.Quantile(0.99)
+	if p50 < 900 || p50 > 1200 {
+		t.Fatalf("bimodal p50 = %d, want ~1000", p50)
+	}
+	if p99 < 900_000 || p99 > 1_100_000 {
+		t.Fatalf("bimodal p99 = %d, want ~1000000", p99)
+	}
+
+	// Interpolation bound: for any recorded distribution the quantile must
+	// land within its containing bucket's relative error (~1/8).
+	h = NewHistogram()
+	rng := rand.New(rand.NewSource(42))
+	ref := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 50_000)
+		ref = append(ref, v)
+		h.Record(v)
+	}
+	s = h.Snapshot()
+	sortInt64(ref)
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		exact := ref[int(p*float64(len(ref)-1))]
+		got := s.Quantile(p)
+		lo, hi := float64(exact)*0.8, float64(exact)*1.25
+		if float64(got) < lo || float64(got) > hi {
+			t.Fatalf("q(%g) = %d, exact %d — outside relative error bound", p, got, exact)
+		}
+	}
+}
+
+func sortInt64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestHistogramMerge checks that merging two snapshots equals recording
+// everything into one histogram.
+func TestHistogramMerge(t *testing.T) {
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	av := []int64{3, 100, 5000, 1 << 30}
+	bv := []int64{0, 7, 100, 999_999}
+	for _, v := range av {
+		a.Record(v)
+		both.Record(v)
+	}
+	for _, v := range bv {
+		b.Record(v)
+		both.Record(v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged count/sum/max = %d/%d/%d, want %d/%d/%d",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d, want %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+	// Merge into the zero snapshot works too.
+	var zero HistSnapshot
+	zero.Merge(want)
+	if zero.Count != want.Count || zero.Quantile(0.5) != want.Quantile(0.5) {
+		t.Fatal("merge into zero snapshot diverged")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks nothing is lost (each Record is an atomic add; the test mostly
+// exists to fail under -race if the design regresses to locked or unsynced
+// state).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(g*1000 + i%997))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+// TestCounterStriped checks the striped counter under concurrency.
+func TestCounterStriped(t *testing.T) {
+	var c Counter
+	const goroutines, per = 16, 50000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("Value = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestRing checks ring wraparound, ordering, and reset.
+func TestRing(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Add(TraceEvent{Op: "op", Tier: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot length %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Tier != i+2 {
+			t.Fatalf("event %d: tier %d, want %d (oldest-first after wrap)", i, ev.Tier, i+2)
+		}
+		if ev.Seq != uint64(i+2) {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, i+2)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("reset left events behind")
+	}
+	r.Add(TraceEvent{Op: "after"})
+	if got := r.Snapshot(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("post-reset sequence restarted wrong: %+v", got)
+	}
+}
+
+// TestRegistryIdempotentRegistration checks that re-resolving the same
+// name+labels returns the same instrument, and different labels a
+// different one.
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry(0)
+	a := r.Counter("m_total", "help", Label{"tier", "0"})
+	b := r.Counter("m_total", "help", Label{"tier", "0"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("m_total", "help", Label{"tier", "1"})
+	if a == c {
+		t.Fatal("different labels shared a counter")
+	}
+	// Label order must not matter.
+	d := r.Counter("multi", "h", Label{"a", "1"}, Label{"b", "2"})
+	e := r.Counter("multi", "h", Label{"b", "2"}, Label{"a", "1"})
+	if d != e {
+		t.Fatal("label order produced distinct series")
+	}
+	a.Add(5)
+	r.Reset()
+	if a.Value() != 0 {
+		t.Fatal("Reset did not zero the counter")
+	}
+}

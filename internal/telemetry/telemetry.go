@@ -1,0 +1,318 @@
+// Package telemetry is Mux's low-overhead runtime observability layer: a
+// registry of striped atomic counters, gauges, and log-bucketed latency
+// histograms, plus a fixed-size ring of trace records for slow or failed
+// operations.
+//
+// Design constraints, in order:
+//
+//   - The hot path never takes a lock. Counter.Add and Histogram.Record are
+//     a handful of atomic adds on pre-resolved handles; the registry mutex
+//     guards only registration, snapshotting, and reset.
+//   - Counters are striped across padded cache lines, indexed by a cheap
+//     per-goroutine stack-address hash, so concurrent recorders from many
+//     goroutines don't fight over one line. Histograms spread naturally
+//     across their buckets and stripe only the sum.
+//   - Everything is wall-clock. Telemetry never touches the simulated
+//     clock, so enabling it cannot perturb a virtual-time experiment: E1–E8
+//     results stay byte-identical with telemetry on or off.
+//
+// The package is standalone — core instruments itself against it, cmd/muxd
+// exports it over HTTP (Prometheus text + JSON), and muxsh renders it.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripes is the number of padded cells a counter spreads across. Power of
+// two so the stripe hash is a mask.
+const stripes = 16
+
+// paddedCell is one counter stripe, padded to its own cache line so
+// neighboring stripes never false-share.
+type paddedCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripeIdx picks a stripe from the address of a stack variable. Goroutine
+// stacks are distinct allocations, so concurrent goroutines land on
+// different stripes with high probability, at the cost of a shift — no
+// shared state, no per-call randomness.
+func stripeIdx() int {
+	var x byte
+	return int((uintptr(unsafe.Pointer(&x)) >> 10) & (stripes - 1))
+}
+
+// Counter is a monotonically increasing striped counter.
+type Counter struct {
+	cells [stripes]paddedCell
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.cells[stripeIdx()].v.Add(d)
+}
+
+// Value sums the stripes. The sum is not a point-in-time atomic snapshot —
+// adds racing the read may or may not be included — which is the usual
+// contract for monitoring counters.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+func (c *Counter) reset() {
+	for i := range c.cells {
+		c.cells[i].v.Store(0)
+	}
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value loads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// metricKind discriminates families for export.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry owns metric families and the trace ring. Registration is
+// idempotent: asking for the same name+labels returns the existing handle,
+// so instrument sites may re-resolve freely.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	fams map[string]*family
+
+	// Trace is the slow/failed-operation ring (trace.go).
+	Trace *Ring
+}
+
+// NewRegistry returns an enabled registry with a trace ring of the given
+// capacity (0 takes DefaultRingSize).
+func NewRegistry(ringSize int) *Registry {
+	r := &Registry{
+		fams:  map[string]*family{},
+		Trace: NewRing(ringSize),
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enabled reports whether recording is on. Instrument sites consult this
+// once per operation and skip all clock reads and atomics when off.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// SetEnabled toggles recording at runtime.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// labelsEqual reports whether two sorted label sets match.
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortLabels(ls []Label) []Label {
+	out := make([]Label, len(ls))
+	copy(out, ls)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup finds or creates a family+series; build constructs the instrument
+// on first sight.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, build func(*series)) *series {
+	ls := sortLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.fams[name] = f
+	}
+	for _, s := range f.series {
+		if labelsEqual(s.labels, ls) {
+			return s
+		}
+	}
+	s := &series{labels: ls}
+	build(s)
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.ctr = &Counter{} })
+	return s.ctr
+}
+
+// Gauge returns the gauge registered under name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under name+labels.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels, func(s *series) { s.hist = NewHistogram() })
+	return s.hist
+}
+
+// Reset zeroes every registered instrument and clears the trace ring.
+// Handles held by instrument sites stay valid — reset races recording
+// benignly (a concurrent Add may land before or after the zeroing).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			switch {
+			case s.ctr != nil:
+				s.ctr.reset()
+			case s.gauge != nil:
+				s.gauge.reset()
+			case s.hist != nil:
+				s.hist.reset()
+			}
+		}
+	}
+	r.mu.Unlock()
+	r.Trace.Reset()
+}
+
+// FamilySnapshot is one exported metric family.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Kind   string
+	Series []SeriesSnapshot
+}
+
+// SeriesSnapshot is one labeled series value at snapshot time.
+type SeriesSnapshot struct {
+	Labels []Label
+	// Value carries counter/gauge values; Hist is set for histograms.
+	Value int64
+	Hist  *HistSnapshot
+}
+
+// Snapshot captures every family, sorted by name, each series in label
+// order — the input to both the Prometheus and JSON encoders.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	// Copy series slices under the lock; instrument reads happen after.
+	type famCopy struct {
+		f      *family
+		series []*series
+	}
+	copies := make([]famCopy, len(fams))
+	for i, f := range fams {
+		copies[i] = famCopy{f: f, series: append([]*series(nil), f.series...)}
+	}
+	r.mu.Unlock()
+
+	sort.Slice(copies, func(i, j int) bool { return copies[i].f.name < copies[j].f.name })
+	out := make([]FamilySnapshot, 0, len(copies))
+	for _, fc := range copies {
+		fs := FamilySnapshot{Name: fc.f.name, Help: fc.f.help, Kind: fc.f.kind.String()}
+		for _, s := range fc.series {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch {
+			case s.ctr != nil:
+				ss.Value = s.ctr.Value()
+			case s.gauge != nil:
+				ss.Value = s.gauge.Value()
+			case s.hist != nil:
+				h := s.hist.Snapshot()
+				ss.Hist = &h
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		sort.Slice(fs.Series, func(i, j int) bool {
+			return labelsLess(fs.Series[i].Labels, fs.Series[j].Labels)
+		})
+		out = append(out, fs)
+	}
+	return out
+}
+
+func labelsLess(a, b []Label) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Key != b[i].Key {
+			return a[i].Key < b[i].Key
+		}
+		if a[i].Value != b[i].Value {
+			return a[i].Value < b[i].Value
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultRingSize is the trace ring capacity when the caller passes 0.
+const DefaultRingSize = 256
+
+// TraceEvent is one recorded slow or failed operation: a fan-out span, a
+// migration move, a group-commit flush, a quarantine transition. Events are
+// diagnostic breadcrumbs, not an audit log — the ring overwrites oldest
+// first.
+type TraceEvent struct {
+	Seq  uint64        `json:"seq"`
+	Wall time.Time     `json:"wall"`
+	Op   string        `json:"op"`             // "read", "write", "sync", "migrate", "flush", "quarantine", ...
+	Tier int           `json:"tier"`           // tier id, -1 when not tier-scoped
+	Path string        `json:"path,omitempty"` // file path when the op has one
+	Dur  time.Duration `json:"dur_ns"`
+	Err  string        `json:"err,omitempty"`
+	Note string        `json:"note,omitempty"` // free-form detail (bytes, stage, state)
+}
+
+// Ring is the fixed-size trace buffer. Appends take a mutex — events are
+// rare by construction (only slow/failed ops record), so the lock never
+// sits on a hot path.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // total events ever appended
+}
+
+// NewRing returns a ring holding up to size events (0 = DefaultRingSize).
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Ring{buf: make([]TraceEvent, size)}
+}
+
+// Add appends one event, stamping its sequence number and wall time.
+func (r *Ring) Add(ev TraceEvent) {
+	r.mu.Lock()
+	ev.Seq = r.next
+	ev.Wall = time.Now()
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently held (≤ capacity).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *Ring) Snapshot() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	count := r.next
+	if r.next > n {
+		start = r.next - n
+		count = n
+	}
+	out := make([]TraceEvent, 0, count)
+	for s := start; s < r.next; s++ {
+		out = append(out, r.buf[s%n])
+	}
+	return out
+}
+
+// Reset drops every retained event and restarts the sequence.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	for i := range r.buf {
+		r.buf[i] = TraceEvent{}
+	}
+	r.next = 0
+	r.mu.Unlock()
+}

@@ -84,6 +84,10 @@ type Config struct {
 	MigrationWorkers int
 	// Clock supplies the virtual clock; one is created when nil.
 	Clock *simclock.Clock
+	// DisableTelemetry turns off runtime telemetry recording (on by
+	// default; see Mux.Telemetry and Mux.MetricsHandler). Recording is
+	// wall-clock only and cheap enough to leave on — E9 gates its overhead.
+	DisableTelemetry bool
 }
 
 // TierHandle exposes an assembled tier.
@@ -121,6 +125,7 @@ func New(cfg Config) (*System, error) {
 		Clock:            clk,
 		Policy:           cfg.Policy,
 		MigrationWorkers: cfg.MigrationWorkers,
+		DisableTelemetry: cfg.DisableTelemetry,
 	}
 	if cfg.MetaJournal {
 		prof := device.PMProfile("muxmeta")

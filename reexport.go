@@ -5,6 +5,7 @@ import (
 
 	"muxfs/internal/core"
 	"muxfs/internal/policy"
+	"muxfs/internal/telemetry"
 	"muxfs/internal/vfs"
 )
 
@@ -51,6 +52,21 @@ type TierHealthInfo = core.TierHealthInfo
 
 // CacheStats reports SCM cache counters.
 type CacheStats = core.CacheStats
+
+// TelemetrySnapshot is the unified observability view: per-tier op latency
+// distributions and counts, metadata-op counts, the subsumed
+// cache/OCC/BLT/migration/health stats, and the recent trace events.
+type TelemetrySnapshot = core.TelemetrySnapshot
+
+// OpTelemetry summarizes one per-tier op series (count, bytes, errors,
+// latency quantiles).
+type OpTelemetry = core.OpTelemetry
+
+// BLTInfo is the Block Lookup Table footprint.
+type BLTInfo = core.BLTInfo
+
+// TraceEvent is one slow/failed-operation trace record.
+type TraceEvent = telemetry.TraceEvent
 
 // Policy is the tiering policy interface (§2.1).
 type Policy = policy.Policy
