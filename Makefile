@@ -17,21 +17,24 @@ race:
 	$(GO) test -race ./...
 
 # smoke runs the E6 fault drill, the E7 fan-out comparison, the E8
-# metadata-scaling sweep, and the E9 telemetry-overhead gate end to end:
-# injected device faults, breaker quarantine, replica fallback, and
-# reintegration must all hold (the drill is virtual-time deterministic, so
-# it doubles as a regression oracle), the parallel data path must stay
-# byte-identical and placement-deterministic while beating serial dispatch,
-# the sharded-namespace/lock-free-read concurrency must keep every cached
-# read byte-identical with balanced Statfs accounting, and telemetry-on
-# must cost no more than 5% of telemetry-off throughput (-e9gate exits
-# nonzero past the budget; -json writes BENCH_e9.json with the per-tier
-# latency quantiles).
+# metadata-scaling sweep, the E9 telemetry-overhead gate, and the E10
+# mirror-routing comparison end to end: injected device faults, breaker
+# quarantine, replica fallback, and reintegration must all hold (the drill
+# is virtual-time deterministic, so it doubles as a regression oracle), the
+# parallel data path must stay byte-identical and placement-deterministic
+# while beating serial dispatch, the sharded-namespace/lock-free-read
+# concurrency must keep every cached read byte-identical with balanced
+# Statfs accounting, telemetry-on must cost no more than 5% of
+# telemetry-off throughput (-e9gate exits nonzero past the budget; -json
+# writes BENCH_e9.json with the per-tier latency quantiles), and routed
+# mirror reads must beat the migrate-to-PM placement while a browned-out
+# mirror degrades without a single user-visible error (BENCH_e10.json).
 smoke:
 	$(GO) run ./cmd/muxbench -exp e6
 	$(GO) run ./cmd/muxbench -exp e7
 	$(GO) run ./cmd/muxbench -exp e8
 	$(GO) run ./cmd/muxbench -exp e9 -e9gate 5 -json .
+	$(GO) run ./cmd/muxbench -exp e10 -json .
 
 # check is the CI gate: compile everything, vet, the full test suite under
 # the race detector (the migration and fan-out engines are concurrent;

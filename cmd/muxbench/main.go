@@ -13,6 +13,7 @@
 //	muxbench -exp e7    # data-path fan-out throughput
 //	muxbench -exp e8    # metadata hot-path scaling
 //	muxbench -exp e9    # telemetry overhead (on vs off, gate with -e9gate)
+//	muxbench -exp e10   # mirror-read routing (replicas as read bandwidth)
 //	muxbench -exp a1..a6  # ablations
 //	muxbench -json DIR  # also write BENCH_<exp>.json per experiment run
 //
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, a1, a2, a3, a4, a5, a6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, a1, a2, a3, a4, a5, a6")
 	e9gate := flag.Float64("e9gate", 0, "fail (exit 1) when E9 telemetry-on overhead exceeds this percentage (0 = no gate)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
@@ -135,6 +136,14 @@ func main() {
 		if *e9gate > 0 {
 			fail(bench.CheckE9Gate(r, *e9gate))
 		}
+	}
+	if want("e10") {
+		ran = true
+		bench.Rule(out, "E10 — mirror-read routing")
+		r, err := bench.RunE10()
+		fail(err)
+		bench.FormatE10(out, r)
+		emit("e10", r)
 	}
 	if want("a1") {
 		ran = true

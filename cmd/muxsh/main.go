@@ -166,6 +166,16 @@ func (s *shell) dispatch(line string) error {
 			return fmt.Errorf("unknown tier %q", rest[1])
 		}
 		return s.sys.FS.SetReplica(rest[0], id)
+	case "replicas":
+		s.replicas()
+		return nil
+	case "routing":
+		if len(rest) != 1 || (rest[0] != "on" && rest[0] != "off") {
+			return errors.New("usage: routing on|off")
+		}
+		s.sys.FS.SetMirrorRouting(rest[0] == "on")
+		fmt.Fprintf(s.out, "mirror-read routing %s\n", rest[0])
+		return nil
 	case "fsck":
 		rep := s.sys.FS.Fsck()
 		fmt.Fprintf(s.out, "checked %d files, %d BLT runs, %d bytes\n", rep.Files, rep.BLTRuns, rep.BytesChecked)
@@ -206,6 +216,8 @@ func (s *shell) help() {
   trace                        recent slow/failed operations (trace ring)
   telemetry on|off|reset       toggle or zero telemetry recording
   replica <path> [tier|off]    show/set/clear a file's replica tier
+  replicas                     list replicated files and read-router usage
+  routing on|off               toggle mirror-read routing
   fsck                         check Mux metadata against the tiers
   sync                         persist everything
   quit                         leave
@@ -341,6 +353,50 @@ func (s *shell) health() {
 		fmt.Fprintf(s.out, "%-10s %-12s %8d %8d %8d %8d %10d  %s\n",
 			h.Name, h.State, h.Ops, h.Faults, h.Retries, h.Quarantines, h.DegradedReplicas, last)
 	}
+}
+
+// replicas lists every replicated file with its copy placement and how the
+// read router has been using the copies.
+func (s *shell) replicas() {
+	infos := s.sys.FS.Replicas()
+	if len(infos) == 0 {
+		fmt.Fprintln(s.out, "no replicated files")
+		return
+	}
+	state := "off"
+	if s.sys.FS.MirrorRouting() {
+		state = "on"
+	}
+	fmt.Fprintf(s.out, "mirror-read routing: %s\n", state)
+	fmt.Fprintf(s.out, "%-20s %10s %-12s %-10s %8s %8s %8s %-10s\n",
+		"path", "size", "primary", "mirror", "routed", "m-hits", "fallbk", "last")
+	for _, ri := range infos {
+		prim := make([]string, len(ri.PrimaryTiers))
+		for i, id := range ri.PrimaryTiers {
+			prim[i] = s.tierName(id)
+		}
+		mirror := s.tierName(ri.MirrorTier)
+		if ri.Degraded {
+			mirror += "!"
+		}
+		last := "-"
+		if ri.LastRoute >= 0 {
+			last = s.tierName(ri.LastRoute)
+		}
+		fmt.Fprintf(s.out, "%-20s %10d %-12s %-10s %8d %8d %8d %-10s\n",
+			ri.Path, ri.Size, strings.Join(prim, ","), mirror,
+			ri.RoutedReads, ri.MirrorHits, ri.FallbackReads, last)
+	}
+}
+
+// tierName resolves a tier id to its device name, falling back to the id.
+func (s *shell) tierName(id int) string {
+	for _, t := range s.sys.Tiers {
+		if t.ID == id {
+			return t.Spec.Name
+		}
+	}
+	return strconv.Itoa(id)
 }
 
 // fault drives the device-level fault injector for one tier:

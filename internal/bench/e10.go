@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muxfs/internal/core"
+	"muxfs/internal/device"
+	"muxfs/internal/fs/extlite"
+	"muxfs/internal/fs/novafs"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/policy"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+// E10 — mirror-read routing: replicas as read bandwidth.
+//
+// Like E5/E7 this measures *wall clock* under the slowFS service-time
+// governors (virtual time models serialized device cost, which routing
+// never changes). Each tier gets its own service rate — PM fast, SSD
+// middling, HDD slow — and a hot working set of SSD-resident files is
+// hammered by concurrent readers. Three placements compete:
+//
+//   - fallback-only: hot files keep SSD primaries and carry PM mirrors,
+//     but routing is off — the mirrors are pure durability, every read
+//     pays the SSD (the pre-routing behavior).
+//   - migrate-only: the classic answer — hot files *move* to PM. Every
+//     read is fast, but they all queue on one device; aggregate read
+//     bandwidth is the PM's alone, and the SSD sits idle.
+//   - mirror-routed: the same layout as fallback-only with routing on.
+//     The router prices both copies by profile latency, recent observed
+//     p95, and in-flight depth, so concurrent readers spread across PM
+//     *and* SSD — aggregate bandwidth approaches the sum of the two
+//     devices, beating migrate-only without giving up the SSD placement.
+//
+// A fourth phase re-runs the routed configuration with the PM browning
+// out mid-life: a latency-spike fault plan on the device (the virtual
+// gray-failure signal) plus a governor rate rewrite to slower-than-HDD
+// (the wall-clock symptom the router's telemetry actually observes). The
+// router must drain reads back to the SSD primaries within a refresh
+// interval — throughput degrades toward SSD-only instead of collapsing
+// onto the sick device, and no read returns an error.
+
+// e10 workload shape.
+const (
+	e10HotFiles  = 8
+	e10HotSize   = 1 << 20
+	e10ColdFiles = 3
+	e10ColdSize  = 512 << 10
+	e10Readers   = 8
+	e10Rounds    = 3
+	e10Chunk     = 256 << 10
+)
+
+// e10 per-tier governor service rates (wall ns per MiB).
+const (
+	e10RatePM       = int64(2 * time.Millisecond)
+	e10RateSSD      = int64(4 * time.Millisecond)
+	e10RateHDD      = int64(12 * time.Millisecond)
+	e10RateBrownout = int64(40 * time.Millisecond) // degraded PM: slower than the HDD
+)
+
+// E10Row is one configuration's measurement.
+type E10Row struct {
+	Config      string
+	WallMs      float64
+	MBps        float64 // aggregate read throughput across all readers
+	MirrorShare float64 // routed reads the mirror copy served (0 when routing is off)
+	UserErrs    int     // read errors surfaced to readers (must stay 0)
+}
+
+// E10Result is the mirror-routing comparison.
+type E10Result struct {
+	Rows []E10Row
+	// RoutedVsMigrate is routed MB/s over migrate-only MB/s (> 1 means the
+	// two copies beat the single fast placement).
+	RoutedVsMigrate float64
+	// RoutedVsFallback is routed MB/s over fallback-only MB/s.
+	RoutedVsFallback float64
+	// DegradedVsFallback is degraded-mirror MB/s over fallback-only MB/s —
+	// how close a routed stack with a sick mirror stays to a healthy
+	// SSD-only stack.
+	DegradedVsFallback float64
+	// Mirror share of routed reads with a healthy vs a browned-out mirror;
+	// the router must visibly abandon the sick copy.
+	HealthyMirrorShare  float64
+	DegradedMirrorShare float64
+	// ByteIdentical reports whether every read in every configuration
+	// returned exactly the staged pattern.
+	ByteIdentical bool
+}
+
+// e10Stack is a three-tier Mux with governed tiers, per-tier service
+// rates, and the mirror-routing knob.
+type e10Stack struct {
+	clk  *simclock.Clock
+	mux  *core.Mux
+	govs [3]*slowFS
+	devs [3]*device.Device
+}
+
+func (s *e10Stack) arm() {
+	for _, g := range s.govs {
+		g.armed.Store(true)
+	}
+}
+
+func newE10Stack(routing bool) (*e10Stack, error) {
+	clk := simclock.New()
+	profs := [3]device.Profile{
+		device.PMProfile("pmem0"),
+		device.SSDProfile("ssd0"),
+		device.HDDProfile("hdd0"),
+	}
+	s := &e10Stack{clk: clk}
+	for i, p := range profs {
+		s.devs[i] = device.New(p, clk)
+	}
+	nova, err := novafs.New("nova@pmem0", s.devs[0], novafs.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	xfs, err := xfslite.New("xfs@ssd0", s.devs[1])
+	if err != nil {
+		return nil, err
+	}
+	ext, err := extlite.New("ext4@hdd0", s.devs[2])
+	if err != nil {
+		return nil, err
+	}
+	s.govs[0] = &slowFS{FileSystem: nova}
+	s.govs[1] = &slowFS{FileSystem: xfs}
+	s.govs[2] = &slowFS{FileSystem: ext}
+	s.govs[0].rateNsPerMiB.Store(e10RatePM)
+	s.govs[1].rateNsPerMiB.Store(e10RateSSD)
+	s.govs[2].rateNsPerMiB.Store(e10RateHDD)
+
+	m, err := core.New(core.Config{
+		Name:              "mux-e10",
+		Clock:             clk,
+		Policy:            policy.Pinned{Tier: 1}, // hot set lands on the SSD
+		MirrorReadRouting: routing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range s.govs {
+		m.AddTier(g, profs[i])
+	}
+	s.mux = m
+	return s, nil
+}
+
+func e10HotPath(i int) string  { return fmt.Sprintf("/e10/hot%02d", i) }
+func e10ColdPath(i int) string { return fmt.Sprintf("/e10/cold%02d", i) }
+
+func e10Pattern(i, size int) []byte {
+	p := make([]byte, size)
+	for j := range p {
+		p[j] = byte(j*7 + i*31 + j/257)
+	}
+	return p
+}
+
+// e10Stage writes the working set with the governors disarmed: hot files
+// on the SSD, cold files on the HDD, then either PM mirrors (mirror) or
+// PM migration (migrate) for the hot set.
+func e10Stage(s *e10Stack, mirror, migrate bool) error {
+	if err := s.mux.Mkdir("/e10"); err != nil {
+		return err
+	}
+	for i := 0; i < e10HotFiles; i++ {
+		path := e10HotPath(i)
+		f, err := s.mux.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(e10Pattern(i, e10HotSize), 0); err != nil {
+			return err
+		}
+		f.Close()
+		if mirror {
+			if err := s.mux.SetReplica(path, 0); err != nil {
+				return err
+			}
+		}
+		if migrate {
+			if _, err := s.mux.Migrate(path, 1, 0); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < e10ColdFiles; i++ {
+		path := e10ColdPath(i)
+		f, err := s.mux.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(e10Pattern(100+i, e10ColdSize), 0); err != nil {
+			return err
+		}
+		f.Close()
+		if _, err := s.mux.Migrate(path, 1, 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e10Measure arms the governors and runs the concurrent read workload:
+// every reader sweeps the hot set in chunks for e10Rounds rounds, and the
+// first reader also sweeps the cold files once (an identical HDD
+// contribution in every configuration). Returns the filled row.
+func e10Measure(s *e10Stack, name string) (E10Row, bool, error) {
+	row := E10Row{Config: name}
+	handles := make([][]vfs.File, e10Readers)
+	for r := range handles {
+		handles[r] = make([]vfs.File, e10HotFiles)
+		for i := 0; i < e10HotFiles; i++ {
+			f, err := s.mux.Open(e10HotPath(i))
+			if err != nil {
+				return row, false, err
+			}
+			handles[r][i] = f
+		}
+	}
+	defer func() {
+		for _, hs := range handles {
+			for _, f := range hs {
+				f.Close()
+			}
+		}
+	}()
+
+	var (
+		errs      atomic.Int64
+		mismatch  atomic.Bool
+		totalRead atomic.Int64
+		wg        sync.WaitGroup
+	)
+	s.arm()
+	start := time.Now()
+	for r := 0; r < e10Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]byte, e10Chunk)
+			for round := 0; round < e10Rounds; round++ {
+				for k := 0; k < e10HotFiles; k++ {
+					// Rotate each reader's sweep so the readers don't march
+					// through the files in lockstep.
+					i := (k + r) % e10HotFiles
+					want := e10Pattern(i, e10HotSize)
+					for off := 0; off < e10HotSize; off += e10Chunk {
+						if _, err := handles[r][i].ReadAt(buf, int64(off)); err != nil {
+							errs.Add(1)
+							continue
+						}
+						totalRead.Add(e10Chunk)
+						if !bytes.Equal(buf, want[off:off+e10Chunk]) {
+							mismatch.Store(true)
+						}
+					}
+				}
+			}
+			if r == 0 {
+				cbuf := make([]byte, e10ColdSize)
+				for i := 0; i < e10ColdFiles; i++ {
+					f, err := s.mux.Open(e10ColdPath(i))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					if _, err := f.ReadAt(cbuf, 0); err != nil {
+						errs.Add(1)
+					} else {
+						totalRead.Add(e10ColdSize)
+						if !bytes.Equal(cbuf, e10Pattern(100+i, e10ColdSize)) {
+							mismatch.Store(true)
+						}
+					}
+					f.Close()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	row.WallMs = float64(wall) / float64(time.Millisecond)
+	if wall > 0 {
+		row.MBps = float64(totalRead.Load()) / (1 << 20) / wall.Seconds()
+	}
+	row.UserErrs = int(errs.Load())
+	if rt := s.mux.Telemetry().Routing; rt.RoutedMirror+rt.RoutedPrimary > 0 {
+		row.MirrorShare = rt.MirrorHitRatio
+	}
+	return row, !mismatch.Load(), nil
+}
+
+// runE10Config builds a stack, stages one of the three placements, and
+// measures it. degrade re-runs the routed placement with the PM browning
+// out before the readers start: a latency-spike fault plan on the device
+// plus the governor rewritten slower than the HDD.
+func runE10Config(name string) (E10Row, bool, error) {
+	routing := name == "mirror-routed" || name == "degraded-mirror"
+	s, err := newE10Stack(routing)
+	if err != nil {
+		return E10Row{Config: name}, false, err
+	}
+	mirror := name != "migrate-only"
+	if err := e10Stage(s, mirror, !mirror); err != nil {
+		return E10Row{Config: name}, false, err
+	}
+	if name == "degraded-mirror" {
+		s.devs[0].InjectFaults(device.FaultPlan{Seed: 1, LatencyProb: 1, LatencySpike: 2 * time.Millisecond})
+		s.govs[0].rateNsPerMiB.Store(e10RateBrownout)
+	}
+	return e10Measure(s, name)
+}
+
+// RunE10 measures the three placements plus the degraded-mirror phase.
+func RunE10() (*E10Result, error) {
+	res := &E10Result{ByteIdentical: true}
+	rows := map[string]E10Row{}
+	for _, name := range []string{"fallback-only", "migrate-only", "mirror-routed", "degraded-mirror"} {
+		row, identical, err := runE10Config(name)
+		if err != nil {
+			return nil, fmt.Errorf("E10 %s: %w", name, err)
+		}
+		if !identical {
+			res.ByteIdentical = false
+		}
+		rows[name] = row
+		res.Rows = append(res.Rows, row)
+	}
+	if m := rows["migrate-only"].MBps; m > 0 {
+		res.RoutedVsMigrate = rows["mirror-routed"].MBps / m
+	}
+	if fb := rows["fallback-only"].MBps; fb > 0 {
+		res.RoutedVsFallback = rows["mirror-routed"].MBps / fb
+		res.DegradedVsFallback = rows["degraded-mirror"].MBps / fb
+	}
+	res.HealthyMirrorShare = rows["mirror-routed"].MirrorShare
+	res.DegradedMirrorShare = rows["degraded-mirror"].MirrorShare
+	return res, nil
+}

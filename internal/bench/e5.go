@@ -105,6 +105,11 @@ type slowFS struct {
 	// not proportional to the request size). Zero — the E5 default — makes
 	// fsync free, so adding the knob changes no existing measurement.
 	syncCharge int
+	// rateNsPerMiB overrides the service rate (wall ns per MiB served) when
+	// > 0; zero keeps the e5ServiceTime default, so existing experiments
+	// measure exactly what they did. E10 gives each tier its own rate and
+	// rewrites it mid-run to model a device browning out.
+	rateNsPerMiB atomic.Int64
 }
 
 func (s *slowFS) serve(n int) {
@@ -112,6 +117,9 @@ func (s *slowFS) serve(n int) {
 		return
 	}
 	d := time.Duration(n) * e5ServiceTime
+	if per := s.rateNsPerMiB.Load(); per > 0 {
+		d = time.Duration(int64(n) * per / (1 << 20))
+	}
 	s.mu.Lock()
 	now := time.Now()
 	if s.busyUntil.Before(now) {

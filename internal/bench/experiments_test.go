@@ -381,3 +381,49 @@ func TestE9Shape(t *testing.T) {
 		t.Fatal("no per-tier read latency distribution in the enabled run")
 	}
 }
+
+func TestE10Shape(t *testing.T) {
+	// Full-size run (it is wall-clocked but small: ~35 MiB of governed
+	// reads per configuration). Thresholds sit well under the observed
+	// ratios (routed vs migrate measured 1.15–1.30x across runs) so CI
+	// scheduling noise cannot flake the shape test.
+	r, err := RunE10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("want 4 configurations, got %d", len(r.Rows))
+	}
+	if !r.ByteIdentical {
+		t.Fatal("a read returned bytes != staged pattern")
+	}
+	for _, row := range r.Rows {
+		if row.UserErrs != 0 {
+			t.Fatalf("%s surfaced %d read errors, want 0", row.Config, row.UserErrs)
+		}
+		if row.MBps <= 0 {
+			t.Fatalf("%s measured no throughput", row.Config)
+		}
+	}
+	// The tentpole claim: two routable copies beat the single fast
+	// placement, and comfortably beat mirrors used only as error fallback.
+	if r.RoutedVsMigrate <= 1.05 {
+		t.Fatalf("routed vs migrate-only = %.2fx, want > 1.05x", r.RoutedVsMigrate)
+	}
+	if r.RoutedVsFallback <= 1.2 {
+		t.Fatalf("routed vs fallback-only = %.2fx, want > 1.2x", r.RoutedVsFallback)
+	}
+	// Degraded mirror: throughput degrades toward SSD-only instead of
+	// collapsing onto the browned-out device, with zero user errors
+	// (asserted above) and the router visibly abandoning the sick copy.
+	if r.DegradedVsFallback < 0.5 {
+		t.Fatalf("degraded-mirror vs fallback-only = %.2fx, want >= 0.5x", r.DegradedVsFallback)
+	}
+	if r.HealthyMirrorShare <= 0.25 {
+		t.Fatalf("healthy mirror share = %.0f%%, want routed reads actually using the mirror", 100*r.HealthyMirrorShare)
+	}
+	if r.DegradedMirrorShare >= r.HealthyMirrorShare {
+		t.Fatalf("mirror share did not drop when the mirror browned out: %.0f%% -> %.0f%%",
+			100*r.HealthyMirrorShare, 100*r.DegradedMirrorShare)
+	}
+}

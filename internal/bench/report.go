@@ -148,6 +148,26 @@ func FormatE8(w io.Writer, r *E8Result) {
 	fmt.Fprintf(w, "  headline: %.0f ops/sec aggregate at 16 clients (%.2fx the single-client rate)\n", r.OpsAt16, r.ScaleAt16)
 }
 
+// FormatE10 prints the mirror-routing comparison.
+func FormatE10(w io.Writer, r *E10Result) {
+	fmt.Fprintln(w, "E10 — mirror-read routing: 8 readers over 8 hot SSD files x 1 MiB, PM mirrors vs PM migration")
+	fmt.Fprintln(w, "  (wall time under per-device governors: PM 2 ms/MiB, SSD 4 ms/MiB, HDD 12 ms/MiB; degraded PM browns out to 40 ms/MiB)")
+	fmt.Fprintf(w, "  %-16s %10s %10s %13s %9s\n", "Config", "Wall ms", "MB/s", "Mirror share", "Errors")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-16s %10.1f %10.1f %12.0f%% %9d\n",
+			row.Config, row.WallMs, row.MBps, 100*row.MirrorShare, row.UserErrs)
+	}
+	fmt.Fprintf(w, "  routed vs migrate-only: %.2fx; routed vs fallback-only: %.2fx; degraded vs fallback-only: %.2fx\n",
+		r.RoutedVsMigrate, r.RoutedVsFallback, r.DegradedVsFallback)
+	fmt.Fprintf(w, "  mirror share healthy → degraded: %.0f%% → %.0f%% (the router abandons the sick copy)\n",
+		100*r.HealthyMirrorShare, 100*r.DegradedMirrorShare)
+	id := "every read returned the staged pattern"
+	if !r.ByteIdentical {
+		id = "DATA DIVERGED — a routed read returned wrong bytes"
+	}
+	fmt.Fprintf(w, "  integrity: %s\n", id)
+}
+
 // WriteJSON writes one experiment's result to <dir>/BENCH_<exp>.json as
 // indented JSON, so the perf trajectory is machine-readable across runs.
 func WriteJSON(dir, exp string, result any) (string, error) {

@@ -43,6 +43,11 @@ type MigrationStats struct {
 	// ReplicasRepaired counts degraded replicas re-mirrored by this round's
 	// reintegration pass (after a quarantined tier recovered).
 	ReplicasRepaired int
+	// MirrorsCreated / MirrorsCleared count executed Mirror moves
+	// (promote-by-mirroring placements and the clears that free their
+	// fast-tier bytes ahead of demotion).
+	MirrorsCreated int
+	MirrorsCleared int
 
 	Virtual time.Duration // virtual ns charged to the simclock by the round
 	Wall    time.Duration // host wall-clock time of the round
@@ -61,6 +66,8 @@ func (s *MigrationStats) Add(other MigrationStats) {
 	s.BytesMoved += other.BytesMoved
 	s.QuarantineSkipped += other.QuarantineSkipped
 	s.ReplicasRepaired += other.ReplicasRepaired
+	s.MirrorsCreated += other.MirrorsCreated
+	s.MirrorsCleared += other.MirrorsCleared
 	s.Virtual += other.Virtual
 	s.Wall += other.Wall
 }
@@ -124,16 +131,26 @@ func (m *Mux) executeMoves(moves []policy.Move) (MigrationStats, error) {
 		firstErr error
 		failed   atomic.Bool
 	)
-	apply := func(moved int64, err error) {
+	apply := func(mv policy.Move, moved int64, err error) {
 		resMu.Lock()
 		defer resMu.Unlock()
 		switch {
 		case err == nil:
-			if moved > 0 {
+			if mv.Mirror {
+				st.Executed++
+				if mv.DstTier >= 0 {
+					st.MirrorsCreated++
+				} else {
+					st.MirrorsCleared++
+				}
+			} else if moved > 0 {
 				st.Executed++
 				st.BytesMoved += moved
 			}
-		case errors.Is(err, vfs.ErrNotExist), errors.Is(err, ErrMigrationActive):
+		case errors.Is(err, vfs.ErrNotExist), errors.Is(err, ErrMigrationActive),
+			errors.Is(err, ErrNoReplica):
+			// ErrNoReplica: a planned mirror clear lost a race with another
+			// round (or a user ClearReplica) — nothing left to do.
 			st.Skipped++
 		case errors.Is(err, ErrTierQuarantined):
 			// The breaker opened mid-round; the move is retried by a later
@@ -145,6 +162,18 @@ func (m *Mux) executeMoves(moves []policy.Move) (MigrationStats, error) {
 			}
 			failed.Store(true)
 		}
+	}
+
+	// executeMove dispatches one move: Mirror moves are replica placements
+	// (SetReplica / ClearReplica), everything else is a block migration.
+	executeMove := func(mv policy.Move) (int64, error) {
+		if !mv.Mirror {
+			return m.MigrateRange(mv.Path, mv.SrcTier, mv.DstTier, mv.Off, mv.N)
+		}
+		if mv.DstTier >= 0 {
+			return 0, m.SetReplica(mv.Path, mv.DstTier)
+		}
+		return 0, m.ClearReplica(mv.Path)
 	}
 
 	workers := m.workers()
@@ -159,8 +188,8 @@ func (m *Mux) executeMoves(moves []policy.Move) (MigrationStats, error) {
 				if failed.Load() {
 					break
 				}
-				moved, err := m.MigrateRange(mv.Path, mv.SrcTier, mv.DstTier, mv.Off, mv.N)
-				apply(moved, err)
+				moved, err := executeMove(mv)
+				apply(mv, moved, err)
 			}
 			if failed.Load() {
 				break
@@ -180,9 +209,9 @@ func (m *Mux) executeMoves(moves []policy.Move) (MigrationStats, error) {
 							break
 						}
 						release := acquireTierSlots(throttle, mv.SrcTier, mv.DstTier)
-						moved, err := m.MigrateRange(mv.Path, mv.SrcTier, mv.DstTier, mv.Off, mv.N)
+						moved, err := executeMove(mv)
 						release()
-						apply(moved, err)
+						apply(mv, moved, err)
 					}
 				}
 			}()

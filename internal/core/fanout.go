@@ -116,7 +116,22 @@ func (m *Mux) acquireIOSlot(id int) func() {
 // than the mapped range after a racing truncate-extend) zeroes the unread
 // tail so stale caller-buffer bytes never masquerade as file content. On a
 // device error the segment retries against the file's replica, if any.
+//
+// When mirror-read routing is on and the file has a routable mirror, the
+// segment is first scored against both copies (route.go); a winning mirror
+// serves it outright, and any mirror miss falls through to the unchanged
+// primary path below. All readSegment callers run without f.mu held, which
+// readRoutedMirror relies on to resolve an uncached mirror handle.
 func (m *Mux) readSegment(f *muxFile, scm *cacheCtl, dh vfs.File, tier int, dst []byte, off int64) error {
+	if rt, routed := m.routeTarget(f, tier); routed {
+		if rt != tier && m.readRoutedMirror(f, rt, dst, off) {
+			f.noteRoute(rt, true)
+			m.telRouted(rt, true)
+			return nil
+		}
+		f.noteRoute(tier, false)
+		m.telRouted(tier, false)
+	}
 	t0 := m.telStart()
 	release := m.acquireIOSlot(tier)
 	var err error

@@ -76,6 +76,21 @@ type muxFile struct {
 	lastAccessA atomic.Int64
 	atimeA      atomic.Int64
 	affATime    atomic.Int32
+
+	// routableReplica publishes the mirror tier the read router may dispatch
+	// to: -1 when the file is unreplicated or the mirror is degraded, else
+	// f.replica. Stored under f.mu via publishReplica, loaded lock-free on
+	// the read hot path (route.go).
+	routableReplica atomic.Int32
+
+	// Router bookkeeping, surfaced by Mux.Replicas / muxsh replicas:
+	// routing decisions made for this file, how many the mirror served, how
+	// many error-path fallbacks the mirror served, and the tier of the last
+	// routing decision (-1 = none yet).
+	routedReads   atomic.Int64
+	mirrorHits    atomic.Int64
+	fallbackReads atomic.Int64
+	lastRoute     atomic.Int32
 }
 
 func newMuxFile(ino uint64, path string, now time.Duration, host int) *muxFile {
@@ -90,6 +105,7 @@ func newMuxFile(ino uint64, path string, now time.Duration, host int) *muxFile {
 	}
 	f.affATime.Store(int32(host))
 	f.atimeA.Store(int64(now))
+	f.lastRoute.Store(-1)
 	f.publishAll()
 	return f
 }
@@ -124,11 +140,22 @@ func (f *muxFile) publishHandles() {
 	f.handleSnap.Store(&hs)
 }
 
+// publishReplica derives the routable-replica mark from the replica fields:
+// only a non-degraded mirror may serve routed reads.
+func (f *muxFile) publishReplica() {
+	rt := int32(-1)
+	if f.replica >= 0 && !f.replicaDegraded {
+		rt = int32(f.replica)
+	}
+	f.routableReplica.Store(rt)
+}
+
 func (f *muxFile) publishAll() {
 	f.publishMeta()
 	f.publishPath()
 	f.publishBLT()
 	f.publishHandles()
+	f.publishReplica()
 	f.atimeA.Store(int64(f.meta.ATime))
 }
 
@@ -577,10 +604,12 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 func (m *Mux) writeEpilogueLocked(f *muxFile, p []byte, off, n int64, lastTier int) {
 	if err := m.mirrorWriteLocked(f, p, off); err != nil {
 		// The mirror diverged, not the authoritative write: degrade the
-		// replica (fallback reads skip it, RepairFile or reintegration
-		// re-syncs it) instead of failing the user op. fsync still fans out
-		// to the replica tier and surfaces the loss of durable redundancy.
+		// replica (fallback reads skip it, routed reads stop targeting it,
+		// RepairFile or reintegration re-syncs it) instead of failing the
+		// user op. fsync still fans out to the replica tier and surfaces the
+		// loss of durable redundancy.
 		f.replicaDegraded = true
+		f.publishReplica()
 	}
 
 	now := m.now()

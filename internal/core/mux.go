@@ -149,6 +149,14 @@ type Config struct {
 	// defaultDataFanout; 1 degrades to serial dispatch.
 	DataFanout int
 
+	// MirrorReadRouting enables the mirror read router (route.go): reads of
+	// replicated files are dispatched to whichever copy — primary or mirror —
+	// currently scores cheaper by device profile, recent observed latency,
+	// and in-flight depth. Off by default; disabled, the read path is exactly
+	// the pre-routing behavior (the mirror serves error fallbacks only). Can
+	// be toggled at runtime with SetMirrorRouting.
+	MirrorReadRouting bool
+
 	// Telemetry knobs (telemetry.go). Recording is ON by default — E9
 	// gates its overhead at 5% of the E8 metadata-hot workload, so it is
 	// cheap enough to leave on; DisableTelemetry turns it off (one atomic
@@ -221,6 +229,12 @@ type Mux struct {
 	// tier id, replaced wholesale like tierUsed when a tier is added.
 	fanWidth atomic.Int32
 	ioSem    atomic.Pointer[[]chan struct{}]
+
+	// Mirror read-router state (route.go). routeReads gates routing (one
+	// atomic load on the read hot path when off); routeTab holds the
+	// per-tier cached latency estimates, replaced wholesale like tierUsed.
+	routeReads atomic.Bool
+	routeTab   atomic.Pointer[[]*routeStat]
 
 	// Parallel migration engine state (engine.go).
 	migWorkers atomic.Int32 // worker-pool size; 1 = serial
@@ -315,6 +329,9 @@ func New(cfg Config) (*Mux, error) {
 	m.healthTab.Store(&emptyHealth)
 	emptySem := []chan struct{}{}
 	m.ioSem.Store(&emptySem)
+	emptyRoute := []*routeStat{}
+	m.routeTab.Store(&emptyRoute)
+	m.routeReads.Store(cfg.MirrorReadRouting)
 
 	// Telemetry: registry + pre-resolved non-tier instruments. Per-tier
 	// instruments are resolved as tiers register (AddTier).
@@ -379,6 +396,12 @@ func (m *Mux) AddTier(fs vfs.FileSystem, prof device.Profile) int {
 	copy(sems, oldS)
 	sems[len(oldS)] = make(chan struct{}, tierWidth(prof, maxTierIOWidth))
 	m.ioSem.Store(&sems)
+	// Mirror read-router latency cache (route.go).
+	oldR := *m.routeTab.Load()
+	routes := make([]*routeStat, len(oldR)+1)
+	copy(routes, oldR)
+	routes[len(oldR)] = &routeStat{}
+	m.routeTab.Store(&routes)
 	// Per-tier telemetry instruments, pre-resolved so the data path never
 	// touches the registry lock (telemetry.go).
 	oldT := *m.telTab.Load()

@@ -48,6 +48,7 @@ func (m *Mux) SetReplica(path string, tier int) error {
 	}
 	f.replica = tier
 	f.replicaDegraded = false
+	f.publishReplica()
 	return nil
 }
 
@@ -72,17 +73,31 @@ func (m *Mux) ClearReplica(path string) error {
 		// The tier itself is gone; there is nothing left to reclaim.
 		f.replica = -1
 		f.replicaDegraded = false
+		f.publishReplica()
 		return nil
 	}
 	rh, err := m.ensureHandleLocked(f, t)
 	if err != nil {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
+	// Unroute before the punch: a lock-free routed read that already chose
+	// the mirror must fail its OCC recheck rather than see punched zeros, so
+	// the routable mark drops and mapVer bumps BEFORE any hole lands
+	// (route.go readRoutedMirror re-verifies both around the device call).
+	f.routableReplica.Store(-1)
+	f.mapVer.Add(1)
 	if err := m.punchMirrorLocked(f, rh); err != nil {
+		// Partially punched: the mirror is no longer a faithful copy. Mark
+		// it degraded so the error-fallback path refuses it too; the replica
+		// mark stays so a ClearReplica retry can still reclaim the rest, and
+		// RepairFile can re-mirror instead.
+		f.replicaDegraded = true
+		f.publishReplica()
 		return vfs.Errf("replicate", m.name, path, err)
 	}
 	f.replica = -1
 	f.replicaDegraded = false
+	f.publishReplica()
 	return nil
 }
 
@@ -145,6 +160,7 @@ func (m *Mux) RepairFile(path string) error {
 		return vfs.Errf("repair", m.name, path, err)
 	}
 	f.replicaDegraded = false
+	f.publishReplica()
 	return nil
 }
 
@@ -231,6 +247,10 @@ func (m *Mux) mirrorWriteLocked(f *muxFile, p []byte, off int64) error {
 // short replica (e.g. a truncate-then-extend raced the mirror) zeroes the
 // unread tail so no stale bytes from the failed authoritative read leak
 // into the caller's buffer.
+//
+// A successful fallback is recorded distinctly from a *routed* mirror read
+// (telFallback vs telRouted): the mirror-hit ratio measures deliberate
+// routing decisions, not error-path rescues.
 func (m *Mux) readWithReplicaFallback(f *muxFile, dst []byte, off int64, orig error) error {
 	f.mu.Lock()
 	replica := f.replica
@@ -263,5 +283,7 @@ func (m *Mux) readWithReplicaFallback(f *muxFile, dst []byte, off int64, orig er
 		clear(dst[nr:])
 		return orig
 	}
+	f.fallbackReads.Add(1)
+	m.telFallback(replica)
 	return nil
 }

@@ -45,12 +45,14 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 		}
 		sort.Ints(onTiers)
 		stats = append(stats, policy.FileStat{
-			Path:       f.path,
-			Size:       f.meta.Size,
-			LastAccess: time.Duration(f.lastAccessA.Load()),
-			Heat:       f.heatLoad(),
-			Tiers:      onTiers,
-			TierBytes:  perTier,
+			Path:            f.path,
+			Size:            f.meta.Size,
+			LastAccess:      time.Duration(f.lastAccessA.Load()),
+			Heat:            f.heatLoad(),
+			Tiers:           onTiers,
+			TierBytes:       perTier,
+			Replica:         f.replica,
+			ReplicaDegraded: f.replicaDegraded,
 		})
 		f.mu.Unlock()
 	}
@@ -90,11 +92,22 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 	return st, err
 }
 
-// orderMoves is the simple device-profile I/O scheduler (§4): promotions —
-// which cut future access latency — run before demotions, and within each
-// group cheaper transfers run first so the queue drains small requests
-// quickly.
+// orderMoves is the simple device-profile I/O scheduler (§4): mirror
+// clears run first (they free fast-tier bytes without moving any data, so
+// everything behind them sees the room), then promotions — which cut
+// future access latency — then demotions, and within each group cheaper
+// transfers run first so the queue drains small requests quickly.
 func (m *Mux) orderMoves(moves []policy.Move) {
+	rank := func(mv policy.Move) int {
+		switch {
+		case mv.Mirror && mv.DstTier < 0:
+			return 0
+		case mv.Promote:
+			return 1
+		default:
+			return 2
+		}
+	}
 	cost := func(mv policy.Move) time.Duration {
 		srcT, err1 := m.tier(mv.SrcTier)
 		dstT, err2 := m.tier(mv.DstTier)
@@ -116,8 +129,8 @@ func (m *Mux) orderMoves(moves []policy.Move) {
 		return d
 	}
 	sort.SliceStable(moves, func(i, j int) bool {
-		if moves[i].Promote != moves[j].Promote {
-			return moves[i].Promote
+		if ri, rj := rank(moves[i]), rank(moves[j]); ri != rj {
+			return ri < rj
 		}
 		return cost(moves[i]) < cost(moves[j])
 	})
@@ -144,8 +157,8 @@ func (m *Mux) PolicyRunner(interval time.Duration, stop <-chan struct{}) {
 			if err != nil {
 				m.migLogf("mux %s: policy round failed: %v", m.name, err)
 			} else if st.Planned > 0 || st.ReplicasRepaired > 0 {
-				m.migLogf("mux %s: policy round: planned=%d executed=%d skipped=%d qskipped=%d repaired=%d conflicts=%d bytes=%d virt=%v wall=%v",
-					m.name, st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.ReplicasRepaired, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
+				m.migLogf("mux %s: policy round: planned=%d executed=%d skipped=%d qskipped=%d repaired=%d mirrors=%d/-%d conflicts=%d bytes=%d virt=%v wall=%v",
+					m.name, st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.ReplicasRepaired, st.MirrorsCreated, st.MirrorsCleared, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
 			}
 		}
 	}

@@ -44,6 +44,14 @@ type tierTel struct {
 	readErrs  *telemetry.Counter
 	writeErrs *telemetry.Counter
 	syncErrs  *telemetry.Counter
+
+	// Mirror read-router series (route.go): routed reads the tier served as
+	// the winning mirror / as the winning primary, and error-path reads the
+	// tier's mirror copy rescued (readWithReplicaFallback) — kept separate
+	// so the mirror-hit ratio measures routing, not failures.
+	routedMirror  *telemetry.Counter
+	routedPrimary *telemetry.Counter
+	fallbackReads *telemetry.Counter
 }
 
 // metaOp enumerates the namespace/metadata operations counted per kind.
@@ -87,6 +95,48 @@ func (m *Mux) newTierTel(id int, dev string) *tierTel {
 		readErrs:   m.tel.Counter("mux_tier_op_errors_total", "Per-tier downward ops that returned an error.", ls("read")...),
 		writeErrs:  m.tel.Counter("mux_tier_op_errors_total", "Per-tier downward ops that returned an error.", ls("write")...),
 		syncErrs:   m.tel.Counter("mux_tier_op_errors_total", "Per-tier downward ops that returned an error.", ls("sync")...),
+
+		routedMirror:  m.tel.Counter("mux_routed_reads_total", "Replicated-file reads dispatched by the read router, by winning copy.", lsCopy(id, dev, "mirror")...),
+		routedPrimary: m.tel.Counter("mux_routed_reads_total", "Replicated-file reads dispatched by the read router, by winning copy.", lsCopy(id, dev, "primary")...),
+		fallbackReads: m.tel.Counter("mux_replica_fallback_reads_total", "Segment reads the replica served after a primary error.", lsCopy(id, dev, "")[:2]...),
+	}
+}
+
+// lsCopy builds the read-router label set {tier, dev, copy}; slicing off
+// the last label gives the plain {tier, dev} pair.
+func lsCopy(id int, dev, copy string) []telemetry.Label {
+	return []telemetry.Label{
+		{Key: "tier", Value: strconv.Itoa(id)},
+		{Key: "dev", Value: dev},
+		{Key: "copy", Value: copy},
+	}
+}
+
+// telRouted books one routing decision: the tier that won the score, and
+// whether it was serving as the mirror copy.
+func (m *Mux) telRouted(tier int, mirror bool) {
+	if !m.tel.Enabled() {
+		return
+	}
+	tt := m.telTier(tier)
+	if tt == nil {
+		return
+	}
+	if mirror {
+		tt.routedMirror.Add(1)
+	} else {
+		tt.routedPrimary.Add(1)
+	}
+}
+
+// telFallback books one successful error-path replica read on the mirror's
+// tier.
+func (m *Mux) telFallback(tier int) {
+	if !m.tel.Enabled() {
+		return
+	}
+	if tt := m.telTier(tier); tt != nil {
+		tt.fallbackReads.Add(1)
 	}
 }
 
@@ -295,7 +345,68 @@ type TelemetrySnapshot struct {
 	LastMigration MigrationStats   `json:"last_migration"`
 	Tiers         []TierHealthInfo `json:"tiers"`
 
+	// Routing summarizes the mirror read router (route.go): per-tier routed
+	// and fallback counters, the mirror-hit ratio, and the live in-flight
+	// depth of every tier's data-path semaphore.
+	Routing RoutingTelemetry `json:"routing"`
+
 	Traces []telemetry.TraceEvent `json:"traces"`
+}
+
+// TierRouteTelemetry is one tier's read-router view.
+type TierRouteTelemetry struct {
+	Tier     int    `json:"tier"`
+	TierName string `json:"tier_name"`
+
+	RoutedMirror  int64 `json:"routed_mirror"`  // routed reads this tier served as the mirror
+	RoutedPrimary int64 `json:"routed_primary"` // routed reads this tier served as the primary
+	FallbackReads int64 `json:"fallback_reads"` // error-path reads this tier's mirror copy served
+
+	InFlight int `json:"in_flight"` // data-path semaphore slots currently held
+	Width    int `json:"width"`     // semaphore capacity (admission bound)
+}
+
+// RoutingTelemetry aggregates the read router across tiers.
+type RoutingTelemetry struct {
+	Enabled bool `json:"enabled"` // MirrorRouting() at snapshot time
+
+	RoutedMirror  int64 `json:"routed_mirror"`
+	RoutedPrimary int64 `json:"routed_primary"`
+	FallbackReads int64 `json:"fallback_reads"`
+	// MirrorHitRatio is RoutedMirror / (RoutedMirror + RoutedPrimary) — the
+	// fraction of routing decisions the mirror won (0 when no decisions).
+	MirrorHitRatio float64 `json:"mirror_hit_ratio"`
+
+	Tiers []TierRouteTelemetry `json:"tiers"`
+}
+
+// routingTelemetry assembles the router section of the snapshot.
+func (m *Mux) routingTelemetry() RoutingTelemetry {
+	rt := RoutingTelemetry{Enabled: m.MirrorRouting()}
+	for _, t := range m.Tiers() {
+		tt := m.telTier(t.ID)
+		if tt == nil {
+			continue
+		}
+		row := TierRouteTelemetry{
+			Tier:          t.ID,
+			TierName:      t.Prof.Name,
+			RoutedMirror:  tt.routedMirror.Value(),
+			RoutedPrimary: tt.routedPrimary.Value(),
+			FallbackReads: tt.fallbackReads.Value(),
+			InFlight:      m.ioDepth(t.ID),
+			Width:         m.ioWidth(t.ID),
+		}
+		rt.RoutedMirror += row.RoutedMirror
+		rt.RoutedPrimary += row.RoutedPrimary
+		rt.FallbackReads += row.FallbackReads
+		rt.Tiers = append(rt.Tiers, row)
+	}
+	sort.Slice(rt.Tiers, func(i, j int) bool { return rt.Tiers[i].Tier < rt.Tiers[j].Tier })
+	if total := rt.RoutedMirror + rt.RoutedPrimary; total > 0 {
+		rt.MirrorHitRatio = float64(rt.RoutedMirror) / float64(total)
+	}
+	return rt
 }
 
 // Telemetry returns the unified snapshot.
@@ -308,6 +419,7 @@ func (m *Mux) Telemetry() TelemetrySnapshot {
 		BLT:           m.BLTInfo(),
 		LastMigration: m.LastMigration(),
 		Tiers:         m.TierHealth(),
+		Routing:       m.routingTelemetry(),
 		Traces:        m.tel.Trace.Snapshot(),
 		FlushRecords:  m.telFlushRecs.Value(),
 	}
@@ -374,6 +486,7 @@ func (m *Mux) promFamilies() []telemetry.FamilySnapshot {
 	}
 
 	var used, healthOps, healthFaults, healthRetries, healthQuar, healthState []telemetry.SeriesSnapshot
+	var inflight, inflightW []telemetry.SeriesSnapshot
 	now := m.now()
 	for _, t := range m.Tiers() {
 		labels := []telemetry.Label{
@@ -381,6 +494,8 @@ func (m *Mux) promFamilies() []telemetry.FamilySnapshot {
 			{Key: "dev", Value: t.Prof.Name},
 		}
 		used = append(used, one(m.used(t.ID).Load(), labels...))
+		inflight = append(inflight, one(int64(m.ioDepth(t.ID)), labels...))
+		inflightW = append(inflightW, one(int64(m.ioWidth(t.ID)), labels...))
 		if h := m.healthOf(t.ID); h != nil {
 			info := h.snapshot(t.ID, t.Prof.Name, now)
 			healthOps = append(healthOps, one(info.Ops, labels...))
@@ -404,6 +519,8 @@ func (m *Mux) promFamilies() []telemetry.FamilySnapshot {
 		counterFam("mux_tier_health_retries_total", "Transient-fault retries per tier.", healthRetries...),
 		counterFam("mux_tier_quarantines_total", "Times a tier's circuit breaker opened.", healthQuar...),
 		gaugeFam("mux_tier_state", "Breaker state per tier: 0 healthy, 1 quarantined, 2 probing.", healthState...),
+		gaugeFam("mux_tier_inflight", "Data-path ops currently holding a slot on the tier's fan-out semaphore.", inflight...),
+		gaugeFam("mux_tier_inflight_width", "Data-path fan-out semaphore width per tier.", inflightW...),
 	)
 	return fams
 }

@@ -33,6 +33,18 @@ type LRU struct {
 	// PromoteWindow: files accessed within this window get promoted
 	// (default 1ms of virtual time — "recently accessed").
 	PromoteWindow time.Duration
+
+	// MirrorPromote turns promotion into deliberate mirroring: a recently
+	// accessed file on a slower tier gains a fast-tier *mirror* (Move.Mirror)
+	// instead of migrating its primary, so the read router can serve it from
+	// either copy while the slow tier keeps its settled placement. Mirror
+	// bytes are budgeted against the fast tier's low watermark alongside its
+	// primary bytes (core usage counters only see authoritative blocks, so
+	// the policy tracks the mirror ledger itself from FileStat.Replica), and
+	// demotion clears mirrors off an over-full tier before it moves any
+	// primaries. Off by default — plans are then identical to the classic
+	// LRU.
+	MirrorPromote bool
 }
 
 // DefaultLRU returns the watermarks used in the evaluation.
@@ -75,12 +87,56 @@ func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Durati
 		return false
 	}
 
+	// Mirror ledger (MirrorPromote only): core usage counters map only
+	// authoritative blocks, so mirror bytes are accounted here from the
+	// FileStat replica marks.
+	var mirroredOn map[int]int64
+	if p.MirrorPromote {
+		mirroredOn = make(map[int]int64)
+		for _, f := range files {
+			if f.Replica >= 0 {
+				mirroredOn[f.Replica] += f.Size
+			}
+		}
+	}
+
 	// Demotion: for each over-watermark tier, push coldest files down.
+	// Under MirrorPromote the watermark test counts mirror bytes too, and
+	// mirrors are cleared first — dropping a mirror frees fast-tier bytes
+	// without copying anything, and the read router stops using it the
+	// instant the clear lands.
 	for i, t := range tiers {
-		if i == len(tiers)-1 || t.UsedFrac() < p.highWM() {
+		if i == len(tiers)-1 {
+			continue
+		}
+		extra := mirroredOn[t.ID] // nil map reads as 0 when MirrorPromote is off
+		frac := t.UsedFrac()
+		if t.Capacity > 0 {
+			frac = float64(t.Used+extra) / float64(t.Capacity)
+		}
+		if frac < p.highWM() {
 			continue
 		}
 		dst := tiers[i+1].ID
+		need := t.Used + extra - int64(p.lowWM()*float64(t.Capacity))
+		if p.MirrorPromote {
+			var mirrored []FileStat
+			for _, f := range files {
+				if f.Replica == t.ID {
+					mirrored = append(mirrored, f)
+				}
+			}
+			sort.Slice(mirrored, func(a, b int) bool {
+				return mirrored[a].LastAccess < mirrored[b].LastAccess
+			})
+			for _, f := range mirrored {
+				if need <= 0 {
+					break
+				}
+				moves = append(moves, Move{Path: f.Path, SrcTier: t.ID, DstTier: -1, Off: 0, N: -1, Mirror: true})
+				need -= f.Size
+			}
+		}
 		var candidates []FileStat
 		for _, f := range files {
 			if onTier(f, t.ID) {
@@ -90,7 +146,6 @@ func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Durati
 		sort.Slice(candidates, func(a, b int) bool {
 			return candidates[a].LastAccess < candidates[b].LastAccess
 		})
-		need := t.Used - int64(p.lowWM()*float64(t.Capacity))
 		for _, f := range candidates {
 			if need <= 0 {
 				break
@@ -101,7 +156,10 @@ func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Durati
 	}
 
 	// Promotion: recently accessed files living on slower tiers move up
-	// when the faster tier has room.
+	// when the faster tier has room. Under MirrorPromote the move is a
+	// mirror placement instead — the warm file gains a fast-tier copy for
+	// the read router and keeps its primary where it is — and the room
+	// budget charges existing mirror bytes against the destination.
 	window := p.PromoteWindow
 	if window <= 0 {
 		window = time.Millisecond
@@ -109,7 +167,7 @@ func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Durati
 	for i := 1; i < len(tiers); i++ {
 		src := tiers[i]
 		dst := tiers[i-1]
-		room := int64(p.lowWM()*float64(dst.Capacity)) - dst.Used
+		room := int64(p.lowWM()*float64(dst.Capacity)) - dst.Used - mirroredOn[dst.ID]
 		for _, f := range files {
 			if room <= 0 {
 				break
@@ -117,7 +175,14 @@ func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Durati
 			if !onTier(f, src.ID) || now-f.LastAccess > window {
 				continue
 			}
-			moves = append(moves, Move{Path: f.Path, SrcTier: src.ID, DstTier: dst.ID, Off: 0, N: -1, Promote: true})
+			if p.MirrorPromote {
+				if f.Replica == dst.ID || onTier(f, dst.ID) {
+					continue // already mirrored or already resident there
+				}
+				moves = append(moves, Move{Path: f.Path, SrcTier: src.ID, DstTier: dst.ID, Off: 0, N: -1, Promote: true, Mirror: true})
+			} else {
+				moves = append(moves, Move{Path: f.Path, SrcTier: src.ID, DstTier: dst.ID, Off: 0, N: -1, Promote: true})
+			}
 			room -= f.Size
 		}
 	}

@@ -53,15 +53,31 @@ type FileStat struct {
 	Heat       float64       // decayed access frequency
 	Tiers      []int         // tier IDs currently holding blocks
 	TierBytes  map[int]int64 // bytes of the file mapped on each tier
+
+	// Replica is the file's mirror tier, -1 when unreplicated. (The Policy
+	// Runner always fills it; hand-built FileStats should set it explicitly
+	// — the zero value would read as "mirrored on tier 0".)
+	Replica int
+	// ReplicaDegraded marks a mirror that diverged after a failed mirror
+	// write; it serves no reads until repaired.
+	ReplicaDegraded bool
 }
 
 // Move is one recommended block migration. N == -1 means the whole file.
+//
+// A Move with Mirror set is a replica-placement action instead of a block
+// migration: DstTier >= 0 establishes (or re-syncs) a full mirror of the
+// file on that tier, DstTier == -1 clears the file's mirror (SrcTier names
+// the tier being vacated). Mirror moves let a policy promote-by-mirroring —
+// a warm file gains a fast-tier copy for the read router without giving up
+// its primary placement — and clear mirrors ahead of primary demotions.
 type Move struct {
 	Path    string
 	SrcTier int
 	DstTier int
 	Off, N  int64
 	Promote bool // true when moving toward a faster tier
+	Mirror  bool // replica placement (SetReplica/ClearReplica), not a migration
 }
 
 // Policy is the user-defined tiering rule set. Implementations must be

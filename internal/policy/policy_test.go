@@ -122,6 +122,116 @@ func TestLRUPromotionRespectsRoom(t *testing.T) {
 	}
 }
 
+func TestLRUMirrorPromoteEmitsMirrorMoves(t *testing.T) {
+	p := &LRU{HighWatermark: 0.9, LowWatermark: 0.7, PromoteWindow: time.Millisecond, MirrorPromote: true}
+	tiers := threeTiers(0, 100<<20, 0)
+	now := 10 * time.Millisecond
+	files := []FileStat{
+		{Path: "/warm", Size: 1 << 20, LastAccess: now - 500*time.Microsecond, Tiers: []int{1}, Replica: -1},
+		{Path: "/stale", Size: 1 << 20, LastAccess: now - 8*time.Millisecond, Tiers: []int{1}, Replica: -1},
+	}
+	moves := p.PlanMigrations(tiers, files, now)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly one", moves)
+	}
+	mv := moves[0]
+	if mv.Path != "/warm" || !mv.Mirror || !mv.Promote || mv.SrcTier != 1 || mv.DstTier != 0 {
+		t.Fatalf("move = %+v, want /warm mirror-promote SSD->PM", mv)
+	}
+}
+
+func TestLRUMirrorPromoteSkipsMirroredAndResident(t *testing.T) {
+	p := &LRU{HighWatermark: 0.9, LowWatermark: 0.7, PromoteWindow: time.Hour, MirrorPromote: true}
+	tiers := threeTiers(0, 100<<20, 0)
+	files := []FileStat{
+		{Path: "/mirrored", Size: 1 << 20, LastAccess: 0, Tiers: []int{1}, Replica: 0},
+		{Path: "/resident", Size: 1 << 20, LastAccess: 0, Tiers: []int{0, 1}, Replica: -1},
+	}
+	if moves := p.PlanMigrations(tiers, files, time.Nanosecond); len(moves) != 0 {
+		t.Fatalf("moves = %+v, want none (already mirrored / already resident)", moves)
+	}
+}
+
+func TestLRUMirrorPromoteBudgetsMirrorBytes(t *testing.T) {
+	// PM primaries sit at the low watermark (70 of 100 MiB); existing mirror
+	// bytes must eat the promotion room just like primary bytes do.
+	p := &LRU{HighWatermark: 0.9, LowWatermark: 0.7, PromoteWindow: time.Hour, MirrorPromote: true}
+	tiers := threeTiers(60<<20, 100<<20, 0)
+	files := []FileStat{
+		{Path: "/pinned", Size: 10 << 20, LastAccess: 0, Tiers: []int{2}, Replica: 0},
+		{Path: "/warm", Size: 10 << 20, LastAccess: 0, Tiers: []int{1}, Replica: -1},
+	}
+	for _, mv := range p.PlanMigrations(tiers, files, time.Nanosecond) {
+		if mv.Promote && mv.DstTier == 0 {
+			t.Fatalf("promotion into a tier whose mirror bytes fill it: %+v", mv)
+		}
+	}
+}
+
+func TestLRUMirrorPromoteClearsMirrorsBeforeDemoting(t *testing.T) {
+	// PM holds 40 MiB of primaries plus 40 MiB of mirror bytes: over the 50%
+	// high watermark only when mirrors are counted. The plan must clear the
+	// coldest mirrors first — freeing fast-tier bytes without copying — and
+	// not demote any primary once the clears cover the need.
+	p := &LRU{HighWatermark: 0.5, LowWatermark: 0.3, MirrorPromote: true}
+	tiers := threeTiers(40<<20, 0, 0)
+	files := []FileStat{
+		{Path: "/prim", Size: 40 << 20, LastAccess: 90 * time.Millisecond, Tiers: []int{0}, Replica: -1},
+		{Path: "/mcold", Size: 30 << 20, LastAccess: 1 * time.Millisecond, Tiers: []int{1}, Replica: 0},
+		{Path: "/mwarm", Size: 30 << 20, LastAccess: 80 * time.Millisecond, Tiers: []int{1}, Replica: 0},
+	}
+	moves := p.PlanMigrations(tiers, files, 200*time.Millisecond)
+	if len(moves) == 0 {
+		t.Fatal("no moves for a tier over-watermark on mirror bytes")
+	}
+	// need = 40+60 - 30 = 70 MiB: both mirrors clear (coldest first), and
+	// the remaining 10 MiB demotes the primary — in that order.
+	if !moves[0].Mirror || moves[0].DstTier != -1 || moves[0].Path != "/mcold" {
+		t.Fatalf("first move = %+v, want clear of coldest mirror /mcold", moves[0])
+	}
+	for i, mv := range moves {
+		if mv.Mirror && mv.DstTier == -1 && i > 0 && !moves[i-1].Mirror {
+			t.Fatalf("mirror clear after a primary demotion: %+v", moves)
+		}
+		if mv.Mirror && mv.SrcTier != 0 {
+			t.Fatalf("mirror clear names tier %d, want the over-full tier 0: %+v", mv.SrcTier, mv)
+		}
+	}
+}
+
+func TestLRUMirrorPromoteOffIsClassic(t *testing.T) {
+	// With the knob off, replica marks on the FileStats must not perturb the
+	// plan: byte-identical to the classic LRU over the same inputs.
+	tiers := threeTiers(80<<20, 100<<20, 0)
+	now := 200 * time.Millisecond
+	files := []FileStat{
+		{Path: "/a", Size: 60 << 20, LastAccess: 1 * time.Millisecond, Tiers: []int{0}, Replica: 1},
+		{Path: "/b", Size: 20 << 20, LastAccess: now - 100*time.Microsecond, Tiers: []int{0}, Replica: -1},
+		{Path: "/c", Size: 1 << 20, LastAccess: now - 200*time.Microsecond, Tiers: []int{1}, Replica: 0},
+	}
+	stripped := make([]FileStat, len(files))
+	copy(stripped, files)
+	for i := range stripped {
+		stripped[i].Replica = -1
+	}
+	p := &LRU{HighWatermark: 0.5, LowWatermark: 0.3, PromoteWindow: time.Millisecond}
+	got := p.PlanMigrations(tiers, files, now)
+	want := p.PlanMigrations(tiers, stripped, now)
+	if len(got) != len(want) {
+		t.Fatalf("plans diverge: %+v vs %+v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("move %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	for _, mv := range got {
+		if mv.Mirror {
+			t.Fatalf("classic plan emitted a mirror move: %+v", mv)
+		}
+	}
+}
+
 func TestTPFSRouting(t *testing.T) {
 	p := DefaultTPFS()
 	tiers := threeTiers(0, 0, 0)

@@ -159,6 +159,30 @@ func (s *HistSnapshot) Merge(other HistSnapshot) {
 	}
 }
 
+// Delta returns the interval histogram s − prev: the observations recorded
+// between two snapshots of the same histogram. Counts and Sum subtract
+// bucket-wise (clamped at zero against racing recorders); Max keeps s's
+// lifetime max, since per-interval maxima are not tracked. prev may be the
+// zero snapshot, making Delta a copy of s.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Counts: make([]int64, histBuckets), Max: s.Max}
+	for i := range d.Counts {
+		c := s.Counts[i]
+		if prev.Counts != nil {
+			c -= prev.Counts[i]
+		}
+		if c < 0 {
+			c = 0
+		}
+		d.Counts[i] = c
+		d.Count += c
+	}
+	if d.Sum = s.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}
+
 // Mean returns the average recorded value (0 when empty).
 func (s *HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

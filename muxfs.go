@@ -88,6 +88,12 @@ type Config struct {
 	// default; see Mux.Telemetry and Mux.MetricsHandler). Recording is
 	// wall-clock only and cheap enough to leave on — E9 gates its overhead.
 	DisableTelemetry bool
+	// MirrorReadRouting enables the mirror read router: reads of replicated
+	// files are dispatched to whichever copy — primary or mirror — scores
+	// cheaper on device profile, recent observed latency, and in-flight
+	// depth. Off by default (mirrors then serve only as error fallback); can
+	// also be toggled at runtime via Mux.SetMirrorRouting.
+	MirrorReadRouting bool
 }
 
 // TierHandle exposes an assembled tier.
@@ -121,11 +127,12 @@ func New(cfg Config) (*System, error) {
 	sys := &System{Clock: clk}
 
 	mcfg := core.Config{
-		Name:             cfg.Name,
-		Clock:            clk,
-		Policy:           cfg.Policy,
-		MigrationWorkers: cfg.MigrationWorkers,
-		DisableTelemetry: cfg.DisableTelemetry,
+		Name:              cfg.Name,
+		Clock:             clk,
+		Policy:            cfg.Policy,
+		MigrationWorkers:  cfg.MigrationWorkers,
+		DisableTelemetry:  cfg.DisableTelemetry,
+		MirrorReadRouting: cfg.MirrorReadRouting,
 	}
 	if cfg.MetaJournal {
 		prof := device.PMProfile("muxmeta")
