@@ -29,12 +29,17 @@ race:
 # writes BENCH_e9.json with the per-tier latency quantiles), and routed
 # mirror reads must beat the migrate-to-PM placement while a browned-out
 # mirror degrades without a single user-visible error (BENCH_e10.json).
+# E11 runs the bounded crash-point sweep: every metadata op crashed after
+# every durability step, remounted, and held to the consistency contract
+# (muxbench exits nonzero on any violation), plus smoke-size recovery and
+# checkpoint timings (BENCH_e11.json).
 smoke:
 	$(GO) run ./cmd/muxbench -exp e6
 	$(GO) run ./cmd/muxbench -exp e7
 	$(GO) run ./cmd/muxbench -exp e8
 	$(GO) run ./cmd/muxbench -exp e9 -e9gate 5 -json .
 	$(GO) run ./cmd/muxbench -exp e10 -json .
+	$(GO) run ./cmd/muxbench -exp e11 -e11smoke -json .
 
 # check is the CI gate: compile everything, vet, the full test suite under
 # the race detector (the migration and fan-out engines are concurrent;

@@ -14,6 +14,7 @@
 //	muxbench -exp e8    # metadata hot-path scaling
 //	muxbench -exp e9    # telemetry overhead (on vs off, gate with -e9gate)
 //	muxbench -exp e10   # mirror-read routing (replicas as read bandwidth)
+//	muxbench -exp e11   # crash-point sweep + recovery speed (bound with -e11smoke)
 //	muxbench -exp a1..a6  # ablations
 //	muxbench -json DIR  # also write BENCH_<exp>.json per experiment run
 //
@@ -39,8 +40,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, a1, a2, a3, a4, a5, a6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, a1, a2, a3, a4, a5, a6")
 	e9gate := flag.Float64("e9gate", 0, "fail (exit 1) when E9 telemetry-on overhead exceeds this percentage (0 = no gate)")
+	e11smoke := flag.Bool("e11smoke", false, "run the bounded E11 variant (smaller namespaces; the CI smoke)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (records every contended acquisition)")
@@ -144,6 +146,17 @@ func main() {
 		fail(err)
 		bench.FormatE10(out, r)
 		emit("e10", r)
+	}
+	if want("e11") {
+		ran = true
+		bench.Rule(out, "E11 — crash consistency")
+		r, err := bench.RunE11(bench.E11Options{Smoke: *e11smoke})
+		fail(err)
+		bench.FormatE11(out, r)
+		emit("e11", r)
+		if r.Violations > 0 {
+			fail(fmt.Errorf("E11: %d consistency-contract violations", r.Violations))
+		}
 	}
 	if want("a1") {
 		ran = true

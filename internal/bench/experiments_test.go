@@ -427,3 +427,49 @@ func TestE10Shape(t *testing.T) {
 			100*r.HealthyMirrorShare, 100*r.DegradedMirrorShare)
 	}
 }
+
+func TestE11Shape(t *testing.T) {
+	// Smoke-size run: the sweep itself is full-size (every op, every crash
+	// point — it is deterministic and cheap), only the recovery timing
+	// namespaces shrink. No wall-clock speedup assertions on the parallel
+	// columns: CI hosts may have a single core, where the sharded path runs
+	// but cannot beat serial time. The checkpoint ratio is asserted because
+	// it reflects replay *work* (snapshot+delta vs full history), which
+	// does not depend on core count.
+	r, err := RunE11(E11Options{Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sweep) != 9 {
+		t.Fatalf("want 9 swept ops, got %d", len(r.Sweep))
+	}
+	for _, row := range r.Sweep {
+		if row.Points < 2 {
+			t.Fatalf("op %s swept only %d crash points; the op made no durable steps", row.Op, row.Points)
+		}
+		if row.Violations != 0 {
+			t.Fatalf("op %s: %d crash points violated the recovery contract", row.Op, row.Violations)
+		}
+	}
+	if r.Violations != 0 || r.PointsSwept < 50 {
+		t.Fatalf("sweep totals: %d points, %d violations", r.PointsSwept, r.Violations)
+	}
+	if len(r.Recovery) == 0 {
+		t.Fatal("no recovery timing rows")
+	}
+	for _, row := range r.Recovery {
+		if row.Workers < 2 {
+			t.Fatalf("parallel config ran with %d workers; want at least 2", row.Workers)
+		}
+		if row.ReplaySerialMs <= 0 || row.ReplayParallelMs <= 0 || row.FsckSerialMs <= 0 || row.FsckParallelMs <= 0 {
+			t.Fatalf("recovery row %d files has a zero timing: %+v", row.Files, row)
+		}
+	}
+	ck := r.Checkpoint
+	if ck.FullLogMs <= 0 || ck.CheckpointMs <= 0 {
+		t.Fatalf("checkpoint row missing timings: %+v", ck)
+	}
+	if ck.Speedup <= 1.2 {
+		t.Fatalf("checkpointed replay speedup = %.2fx, want > 1.2x (replay must be O(delta), not O(history))", ck.Speedup)
+	}
+}

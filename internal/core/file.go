@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"muxfs/internal/extent"
+	"muxfs/internal/fs/fsrec"
 	"muxfs/internal/fsbase"
 	"muxfs/internal/policy"
 	"muxfs/internal/vfs"
@@ -609,6 +610,7 @@ func (m *Mux) writeEpilogueLocked(f *muxFile, p []byte, off, n int64, lastTier i
 		// user op. fsync still fans out to the replica tier and surfaces the
 		// loss of durable redundancy.
 		f.replicaDegraded = true
+		m.logReplica(f)
 		f.publishReplica()
 	}
 
@@ -695,7 +697,8 @@ func (h *handle) Truncate(size int64) error {
 // recheck rather than observe device-zeroed blocks under a stable mapping.
 func (m *Mux) truncateLocked(f *muxFile, size int64) error {
 	now := m.now()
-	if size < f.meta.Size {
+	shrink := size < f.meta.Size
+	if shrink {
 		oldSize := f.meta.Size
 		held := f.tierSet()
 		m.bltDrop(f, size, oldSize-size) // publishes + bumps mapVer
@@ -706,18 +709,21 @@ func (m *Mux) truncateLocked(f *muxFile, size int64) error {
 		f.meta.ModTime = now
 		f.meta.CTime = now
 		f.publishMeta()
-		// Truncate the underlying sparse file on every tier holding it.
-		for id := range held {
-			t, err := m.tier(id)
-			if err != nil {
-				continue
-			}
-			dh, err := m.ensureHandleLocked(f, t)
-			if err != nil {
-				return err
-			}
-			if err := dh.Truncate(size); err != nil {
-				return err
+		if m.meta == nil {
+			// No journal to order against: truncate the underlying sparse
+			// file on every tier inline.
+			for id := range held {
+				t, err := m.tier(id)
+				if err != nil {
+					continue
+				}
+				dh, err := m.ensureHandleLocked(f, t)
+				if err != nil {
+					return err
+				}
+				if err := dh.Truncate(size); err != nil {
+					return err
+				}
 			}
 		}
 	} else {
@@ -728,7 +734,19 @@ func (m *Mux) truncateLocked(f *muxFile, size int64) error {
 	}
 	f.version++
 	f.opsSinceSync++
-	m.logTruncate(f, size)
+	if m.meta != nil && shrink {
+		// Tier-side extent destruction is deferred until the truncate
+		// record commits (reclaimPaths): a synchronous tier frees the
+		// blocks durably at once, so truncating before the record was
+		// durable let a crash roll the size back while the data was
+		// already gone. The deferred reclaim subtracts the CURRENT
+		// reference set, so a re-extending write in the meantime keeps
+		// every block it mapped.
+		m.metaAppendReclaim(f.path,
+			fsrec.Op{Type: fsrec.OpTruncate, Ino: f.ino, Size: size, MTime: f.meta.ModTime}.Record())
+	} else {
+		m.logTruncate(f, size)
+	}
 	return nil
 }
 
@@ -831,16 +849,19 @@ func (h *handle) PunchHole(off, n int64) error {
 	if end <= off {
 		return nil
 	}
-	// Collect the tiers mapped within the range before dropping the map.
+	// Collect the tiers mapped within the range before dropping the map
+	// (only the journal-less inline path needs them).
 	seen := map[int]bool{}
-	for _, seg := range f.blt.Segments(off, end-off) {
-		if seg.Hole || seen[seg.Val] {
-			continue
+	if m.meta == nil {
+		for _, seg := range f.blt.Segments(off, end-off) {
+			if seg.Hole || seen[seg.Val] {
+				continue
+			}
+			seen[seg.Val] = true
 		}
-		seen[seg.Val] = true
-	}
-	if f.replica >= 0 {
-		seen[f.replica] = true
+		if f.replica >= 0 {
+			seen[f.replica] = true
+		}
 	}
 	// Whole blocks leave the BLT; ragged edges stay mapped (the underlying
 	// punch zeroes them in place).
@@ -852,17 +873,73 @@ func (h *handle) PunchHole(off, n int64) error {
 	if scm := m.scm(); scm != nil {
 		scm.invalidate(f.ino, off, end-off)
 	}
-	for id := range seen {
-		t, err := m.tier(id)
-		if err != nil {
-			continue
+	if m.meta == nil {
+		// No journal to order against: punch every mapped tier inline.
+		for id := range seen {
+			t, err := m.tier(id)
+			if err != nil {
+				continue
+			}
+			dh, err := m.ensureHandleLocked(f, t)
+			if err != nil {
+				return vfs.Errf("punch", m.name, f.path, err)
+			}
+			if err := dh.PunchHole(off, end-off); err != nil {
+				return vfs.Errf("punch", m.name, f.path, err)
+			}
 		}
-		dh, err := m.ensureHandleLocked(f, t)
-		if err != nil {
-			return vfs.Errf("punch", m.name, f.path, err)
+	} else {
+		// Whole-block reclaim on the authoritative tiers is deferred until
+		// the punch record commits (metaAppendReclaim below) — destroying
+		// durably-punchable tier blocks before the record was durable was a
+		// sweep-caught crash window. Two things still happen inline:
+		//
+		//   - the mirror is punched in full, so live fallback reads never
+		//     see stale bytes; a crash that rolls the record back merely
+		//     leaves a diverged mirror, which the scrub's verify pass
+		//     repairs;
+		//   - ragged edges are zeroed in place on their owning tiers —
+		//     they stay mapped, so this has in-place-overwrite crash
+		//     semantics (old bytes or zeros), like any racing write.
+		if f.replica >= 0 {
+			if t, err := m.tier(f.replica); err == nil {
+				rh, err := m.ensureHandleLocked(f, t)
+				if err != nil {
+					return vfs.Errf("punch", m.name, f.path, err)
+				}
+				if err := rh.PunchHole(off, end-off); err != nil {
+					return vfs.Errf("punch", m.name, f.path, err)
+				}
+			}
 		}
-		if err := dh.PunchHole(off, end-off); err != nil {
-			return vfs.Errf("punch", m.name, f.path, err)
+		var ragged []vfs.Extent
+		if firstWhole >= lastWhole {
+			ragged = []vfs.Extent{{Off: off, Len: end - off}} // inside one block
+		} else {
+			if off < firstWhole {
+				ragged = append(ragged, vfs.Extent{Off: off, Len: firstWhole - off})
+			}
+			if lastWhole < end {
+				ragged = append(ragged, vfs.Extent{Off: lastWhole, Len: end - lastWhole})
+			}
+		}
+		for _, rr := range ragged {
+			for _, seg := range f.blt.Segments(rr.Off, rr.Len) {
+				if seg.Hole {
+					continue
+				}
+				t, err := m.tier(seg.Val)
+				if err != nil {
+					continue
+				}
+				dh, err := m.ensureHandleLocked(f, t)
+				if err != nil {
+					return vfs.Errf("punch", m.name, f.path, err)
+				}
+				if err := dh.PunchHole(seg.Off, seg.Len); err != nil {
+					return vfs.Errf("punch", m.name, f.path, err)
+				}
+			}
 		}
 	}
 	now := m.now()
@@ -871,6 +948,11 @@ func (h *handle) PunchHole(off, n int64) error {
 	f.version++
 	f.opsSinceSync++
 	f.publishMeta()
-	m.logPunch(f, off, end-off)
+	if m.meta != nil {
+		m.metaAppendReclaim(f.path,
+			fsrec.Op{Type: fsrec.OpPunch, Ino: f.ino, Off: off, N: end - off, MTime: f.meta.ModTime}.Record())
+	} else {
+		m.logPunch(f, off, end-off)
+	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // FsckReport is the result of a consistency check over the Mux metadata and
 // the underlying file systems.
@@ -26,69 +31,58 @@ func (r *FsckReport) addf(format string, args ...any) {
 //   - Mux's per-tier usage accounting must equal the BLT totals.
 //
 // It takes per-file locks one at a time; concurrent mutation between files
-// is tolerated (the check is advisory, like fsck -n).
+// is tolerated (the check is advisory, like fsck -n). Per-file verification
+// shards across RecoveryWorkers goroutines — files are independent, so a
+// large namespace checks on all cores (the E11 parallel-fsck leg).
 func (m *Mux) Fsck() *FsckReport {
 	rep := &FsckReport{}
 
 	files := m.files.snapshot()
 
-	perTier := map[int]int64{}
-	for _, f := range files {
-		f.mu.Lock()
-		rep.Files++
-		rep.BLTRuns += f.blt.Len()
+	workers := int(m.recWorkers.Load())
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 
-		_, hi := f.blt.Bounds()
-		if hi > f.meta.Size {
-			rep.addf("%s: BLT maps %d bytes past the logical size %d", f.path, hi-f.meta.Size, f.meta.Size)
-		}
-
-		type runCheck struct {
-			tier   int
-			off, n int64
-		}
-		var runs []runCheck
-		f.blt.Walk(func(off, n int64, tier int) bool {
-			perTier[tier] += n
-			rep.BytesChecked += n
-			runs = append(runs, runCheck{tier: tier, off: off, n: n})
-			return true
-		})
-		path := f.path
-		f.mu.Unlock()
-
-		// Verify backing extents without holding f.mu (downward Stat and
-		// Extents take the native FS locks).
-		for _, rc := range runs {
-			t, err := m.tier(rc.tier)
-			if err != nil {
-				rep.addf("%s: BLT references removed tier %d", path, rc.tier)
-				continue
-			}
-			h, err := t.FS.Open(path)
-			if err != nil {
-				rep.addf("%s: missing on tier %s: %v", path, t.FS.Name(), err)
-				continue
-			}
-			exts, err := h.Extents()
-			h.Close()
-			if err != nil {
-				rep.addf("%s: extents on %s: %v", path, t.FS.Name(), err)
-				continue
-			}
-			covered := int64(0)
-			for _, e := range exts {
-				lo, hi := maxI64(e.Off, rc.off), minI64(e.End(), rc.off+rc.n)
-				if hi > lo {
-					covered += hi - lo
+	parts := make([]*FsckReport, workers)
+	tierParts := make([]map[int]int64, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		parts[w] = &FsckReport{}
+		tierParts[w] = map[int]int64{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(files)) {
+					return
 				}
+				m.fsckFile(files[i], parts[w], tierParts[w])
 			}
-			if covered < rc.n {
-				rep.addf("%s: [%d,%d) on %s backed by only %d of %d bytes",
-					path, rc.off, rc.off+rc.n, t.FS.Name(), covered, rc.n)
-			}
+		}()
+	}
+	wg.Wait()
+
+	perTier := map[int]int64{}
+	for w := 0; w < workers; w++ {
+		rep.Files += parts[w].Files
+		rep.BLTRuns += parts[w].BLTRuns
+		rep.BytesChecked += parts[w].BytesChecked
+		rep.Problems = append(rep.Problems, parts[w].Problems...)
+		for tier, n := range tierParts[w] {
+			perTier[tier] += n
 		}
 	}
+	sort.Strings(rep.Problems) // deterministic order across worker counts
 
 	// Accounting check.
 	for tier, want := range perTier {
@@ -104,6 +98,64 @@ func (m *Mux) Fsck() *FsckReport {
 		}
 	}
 	return rep
+}
+
+// fsckFile verifies one file into a worker-local report and tier total.
+func (m *Mux) fsckFile(f *muxFile, rep *FsckReport, perTier map[int]int64) {
+	f.mu.Lock()
+	rep.Files++
+	rep.BLTRuns += f.blt.Len()
+
+	_, hi := f.blt.Bounds()
+	if hi > f.meta.Size {
+		rep.addf("%s: BLT maps %d bytes past the logical size %d", f.path, hi-f.meta.Size, f.meta.Size)
+	}
+
+	type runCheck struct {
+		tier   int
+		off, n int64
+	}
+	var runs []runCheck
+	f.blt.Walk(func(off, n int64, tier int) bool {
+		perTier[tier] += n
+		rep.BytesChecked += n
+		runs = append(runs, runCheck{tier: tier, off: off, n: n})
+		return true
+	})
+	path := f.path
+	f.mu.Unlock()
+
+	// Verify backing extents without holding f.mu (downward Stat and
+	// Extents take the native FS locks).
+	for _, rc := range runs {
+		t, err := m.tier(rc.tier)
+		if err != nil {
+			rep.addf("%s: BLT references removed tier %d", path, rc.tier)
+			continue
+		}
+		h, err := t.FS.Open(path)
+		if err != nil {
+			rep.addf("%s: missing on tier %s: %v", path, t.FS.Name(), err)
+			continue
+		}
+		exts, err := h.Extents()
+		h.Close()
+		if err != nil {
+			rep.addf("%s: extents on %s: %v", path, t.FS.Name(), err)
+			continue
+		}
+		covered := int64(0)
+		for _, e := range exts {
+			lo, hi := maxI64(e.Off, rc.off), minI64(e.End(), rc.off+rc.n)
+			if hi > lo {
+				covered += hi - lo
+			}
+		}
+		if covered < rc.n {
+			rep.addf("%s: [%d,%d) on %s backed by only %d of %d bytes",
+				path, rc.off, rc.off+rc.n, t.FS.Name(), covered, rc.n)
+		}
+	}
 }
 
 func minI64(a, b int64) int64 {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"muxfs/internal/device"
@@ -15,6 +16,14 @@ import (
 // opMuxHost is the Mux-specific record carrying a file's host tier
 // (A = ino, B = tier id); everything else uses the shared fsrec vocabulary.
 const opMuxHost = 20
+
+// opMuxReplica records the replica ledger state of a file: A = ino, B =
+// replica tier (-1 = unreplicated), Payload[0] = 1 when the mirror is
+// degraded. Without this record the replica mark lived only in memory, so a
+// crash after SetReplica recovered a file whose mirror bytes sat orphaned on
+// the replica tier, and a crash after ClearReplica resurrected a "clean"
+// replica whose mirror had already been punched.
+const opMuxReplica = 21
 
 // metaLog persists Mux's own metadata — the Block Lookup Table, affinity,
 // and namespace — through a journal on a dedicated device ("its own
@@ -29,7 +38,12 @@ const opMuxHost = 20
 // not N.
 type metaLog struct {
 	dev *device.Device
-	jnl *journal.Journal
+	jnl *journal.Dual
+	// ckptBytes is the periodic-checkpoint threshold: a flush that leaves
+	// more than this many bytes in the active log triggers compaction, so
+	// crash recovery replays O(delta since the last checkpoint) rather than
+	// O(entire operation history).
+	ckptBytes int64
 
 	mu      sync.Mutex // guards everything below; never held during I/O
 	cond    *sync.Cond
@@ -46,13 +60,24 @@ type metaLog struct {
 	// gone either way, and the error already surfaced to the flusher.
 	lastErr error
 	lastTo  uint64
+	// reclaim holds paths whose unreferenced tier state must be reclaimed
+	// AFTER the commit covering their records. Destructive ops (remove,
+	// truncate, punch) queue here instead of destroying tier state inline:
+	// tier-side destruction is durable immediately on a synchronous tier
+	// (novafs), so destroying before the record committed left recovered
+	// metadata referencing data the tier had already lost.
+	reclaim []string
 }
 
 func newMetaLog(dev *device.Device) (*metaLog, error) {
 	if !dev.Profile().ByteAddressable {
 		return nil, fmt.Errorf("mux: meta device %s should be byte-addressable (PM-class)", dev.Profile().Name)
 	}
-	ml := &metaLog{dev: dev, jnl: journal.New(dev, 0, dev.Capacity())}
+	jnl, err := journal.NewDual(dev, 0, dev.Capacity())
+	if err != nil {
+		return nil, fmt.Errorf("mux: meta journal: %w", err)
+	}
+	ml := &metaLog{dev: dev, jnl: jnl, ckptBytes: jnl.Size() / 2}
 	ml.cond = sync.NewCond(&ml.mu)
 	return ml, nil
 }
@@ -66,6 +91,20 @@ func (m *Mux) metaAppend(recs ...journal.Record) {
 	ml.mu.Lock()
 	ml.pending = append(ml.pending, recs...)
 	ml.seq += uint64(len(recs))
+	ml.mu.Unlock()
+}
+
+// metaAppendReclaim buffers records together with a deferred-reclaim path:
+// once a flush commits these records, reclaimPaths punches/removes whatever
+// tier state of path the committed metadata no longer references. Record and
+// path move atomically, so reclamation can never run ahead of its record's
+// commit. Caller must have a meta journal; may hold f.mu.
+func (m *Mux) metaAppendReclaim(path string, recs ...journal.Record) {
+	ml := m.meta
+	ml.mu.Lock()
+	ml.pending = append(ml.pending, recs...)
+	ml.seq += uint64(len(recs))
+	ml.reclaim = append(ml.reclaim, path)
 	ml.mu.Unlock()
 }
 
@@ -97,6 +136,8 @@ func (m *Mux) metaFlush() error {
 	ml.flushing = true
 	stolen := ml.pending
 	ml.pending = nil
+	reclaim := ml.reclaim
+	ml.reclaim = nil
 	to := ml.seq
 	ml.mu.Unlock()
 
@@ -112,6 +153,10 @@ func (m *Mux) metaFlush() error {
 			// The snapshot reflects every effect the stolen records
 			// describe, so they are superseded wholesale.
 			err = m.metaCompact()
+		} else if err == nil && ml.jnl.UsedBytes() > ml.ckptBytes {
+			// Periodic checkpoint: compact well before the log fills, so
+			// recovery replay stays O(delta) instead of O(history).
+			err = m.metaCompact()
 		}
 		m.telFlush(len(stolen), t0, err)
 	}
@@ -122,17 +167,43 @@ func (m *Mux) metaFlush() error {
 	ml.lastErr, ml.lastTo = err, to
 	ml.cond.Broadcast()
 	ml.mu.Unlock()
+
+	// Deferred destructive work, strictly after the covering commit. On a
+	// failed commit the batch is dropped (see flushedSeq) and the tier state
+	// stays put — the remount scrub reclaims it later.
+	if err == nil && len(reclaim) > 0 {
+		m.reclaimPaths(reclaim)
+	}
 	return err
 }
 
-// metaCompact rewrites the journal as a snapshot of current Mux state.
+// reclaimPaths reclaims tier state the committed metadata no longer
+// references — the deferred half of Remove, shrinking Truncate, and
+// PunchHole. Reuses the scrub's reference-set subtraction, which makes it
+// precise under live traffic: a path re-created or re-written since the
+// destructive op keeps every range its current BLT references. Errors are
+// swallowed; reclamation is idempotent and the remount scrub is the
+// backstop.
+func (m *Mux) reclaimPaths(paths []string) {
+	done := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		if done[p] {
+			continue
+		}
+		done[p] = true
+		for _, t := range m.Tiers() {
+			_, _ = m.scrubFile(t, p, true)
+		}
+	}
+}
+
+// metaCompact replaces the journal with a snapshot of current Mux state via
+// the dual-region flip (journal.Dual): the snapshot commits into the spare
+// half before the superblock flips, so a crash at any point during
+// compaction recovers either the complete old log or the complete snapshot.
 // Caller is the single in-progress flusher (ml.flushing) and holds no f.mu.
 func (m *Mux) metaCompact() error {
 	ml := m.meta
-	if err := ml.jnl.Checkpoint(); err != nil {
-		return err
-	}
-	tx := ml.jnl.Begin()
 
 	type dirEnt struct {
 		ino  uint64
@@ -148,28 +219,33 @@ func (m *Mux) metaCompact() error {
 		}
 	})
 
-	for _, d := range dirs {
-		tx.Append(fsrec.Op{Type: fsrec.OpMkdir, Ino: d.ino, Path: d.path, Mode: vfs.ModeDir | 0o755}.Record())
-	}
-	for _, f := range files {
-		f.mu.Lock()
-		tx.Append(fsrec.Op{Type: fsrec.OpCreate, Ino: f.ino, Path: f.path, Mode: f.meta.Mode}.Record())
-		tx.Append(journal.Record{Type: opMuxHost, A: int64(f.ino), B: int64(f.aff.Size)})
-		tx.Append(fsrec.Op{
-			Type: fsrec.OpSetAttr, Ino: f.ino,
-			Size: f.meta.Size, Mode: f.meta.Mode,
-			MTime: f.meta.ModTime, ATime: time.Duration(f.atimeA.Load()), CTime: f.meta.CTime,
-		}.Record())
-		f.blt.Walk(func(off, n int64, tier int) bool {
+	err := ml.jnl.Compact(func(tx *journal.Tx) {
+		for _, d := range dirs {
+			tx.Append(fsrec.Op{Type: fsrec.OpMkdir, Ino: d.ino, Path: d.path, Mode: vfs.ModeDir | 0o755}.Record())
+		}
+		for _, f := range files {
+			f.mu.Lock()
+			tx.Append(fsrec.Op{Type: fsrec.OpCreate, Ino: f.ino, Path: f.path, Mode: f.meta.Mode}.Record())
+			tx.Append(journal.Record{Type: opMuxHost, A: int64(f.ino), B: int64(f.aff.Size)})
+			if f.replica >= 0 {
+				tx.Append(replicaRecord(f))
+			}
 			tx.Append(fsrec.Op{
-				Type: fsrec.OpExtent, Ino: f.ino, Off: off, Delta: int64(tier), N: n,
-				Size: f.meta.Size, MTime: f.meta.ModTime,
+				Type: fsrec.OpSetAttr, Ino: f.ino,
+				Size: f.meta.Size, Mode: f.meta.Mode,
+				MTime: f.meta.ModTime, ATime: time.Duration(f.atimeA.Load()), CTime: f.meta.CTime,
 			}.Record())
-			return true
-		})
-		f.mu.Unlock()
-	}
-	if err := tx.Commit(); err != nil {
+			f.blt.Walk(func(off, n int64, tier int) bool {
+				tx.Append(fsrec.Op{
+					Type: fsrec.OpExtent, Ino: f.ino, Off: off, Delta: int64(tier), N: n,
+					Size: f.meta.Size, MTime: f.meta.ModTime,
+				}.Record())
+				return true
+			})
+			f.mu.Unlock()
+		}
+	})
+	if err != nil {
 		return fmt.Errorf("mux: meta compaction: %w", err)
 	}
 	return nil
@@ -250,6 +326,25 @@ func (m *Mux) logPunch(f *muxFile, off, n int64) {
 	m.metaAppend(fsrec.Op{Type: fsrec.OpPunch, Ino: f.ino, Off: off, N: n, MTime: f.meta.ModTime}.Record())
 }
 
+// replicaRecord serializes a file's replica ledger state. Caller holds f.mu.
+func replicaRecord(f *muxFile) journal.Record {
+	var pl []byte
+	if f.replicaDegraded {
+		pl = []byte{1}
+	}
+	return journal.Record{Type: opMuxReplica, A: int64(f.ino), B: int64(f.replica), Payload: pl}
+}
+
+// logReplica records every replica-state transition (set, clear, degrade,
+// repair) so the mark survives a crash in lockstep with the mirror bytes.
+// Caller holds f.mu.
+func (m *Mux) logReplica(f *muxFile) {
+	if m.meta == nil {
+		return
+	}
+	m.metaAppend(replicaRecord(f))
+}
+
 func (m *Mux) logSetAttr(f *muxFile) {
 	if m.meta == nil {
 		return
@@ -261,80 +356,294 @@ func (m *Mux) logSetAttr(f *muxFile) {
 	}.Record())
 }
 
-// replay rebuilds Mux state from the journal. Recovery is quiesced — no
-// concurrent user ops — so records mutate file state directly; Recover
-// publishes every file's lock-free snapshots afterward. Replay is tolerant
-// of re-applied records (the compaction snapshot may overlap trailing
-// per-op records), so every case is idempotent.
+// inoOp is one buffered per-inode replay record: either a parsed fsrec op
+// or a raw opMux* record (mux == true).
+type inoOp struct {
+	rec journal.Record
+	mux bool
+}
+
+// replay rebuilds Mux state from the journal in two passes. Pass 1 reads
+// the log once, applies namespace-structural records (create, mkdir,
+// remove, rename) serially — their cross-file ordering matters — and
+// buffers every per-inode record (extents, sizes, attributes, host,
+// replica) in arrival order per inode. Pass 2 applies the per-inode
+// streams on RecoveryWorkers goroutines: records of different inodes
+// commute, so a 100k-file namespace replays on all cores instead of one.
+//
+// Recovery is quiesced — no concurrent user ops — so records mutate file
+// state directly; Recover publishes every file's lock-free snapshots
+// afterward. Replay is tolerant of re-applied records (the compaction
+// snapshot may overlap trailing per-op records), so every case is
+// idempotent.
 func (ml *metaLog) replay(m *Mux) error {
+	perIno := make(map[uint64][]inoOp)
+	var order []uint64 // first-appearance order, for deterministic sharding
+	buffer := func(ino uint64, b inoOp) {
+		if _, ok := perIno[ino]; !ok {
+			order = append(order, ino)
+		}
+		perIno[ino] = append(perIno[ino], b)
+	}
+
+	var structural []fsrec.Op
 	_, err := ml.jnl.Replay(func(r journal.Record) error {
-		if r.Type == opMuxHost {
-			if f := m.files.get(uint64(r.A)); f != nil {
-				host := int(r.B)
+		if r.Type == opMuxHost || r.Type == opMuxReplica {
+			buffer(uint64(r.A), inoOp{rec: r, mux: true})
+			return nil
+		}
+		switch r.Type {
+		case fsrec.OpCreate, fsrec.OpMkdir, fsrec.OpRemove, fsrec.OpRename:
+			op, err := fsrec.Parse(r)
+			if err != nil {
+				return err
+			}
+			structural = append(structural, op)
+		case fsrec.OpExtent, fsrec.OpSizeTime, fsrec.OpSetAttr, fsrec.OpTruncate, fsrec.OpPunch:
+			// Per-inode records route by Record.A (the inode) without
+			// decoding; fsrec.Parse runs inside the parallel pass 2, off
+			// the serial scan.
+			buffer(uint64(r.A), inoOp{rec: r})
+		default:
+			return fmt.Errorf("mux replay: unhandled op %d", r.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.applyStructural(structural, perIno); err != nil {
+		return err
+	}
+	return m.applyInoOps(order, perIno)
+}
+
+// applyStructural applies the namespace-structural record stream. Ordering
+// matters across removes, renames, and re-used paths, but a run of creates
+// and mkdirs over distinct paths commutes — and that is exactly the shape
+// of a compaction checkpoint, which dominates a big namespace's log. Such
+// runs apply on RecoveryWorkers goroutines (mkdirs first, in log order, so
+// parents exist — hoisting a mkdir above a later-logged create is safe
+// since a dir and a file can never share a path); everything else applies
+// serially, in order, as a barrier between runs.
+func (m *Mux) applyStructural(ops []fsrec.Op, perIno map[uint64][]inoOp) error {
+	// Serial-parallel threshold: below this run length the goroutine
+	// hand-off costs more than it saves.
+	const minParallelRun = 512
+	workers := int(m.recWorkers.Load())
+	for i := 0; i < len(ops); {
+		op := ops[i]
+		if op.Type == fsrec.OpRemove || op.Type == fsrec.OpRename {
+			if err := m.applyStructuralOne(op, perIno); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		// Gather the maximal run of creates/mkdirs over distinct paths.
+		j := i
+		seen := map[string]bool{}
+		for j < len(ops) && (ops[j].Type == fsrec.OpCreate || ops[j].Type == fsrec.OpMkdir) &&
+			!seen[ops[j].Path] {
+			seen[ops[j].Path] = true
+			j++
+		}
+		run := ops[i:j]
+		i = j
+		if workers <= 1 || len(run) < minParallelRun {
+			for _, op := range run {
+				if err := m.applyStructuralOne(op, perIno); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		var creates []fsrec.Op
+		for _, op := range run {
+			if op.Type == fsrec.OpMkdir {
+				if err := m.applyStructuralOne(op, perIno); err != nil {
+					return err
+				}
+			} else {
+				creates = append(creates, op)
+			}
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					k := next.Add(1) - 1
+					if k >= int64(len(creates)) {
+						return
+					}
+					if err := m.applyStructuralOne(creates[k], nil); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyStructuralOne applies a single structural record. perIno may be nil
+// when the caller guarantees the op cannot drop an inode buffer (creates
+// and mkdirs never do).
+func (m *Mux) applyStructuralOne(op fsrec.Op, perIno map[uint64][]inoOp) error {
+	switch op.Type {
+	case fsrec.OpCreate:
+		_, err := m.ns.CreateFile(op.Path, op.Mode, op.Ino, func(ino uint64) *muxFile {
+			nf := newMuxFile(ino, op.Path, 0, -1)
+			m.files.put(ino, nf)
+			return nf
+		})
+		if errors.Is(err, vfs.ErrExist) {
+			return nil // idempotent re-apply
+		}
+		if err != nil {
+			return fmt.Errorf("mux replay create %q: %w", op.Path, err)
+		}
+
+	case fsrec.OpMkdir:
+		if _, err := m.ns.Mkdir(op.Path, op.Mode); err != nil && !errors.Is(err, vfs.ErrExist) {
+			return fmt.Errorf("mux replay mkdir %q: %w", op.Path, err)
+		}
+		m.ns.BumpIno(op.Ino)
+
+	case fsrec.OpRemove:
+		info, err := m.ns.Remove(op.Path)
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("mux replay remove %q: %w", op.Path, err)
+		}
+		if info.File != nil {
+			// The inode's buffered records were never applied, so there
+			// is no usage accounting to unwind — dropping them is
+			// exactly equivalent to apply-then-remove.
+			delete(perIno, info.Ino)
+			m.files.del(info.Ino)
+		}
+
+	case fsrec.OpRename:
+		info, err := m.ns.Rename(op.Path, op.Path2)
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("mux replay rename: %w", err)
+		}
+		if f := info.File; f != nil {
+			f.path = op.Path2
+		}
+		// The record commits BEFORE the tier-level renames run
+		// (Mux.Rename), so a crash in between leaves tier files at the
+		// old path. Register a fixup for the post-recovery scrub; its
+		// guards make already-completed (or superseded) renames no-ops.
+		m.renameFix = append(m.renameFix, renameFixup{old: op.Path, new: op.Path2})
+	}
+	return nil
+}
+
+// applyInoOps is replay pass 2: per-inode record streams applied in
+// parallel, each stream in order.
+func (m *Mux) applyInoOps(order []uint64, perIno map[uint64][]inoOp) error {
+	workers := int(m.recWorkers.Load())
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
+		for _, ino := range order {
+			if err := m.applyInoStream(ino, perIno[ino]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(order)) {
+					return
+				}
+				ino := order[i]
+				if err := m.applyInoStream(ino, perIno[ino]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// applyInoStream applies one inode's buffered records in order. A nil ops
+// slice (the inode was removed later in the log) is a no-op.
+func (m *Mux) applyInoStream(ino uint64, ops []inoOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	f := m.files.get(ino)
+	if f == nil {
+		return fmt.Errorf("mux replay: records for unknown inode %d", ino)
+	}
+	for _, b := range ops {
+		if b.mux {
+			switch b.rec.Type {
+			case opMuxHost:
+				host := int(b.rec.B)
 				f.aff = affinity{Size: host, MTime: host}
 				f.affATime.Store(int32(host))
 				if host >= 0 {
 					f.onTiers[host] = true
 				}
+			case opMuxReplica:
+				tier := int(b.rec.B)
+				if tier < 0 {
+					f.replica = -1
+					f.replicaDegraded = false
+				} else {
+					f.replica = tier
+					f.replicaDegraded = len(b.rec.Payload) > 0 && b.rec.Payload[0] != 0
+					f.onTiers[tier] = true
+				}
 			}
-			return nil
+			continue
 		}
-		op, err := fsrec.Parse(r)
+		op, err := fsrec.Parse(b.rec)
 		if err != nil {
 			return err
 		}
 		switch op.Type {
-		case fsrec.OpCreate:
-			_, err := m.ns.CreateFile(op.Path, op.Mode, op.Ino, func(ino uint64) *muxFile {
-				nf := newMuxFile(ino, op.Path, 0, -1)
-				m.files.put(ino, nf)
-				return nf
-			})
-			if errors.Is(err, vfs.ErrExist) {
-				return nil // idempotent re-apply
-			}
-			if err != nil {
-				return fmt.Errorf("mux replay create %q: %w", op.Path, err)
-			}
-
-		case fsrec.OpMkdir:
-			if _, err := m.ns.Mkdir(op.Path, op.Mode); err != nil && !errors.Is(err, vfs.ErrExist) {
-				return fmt.Errorf("mux replay mkdir %q: %w", op.Path, err)
-			}
-			m.ns.BumpIno(op.Ino)
-
-		case fsrec.OpRemove:
-			info, err := m.ns.Remove(op.Path)
-			if errors.Is(err, vfs.ErrNotExist) {
-				return nil
-			}
-			if err != nil {
-				return fmt.Errorf("mux replay remove %q: %w", op.Path, err)
-			}
-			if f := info.File; f != nil {
-				for tier, bytes := range f.bytesPerTier() {
-					m.used(tier).Add(-bytes)
-				}
-				m.files.del(info.Ino)
-			}
-
-		case fsrec.OpRename:
-			info, err := m.ns.Rename(op.Path, op.Path2)
-			if errors.Is(err, vfs.ErrNotExist) {
-				return nil
-			}
-			if err != nil {
-				return fmt.Errorf("mux replay rename: %w", err)
-			}
-			if f := info.File; f != nil {
-				f.path = op.Path2
-			}
-
 		case fsrec.OpExtent:
-			f := m.files.get(op.Ino)
-			if f == nil {
-				return fmt.Errorf("mux replay extent: unknown inode %d", op.Ino)
-			}
 			tier := int(op.Delta)
 			m.bltRepoint(f, op.Off, op.N, tier)
 			f.onTiers[tier] = true
@@ -344,20 +653,12 @@ func (ml *metaLog) replay(m *Mux) error {
 			f.meta.ModTime = op.MTime
 
 		case fsrec.OpSizeTime:
-			f := m.files.get(op.Ino)
-			if f == nil {
-				return fmt.Errorf("mux replay sizetime: unknown inode %d", op.Ino)
-			}
 			if op.Size > f.meta.Size {
 				f.meta.Size = op.Size
 			}
 			f.meta.ModTime = op.MTime
 
 		case fsrec.OpSetAttr:
-			f := m.files.get(op.Ino)
-			if f == nil {
-				return fmt.Errorf("mux replay setattr: unknown inode %d", op.Ino)
-			}
 			if op.Size < f.meta.Size {
 				m.bltDrop(f, op.Size, f.meta.Size-op.Size)
 			}
@@ -368,10 +669,6 @@ func (ml *metaLog) replay(m *Mux) error {
 			f.meta.CTime = op.CTime
 
 		case fsrec.OpTruncate:
-			f := m.files.get(op.Ino)
-			if f == nil {
-				return fmt.Errorf("mux replay truncate: unknown inode %d", op.Ino)
-			}
 			if op.Size < f.meta.Size {
 				m.bltDrop(f, op.Size, f.meta.Size-op.Size)
 			}
@@ -379,21 +676,13 @@ func (ml *metaLog) replay(m *Mux) error {
 			f.meta.ModTime = op.MTime
 
 		case fsrec.OpPunch:
-			f := m.files.get(op.Ino)
-			if f == nil {
-				return fmt.Errorf("mux replay punch: unknown inode %d", op.Ino)
-			}
 			first := (op.Off + BlockSize - 1) / BlockSize * BlockSize
 			last := (op.Off + op.N) / BlockSize * BlockSize
 			if last > first {
 				m.bltDrop(f, first, last-first)
 			}
 			f.meta.ModTime = op.MTime
-
-		default:
-			return fmt.Errorf("mux replay: unhandled op %d", op.Type)
 		}
-		return nil
-	})
-	return err
+	}
+	return nil
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"muxfs/internal/device"
+	"muxfs/internal/fs/fsrec"
 	"muxfs/internal/policy"
 	"muxfs/internal/simclock"
 	"muxfs/internal/telemetry"
@@ -126,6 +127,17 @@ type Config struct {
 	// MigrationRetries bounds OCC retry rounds before the lock fallback
 	// (§2.4). Default 3.
 	MigrationRetries int
+	// RecoveryWorkers sizes the parallel crash-recovery machinery: journal
+	// replay applies per-inode record streams on this many goroutines (the
+	// namespace-structural pass stays ordered), and Fsck shards its
+	// per-file verification the same way. Default runtime.GOMAXPROCS(0);
+	// 1 degrades to fully serial recovery (the E11 baseline).
+	RecoveryWorkers int
+	// CheckpointBytes is the meta-journal periodic-checkpoint threshold: a
+	// group-commit flush that leaves more than this many bytes in the
+	// active log triggers compaction, keeping recovery replay O(delta
+	// since the last checkpoint). Default: half the journal half-region.
+	CheckpointBytes int64
 	// MigrationWorkers sizes the parallel migration engine's worker pool
 	// (engine.go): the Policy Runner executes up to this many planned moves
 	// concurrently, grouped by path so per-file OCC ordering is preserved.
@@ -236,6 +248,20 @@ type Mux struct {
 	routeReads atomic.Bool
 	routeTab   atomic.Pointer[[]*routeStat]
 
+	// Parallel recovery state (meta.go replay pass 2, fsck.go): worker
+	// count for per-inode replay apply and sharded fsck. recStats holds
+	// the last Recover's phase wall times (written during quiesced
+	// recovery, read afterwards — E11's breakdown).
+	recWorkers atomic.Int32
+	recStats   RecoveryStats
+
+	// renameFix holds tier-side rename completions registered by replay:
+	// the rename record commits before the per-tier file renames run, so a
+	// crash in between leaves tier files at the old path. ScrubOrphans
+	// executes these (completeRenames) as the first post-recovery repair.
+	// Only mutated during quiesced recovery and by the scrub.
+	renameFix []renameFixup
+
 	// Parallel migration engine state (engine.go).
 	migWorkers atomic.Int32 // worker-pool size; 1 = serial
 	migLogf    func(format string, args ...any)
@@ -316,9 +342,13 @@ func New(cfg Config) (*Mux, error) {
 		retryBackoff:     cfg.RetryBackoff,
 		breakerCooldown:  cfg.BreakerCooldown,
 	}
+	if cfg.RecoveryWorkers <= 0 {
+		cfg.RecoveryWorkers = runtime.GOMAXPROCS(0)
+	}
 	m.polP.Store(&cfg.Policy)
 	m.tierTab.Store(&tierTable{})
 	m.migWorkers.Store(int32(cfg.MigrationWorkers))
+	m.recWorkers.Store(int32(cfg.RecoveryWorkers))
 	if cfg.DataFanout <= 0 {
 		cfg.DataFanout = defaultDataFanout
 	}
@@ -361,10 +391,34 @@ func New(cfg Config) (*Mux, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.CheckpointBytes > 0 {
+			ml.ckptBytes = cfg.CheckpointBytes
+		}
 		m.meta = ml
 	}
 	return m, nil
 }
+
+// SetRecoveryWorkers adjusts the parallel-recovery worker count at runtime
+// (n < 1 is clamped to 1 — fully serial recovery).
+func (m *Mux) SetRecoveryWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.recWorkers.Store(int32(n))
+}
+
+// RecoveryStats breaks the last Recover into its phases: the tiers'
+// self-recovery (concurrent across tiers unless RecoveryWorkers is 1) and
+// the Mux meta-journal replay (per-inode streams sharded the same way).
+type RecoveryStats struct {
+	TierRecover time.Duration
+	Replay      time.Duration
+}
+
+// LastRecoveryStats reports the phase wall times of the most recent
+// Recover. Valid once Recover has returned; recovery runs quiesced.
+func (m *Mux) LastRecoveryStats() RecoveryStats { return m.recStats }
 
 // AddTier registers a native file system as a tier at runtime (§2.1: "the
 // user only needs to mount the new file system and register it"). Tiers
@@ -656,17 +710,28 @@ func (m *Mux) Remove(path string) error {
 		for id, bytes := range perTier {
 			m.used(id).Add(-bytes)
 		}
-		for id := range tiersHeld {
-			t, err := m.tier(id)
-			if err != nil {
-				continue
-			}
-			if rmErr := t.FS.Remove(path); rmErr != nil && !errors.Is(rmErr, vfs.ErrNotExist) {
-				return vfs.Errf("remove", m.name, path, rmErr)
+		if m.meta == nil {
+			// No journal to order against: reclaim the tier files inline.
+			for id := range tiersHeld {
+				t, err := m.tier(id)
+				if err != nil {
+					continue
+				}
+				if rmErr := t.FS.Remove(path); rmErr != nil && !errors.Is(rmErr, vfs.ErrNotExist) {
+					return vfs.Errf("remove", m.name, path, rmErr)
+				}
 			}
 		}
 		if scm := m.scm(); scm != nil {
 			scm.RemoveFile(f.ino)
+		}
+		if m.meta != nil {
+			// Tier-file destruction is deferred until the remove record
+			// commits (reclaimPaths): removing first was a sweep-caught
+			// crash window — a synchronous tier (novafs) destroys the data
+			// durably while the rolled-back metadata still references it.
+			m.metaAppendReclaim(path, fsrec.Op{Type: fsrec.OpRemove, Path: path}.Record())
+			return nil
 		}
 	}
 	m.logRemove(path)
@@ -687,11 +752,32 @@ func (m *Mux) Rename(oldPath, newPath string) error {
 		return vfs.Errf("rename", m.name, oldPath, err)
 	}
 
-	if f := info.File; f != nil {
+	// Commit the rename record BEFORE the tier-level renames: a synchronous
+	// tier (novafs) makes its rename durable immediately, so renaming tiers
+	// first opened a crash window where recovered metadata still used the
+	// old path while the tier files sat at the new one — and the orphan
+	// scrub would then delete them. With the record committed first, a crash
+	// mid-way leaves tier files at the OLD path, and replay registers a
+	// fixup (renameFix) that completeRenames finishes on the next remount.
+	// m.Sync is FS-level (tier syncs + meta flush, no per-file handles), so
+	// it cannot resurrect a tier file at either path.
+	m.logRename(oldPath, newPath)
+	var f *muxFile
+	if f = info.File; f != nil {
 		f.mu.Lock()
 		f.path = newPath
 		f.publishPath()
 		f.closeHandlesLocked() // handles cache the old path; bumps mapVer
+		f.mu.Unlock()
+	}
+	if m.meta != nil {
+		if err := m.Sync(); err != nil {
+			return vfs.Errf("rename", m.name, oldPath, err)
+		}
+	}
+
+	if f != nil {
+		f.mu.Lock()
 		held := f.tierSet()
 		f.mu.Unlock()
 		for id := range held {
@@ -714,7 +800,6 @@ func (m *Mux) Rename(oldPath, newPath string) error {
 			}
 		}
 	}
-	m.logRename(oldPath, newPath)
 	return nil
 }
 
@@ -873,16 +958,49 @@ func (m *Mux) Crash() {
 // Recovery runs quiesced — no concurrent user ops, by the crash contract —
 // so it may replace the namespace and inode table wholesale.
 func (m *Mux) Recover() error {
-	for _, t := range m.Tiers() {
-		if cr, ok := t.FS.(vfs.CrashRecoverer); ok {
-			if err := cr.Recover(); err != nil {
-				return fmt.Errorf("mux: tier %s recover: %w", t.FS.Name(), err)
+	tierStart := time.Now()
+	tiers := m.Tiers()
+	if int(m.recWorkers.Load()) <= 1 {
+		// Fully serial recovery: the E11 baseline.
+		for _, t := range tiers {
+			if cr, ok := t.FS.(vfs.CrashRecoverer); ok {
+				if err := cr.Recover(); err != nil {
+					return fmt.Errorf("mux: tier %s recover: %w", t.FS.Name(), err)
+				}
+			}
+		}
+	} else {
+		// Tier file systems live on independent devices and recover only
+		// their own state, so their self-recovery runs concurrently.
+		errs := make([]error, len(tiers))
+		var wg sync.WaitGroup
+		for i, t := range tiers {
+			cr, ok := t.FS.(vfs.CrashRecoverer)
+			if !ok {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, name string, cr vfs.CrashRecoverer) {
+				defer wg.Done()
+				if err := cr.Recover(); err != nil {
+					errs[i] = fmt.Errorf("mux: tier %s recover: %w", name, err)
+				}
+			}(i, t.FS.Name(), cr)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
 			}
 		}
 	}
+	m.recStats.TierRecover = time.Since(tierStart)
+	m.recStats.Replay = 0
 	if m.meta == nil {
 		return nil
 	}
+	replayStart := time.Now()
+	defer func() { m.recStats.Replay = time.Since(replayStart) }()
 	// Pending (uncommitted) meta records describe pre-crash state that the
 	// crash erased; committing them after recovery would interleave stale
 	// history into the journal. Drop them, and mark the dropped span
@@ -891,10 +1009,12 @@ func (m *Mux) Recover() error {
 	ml := m.meta
 	ml.mu.Lock()
 	ml.pending = nil
+	ml.reclaim = nil // stale deferred reclaims; the remount scrub recomputes
 	ml.flushedSeq = ml.seq
 	ml.lastErr = nil
 	ml.mu.Unlock()
 
+	m.renameFix = nil // rebuilt by replay below
 	m.ns = newShardedNS()
 	m.files = newInoTable()
 	for _, c := range *m.tierUsed.Load() {
@@ -904,11 +1024,35 @@ func (m *Mux) Recover() error {
 		return err
 	}
 	// Replay mutated file state directly; publish every lock-free snapshot
-	// before user ops resume.
-	for _, f := range m.files.snapshot() {
-		f.mu.Lock()
-		f.publishAll()
-		f.mu.Unlock()
+	// before user ops resume. Files are independent, so the publish loop
+	// shards across the recovery workers like replay pass 2.
+	files := m.files.snapshot()
+	if workers := int(m.recWorkers.Load()); workers > 1 && len(files) > 1024 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(files)) {
+						return
+					}
+					f := files[i]
+					f.mu.Lock()
+					f.publishAll()
+					f.mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, f := range files {
+			f.mu.Lock()
+			f.publishAll()
+			f.mu.Unlock()
+		}
 	}
 	return nil
 }

@@ -48,15 +48,19 @@ func (m *Mux) SetReplica(path string, tier int) error {
 	}
 	f.replica = tier
 	f.replicaDegraded = false
+	m.logReplica(f)
 	f.publishReplica()
 	return nil
 }
 
 // ClearReplica stops replicating the file and punches the mirror out of its
-// tier. The mirror bytes are reclaimed *before* the replica mark is
-// dropped: if reclamation fails the error propagates and the file stays
-// replicated, so a retry can still find and free the mirror (previously a
-// failed reclaim silently leaked the mirror bytes forever).
+// tier. The clear record is made durable BEFORE any mirror byte is
+// destroyed: punches on a synchronous-journal tier (novafs) become durable
+// immediately, so the old punch-first ordering had a crash window where the
+// recovered metadata still named a "clean" replica whose mirror was already
+// full of holes — fallback and routed reads would have served stale zeros.
+// With the record committed first, the worst a crash leaves is orphaned
+// mirror bytes, which ScrubOrphans reclaims on the next remount.
 func (m *Mux) ClearReplica(path string) error {
 	path = vfs.CleanPath(path)
 	f, err := m.lookupFile(path)
@@ -64,40 +68,46 @@ func (m *Mux) ClearReplica(path string) error {
 		return vfs.Errf("replicate", m.name, path, err)
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.replica < 0 {
+		f.mu.Unlock()
 		return vfs.Errf("replicate", m.name, path, ErrNoReplica)
 	}
-	t, err := m.tier(f.replica)
-	if err != nil {
-		// The tier itself is gone; there is nothing left to reclaim.
-		f.replica = -1
-		f.replicaDegraded = false
-		f.publishReplica()
-		return nil
-	}
-	rh, err := m.ensureHandleLocked(f, t)
-	if err != nil {
-		return vfs.Errf("replicate", m.name, path, err)
-	}
+	rtier := f.replica
+	t, terr := m.tier(rtier)
 	// Unroute before the punch: a lock-free routed read that already chose
 	// the mirror must fail its OCC recheck rather than see punched zeros, so
 	// the routable mark drops and mapVer bumps BEFORE any hole lands
 	// (route.go readRoutedMirror re-verifies both around the device call).
 	f.routableReplica.Store(-1)
 	f.mapVer.Add(1)
-	if err := m.punchMirrorLocked(f, rh); err != nil {
-		// Partially punched: the mirror is no longer a faithful copy. Mark
-		// it degraded so the error-fallback path refuses it too; the replica
-		// mark stays so a ClearReplica retry can still reclaim the rest, and
-		// RepairFile can re-mirror instead.
-		f.replicaDegraded = true
-		f.publishReplica()
-		return vfs.Errf("replicate", m.name, path, err)
-	}
 	f.replica = -1
 	f.replicaDegraded = false
+	m.logReplica(f)
 	f.publishReplica()
+	f.mu.Unlock()
+
+	// Commit the clear record (ordered: tier syncs first, then the meta
+	// journal — the invariant every meta commit obeys). Must run without
+	// f.mu held: the flush may compact, which locks files.
+	if err := m.Sync(); err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	if terr != nil {
+		// The tier itself is gone; there is nothing left to reclaim.
+		return nil
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rh, err := m.ensureHandleLocked(f, t)
+	if err != nil {
+		return vfs.Errf("replicate", m.name, path, err)
+	}
+	if err := m.punchMirrorLocked(f, rh, rtier); err != nil {
+		// Partially punched: the mark is already cleared, so the remaining
+		// mirror bytes are plain orphans — ScrubOrphans reclaims them.
+		return vfs.Errf("replicate", m.name, path, err)
+	}
 	return nil
 }
 
@@ -106,12 +116,12 @@ func (m *Mux) ClearReplica(path string) error {
 // replica tier are skipped: write redirection (quarantine drain) can land
 // authoritative blocks in the same underlying file as the mirror, and
 // punching those would destroy live data. Caller holds f.mu.
-func (m *Mux) punchMirrorLocked(f *muxFile, rh vfs.File) error {
+func (m *Mux) punchMirrorLocked(f *muxFile, rh vfs.File, rtier int) error {
 	if f.meta.Size == 0 {
 		return nil
 	}
 	for _, seg := range f.blt.Segments(0, f.meta.Size) {
-		if !seg.Hole && seg.Val == f.replica {
+		if !seg.Hole && seg.Val == rtier {
 			continue
 		}
 		if err := rh.PunchHole(seg.Off, seg.Len); err != nil {
@@ -160,6 +170,7 @@ func (m *Mux) RepairFile(path string) error {
 		return vfs.Errf("repair", m.name, path, err)
 	}
 	f.replicaDegraded = false
+	m.logReplica(f)
 	f.publishReplica()
 	return nil
 }

@@ -134,36 +134,95 @@ func TestRepairFileAfterReplicaOutage(t *testing.T) {
 	}
 }
 
-func TestClearReplicaPropagatesReclaimFailure(t *testing.T) {
-	// Regression: ClearReplica used to drop the replica mark first and
-	// reclaim second, so a failed reclaim leaked the mirror bytes forever —
-	// with the mark gone, nothing knew the mirror existed. Now reclamation
-	// runs first and its error propagates, leaving the file replicated so a
-	// retry can still find and free the mirror.
+func TestClearReplicaFailureLeavesReclaimableOrphans(t *testing.T) {
+	// ClearReplica drops the mark (durably) BEFORE destroying any mirror
+	// byte — punch-first had a crash window where recovery saw a "clean"
+	// replica whose mirror was already full of holes. The flip side: a
+	// failed clear leaves the mirror bytes orphaned rather than marked, and
+	// ScrubOrphans is the mechanism that finds and reclaims them.
 	r := newRig(t, policy.Pinned{Tier: 1}, false)
 	f := writeFile(t, r.m, "/leak", bytes.Repeat([]byte{3}, 16*1024))
 	defer f.Close()
 	if err := r.m.SetReplica("/leak", r.ids.pm); err != nil {
 		t.Fatal(err)
 	}
-	// The replica device dies; punching the mirror cannot commit.
+	// The replica device dies; the clear cannot finish reclaiming.
 	r.pm.InjectFailure(true)
 	if err := r.m.ClearReplica("/leak"); err == nil {
 		t.Fatal("ClearReplica succeeded with an unreachable mirror")
 	}
-	if got, _ := r.m.Replica("/leak"); got != r.ids.pm {
-		t.Fatalf("failed clear dropped the replica mark (replica=%d) — the mirror would leak", got)
+	if got, _ := r.m.Replica("/leak"); got != -1 {
+		t.Fatalf("failed clear kept the replica mark (replica=%d) — a crash here must not resurrect a half-punched mirror", got)
 	}
-	// After the device returns the retry reclaims and clears.
+	// After the device returns, the scrub leaves no mirror bytes behind.
 	r.pm.InjectFailure(false)
-	if err := r.m.ClearReplica("/leak"); err != nil {
+	if _, err := r.m.ScrubOrphans(true); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := r.m.Replica("/leak"); got != -1 {
-		t.Fatalf("replica still set after successful clear: %d", got)
-	}
 	if fi, err := r.m.Tiers()[0].FS.Stat("/leak"); err == nil && fi.Blocks != 0 {
-		t.Fatalf("mirror still holds %d bytes after clear", fi.Blocks)
+		t.Fatalf("mirror still holds %d bytes after scrub", fi.Blocks)
+	}
+	if n, _ := r.m.ScrubOrphans(false); n != 0 {
+		t.Fatalf("second scrub still sees %d orphaned bytes", n)
+	}
+}
+
+func TestScrubReclaimsOrphanedMirrorAndGhostFile(t *testing.T) {
+	// Two crash-orphan shapes the scrub must reclaim: mirror bytes whose
+	// replica mark is gone (a ClearReplica record committed but the punch
+	// never ran — exactly the state ClearReplica's record-first ordering
+	// leaves after a crash), and a tier file the Mux namespace has never
+	// heard of (a create whose metadata record never committed).
+	r := newRig(t, policy.Pinned{Tier: 1}, false)
+	f := writeFile(t, r.m, "/leak", bytes.Repeat([]byte{3}, 16*1024))
+	defer f.Close()
+	if err := r.m.SetReplica("/leak", r.ids.pm); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the post-crash recovered state: mark cleared, mirror intact.
+	fl, err := r.m.lookupFile("/leak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.mu.Lock()
+	fl.replica = -1
+	fl.publishReplica()
+	fl.mu.Unlock()
+
+	// And a ghost file on the pm tier behind Mux's back.
+	pmFS := r.m.Tiers()[0].FS
+	gh, err := pmFS.Create("/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gh.WriteAt(bytes.Repeat([]byte{9}, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	gh.Close()
+
+	if n, err := r.m.ScrubOrphans(false); err != nil || n < 16*1024+8192 {
+		t.Fatalf("dry-run scrub found %d orphaned bytes (err %v), want >= %d", n, err, 16*1024+8192)
+	}
+	reclaimed, err := r.m.ScrubOrphans(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed < 16*1024+8192 {
+		t.Fatalf("scrub reclaimed %d bytes, want >= %d", reclaimed, 16*1024+8192)
+	}
+	if fi, err := pmFS.Stat("/leak"); err == nil && fi.Blocks != 0 {
+		t.Fatalf("mirror still holds %d bytes after scrub", fi.Blocks)
+	}
+	if _, err := pmFS.Stat("/ghost"); err == nil {
+		t.Fatal("ghost file survived the scrub")
+	}
+	if n, _ := r.m.ScrubOrphans(false); n != 0 {
+		t.Fatalf("second scrub still sees %d orphaned bytes", n)
+	}
+	// The authoritative copy is untouched.
+	got := make([]byte, 16*1024)
+	if _, err := f.ReadAt(got, 0); err != nil || !bytes.Equal(got, bytes.Repeat([]byte{3}, 16*1024)) {
+		t.Fatalf("authoritative data damaged by scrub: %v", err)
 	}
 }
 

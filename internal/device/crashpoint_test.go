@@ -1,0 +1,166 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestCrashPointCountsPersistedPages verifies that durability steps count
+// persisted pages, not writes: volatile writes are free, each dirty page
+// flushed by Persist/PersistAll costs one step.
+func TestCrashPointCountsPersistedPages(t *testing.T) {
+	d, _ := newTestDev(t, PMProfile("pm0"))
+	cp := NewCrashPoint()
+	d.SetCrashPoint(cp)
+
+	buf := make([]byte, 3*pageSize)
+	for i := range buf {
+		buf[i] = 0xab
+	}
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Steps(); got != 0 {
+		t.Fatalf("steps after volatile write = %d, want 0", got)
+	}
+	if err := d.Persist(0, int64(len(buf))); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Steps(); got != 3 {
+		t.Fatalf("steps after 3-page persist = %d, want 3", got)
+	}
+	// Re-persisting clean pages is free.
+	if err := d.Persist(0, int64(len(buf))); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Steps(); got != 3 {
+		t.Fatalf("steps after clean persist = %d, want 3", got)
+	}
+}
+
+// TestCrashPointTornFlush arms the injector mid-barrier: a persist spanning
+// three dirty pages that trips after one must leave exactly the first page
+// durable, and every later mutation must fail until remount.
+func TestCrashPointTornFlush(t *testing.T) {
+	d, _ := newTestDev(t, SSDProfile("ssd0"))
+	cp := NewCrashPoint()
+	d.SetCrashPoint(cp)
+
+	buf := make([]byte, 3*pageSize)
+	for i := range buf {
+		buf[i] = 0x5a
+	}
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp.Arm(1)
+	err := d.Persist(0, int64(len(buf)))
+	if !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("torn persist err = %v, want ErrCrashPoint", err)
+	}
+	if !cp.Tripped() {
+		t.Fatal("injector did not latch")
+	}
+	// Latched: writes and barriers fail, reads still work.
+	if _, err := d.WriteAt([]byte{1}, 0); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("post-trip write err = %v, want ErrCrashPoint", err)
+	}
+	if err := d.PersistAll(); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("post-trip PersistAll err = %v, want ErrCrashPoint", err)
+	}
+	got := make([]byte, pageSize)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("post-trip read err = %v, want nil", err)
+	}
+
+	// Power loss: only the page flushed before the trip survives.
+	d.Crash()
+	cp.Reset()
+	full := make([]byte, 3*pageSize)
+	if _, err := d.ReadAt(full, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full[:pageSize], buf[:pageSize]) {
+		t.Fatal("page persisted before the trip was lost")
+	}
+	for i := pageSize; i < len(full); i++ {
+		if full[i] != 0 {
+			t.Fatalf("page %d survived a flush that never completed", i/pageSize)
+		}
+	}
+	// IsFault must NOT match: retry loops may not absorb a crash.
+	if IsFault(d.crashPointErrForTest()) {
+		t.Fatal("ErrCrashPoint classified as injected fault")
+	}
+}
+
+func (d *Device) crashPointErrForTest() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashPointErr()
+}
+
+// TestCrashPointSharedAcrossDevices checks that one injector orders
+// durability steps globally across a multi-device stack.
+func TestCrashPointSharedAcrossDevices(t *testing.T) {
+	a, _ := newTestDev(t, PMProfile("pm0"))
+	b, _ := newTestDev(t, SSDProfile("ssd0"))
+	cp := NewCrashPoint()
+	a.SetCrashPoint(cp)
+	b.SetCrashPoint(cp)
+
+	one := make([]byte, pageSize)
+	if _, err := a.WriteAt(one, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteAt(one, 0); err != nil {
+		t.Fatal(err)
+	}
+	cp.Arm(1)
+	if err := a.Persist(0, pageSize); err != nil { // step 0: allowed
+		t.Fatalf("first persist: %v", err)
+	}
+	if err := b.Persist(0, pageSize); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("second persist err = %v, want ErrCrashPoint (shared counter)", err)
+	}
+}
+
+// TestCrashPointDeterministicPersistAll verifies that PersistAll flushes in
+// ascending page order so count runs and armed runs replay identically.
+func TestCrashPointDeterministicPersistAll(t *testing.T) {
+	mk := func() *Device {
+		d, _ := newTestDev(t, PMProfile("pm0"))
+		d.SetCrashPoint(NewCrashPoint())
+		// Dirty pages in scrambled order; the flush order must not care.
+		for _, pg := range []int64{7, 2, 9, 0, 4} {
+			if _, err := d.WriteAt([]byte{byte(pg) + 1}, pg*pageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	want := []byte{1, 3, 5, 8, 10} // pages 0,2,4,7,9 after a 3-step torn flush → 0,2,4 durable
+	for trial := 0; trial < 8; trial++ {
+		d := mk()
+		d.cp.Arm(3)
+		if err := d.PersistAll(); !errors.Is(err, ErrCrashPoint) {
+			t.Fatalf("trial %d: PersistAll err = %v", trial, err)
+		}
+		d.Crash()
+		d.cp.Reset()
+		for i, pg := range []int64{0, 2, 4, 7, 9} {
+			got := make([]byte, 1)
+			if _, err := d.ReadAt(got, pg*pageSize); err != nil {
+				t.Fatal(err)
+			}
+			durable := i < 3
+			if durable && got[0] != want[i] {
+				t.Fatalf("trial %d: page %d lost (got %d, want %d)", trial, pg, got[0], want[i])
+			}
+			if !durable && got[0] != 0 {
+				t.Fatalf("trial %d: page %d survived past the trip", trial, pg)
+			}
+		}
+	}
+}

@@ -77,6 +77,7 @@ type Device struct {
 	failed  bool             // set by InjectFailure (or a sticky fault): all ops error
 	plan    FaultPlan        // probabilistic fault injection; zero = disabled
 	frand   *rand.Rand       // fault RNG, non-nil only while a plan is active
+	cp      *CrashPoint      // deterministic crash injection; nil = disabled
 
 	stats Stats
 }
@@ -151,6 +152,9 @@ func (d *Device) WriteAt(p []byte, off int64) (int, error) {
 	if err := d.faultCheck(true); err != nil {
 		return 0, err
 	}
+	if d.cp != nil && d.cp.blocked() {
+		return 0, d.crashPointErr()
+	}
 	d.charge(off, len(p), true)
 	d.copyIn(p, off)
 	d.stats.addWrite(int64(len(p)))
@@ -170,6 +174,9 @@ func (d *Device) Persist(off, n int64) error {
 	if d.failed {
 		return fmt.Errorf("device %s: %w", d.prof.Name, ErrInjectedFault)
 	}
+	if d.cp != nil && d.cp.blocked() {
+		return d.crashPointErr()
+	}
 	d.clk.Advance(d.prof.PersistLatency)
 	d.stats.addPersist()
 	first := off / pageSize
@@ -177,19 +184,41 @@ func (d *Device) Persist(off, n int64) error {
 	if n <= 0 {
 		return nil
 	}
-	for pg := first; pg <= last; pg++ {
-		delete(d.shadow, pg)
+	if d.cp == nil {
+		for pg := first; pg <= last; pg++ {
+			delete(d.shadow, pg)
+		}
+		return nil
 	}
-	return nil
+	// Crash-point mode: flush page by page so a sweep can tear the barrier.
+	dirty := make([]int64, 0, last-first+1)
+	for pg := first; pg <= last; pg++ {
+		if _, ok := d.shadow[pg]; ok {
+			dirty = append(dirty, pg)
+		}
+	}
+	return d.persistPages(dirty)
 }
 
-// PersistAll makes the entire device durable (a full barrier).
-func (d *Device) PersistAll() {
+// PersistAll makes the entire device durable (a full barrier). The error is
+// always nil outside crash-point injection, so legacy callers may ignore it.
+func (d *Device) PersistAll() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.cp != nil && d.cp.blocked() {
+		return d.crashPointErr()
+	}
 	d.clk.Advance(d.prof.PersistLatency)
 	d.stats.addPersist()
-	d.shadow = make(map[int64][]byte)
+	if d.cp == nil {
+		d.shadow = make(map[int64][]byte)
+		return nil
+	}
+	dirty := make([]int64, 0, len(d.shadow))
+	for pg := range d.shadow {
+		dirty = append(dirty, pg)
+	}
+	return d.persistPages(dirty)
 }
 
 // Crash simulates power loss: every byte not covered by a Persist since it
@@ -222,23 +251,42 @@ func (d *Device) Discard(off, n int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	end := off + n
-	for pg := off / pageSize; pg*pageSize < end; pg++ {
-		pstart, pend := pg*pageSize, (pg+1)*pageSize
-		if off <= pstart && end >= pend {
-			d.snapshotPage(pg)
-			delete(d.pages, pg)
-			continue
+	firstPg := off / pageSize
+	// Discarding an absent page is a no-op, so a span wider than the
+	// resident page set walks the map instead of every page number in the
+	// span — recovery's free-space scrub discards device-sized gaps, which
+	// must not cost O(capacity).
+	if spanPgs := (end+pageSize-1)/pageSize - firstPg; spanPgs > int64(len(d.pages)) {
+		for pg := range d.pages {
+			if pg >= firstPg && pg*pageSize < end {
+				d.discardPage(pg, off, end)
+			}
 		}
-		page, ok := d.pages[pg]
-		if !ok {
-			continue
-		}
-		d.snapshotPage(pg)
-		lo := max64(off, pstart) - pstart
-		hi := min64(end, pend) - pstart
-		for i := lo; i < hi; i++ {
-			page[i] = 0
-		}
+		return
+	}
+	for pg := firstPg; pg*pageSize < end; pg++ {
+		d.discardPage(pg, off, end)
+	}
+}
+
+// discardPage drops or zeroes the part of page pg inside [off, end).
+// Caller holds d.mu. Absent pages are untouched — nothing to shadow, since
+// a crash-revert would restore absence anyway.
+func (d *Device) discardPage(pg, off, end int64) {
+	page, ok := d.pages[pg]
+	if !ok {
+		return
+	}
+	pstart, pend := pg*pageSize, (pg+1)*pageSize
+	d.snapshotPage(pg)
+	if off <= pstart && end >= pend {
+		delete(d.pages, pg)
+		return
+	}
+	lo := max64(off, pstart) - pstart
+	hi := min64(end, pend) - pstart
+	for i := lo; i < hi; i++ {
+		page[i] = 0
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -82,14 +83,21 @@ type FS struct {
 	costs Costs
 	cfg   Config
 
-	mu         sync.Mutex
-	ns         *fsbase.Namespace
-	inodes     map[uint64]*inode
-	placer     Placer
-	jnl        *journal.Journal
-	pending    []journal.Record // uncommitted metadata records (group commit)
-	cache      *pagecache.Cache
-	recovering bool // replay must not touch device data (pages may have been reused)
+	mu      sync.Mutex
+	ns      *fsbase.Namespace
+	inodes  map[uint64]*inode
+	placer  Placer
+	jnl     *journal.Dual
+	pending []journal.Record // uncommitted metadata records (group commit)
+	// pendingFrees holds device runs unmapped by uncommitted operations
+	// (absolute offsets). They return to the placer only after the journal
+	// transaction freeing them commits: released earlier, the next write
+	// could reuse and durably overwrite blocks that still-committed
+	// metadata references, corrupting synced files if the commit never
+	// lands.
+	pendingFrees []Run
+	cache        *pagecache.Cache
+	recovering   bool // replay must not touch device data (pages may have been reused)
 
 	dataStart int64
 }
@@ -119,6 +127,10 @@ func New(dev *device.Device, cfg Config) (*FS, error) {
 	if logSize > dev.Capacity()/2 {
 		return nil, fmt.Errorf("blockfs: device %s too small", dev.Profile().Name)
 	}
+	jnl, err := journal.NewDual(dev, 0, logSize)
+	if err != nil {
+		return nil, fmt.Errorf("blockfs: %w", err)
+	}
 	// Page cache hit cost: a DRAM-class access.
 	dram := device.DRAMProfile("cache")
 	fs := &FS{
@@ -128,7 +140,7 @@ func New(dev *device.Device, cfg Config) (*FS, error) {
 		costs:     cfg.Costs,
 		cfg:       cfg,
 		dataStart: logSize,
-		jnl:       journal.New(dev, 0, logSize),
+		jnl:       jnl,
 		cache:     pagecache.New(cfg.CachePages, dev.Clock(), dram.ReadLatency),
 	}
 	fs.resetState()
@@ -140,6 +152,7 @@ func (fs *FS) resetState() {
 	fs.inodes = make(map[uint64]*inode)
 	fs.placer = fs.cfg.NewPlacer(fs.dev.Capacity() - fs.dataStart)
 	fs.pending = nil
+	fs.pendingFrees = nil
 }
 
 // Name identifies the instance.
@@ -281,37 +294,43 @@ func (fs *FS) flushPending() error {
 		return err
 	}
 	fs.pending = fs.pending[:0]
+	// The batch is durable; blocks it unmapped are now safe to reuse.
+	for _, r := range fs.pendingFrees {
+		fs.placer.Free(r.DevOff-fs.dataStart, r.Len)
+		fs.dev.Discard(r.DevOff, r.Len)
+	}
+	fs.pendingFrees = nil
 	return nil
 }
 
-// compact checkpoints the journal and re-logs a snapshot of current state.
-// Caller holds fs.mu.
+// compact rewrites the journal as a snapshot of current state. The dual
+// journal makes it crash-atomic: the snapshot commits into the spare half
+// before the superblock flips, so no crash point loses the log. Caller
+// holds fs.mu.
 func (fs *FS) compact() error {
-	if err := fs.jnl.Checkpoint(); err != nil {
-		return err
-	}
-	tx := fs.jnl.Begin()
-	fs.ns.WalkAll(func(path string, node *fsbase.Node) {
-		if node.IsDir() {
-			tx.Append(fsrec.Op{Type: fsrec.OpMkdir, Ino: node.Ino, Path: path, Mode: node.Mode}.Record())
-			return
-		}
-		ino := fs.inodes[node.Ino]
-		tx.Append(fsrec.Op{Type: fsrec.OpCreate, Ino: node.Ino, Path: path, Mode: ino.meta.Mode}.Record())
-		tx.Append(fsrec.Op{
-			Type: fsrec.OpSetAttr, Ino: node.Ino,
-			Size: ino.meta.Size, Mode: ino.meta.Mode,
-			MTime: ino.meta.ModTime, ATime: ino.meta.ATime, CTime: ino.meta.CTime,
-		}.Record())
-		ino.ext.Walk(func(off, n, delta int64) bool {
+	err := fs.jnl.Compact(func(tx *journal.Tx) {
+		fs.ns.WalkAll(func(path string, node *fsbase.Node) {
+			if node.IsDir() {
+				tx.Append(fsrec.Op{Type: fsrec.OpMkdir, Ino: node.Ino, Path: path, Mode: node.Mode}.Record())
+				return
+			}
+			ino := fs.inodes[node.Ino]
+			tx.Append(fsrec.Op{Type: fsrec.OpCreate, Ino: node.Ino, Path: path, Mode: ino.meta.Mode}.Record())
 			tx.Append(fsrec.Op{
-				Type: fsrec.OpExtent, Ino: node.Ino, Off: off, Delta: delta, N: n,
-				Size: ino.meta.Size, MTime: ino.meta.ModTime,
+				Type: fsrec.OpSetAttr, Ino: node.Ino,
+				Size: ino.meta.Size, Mode: ino.meta.Mode,
+				MTime: ino.meta.ModTime, ATime: ino.meta.ATime, CTime: ino.meta.CTime,
 			}.Record())
-			return true
+			ino.ext.Walk(func(off, n, delta int64) bool {
+				tx.Append(fsrec.Op{
+					Type: fsrec.OpExtent, Ino: node.Ino, Off: off, Delta: delta, N: n,
+					Size: ino.meta.Size, MTime: ino.meta.ModTime,
+				}.Record())
+				return true
+			})
 		})
 	})
-	if err := tx.Commit(); err != nil {
+	if err != nil {
 		return fmt.Errorf("blockfs %s: journal compaction: %w", fs.name, err)
 	}
 	return nil
@@ -362,7 +381,7 @@ func (fs *FS) Remove(path string) error {
 		return vfs.Errf("remove", fs.name, path, err)
 	}
 	if ino, ok := fs.inodes[node.Ino]; ok {
-		fs.freeRange(ino, node.Ino, 0, ino.meta.Size)
+		fs.dropTail(ino, node.Ino, 0)
 		delete(fs.inodes, node.Ino)
 		fs.cache.InvalidateFile(node.Ino)
 	}
@@ -448,8 +467,18 @@ func (fs *FS) SetAttr(path string, attr vfs.SetAttr) error {
 		return vfs.Errf("setattr", fs.name, path, vfs.ErrIsDir)
 	}
 	ino := fs.inodes[node.Ino]
+	var recs []journal.Record
 	if attr.Size != nil && *attr.Size < ino.meta.Size {
-		fs.freeRange(ino, node.Ino, *attr.Size, ino.meta.Size-*attr.Size)
+		ops, err := fs.shrinkExtents(ino, node.Ino, *attr.Size)
+		if err != nil {
+			return vfs.Errf("setattr", fs.name, path, err)
+		}
+		now := fs.now()
+		for _, op := range ops {
+			op.Size = *attr.Size
+			op.MTime = now
+			recs = append(recs, op.Record())
+		}
 	}
 	if !ino.meta.Apply(attr, fs.now()) {
 		return nil
@@ -457,12 +486,12 @@ func (fs *FS) SetAttr(path string, attr vfs.SetAttr) error {
 	if attr.Mode != nil {
 		node.Mode = ino.meta.Mode
 	}
-	rec := fsrec.Op{
+	recs = append(recs, fsrec.Op{
 		Type: fsrec.OpSetAttr, Ino: node.Ino,
 		Size: ino.meta.Size, Mode: ino.meta.Mode,
 		MTime: ino.meta.ModTime, ATime: ino.meta.ATime, CTime: ino.meta.CTime,
-	}.Record()
-	if err := fs.queue(rec); err != nil {
+	}.Record())
+	if err := fs.queue(recs...); err != nil {
 		return vfs.Errf("setattr", fs.name, path, err)
 	}
 	return nil
@@ -484,6 +513,10 @@ func (fs *FS) Statfs() (vfs.StatFS, error) {
 	defer fs.mu.Unlock()
 	total := fs.placer.TotalBytes()
 	used := fs.placer.UsedBytes()
+	// Blocks awaiting their freeing transaction's commit are logically free.
+	for _, r := range fs.pendingFrees {
+		used -= r.Len
+	}
 	return vfs.StatFS{
 		Capacity:  total,
 		Used:      used,
@@ -531,24 +564,88 @@ func (fs *FS) Recover() error {
 	return nil
 }
 
+// CheckConsistency cross-checks the extent maps against the space manager:
+// no device byte may be referenced by two mappings, every mapping must lie
+// inside the data region, and the placer's used-byte accounting must equal
+// exactly the referenced pages plus any frees still pending commit — no
+// leaked and no double-counted blocks. The crash sweep runs it after every
+// remount.
+func (fs *FS) CheckConsistency() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	type ival struct{ off, end int64 }
+	var ivals []ival
+	pages := make(map[int64]bool)
+	for inoNum, ino := range fs.inodes {
+		var werr error
+		ino.ext.Walk(func(off, n, delta int64) bool {
+			dev := off + delta
+			if dev < fs.dataStart || dev+n > fs.dev.Capacity() {
+				werr = fmt.Errorf("blockfs %s: ino %d maps [%d,%d) outside the data region",
+					fs.name, inoNum, dev, dev+n)
+				return false
+			}
+			ivals = append(ivals, ival{dev, dev + n})
+			for b := dev / PageSize * PageSize; b < dev+n; b += PageSize {
+				pages[b] = true
+			}
+			return true
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	sort.Slice(ivals, func(i, j int) bool { return ivals[i].off < ivals[j].off })
+	for i := 1; i < len(ivals); i++ {
+		if ivals[i].off < ivals[i-1].end {
+			return fmt.Errorf("blockfs %s: device bytes [%d,%d) double-referenced",
+				fs.name, ivals[i].off, ivals[i-1].end)
+		}
+	}
+	var pendingBytes int64
+	for _, r := range fs.pendingFrees {
+		pendingBytes += r.Len
+	}
+	want := int64(len(pages))*PageSize + pendingBytes
+	if got := fs.placer.UsedBytes(); got != want {
+		return fmt.Errorf("blockfs %s: allocator reports %d bytes used, mappings reference %d (+%d pending free) — leaked or double-counted blocks",
+			fs.name, got, want-pendingBytes, pendingBytes)
+	}
+	return nil
+}
+
 // scrubFreeSpace zeroes unallocated data space after replay so deleted
 // files' stale contents cannot leak into fresh partial-page allocations.
 // Caller holds fs.mu.
 func (fs *FS) scrubFreeSpace() {
-	used := map[int64]bool{}
+	// Collect the referenced device ranges and discard only the gaps
+	// between them: the scrub must cost O(live extents), not O(device
+	// capacity) — an early version walked every page of the device, which
+	// made recovery of a near-empty HDD tier the slowest step of the whole
+	// remount.
+	type ival struct{ off, end int64 }
+	var used []ival
 	for _, ino := range fs.inodes {
 		ino.ext.Walk(func(off, n, delta int64) bool {
 			devOff := off + delta
-			for b := devOff / PageSize; b < (devOff+n)/PageSize; b++ {
-				used[b] = true
-			}
+			lo := devOff / PageSize * PageSize
+			hi := (devOff + n + PageSize - 1) / PageSize * PageSize
+			used = append(used, ival{lo, hi})
 			return true
 		})
 	}
-	for pg := fs.dataStart / PageSize; pg < fs.dev.Capacity()/PageSize; pg++ {
-		if !used[pg] {
-			fs.dev.Discard(pg*PageSize, PageSize)
+	sort.Slice(used, func(i, j int) bool { return used[i].off < used[j].off })
+	pos := fs.dataStart
+	for _, u := range used {
+		if u.off > pos {
+			fs.dev.Discard(pos, u.off-pos)
 		}
+		if u.end > pos {
+			pos = u.end
+		}
+	}
+	if c := fs.dev.Capacity(); c > pos {
+		fs.dev.Discard(pos, c-pos)
 	}
 }
 
@@ -568,16 +665,154 @@ func (fs *FS) freeRange(ino *inode, inoNum uint64, off, n int64) {
 			continue
 		}
 		dev := seg.Off + seg.Val
-		fs.placer.Free(dev-fs.dataStart, seg.Len)
-		// During replay the device already holds final data and freed
-		// pages may belong to newer files; skip the discard (Recover
-		// scrubs free space afterwards).
-		if !fs.recovering {
-			fs.dev.Discard(dev, seg.Len)
+		if fs.recovering {
+			// Replay rebuilds the allocator in memory; the device already
+			// holds final data and freed pages may belong to newer files,
+			// so no discard (Recover scrubs free space afterwards).
+			fs.placer.Free(dev-fs.dataStart, seg.Len)
+		} else {
+			// Deferred until the transaction freeing these blocks commits
+			// (see pendingFrees).
+			fs.pendingFrees = append(fs.pendingFrees, Run{DevOff: dev, Len: seg.Len})
 		}
 	}
 	ino.ext.Delete(start, end-start)
 	fs.cache.InvalidateRange(inoNum, start, end-start)
+}
+
+// allocSpace obtains a run from the placer, forcing the pending batch to
+// commit first when space is exhausted: blocks freed by uncommitted
+// operations become reusable only once their transaction is durable
+// (JBD2's retry-after-commit on ENOSPC). Caller holds fs.mu.
+func (fs *FS) allocSpace(n int64) (Run, error) {
+	run, err := fs.placer.Alloc(n)
+	if err != nil && len(fs.pendingFrees) > 0 {
+		if ferr := fs.flushPending(); ferr != nil {
+			return Run{}, ferr
+		}
+		run, err = fs.placer.Alloc(n)
+	}
+	return run, err
+}
+
+// dropTail unmaps and frees every page whose bytes all lie at or past
+// newSize, including the partial page at the old EOF (which freeRange's
+// whole-page rounding would keep mapped with stale contents). The page
+// containing newSize itself survives when newSize is mid-page; shrink
+// callers rewrite it copy-on-write. Caller holds fs.mu.
+func (fs *FS) dropTail(ino *inode, inoNum uint64, newSize int64) {
+	_, hi := ino.ext.Bounds()
+	end := (hi + PageSize - 1) / PageSize * PageSize
+	if end > newSize {
+		fs.freeRange(ino, inoNum, newSize, end-newSize)
+	}
+}
+
+// shrinkExtents releases every mapping at or past newSize: whole tail pages
+// are unmapped, and the new boundary page — whose bytes past newSize must
+// read zero if the file grows back — is rewritten copy-on-write. The
+// returned remap ops must join the shrink record's transaction (caller
+// fills Size/MTime and queues them together). Caller holds fs.mu and
+// updates ino.meta.Size afterwards.
+func (fs *FS) shrinkExtents(ino *inode, inoNum uint64, newSize int64) ([]fsrec.Op, error) {
+	var ops []fsrec.Op
+	if newSize%PageSize != 0 {
+		zTo := newSize/PageSize*PageSize + PageSize
+		if zTo > ino.meta.Size {
+			zTo = ino.meta.Size
+		}
+		var err error
+		ops, err = fs.cowZeroEdge(ino, inoNum, newSize, zTo)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fs.dropTail(ino, inoNum, newSize)
+	return ops, nil
+}
+
+// cowZeroEdge makes the mapped bytes of [zFrom, zTo) — a range inside one
+// file page — read zero without touching the live block in place: a fresh
+// block receives the preserved bytes (zeros over the cleared range) and the
+// page is remapped onto it. The in-place alternative is not crash-safe: the
+// ordered pre-commit flush would make the zeros durable before the
+// truncate/punch record commits, corrupting the old contents if the commit
+// never lands. The old block joins pendingFrees; the returned remap ops
+// must commit in the same transaction as the caller's record. Caller holds
+// fs.mu.
+func (fs *FS) cowZeroEdge(ino *inode, inoNum uint64, zFrom, zTo int64) ([]fsrec.Op, error) {
+	if zTo <= zFrom {
+		return nil, nil
+	}
+	pageStart := zFrom / PageSize * PageSize
+	segs := ino.ext.Segments(pageStart, PageSize)
+	touched := false
+	for _, seg := range segs {
+		if !seg.Hole && seg.Off < zTo && seg.End() > zFrom {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		return nil, nil // holes already read zero
+	}
+	// Page image: a resident cache page is newest; otherwise read the
+	// mapped runs off the device.
+	buf := make([]byte, PageSize)
+	key := pagecacheKey(inoNum, pageStart/PageSize)
+	cached, resident := fs.cache.Peek(key)
+	if resident {
+		copy(buf, cached)
+	} else {
+		for _, seg := range segs {
+			if seg.Hole {
+				continue
+			}
+			dst := buf[seg.Off-pageStart : seg.Off-pageStart+seg.Len]
+			if _, err := fs.dev.ReadAt(dst, seg.Off+seg.Val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := zFrom; i < zTo; i++ {
+		buf[i-pageStart] = 0
+	}
+	run, err := fs.allocSpace(PageSize)
+	if err != nil || run.Len < PageSize {
+		if err == nil {
+			fs.placer.Free(run.DevOff, run.Len)
+		}
+		return nil, vfs.ErrNoSpace
+	}
+	devOff := fs.dataStart + run.DevOff
+	// Volatile write; the ordered flush persists it before the remap
+	// commits, so the copy is complete whenever the remap is durable.
+	if _, err := fs.dev.WriteAt(buf, devOff); err != nil {
+		fs.placer.Free(run.DevOff, PageSize)
+		return nil, err
+	}
+	if resident {
+		copy(cached, buf)
+		fs.cache.MarkClean(key)
+	}
+	newDelta := devOff - pageStart
+	var ops []fsrec.Op
+	oldPages := make(map[int64]bool)
+	for _, seg := range segs {
+		if seg.Hole {
+			continue
+		}
+		old := seg.Off + seg.Val
+		for b := old / PageSize * PageSize; b < old+seg.Len; b += PageSize {
+			if !oldPages[b] {
+				oldPages[b] = true
+				fs.pendingFrees = append(fs.pendingFrees, Run{DevOff: b, Len: PageSize})
+			}
+		}
+		ino.ext.Insert(seg.Off, seg.Len, newDelta)
+		ops = append(ops, fsrec.Op{Type: fsrec.OpExtent, Ino: inoNum, Off: seg.Off, Delta: newDelta, N: seg.Len})
+	}
+	return ops, nil
 }
 
 // readLocked serves ReadAt through the page cache. Caller holds fs.mu.
@@ -661,7 +896,7 @@ func (fs *FS) writeLocked(ino *inode, inoNum uint64, p []byte, off int64) (int, 
 		remaining := seg.Len
 		fileOff := seg.Off
 		for remaining > 0 {
-			run, err := fs.placer.Alloc(remaining)
+			run, err := fs.allocSpace(remaining)
 			if err != nil {
 				fs.rollbackNewRuns(ino, newOps)
 				return 0, vfs.ErrNoSpace

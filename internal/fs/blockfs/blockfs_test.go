@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"muxfs/internal/device"
+	"muxfs/internal/fstest"
 	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
 )
 
 // newSmallCacheFS builds a blockfs with a tiny page cache so eviction
@@ -264,4 +266,40 @@ func TestJournalCompaction(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("data after compaction = %q", got)
 	}
+}
+
+func newSweepTarget(t *testing.T) *fstest.SweepTarget {
+	t.Helper()
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	cp := device.NewCrashPoint()
+	dev.SetCrashPoint(cp)
+	fs, err := New(dev, Config{
+		Name:       "test@ssd0",
+		Costs:      Costs{},
+		CachePages: 64,
+		NewPlacer:  NewExtentPlacer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fstest.SweepTarget{
+		FS: fs,
+		CP: cp,
+		Remount: func() (vfs.FileSystem, error) {
+			fs.Crash()
+			if err := fs.Recover(); err != nil {
+				return nil, err
+			}
+			return fs, nil
+		},
+		Check: func(vfs.FileSystem) error { return fs.CheckConsistency() },
+	}
+}
+
+func TestCrashSweep(t *testing.T) {
+	fstest.RunCrashSweep(t, newSweepTarget)
+}
+
+func TestCrashStorm(t *testing.T) {
+	fstest.RunCrashStorm(t, newSweepTarget)
 }

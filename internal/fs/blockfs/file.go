@@ -2,6 +2,7 @@ package blockfs
 
 import (
 	"muxfs/internal/fs/fsrec"
+	"muxfs/internal/journal"
 	"muxfs/internal/vfs"
 )
 
@@ -68,15 +69,23 @@ func (f *file) Truncate(size int64) error {
 	fs := f.fs
 	fs.clk.Advance(fs.costs.MetaOp)
 	now := fs.now()
+	var recs []journal.Record
 	if size < ino.meta.Size {
-		fs.freeRange(ino, f.ino, size, ino.meta.Size-size)
-		fs.zeroEdge(ino, f.ino, size, ino.meta.Size)
+		ops, err := fs.shrinkExtents(ino, f.ino, size)
+		if err != nil {
+			return vfs.Errf("truncate", fs.name, f.path, err)
+		}
+		for _, op := range ops {
+			op.Size = size
+			op.MTime = now
+			recs = append(recs, op.Record())
+		}
 	}
 	ino.meta.Size = size
 	ino.meta.ModTime = now
 	ino.meta.CTime = now
-	rec := fsrec.Op{Type: fsrec.OpTruncate, Ino: f.ino, Size: size, MTime: now}.Record()
-	if err := fs.queue(rec); err != nil {
+	recs = append(recs, fsrec.Op{Type: fsrec.OpTruncate, Ino: f.ino, Size: size, MTime: now}.Record())
+	if err := fs.queue(recs...); err != nil {
 		return vfs.Errf("truncate", fs.name, f.path, err)
 	}
 	return nil
@@ -163,54 +172,37 @@ func (f *file) PunchHole(off, n int64) error {
 	if end <= off {
 		return nil
 	}
-	fs.freeRange(ino, f.ino, off, end-off)
+	// Ragged edges are rewritten copy-on-write (see cowZeroEdge) so the old
+	// bytes stay intact until the punch transaction commits.
+	var ops []fsrec.Op
+	var cowErr error
 	firstWhole := (off + PageSize - 1) / PageSize * PageSize
 	lastWhole := end / PageSize * PageSize
-	if firstWhole > lastWhole {
-		fs.zeroEdge(ino, f.ino, off, end)
+	if firstWhole > lastWhole { // range inside one page
+		ops, cowErr = fs.cowZeroEdge(ino, f.ino, off, end)
 	} else {
-		fs.zeroEdge(ino, f.ino, off, firstWhole)
-		fs.zeroEdge(ino, f.ino, lastWhole, end)
+		if ops, cowErr = fs.cowZeroEdge(ino, f.ino, off, firstWhole); cowErr == nil {
+			var more []fsrec.Op
+			more, cowErr = fs.cowZeroEdge(ino, f.ino, lastWhole, end)
+			ops = append(ops, more...)
+		}
 	}
+	if cowErr != nil {
+		return vfs.Errf("punch", fs.name, f.path, cowErr)
+	}
+	fs.freeRange(ino, f.ino, off, end-off)
 	now := fs.now()
 	ino.meta.ModTime = now
 	ino.meta.CTime = now
-	rec := fsrec.Op{Type: fsrec.OpPunch, Ino: f.ino, Off: off, N: end - off, MTime: now}.Record()
-	if err := fs.queue(rec); err != nil {
+	recs := make([]journal.Record, 0, len(ops)+1)
+	for _, op := range ops {
+		op.Size = ino.meta.Size
+		op.MTime = now
+		recs = append(recs, op.Record())
+	}
+	recs = append(recs, fsrec.Op{Type: fsrec.OpPunch, Ino: f.ino, Off: off, N: end - off, MTime: now}.Record())
+	if err := fs.queue(recs...); err != nil {
 		return vfs.Errf("punch", fs.name, f.path, err)
 	}
 	return nil
-}
-
-// zeroEdge writes zeros over still-mapped bytes of [from, to) on the device
-// and in any resident cache page. Caller holds fs.mu.
-func (fs *FS) zeroEdge(ino *inode, inoNum uint64, from, to int64) {
-	if to <= from {
-		return
-	}
-	for _, seg := range ino.ext.Segments(from, to-from) {
-		if seg.Hole {
-			continue
-		}
-		zeros := make([]byte, seg.Len)
-		fs.dev.WriteAt(zeros, seg.Off+seg.Val)
-		// Patch resident cache pages (the segment may straddle pages).
-		for pg := seg.Off / PageSize; pg*PageSize < seg.End(); pg++ {
-			data, ok := fs.cache.Peek(pagecacheKey(inoNum, pg))
-			if !ok {
-				continue
-			}
-			pgStart := pg * PageSize
-			lo, hi := seg.Off, seg.End()
-			if lo < pgStart {
-				lo = pgStart
-			}
-			if hi > pgStart+PageSize {
-				hi = pgStart + PageSize
-			}
-			for i := lo; i < hi; i++ {
-				data[i-pgStart] = 0
-			}
-		}
-	}
 }

@@ -35,7 +35,7 @@ func (fs *FS) applyRecord(r journal.Record) error {
 			return fmt.Errorf("replay remove %q: %w", op.Path, err)
 		}
 		if ino, ok := fs.inodes[node.Ino]; ok {
-			fs.freeRange(ino, node.Ino, 0, ino.meta.Size)
+			fs.dropTail(ino, node.Ino, 0)
 			delete(fs.inodes, node.Ino)
 		}
 
@@ -48,6 +48,17 @@ func (fs *FS) applyRecord(r journal.Record) error {
 		ino, ok := fs.inodes[op.Ino]
 		if !ok {
 			return fmt.Errorf("replay extent: unknown inode %d", op.Ino)
+		}
+		// A remap record (copy-on-write shrink/punch edge) supersedes live
+		// mappings: release the blocks it replaces, as the foreground op did.
+		for _, seg := range ino.ext.Segments(op.Off, op.N) {
+			if seg.Hole {
+				continue
+			}
+			dev := seg.Off + seg.Val
+			for b := dev / PageSize * PageSize; b < dev+seg.Len; b += PageSize {
+				fs.placer.Free(b-fs.dataStart, PageSize)
+			}
 		}
 		ino.ext.Insert(op.Off, op.N, op.Delta)
 		fs.placer.MarkUsed(op.Off+op.Delta-fs.dataStart, op.N)
@@ -62,7 +73,7 @@ func (fs *FS) applyRecord(r journal.Record) error {
 			return fmt.Errorf("replay setattr: unknown inode %d", op.Ino)
 		}
 		if op.Size < ino.meta.Size {
-			fs.freeRange(ino, op.Ino, op.Size, ino.meta.Size-op.Size)
+			fs.dropTail(ino, op.Ino, op.Size)
 		}
 		ino.meta.Size = op.Size
 		ino.meta.Mode = op.Mode
@@ -94,7 +105,7 @@ func (fs *FS) applyRecord(r journal.Record) error {
 			return fmt.Errorf("replay truncate: unknown inode %d", op.Ino)
 		}
 		if op.Size < ino.meta.Size {
-			fs.freeRange(ino, op.Ino, op.Size, ino.meta.Size-op.Size)
+			fs.dropTail(ino, op.Ino, op.Size)
 		}
 		ino.meta.Size = op.Size
 		ino.meta.ModTime = op.MTime

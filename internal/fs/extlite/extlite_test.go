@@ -39,6 +39,50 @@ func TestCrashRecovery(t *testing.T) {
 	})
 }
 
+func TestCrashSweep(t *testing.T) {
+	fstest.RunCrashSweep(t, func(t *testing.T) *fstest.SweepTarget {
+		prof := device.HDDProfile("hdd0")
+		prof.Capacity = 1 << 30
+		dev := device.New(prof, simclock.New())
+		cp := device.NewCrashPoint()
+		dev.SetCrashPoint(cp)
+		fs, err := New("ext4@hdd0", dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &fstest.SweepTarget{
+			FS: fs,
+			CP: cp,
+			Remount: func() (vfs.FileSystem, error) {
+				fs.Crash()
+				if err := fs.Recover(); err != nil {
+					return nil, err
+				}
+				return fs, nil
+			},
+			Check: func(vfs.FileSystem) error { return fs.CheckConsistency() },
+		}
+	})
+}
+
+func TestCrashStorm(t *testing.T) {
+	fstest.RunCrashStorm(t, func(t *testing.T) *fstest.SweepTarget {
+		fs := newFS(t)
+		return &fstest.SweepTarget{
+			FS: fs,
+			CP: device.NewCrashPoint(),
+			Remount: func() (vfs.FileSystem, error) {
+				fs.Crash()
+				if err := fs.Recover(); err != nil {
+					return nil, err
+				}
+				return fs, nil
+			},
+			Check: func(vfs.FileSystem) error { return fs.CheckConsistency() },
+		}
+	})
+}
+
 func TestSequentialStaysMostlyContiguous(t *testing.T) {
 	// Next-fit goal allocation: a sequential write on a fresh FS should
 	// produce one merged extent even though allocation is block-at-a-time.

@@ -1,6 +1,11 @@
 package novafs
 
-import "muxfs/internal/vfs"
+import (
+	"time"
+
+	"muxfs/internal/journal"
+	"muxfs/internal/vfs"
+)
 
 // file is an open novafs handle.
 type file struct {
@@ -145,16 +150,43 @@ func (f *file) PunchHole(off, n int64) error {
 func (fs *FS) truncateLocked(ino *inode, inoNum uint64, size int64) error {
 	fs.clk.Advance(fs.costs.MetaOp)
 	now := fs.now()
+	var recs []journal.Record
 	if size < ino.meta.Size {
-		fs.freeRange(ino, size, ino.meta.Size-size)
-		// Zero the ragged tail of the partial page so growing back reads
-		// zeros.
-		fs.zeroEdge(ino, size, ino.meta.Size)
+		var err error
+		recs, err = fs.shrinkExtents(ino, inoNum, size, now)
+		if err != nil {
+			return err
+		}
 	}
 	ino.meta.Size = size
 	ino.meta.ModTime = now
 	ino.meta.CTime = now
-	return fs.logCommit(recTruncate(inoNum, size, now))
+	recs = append(recs, recTruncate(inoNum, size, now))
+	return fs.logCommit(recs...)
+}
+
+// shrinkExtents releases every mapping at or past newSize: whole tail pages
+// (including the old EOF's partial page) are unmapped and freed, and the
+// new boundary page — whose bytes past newSize must read zero if the file
+// grows back — is rewritten copy-on-write. Zeroing it in place would
+// corrupt the old contents during the crash window before the shrink record
+// commits; the returned remap records must join that record's transaction.
+// Caller holds fs.mu and updates ino.meta.Size afterwards.
+func (fs *FS) shrinkExtents(ino *inode, inoNum uint64, newSize int64, now time.Duration) ([]journal.Record, error) {
+	var recs []journal.Record
+	if newSize%PageSize != 0 {
+		zTo := newSize/PageSize*PageSize + PageSize
+		if zTo > ino.meta.Size {
+			zTo = ino.meta.Size
+		}
+		var err error
+		recs, err = fs.cowZeroPage(ino, inoNum, newSize, zTo, newSize, now, recs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fs.dropTail(ino, newSize)
+	return recs, nil
 }
 
 // punchLocked implements PunchHole under fs.mu.
@@ -167,35 +199,97 @@ func (fs *FS) punchLocked(ino *inode, inoNum uint64, off, n int64) error {
 	if end <= off {
 		return nil
 	}
-	fs.freeRange(ino, off, end-off)
-	// Zero the ragged edges still mapped.
+	now := fs.now()
+	// Ragged edges are rewritten copy-on-write (see truncateLocked) so the
+	// old bytes stay intact until the punch transaction commits.
+	var recs []journal.Record
+	var err error
 	firstWhole := (off + PageSize - 1) / PageSize * PageSize
 	lastWhole := end / PageSize * PageSize
 	if firstWhole > lastWhole { // range inside one page
-		fs.zeroEdge(ino, off, end)
+		recs, err = fs.cowZeroPage(ino, inoNum, off, end, ino.meta.Size, now, recs)
 	} else {
-		fs.zeroEdge(ino, off, firstWhole)
-		fs.zeroEdge(ino, lastWhole, end)
+		if recs, err = fs.cowZeroPage(ino, inoNum, off, firstWhole, ino.meta.Size, now, recs); err == nil {
+			recs, err = fs.cowZeroPage(ino, inoNum, lastWhole, end, ino.meta.Size, now, recs)
+		}
 	}
-	now := fs.now()
+	if err != nil {
+		return err
+	}
+	fs.freeRange(ino, off, end-off)
 	ino.meta.ModTime = now
 	ino.meta.CTime = now
-	return fs.logCommit(recPunch(inoNum, off, end-off, now))
+	recs = append(recs, recPunch(inoNum, off, end-off, now))
+	return fs.logCommit(recs...)
 }
 
-// zeroEdge writes zeros over mapped bytes of [from, to) (both inside one
-// page in practice). Caller holds fs.mu.
-func (fs *FS) zeroEdge(ino *inode, from, to int64) {
-	if to <= from {
-		return
+// cowZeroPage makes the mapped bytes of [zFrom, zTo) — a range inside one
+// file page — read zero without touching the live page in place: a fresh PM
+// page receives the preserved bytes (zeros over the cleared range), is
+// persisted, and the remap records joining the caller's transaction are
+// appended to recs. Until that transaction commits, the durable state still
+// maps the untouched old page, so a crash at any instant leaves either the
+// complete old contents or the complete new ones. Caller holds fs.mu.
+func (fs *FS) cowZeroPage(ino *inode, inoNum uint64, zFrom, zTo int64,
+	logicalSize int64, now time.Duration, recs []journal.Record) ([]journal.Record, error) {
+	if zTo <= zFrom {
+		return recs, nil
 	}
-	for _, seg := range ino.ext.Segments(from, to-from) {
+	pageStart := zFrom / PageSize * PageSize
+	segs := ino.ext.Segments(pageStart, PageSize)
+	touched := false
+	for _, seg := range segs {
+		if !seg.Hole && seg.Off < zTo && seg.Off+seg.Len > zFrom {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		return recs, nil // holes already read zero
+	}
+	blk, err := fs.pages.Alloc()
+	if err != nil {
+		return recs, vfs.ErrNoSpace
+	}
+	buf := make([]byte, PageSize)
+	for _, seg := range segs {
 		if seg.Hole {
 			continue
 		}
-		zeros := make([]byte, seg.Len)
-		pm := seg.Off + seg.Val
-		fs.dev.WriteAt(zeros, pm)
-		fs.dev.Persist(pm, seg.Len)
+		dst := buf[seg.Off-pageStart : seg.Off-pageStart+seg.Len]
+		if _, err := fs.dev.ReadAt(dst, seg.Off+seg.Val); err != nil {
+			fs.pages.FreeBlock(blk)
+			return recs, err
+		}
 	}
+	for i := zFrom; i < zTo; i++ {
+		buf[i-pageStart] = 0
+	}
+	pm := fs.pmOff(blk)
+	if _, err := fs.dev.WriteAt(buf, pm); err != nil {
+		fs.pages.FreeBlock(blk)
+		return recs, err
+	}
+	if err := fs.dev.Persist(pm, PageSize); err != nil {
+		fs.pages.FreeBlock(blk)
+		return recs, err
+	}
+	// Remap every previously mapped run of the page onto the copy and
+	// release the old backing pages. The remap records replay before the
+	// caller's truncate/punch record; OpExtent replay frees superseded
+	// blocks the same way.
+	newDelta := pm - pageStart
+	for _, seg := range segs {
+		if seg.Hole {
+			continue
+		}
+		oldPM := seg.Off + seg.Val
+		for b := oldPM / PageSize * PageSize; b < oldPM+seg.Len; b += PageSize {
+			fs.pages.FreeBlock((b - fs.dataStart) / PageSize)
+		}
+		fs.dev.Discard(oldPM, seg.Len)
+		ino.ext.Insert(seg.Off, seg.Len, newDelta)
+		recs = append(recs, recExtent(inoNum, seg.Off, newDelta, seg.Len, logicalSize, now))
+	}
+	return recs, nil
 }

@@ -78,7 +78,7 @@ func (fs *FS) applyRecord(r journal.Record) error {
 			return fmt.Errorf("replay remove %q: %w", op.Path, err)
 		}
 		if ino, ok := fs.inodes[node.Ino]; ok {
-			fs.freeRange(ino, 0, ino.meta.Size)
+			fs.dropTail(ino, 0)
 			delete(fs.inodes, node.Ino)
 		}
 
@@ -91,6 +91,17 @@ func (fs *FS) applyRecord(r journal.Record) error {
 		ino, ok := fs.inodes[op.Ino]
 		if !ok {
 			return fmt.Errorf("replay extent: unknown inode %d", op.Ino)
+		}
+		// A remap record (copy-on-write truncate/punch edge) supersedes live
+		// mappings: release the blocks it replaces, as the foreground op did.
+		for _, seg := range ino.ext.Segments(op.Off, op.N) {
+			if seg.Hole {
+				continue
+			}
+			pm := seg.Off + seg.Val
+			for b := pm / PageSize * PageSize; b < pm+seg.Len; b += PageSize {
+				fs.pages.FreeBlock((b - fs.dataStart) / PageSize)
+			}
 		}
 		ino.ext.Insert(op.Off, op.N, op.Delta)
 		pm := op.Off + op.Delta
@@ -108,7 +119,7 @@ func (fs *FS) applyRecord(r journal.Record) error {
 			return fmt.Errorf("replay setattr: unknown inode %d", op.Ino)
 		}
 		if op.Size < ino.meta.Size {
-			fs.freeRange(ino, op.Size, ino.meta.Size-op.Size)
+			fs.dropTail(ino, op.Size)
 		}
 		ino.meta.Size = op.Size
 		ino.meta.Mode = op.Mode
@@ -140,7 +151,7 @@ func (fs *FS) applyRecord(r journal.Record) error {
 			return fmt.Errorf("replay truncate: unknown inode %d", op.Ino)
 		}
 		if op.Size < ino.meta.Size {
-			fs.freeRange(ino, op.Size, ino.meta.Size-op.Size)
+			fs.dropTail(ino, op.Size)
 		}
 		ino.meta.Size = op.Size
 		ino.meta.ModTime = op.MTime

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -73,7 +74,7 @@ type FS struct {
 	ns         *fsbase.Namespace
 	inodes     map[uint64]*inode
 	pages      *alloc.Bitmap // data pages in [dataStart, capacity)
-	log        *journal.Journal
+	log        *journal.Dual
 	recovering bool // replay must not touch device data (pages may have been reused)
 
 	dataStart int64
@@ -96,13 +97,17 @@ func New(name string, dev *device.Device, costs Costs) (*FS, error) {
 	if logSize > dev.Capacity()/2 {
 		return nil, fmt.Errorf("novafs: device %s too small", dev.Profile().Name)
 	}
+	log, err := journal.NewDual(dev, 0, logSize)
+	if err != nil {
+		return nil, fmt.Errorf("novafs: %w", err)
+	}
 	fs := &FS{
 		name:      name,
 		dev:       dev,
 		clk:       dev.Clock(),
 		costs:     costs,
 		dataStart: logSize,
-		log:       journal.New(dev, 0, logSize),
+		log:       log,
 	}
 	fs.resetState()
 	return fs, nil
@@ -189,7 +194,7 @@ func (fs *FS) Remove(path string) error {
 		return vfs.Errf("remove", fs.name, path, err)
 	}
 	if ino, ok := fs.inodes[node.Ino]; ok {
-		fs.freeRange(ino, 0, ino.meta.Size)
+		fs.dropTail(ino, 0)
 		delete(fs.inodes, node.Ino)
 	}
 	if err := fs.logCommit(recRemove(path)); err != nil {
@@ -279,8 +284,13 @@ func (fs *FS) SetAttr(path string, attr vfs.SetAttr) error {
 		return vfs.Errf("setattr", fs.name, path, vfs.ErrIsDir)
 	}
 	ino := fs.inodes[node.Ino]
+	var recs []journal.Record
 	if attr.Size != nil && *attr.Size < ino.meta.Size {
-		fs.freeRange(ino, *attr.Size, ino.meta.Size-*attr.Size)
+		var err error
+		recs, err = fs.shrinkExtents(ino, node.Ino, *attr.Size, fs.now())
+		if err != nil {
+			return vfs.Errf("setattr", fs.name, path, err)
+		}
 	}
 	if !ino.meta.Apply(attr, fs.now()) {
 		return nil
@@ -288,7 +298,8 @@ func (fs *FS) SetAttr(path string, attr vfs.SetAttr) error {
 	if attr.Mode != nil {
 		node.Mode = ino.meta.Mode
 	}
-	if err := fs.logCommit(recSetAttr(node.Ino, &ino.meta)); err != nil {
+	recs = append(recs, recSetAttr(node.Ino, &ino.meta))
+	if err := fs.logCommit(recs...); err != nil {
 		return vfs.Errf("setattr", fs.name, path, err)
 	}
 	return nil
@@ -343,6 +354,55 @@ func (fs *FS) Recover() error {
 	return nil
 }
 
+// CheckConsistency cross-checks the extent maps against the page allocator:
+// every mapped PM page must be marked used by exactly one file mapping, and
+// every used page must be referenced by some mapping — no double-referenced
+// and no leaked pages. The crash sweep runs it after every remount.
+func (fs *FS) CheckConsistency() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	type ival struct{ off, end int64 }
+	var ivals []ival
+	referenced := make(map[int64]bool)
+	for inoNum, ino := range fs.inodes {
+		var err error
+		ino.ext.Walk(func(off, n int64, delta int64) bool {
+			pm := off + delta
+			if pm < fs.dataStart || pm+n > fs.dev.Capacity() {
+				err = fmt.Errorf("novafs %s: ino %d maps [%d,%d) outside the data region",
+					fs.name, inoNum, pm, pm+n)
+				return false
+			}
+			ivals = append(ivals, ival{pm, pm + n})
+			for b := pm / PageSize * PageSize; b < pm+n; b += PageSize {
+				referenced[(b-fs.dataStart)/PageSize] = true
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(ivals, func(i, j int) bool { return ivals[i].off < ivals[j].off })
+	for i := 1; i < len(ivals); i++ {
+		if ivals[i].off < ivals[i-1].end {
+			return fmt.Errorf("novafs %s: PM bytes [%d,%d) double-referenced",
+				fs.name, ivals[i].off, ivals[i-1].end)
+		}
+	}
+	for pg := range referenced {
+		if !fs.pages.IsUsed(pg) {
+			return fmt.Errorf("novafs %s: page %d mapped but not allocated", fs.name, pg)
+		}
+	}
+	for pg := int64(0); pg < fs.pages.Blocks(); pg++ {
+		if fs.pages.IsUsed(pg) && !referenced[pg] {
+			return fmt.Errorf("novafs %s: page %d allocated but unreferenced (leak)", fs.name, pg)
+		}
+	}
+	return nil
+}
+
 // scrubFreePages zeroes every unallocated data page so stale contents of
 // files deleted before the crash cannot leak into partially written fresh
 // allocations. Caller holds fs.mu.
@@ -381,6 +441,19 @@ func (fs *FS) freeRange(ino *inode, off, n int64) {
 	ino.ext.Delete(start, end-start)
 }
 
+// dropTail unmaps and frees every page whose bytes all lie at or past
+// newSize, including the partial page at the old EOF (which freeRange's
+// whole-page rounding would keep mapped with stale contents). The page
+// containing newSize itself survives when newSize is mid-page; shrink
+// callers rewrite it copy-on-write. Caller holds fs.mu.
+func (fs *FS) dropTail(ino *inode, newSize int64) {
+	_, hi := ino.ext.Bounds()
+	end := (hi + PageSize - 1) / PageSize * PageSize
+	if end > newSize {
+		fs.freeRange(ino, newSize, end-newSize)
+	}
+}
+
 // logCommit writes records as one committed transaction, compacting the log
 // first if it is full.
 func (fs *FS) logCommit(recs ...journal.Record) error {
@@ -403,26 +476,26 @@ func (fs *FS) logCommit(recs ...journal.Record) error {
 }
 
 // compact rewrites the log as a snapshot of current state (NOVA's log GC).
+// The dual journal makes it crash-atomic: the snapshot commits into the
+// spare half before the superblock flips, so no crash point loses the log.
 // Caller holds fs.mu.
 func (fs *FS) compact() error {
-	if err := fs.log.Checkpoint(); err != nil {
-		return err
-	}
-	tx := fs.log.Begin()
-	fs.ns.WalkAll(func(path string, node *fsbase.Node) {
-		if node.IsDir() {
-			tx.Append(recMkdir(node.Ino, path, node.Mode))
-			return
-		}
-		ino := fs.inodes[node.Ino]
-		tx.Append(recCreate(node.Ino, path, ino.meta.Mode))
-		tx.Append(recSetAttr(node.Ino, &ino.meta))
-		ino.ext.Walk(func(off, n int64, delta int64) bool {
-			tx.Append(recExtent(node.Ino, off, delta, n, ino.meta.Size, ino.meta.ModTime))
-			return true
+	err := fs.log.Compact(func(tx *journal.Tx) {
+		fs.ns.WalkAll(func(path string, node *fsbase.Node) {
+			if node.IsDir() {
+				tx.Append(recMkdir(node.Ino, path, node.Mode))
+				return
+			}
+			ino := fs.inodes[node.Ino]
+			tx.Append(recCreate(node.Ino, path, ino.meta.Mode))
+			tx.Append(recSetAttr(node.Ino, &ino.meta))
+			ino.ext.Walk(func(off, n int64, delta int64) bool {
+				tx.Append(recExtent(node.Ino, off, delta, n, ino.meta.Size, ino.meta.ModTime))
+				return true
+			})
 		})
 	})
-	if err := tx.Commit(); err != nil {
+	if err != nil {
 		return fmt.Errorf("novafs %s: log compaction: %w", fs.name, err)
 	}
 	return nil

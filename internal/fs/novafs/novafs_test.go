@@ -37,6 +37,48 @@ func TestCrashRecovery(t *testing.T) {
 	})
 }
 
+func TestCrashSweep(t *testing.T) {
+	fstest.RunCrashSweep(t, func(t *testing.T) *fstest.SweepTarget {
+		dev := device.New(device.PMProfile("pmem0"), simclock.New())
+		cp := device.NewCrashPoint()
+		dev.SetCrashPoint(cp)
+		fs, err := New("nova@pmem0", dev, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &fstest.SweepTarget{
+			FS: fs,
+			CP: cp,
+			Remount: func() (vfs.FileSystem, error) {
+				fs.Crash()
+				if err := fs.Recover(); err != nil {
+					return nil, err
+				}
+				return fs, nil
+			},
+			Check: func(vfs.FileSystem) error { return fs.CheckConsistency() },
+		}
+	})
+}
+
+func TestCrashStorm(t *testing.T) {
+	fstest.RunCrashStorm(t, func(t *testing.T) *fstest.SweepTarget {
+		fs := newFS(t)
+		return &fstest.SweepTarget{
+			FS: fs,
+			CP: device.NewCrashPoint(),
+			Remount: func() (vfs.FileSystem, error) {
+				fs.Crash()
+				if err := fs.Recover(); err != nil {
+					return nil, err
+				}
+				return fs, nil
+			},
+			Check: func(vfs.FileSystem) error { return fs.CheckConsistency() },
+		}
+	})
+}
+
 func TestRequiresByteAddressableDevice(t *testing.T) {
 	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
 	if _, err := New("nova@ssd0", dev, DefaultCosts()); err == nil {

@@ -1,0 +1,750 @@
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"muxfs/internal/device"
+	"muxfs/internal/vfs"
+)
+
+// SweepTarget is one freshly built file system stack under deterministic
+// crash-point control. CP must be attached (device.SetCrashPoint) to every
+// device of the stack so the sweep index orders durability steps globally.
+// Remount simulates power loss and recovery: it crashes every device,
+// recovers, and returns the remounted file system; it must be callable
+// repeatedly. Check, when non-nil, runs the stack's deep consistency check
+// (fsck) and returns a non-nil error for any inconsistency.
+type SweepTarget struct {
+	FS      vfs.FileSystem
+	CP      *device.CrashPoint
+	Remount func() (vfs.FileSystem, error)
+	Check   func(fs vfs.FileSystem) error
+	// PostRecover, when non-nil, runs after every remount — AFTER the
+	// sweep has asserted that recovery replay itself was read-only. It is
+	// the slot for idempotent post-recovery reclamation (orphan-extent
+	// scrub) that performs journaled writes and therefore cannot be part
+	// of read-only replay: a crash mid-scrub just leaves the remainder
+	// for the next remount's scrub.
+	PostRecover func(fs vfs.FileSystem) error
+}
+
+// SweepMaker builds a fresh SweepTarget for one sweep iteration. Every call
+// must produce an identically shaped stack (same profiles, same seeds): the
+// sweep replays the same workload once per crash index and relies on the
+// device-operation sequence being reproducible.
+type SweepMaker func(t *testing.T) *SweepTarget
+
+// SweepScenario is one swept operation: Setup builds a synced baseline
+// (returning path -> exact expected contents for files the op never
+// touches), Op performs the operation under injection, and Check, when
+// non-nil, asserts the op's legal post-crash outcomes on the remounted
+// file system (e.g. "renamed or not, never both").
+type SweepScenario struct {
+	Name  string
+	Setup func(t *testing.T, fs vfs.FileSystem) map[string][]byte
+	Op    func(fs vfs.FileSystem) error
+	Check func(t *testing.T, fs vfs.FileSystem, crashPoint int64, completed bool)
+}
+
+// RunCrashSweep is the deterministic crash-point sweep: for each scenario
+// it first counts the durability steps the operation performs, then replays
+// the operation once per step index i with the crash point armed at i,
+// power-fails the stack, remounts, and checks the full consistency
+// contract:
+//
+//   - baseline synced state is byte-identical after recovery;
+//   - the whole namespace walks cleanly (every entry stats and reads);
+//   - recovery itself performs zero durability steps (read-only recovery is
+//     what makes "crash mid-replay, replay again" idempotent by
+//     construction);
+//   - the stack's deep Check (fsck) reports no inconsistency;
+//   - a second immediate crash+remount reproduces the identical state
+//     (replay idempotence);
+//   - scenario-specific legal outcomes hold (atomic rename, remove, ...).
+//
+// Extra scenarios (stack-specific ops like MigrateRange) are appended to
+// the generic namespace suite.
+func RunCrashSweep(t *testing.T, mk SweepMaker, extra ...SweepScenario) {
+	scens := append(GenericSweepScenarios(), extra...)
+	for _, sc := range scens {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) { sweepScenario(t, mk, sc) })
+	}
+}
+
+func sweepScenario(t *testing.T, mk SweepMaker, sc SweepScenario) {
+	// Count run: how many durability steps does the op (plus its final
+	// sync) perform when nothing crashes?
+	tgt := mk(t)
+	sc.Setup(t, tgt.FS)
+	if err := tgt.FS.Sync(); err != nil {
+		t.Fatalf("count run: baseline sync: %v", err)
+	}
+	tgt.CP.Reset()
+	if err := sc.Op(tgt.FS); err != nil {
+		t.Fatalf("count run: op: %v", err)
+	}
+	if err := tgt.FS.Sync(); err != nil {
+		t.Fatalf("count run: final sync: %v", err)
+	}
+	n := tgt.CP.Steps()
+	if n == 0 {
+		t.Fatalf("count run: op performed no durability steps; nothing to sweep")
+	}
+
+	for i := int64(0); i <= n; i++ {
+		tgt := mk(t)
+		model := sc.Setup(t, tgt.FS)
+		if err := tgt.FS.Sync(); err != nil {
+			t.Fatalf("i=%d: baseline sync: %v", i, err)
+		}
+		tgt.CP.Arm(i)
+		_ = sc.Op(tgt.FS) // errors expected once the point trips
+		_ = tgt.FS.Sync() // ditto
+		if i < n && !tgt.CP.Tripped() {
+			t.Fatalf("i=%d/%d: crash point never tripped — the workload is "+
+				"not replaying deterministically", i, n)
+		}
+		tgt.CP.Disarm()
+		before := tgt.CP.Steps()
+
+		rfs, err := tgt.Remount()
+		if err != nil {
+			t.Fatalf("i=%d/%d: recovery failed: %v", i, n, err)
+		}
+		if s := tgt.CP.Steps(); s != before {
+			t.Fatalf("i=%d/%d: recovery performed %d durability steps; "+
+				"recovery must be read-only", i, n, s-before)
+		}
+		if tgt.PostRecover != nil {
+			if err := tgt.PostRecover(rfs); err != nil {
+				t.Fatalf("i=%d/%d: post-recovery scrub: %v", i, n, err)
+			}
+		}
+		checkContract(t, tgt, rfs, model, sc, i, i == n)
+	}
+}
+
+// checkContract runs the full post-remount consistency contract at one
+// crash point.
+func checkContract(t *testing.T, tgt *SweepTarget, fs vfs.FileSystem,
+	model map[string][]byte, sc SweepScenario, i int64, completed bool) {
+	t.Helper()
+	ctx := fmt.Sprintf("i=%d", i)
+
+	for p, want := range model {
+		got, err := ReadFileAt(fs, p)
+		if err != nil {
+			t.Fatalf("%s: baseline %s lost: %v", ctx, p, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: baseline %s corrupted (%d bytes, want %d)",
+				ctx, p, len(got), len(want))
+		}
+	}
+
+	snap1, err := SnapshotFS(fs)
+	if err != nil {
+		t.Fatalf("%s: namespace walk after recovery: %v", ctx, err)
+	}
+	if st, err := fs.Statfs(); err != nil {
+		t.Fatalf("%s: Statfs: %v", ctx, err)
+	} else if st.Used < 0 || (st.Capacity > 0 && st.Used > st.Capacity) {
+		t.Fatalf("%s: Statfs accounting insane: %+v", ctx, st)
+	}
+
+	if tgt.Check != nil {
+		if err := tgt.Check(fs); err != nil {
+			t.Fatalf("%s: consistency check: %v", ctx, err)
+		}
+	}
+	if sc.Check != nil {
+		sc.Check(t, fs, i, completed)
+	}
+
+	// Second power loss with no intervening operations: replaying the same
+	// journal again must reproduce the identical state.
+	rfs2, err := tgt.Remount()
+	if err != nil {
+		t.Fatalf("%s: second recovery failed: %v", ctx, err)
+	}
+	if tgt.PostRecover != nil {
+		if err := tgt.PostRecover(rfs2); err != nil {
+			t.Fatalf("%s: post-recovery scrub after second crash: %v", ctx, err)
+		}
+	}
+	snap2, err := SnapshotFS(rfs2)
+	if err != nil {
+		t.Fatalf("%s: namespace walk after second recovery: %v", ctx, err)
+	}
+	if diff := DiffSnapshots(snap1, snap2); diff != "" {
+		t.Fatalf("%s: replay not idempotent across a second crash: %s", ctx, diff)
+	}
+	if tgt.Check != nil {
+		if err := tgt.Check(rfs2); err != nil {
+			t.Fatalf("%s: consistency check after second crash: %v", ctx, err)
+		}
+	}
+}
+
+// SnapEntry is one namespace entry in a recursive snapshot.
+type SnapEntry struct {
+	Dir  bool
+	Size int64
+	Data string
+}
+
+// SnapshotFS walks the whole namespace and captures every entry with its
+// full contents. Any walk/stat/read error is a consistency violation.
+func SnapshotFS(fs vfs.FileSystem) (map[string]SnapEntry, error) {
+	out := make(map[string]SnapEntry)
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		ents, err := fs.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("ReadDir(%s): %w", dir, err)
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			if e.IsDir {
+				out[p] = SnapEntry{Dir: true}
+				if err := walk(p); err != nil {
+					return err
+				}
+				continue
+			}
+			data, err := ReadFileAt(fs, p)
+			if err != nil {
+				return fmt.Errorf("read %s: %w", p, err)
+			}
+			out[p] = SnapEntry{Size: int64(len(data)), Data: string(data)}
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiffSnapshots describes the first difference between two snapshots, or
+// returns "" when identical.
+func DiffSnapshots(a, b map[string]SnapEntry) string {
+	for p, ea := range a {
+		eb, ok := b[p]
+		if !ok {
+			return fmt.Sprintf("%s vanished", p)
+		}
+		if ea.Dir != eb.Dir || ea.Size != eb.Size || ea.Data != eb.Data {
+			return fmt.Sprintf("%s changed (size %d -> %d)", p, ea.Size, eb.Size)
+		}
+	}
+	for p := range b {
+		if _, ok := a[p]; !ok {
+			return fmt.Sprintf("%s appeared", p)
+		}
+	}
+	return ""
+}
+
+// ReadFileAt stats path and reads its full contents.
+func ReadFileAt(fs vfs.FileSystem, path string) ([]byte, error) {
+	fi, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if fi.Size == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, fi.Size)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && !(errors.Is(err, io.EOF) && int64(n) == fi.Size) {
+		return nil, err
+	}
+	if int64(n) != fi.Size {
+		return nil, fmt.Errorf("short read: %d of %d bytes", n, fi.Size)
+	}
+	return buf, nil
+}
+
+const sweepBlock = 4096
+
+// checkZeroOrExpected asserts the crash-legal data state of an op-target
+// file: every aligned block is either still all-zero (its flush never
+// completed before the crash) or exactly the expected bytes. Torn garbage
+// inside a block is a bug.
+func checkZeroOrExpected(t *testing.T, fs vfs.FileSystem, path string,
+	want []byte, ctx string) {
+	t.Helper()
+	got, err := ReadFileAt(fs, path)
+	if err != nil {
+		t.Fatalf("%s: read %s: %v", ctx, path, err)
+	}
+	if len(got) > len(want) {
+		t.Fatalf("%s: %s longer than ever written: %d > %d", ctx, path, len(got), len(want))
+	}
+	for off := 0; off < len(got); off += sweepBlock {
+		end := off + sweepBlock
+		if end > len(got) {
+			end = len(got)
+		}
+		blk := got[off:end]
+		if bytes.Equal(blk, want[off:end]) {
+			continue
+		}
+		allZero := true
+		for _, c := range blk {
+			if c != 0 {
+				allZero = false
+				break
+			}
+		}
+		if !allZero {
+			t.Fatalf("%s: %s block at %d is torn (neither zero nor expected)",
+				ctx, path, off)
+		}
+	}
+}
+
+// GenericSweepScenarios returns the namespace-op sweep suite every file
+// system must pass: create, overwrite, rename, remove, truncate, punch,
+// and a multi-op batch flushed by one sync (the group-commit case).
+func GenericSweepScenarios() []SweepScenario {
+	baseline := func(t *testing.T, fs vfs.FileSystem) map[string][]byte {
+		t.Helper()
+		if err := fs.Mkdir("/base"); err != nil {
+			t.Fatalf("setup mkdir: %v", err)
+		}
+		model := make(map[string][]byte)
+		for _, nm := range []string{"/base/keep0", "/base/keep1"} {
+			payload := seqBytes(16 << 10)
+			f := mustCreate(t, fs, nm)
+			mustWrite(t, f, payload, 0)
+			if err := f.Sync(); err != nil {
+				t.Fatalf("setup sync %s: %v", nm, err)
+			}
+			f.Close()
+			model[nm] = payload
+		}
+		return model
+	}
+	// victim creates a synced op-target file outside the model.
+	victim := func(t *testing.T, fs vfs.FileSystem, nm string, n int) []byte {
+		t.Helper()
+		payload := seqBytes(n)
+		f := mustCreate(t, fs, nm)
+		mustWrite(t, f, payload, 0)
+		if err := f.Sync(); err != nil {
+			t.Fatalf("setup sync %s: %v", nm, err)
+		}
+		f.Close()
+		return payload
+	}
+
+	var scens []SweepScenario
+
+	newPayload := seqBytes(8 << 10)
+	scens = append(scens, SweepScenario{
+		Name:  "Create",
+		Setup: baseline,
+		Op: func(fs vfs.FileSystem) error {
+			f, err := fs.Create("/base/new")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if _, err := f.WriteAt(newPayload, 0); err != nil {
+				return err
+			}
+			return f.Sync()
+		},
+		Check: func(t *testing.T, fs vfs.FileSystem, i int64, completed bool) {
+			t.Helper()
+			ctx := fmt.Sprintf("i=%d", i)
+			_, err := fs.Stat("/base/new")
+			if errors.Is(err, vfs.ErrNotExist) {
+				if completed {
+					t.Fatalf("%s: fully synced create vanished", ctx)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("%s: stat /base/new: %v", ctx, err)
+			}
+			checkZeroOrExpected(t, fs, "/base/new", newPayload, ctx)
+			if completed {
+				got, err := ReadFileAt(fs, "/base/new")
+				if err != nil || !bytes.Equal(got, newPayload) {
+					t.Fatalf("%s: fully synced create not byte-identical: %v", ctx, err)
+				}
+			}
+		},
+	})
+
+	overWant := bytes.Repeat([]byte{0xC3}, 8<<10)
+	scens = append(scens, SweepScenario{
+		Name: "OverwriteSynced",
+		Setup: func(t *testing.T, fs vfs.FileSystem) map[string][]byte {
+			model := baseline(t, fs)
+			victim(t, fs, "/base/vic", 16<<10)
+			return model
+		},
+		Op: func(fs vfs.FileSystem) error {
+			f, err := fs.Open("/base/vic")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if _, err := f.WriteAt(overWant, 4096); err != nil {
+				return err
+			}
+			return f.Sync()
+		},
+		Check: func(t *testing.T, fs vfs.FileSystem, i int64, completed bool) {
+			t.Helper()
+			ctx := fmt.Sprintf("i=%d", i)
+			old := seqBytes(16 << 10)
+			got, err := ReadFileAt(fs, "/base/vic")
+			if err != nil {
+				t.Fatalf("%s: synced file lost by overwrite crash: %v", ctx, err)
+			}
+			if int64(len(got)) != 16<<10 {
+				t.Fatalf("%s: size changed by in-place overwrite: %d", ctx, len(got))
+			}
+			// Outside the overwritten range: original bytes, always.
+			if !bytes.Equal(got[:4096], old[:4096]) || !bytes.Equal(got[4096+len(overWant):], old[4096+len(overWant):]) {
+				t.Fatalf("%s: bytes outside overwritten range corrupted", ctx)
+			}
+			// Inside: each block old or new, never torn.
+			for off := 4096; off < 4096+len(overWant); off += sweepBlock {
+				blk := got[off : off+sweepBlock]
+				if !bytes.Equal(blk, old[off:off+sweepBlock]) && !bytes.Equal(blk, overWant[off-4096:off-4096+sweepBlock]) {
+					t.Fatalf("%s: overwritten block at %d torn", ctx, off)
+				}
+			}
+			if completed && !bytes.Equal(got[4096:4096+len(overWant)], overWant) {
+				t.Fatalf("%s: fully synced overwrite not applied", ctx)
+			}
+		},
+	})
+
+	scens = append(scens, SweepScenario{
+		Name: "Rename",
+		Setup: func(t *testing.T, fs vfs.FileSystem) map[string][]byte {
+			model := baseline(t, fs)
+			victim(t, fs, "/base/vic", 12<<10)
+			return model
+		},
+		Op: func(fs vfs.FileSystem) error {
+			if err := fs.Rename("/base/vic", "/base/renamed"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		},
+		Check: func(t *testing.T, fs vfs.FileSystem, i int64, completed bool) {
+			t.Helper()
+			ctx := fmt.Sprintf("i=%d", i)
+			want := seqBytes(12 << 10)
+			_, errOld := fs.Stat("/base/vic")
+			_, errNew := fs.Stat("/base/renamed")
+			oldThere := errOld == nil
+			newThere := errNew == nil
+			if oldThere == newThere {
+				t.Fatalf("%s: rename not atomic: old=%v new=%v", ctx, errOld, errNew)
+			}
+			p := "/base/vic"
+			if newThere {
+				p = "/base/renamed"
+			}
+			got, err := ReadFileAt(fs, p)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("%s: renamed file contents lost under %s: %v", ctx, p, err)
+			}
+			if completed && !newThere {
+				t.Fatalf("%s: fully synced rename rolled back", ctx)
+			}
+		},
+	})
+
+	scens = append(scens, SweepScenario{
+		Name: "Remove",
+		Setup: func(t *testing.T, fs vfs.FileSystem) map[string][]byte {
+			model := baseline(t, fs)
+			victim(t, fs, "/base/vic", 12<<10)
+			return model
+		},
+		Op: func(fs vfs.FileSystem) error {
+			if err := fs.Remove("/base/vic"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		},
+		Check: func(t *testing.T, fs vfs.FileSystem, i int64, completed bool) {
+			t.Helper()
+			ctx := fmt.Sprintf("i=%d", i)
+			_, err := fs.Stat("/base/vic")
+			if errors.Is(err, vfs.ErrNotExist) {
+				return
+			}
+			if err != nil {
+				t.Fatalf("%s: stat after remove crash: %v", ctx, err)
+			}
+			if completed {
+				t.Fatalf("%s: fully synced remove resurrected the file", ctx)
+			}
+			got, rerr := ReadFileAt(fs, "/base/vic")
+			if rerr != nil || !bytes.Equal(got, seqBytes(12<<10)) {
+				t.Fatalf("%s: un-removed file corrupted: %v", ctx, rerr)
+			}
+		},
+	})
+
+	scens = append(scens, SweepScenario{
+		Name: "Truncate",
+		Setup: func(t *testing.T, fs vfs.FileSystem) map[string][]byte {
+			model := baseline(t, fs)
+			victim(t, fs, "/base/vic", 16<<10)
+			return model
+		},
+		Op: func(fs vfs.FileSystem) error {
+			if err := fs.Truncate("/base/vic", 5000); err != nil {
+				return err
+			}
+			return fs.Sync()
+		},
+		Check: func(t *testing.T, fs vfs.FileSystem, i int64, completed bool) {
+			t.Helper()
+			ctx := fmt.Sprintf("i=%d", i)
+			want := seqBytes(16 << 10)
+			got, err := ReadFileAt(fs, "/base/vic")
+			if err != nil {
+				t.Fatalf("%s: file lost by truncate crash: %v", ctx, err)
+			}
+			switch int64(len(got)) {
+			case 5000:
+				if !bytes.Equal(got, want[:5000]) {
+					t.Fatalf("%s: truncated prefix corrupted", ctx)
+				}
+			case 16 << 10:
+				if completed {
+					t.Fatalf("%s: fully synced truncate rolled back", ctx)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: un-truncated contents corrupted", ctx)
+				}
+			default:
+				t.Fatalf("%s: size after truncate crash = %d, want 5000 or 16384", ctx, len(got))
+			}
+		},
+	})
+
+	scens = append(scens, SweepScenario{
+		Name: "PunchHole",
+		Setup: func(t *testing.T, fs vfs.FileSystem) map[string][]byte {
+			model := baseline(t, fs)
+			victim(t, fs, "/base/vic", 16<<10)
+			return model
+		},
+		Op: func(fs vfs.FileSystem) error {
+			f, err := fs.Open("/base/vic")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := f.PunchHole(4096, 8192); err != nil {
+				return err
+			}
+			return f.Sync()
+		},
+		Check: func(t *testing.T, fs vfs.FileSystem, i int64, completed bool) {
+			t.Helper()
+			ctx := fmt.Sprintf("i=%d", i)
+			want := seqBytes(16 << 10)
+			got, err := ReadFileAt(fs, "/base/vic")
+			if err != nil || int64(len(got)) != 16<<10 {
+				t.Fatalf("%s: file damaged by punch crash: %v (%d bytes)", ctx, err, len(got))
+			}
+			if !bytes.Equal(got[:4096], want[:4096]) || !bytes.Equal(got[4096+8192:], want[4096+8192:]) {
+				t.Fatalf("%s: bytes outside punched range corrupted", ctx)
+			}
+			zero := make([]byte, sweepBlock)
+			for off := 4096; off < 4096+8192; off += sweepBlock {
+				blk := got[off : off+sweepBlock]
+				if !bytes.Equal(blk, want[off:off+sweepBlock]) && !bytes.Equal(blk, zero) {
+					t.Fatalf("%s: punched block at %d torn", ctx, off)
+				}
+			}
+			if completed && !bytes.Equal(got[4096:4096+8192], make([]byte, 8192)) {
+				t.Fatalf("%s: fully synced punch not applied", ctx)
+			}
+		},
+	})
+
+	batchPayload := func(k int) []byte {
+		b := seqBytes(512)
+		for i := range b {
+			b[i] ^= byte(k)
+		}
+		return b
+	}
+	scens = append(scens, SweepScenario{
+		Name: "BatchCommit",
+		Setup: func(t *testing.T, fs vfs.FileSystem) map[string][]byte {
+			model := baseline(t, fs)
+			victim(t, fs, "/base/vicR", 4<<10)
+			victim(t, fs, "/base/vicM", 4<<10)
+			return model
+		},
+		Op: func(fs vfs.FileSystem) error {
+			// A burst of namespace ops followed by a single sync: the
+			// group-commit / journal-batch flush is the swept write.
+			for k := 0; k < 8; k++ {
+				f, err := fs.Create(fmt.Sprintf("/base/b%d", k))
+				if err != nil {
+					return err
+				}
+				if _, err := f.WriteAt(batchPayload(k), 0); err != nil {
+					f.Close()
+					return err
+				}
+				f.Close()
+			}
+			if err := fs.Remove("/base/vicR"); err != nil {
+				return err
+			}
+			if err := fs.Rename("/base/vicM", "/base/vicM2"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		},
+		Check: func(t *testing.T, fs vfs.FileSystem, i int64, completed bool) {
+			t.Helper()
+			ctx := fmt.Sprintf("i=%d", i)
+			for k := 0; k < 8; k++ {
+				p := fmt.Sprintf("/base/b%d", k)
+				if _, err := fs.Stat(p); errors.Is(err, vfs.ErrNotExist) {
+					if completed {
+						t.Fatalf("%s: synced batch file %s vanished", ctx, p)
+					}
+					continue
+				}
+				checkZeroOrExpected(t, fs, p, batchPayload(k), ctx)
+			}
+			_, errOld := fs.Stat("/base/vicM")
+			_, errNew := fs.Stat("/base/vicM2")
+			if (errOld == nil) == (errNew == nil) {
+				t.Fatalf("%s: batched rename not atomic: old=%v new=%v", ctx, errOld, errNew)
+			}
+			if completed {
+				if _, err := fs.Stat("/base/vicR"); !errors.Is(err, vfs.ErrNotExist) {
+					t.Fatalf("%s: synced batched remove resurrected: %v", ctx, err)
+				}
+			}
+		},
+	})
+
+	return scens
+}
+
+// RunCrashStorm is the -race crash/remount storm: concurrent workers hammer
+// the namespace, the stack power-fails and recovers between rounds, and
+// every file synced before a crash must survive it byte-identical. Under
+// the race detector this exercises recovery (including parallel journal
+// replay and parallel fsck) against itself and against foreground I/O
+// state.
+func RunCrashStorm(t *testing.T, mk SweepMaker) {
+	tgt := mk(t)
+	fs := tgt.FS
+	const workers, cycles, perWorker = 4, 5, 12
+
+	type synced struct {
+		path string
+		data []byte
+	}
+	for cy := 0; cy < cycles; cy++ {
+		results := make([][]synced, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < perWorker; j++ {
+					p := fmt.Sprintf("/c%d_w%d_%d", cy, w, j)
+					f, err := fs.Create(p)
+					if err != nil {
+						t.Errorf("storm create %s: %v", p, err)
+						return
+					}
+					data := seqBytes(4096)
+					for i := range data {
+						data[i] ^= byte(w*31 + j)
+					}
+					if _, err := f.WriteAt(data, 0); err != nil {
+						t.Errorf("storm write %s: %v", p, err)
+						f.Close()
+						return
+					}
+					if j%3 == 0 {
+						// A third of the files are dropped again before the
+						// crash — exercising remove records in the replay.
+						f.Close()
+						if err := fs.Remove(p); err != nil {
+							t.Errorf("storm remove %s: %v", p, err)
+						}
+						continue
+					}
+					if err := f.Sync(); err != nil {
+						t.Errorf("storm sync %s: %v", p, err)
+					}
+					f.Close()
+					results[w] = append(results[w], synced{p, data})
+				}
+			}()
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+
+		rfs, err := tgt.Remount()
+		if err != nil {
+			t.Fatalf("cycle %d: recovery: %v", cy, err)
+		}
+		if tgt.PostRecover != nil {
+			if err := tgt.PostRecover(rfs); err != nil {
+				t.Fatalf("cycle %d: post-recovery scrub: %v", cy, err)
+			}
+		}
+		fs = rfs
+		for w := 0; w < workers; w++ {
+			for _, s := range results[w] {
+				got, err := ReadFileAt(fs, s.path)
+				if err != nil {
+					t.Fatalf("cycle %d: synced %s lost: %v", cy, s.path, err)
+				}
+				if !bytes.Equal(got, s.data) {
+					t.Fatalf("cycle %d: synced %s corrupted", cy, s.path)
+				}
+			}
+		}
+		if tgt.Check != nil {
+			if err := tgt.Check(fs); err != nil {
+				t.Fatalf("cycle %d: consistency check: %v", cy, err)
+			}
+		}
+	}
+}

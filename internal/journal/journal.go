@@ -123,9 +123,36 @@ func (j *Journal) Replay(apply func(Record) error) (int, error) {
 	lastCommitEnd := int64(0)
 	maxSeq := uint64(0)
 
-	hdr := make([]byte, headerSize)
+	// The scan reads the region through multi-megabyte slabs instead of two
+	// device calls per record: replay of a big log is a serial bottleneck
+	// of recovery, and per-record ReadAt round-trips dominated it. Record
+	// payloads alias the slab (never mutated, and each refill allocates a
+	// fresh slab), so replay does one allocation per slab, not per record.
+	const slabSize = 4 << 20
+	var (
+		slab      []byte
+		slabStart int64 // region-relative offset of slab[0]
+	)
+	view := func(off, n int64) ([]byte, error) {
+		if off < slabStart || off+n > slabStart+int64(len(slab)) {
+			sz := int64(slabSize)
+			if sz < n {
+				sz = n
+			}
+			if sz > j.size-off {
+				sz = j.size - off
+			}
+			slab = make([]byte, sz)
+			slabStart = off
+			if _, err := j.dev.ReadAt(slab, j.start+off); err != nil {
+				return nil, err
+			}
+		}
+		return slab[off-slabStart : off-slabStart+n], nil
+	}
 	for pos+headerSize <= j.size {
-		if _, err := j.dev.ReadAt(hdr, j.start+pos); err != nil {
+		hdr, err := view(pos, headerSize)
+		if err != nil {
 			return applied, fmt.Errorf("journal replay read: %w", err)
 		}
 		m := binary.LittleEndian.Uint32(hdr[0:4])
@@ -143,13 +170,20 @@ func (j *Journal) Replay(apply func(Record) error) (int, error) {
 		}
 		var payload []byte
 		if plen > 0 {
-			payload = make([]byte, plen)
-			if _, err := j.dev.ReadAt(payload, j.start+pos+headerSize); err != nil {
+			payload, err = view(pos+headerSize, int64(plen))
+			if err != nil {
 				return applied, fmt.Errorf("journal replay read: %w", err)
 			}
 		}
 		if recordCRC(seq, typ, a, b, payload) != wantCRC {
 			break // torn write: stop at the first bad checksum
+		}
+		if seq <= maxSeq {
+			// Sequence numbers only grow. A record outranked by an already
+			// replayed commit is stale residue from before a checkpoint or
+			// half-region reset that the newer stream has not yet
+			// overwritten — replaying it would resurrect old state.
+			break
 		}
 		pos += headerSize + int64(plen)
 
