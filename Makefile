@@ -32,7 +32,12 @@ race:
 # E11 runs the bounded crash-point sweep: every metadata op crashed after
 # every durability step, remounted, and held to the consistency contract
 # (muxbench exits nonzero on any violation), plus smoke-size recovery and
-# checkpoint timings (BENCH_e11.json).
+# checkpoint timings (BENCH_e11.json). E12 runs the bounded scale-out
+# stripe drill over real loopback RPC: throughput must grow with node
+# count, a 3+1 set loses a node mid-read with zero user-visible errors,
+# rebuild restores redundancy (scrub clean), and 4+1 raw usage stays
+# within the 1.3x gate (muxbench exits nonzero on any violation;
+# BENCH_e12.json).
 smoke:
 	$(GO) run ./cmd/muxbench -exp e6
 	$(GO) run ./cmd/muxbench -exp e7
@@ -40,6 +45,7 @@ smoke:
 	$(GO) run ./cmd/muxbench -exp e9 -e9gate 5 -json .
 	$(GO) run ./cmd/muxbench -exp e10 -json .
 	$(GO) run ./cmd/muxbench -exp e11 -e11smoke -json .
+	$(GO) run ./cmd/muxbench -exp e12 -e12smoke -json .
 
 # check is the CI gate: compile everything, vet, the full test suite under
 # the race detector (the migration and fan-out engines are concurrent;

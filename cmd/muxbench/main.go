@@ -15,6 +15,7 @@
 //	muxbench -exp e9    # telemetry overhead (on vs off, gate with -e9gate)
 //	muxbench -exp e10   # mirror-read routing (replicas as read bandwidth)
 //	muxbench -exp e11   # crash-point sweep + recovery speed (bound with -e11smoke)
+//	muxbench -exp e12   # scale-out striped tier (bound with -e12smoke)
 //	muxbench -exp a1..a6  # ablations
 //	muxbench -json DIR  # also write BENCH_<exp>.json per experiment run
 //
@@ -40,9 +41,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, a1, a2, a3, a4, a5, a6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, a1, a2, a3, a4, a5, a6")
 	e9gate := flag.Float64("e9gate", 0, "fail (exit 1) when E9 telemetry-on overhead exceeds this percentage (0 = no gate)")
 	e11smoke := flag.Bool("e11smoke", false, "run the bounded E11 variant (smaller namespaces; the CI smoke)")
+	e12smoke := flag.Bool("e12smoke", false, "run the bounded E12 variant (8 MiB phases, K <= 4, relaxed scaling gate; the CI smoke)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (records every contended acquisition)")
@@ -157,6 +159,15 @@ func main() {
 		if r.Violations > 0 {
 			fail(fmt.Errorf("E11: %d consistency-contract violations", r.Violations))
 		}
+	}
+	if want("e12") {
+		ran = true
+		bench.Rule(out, "E12 — scale-out striped tier")
+		r, err := bench.RunE12(bench.E12Options{Smoke: *e12smoke})
+		fail(err)
+		bench.FormatE12(out, r)
+		emit("e12", r)
+		fail(bench.CheckE12(r))
 	}
 	if want("a1") {
 		ran = true

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -38,6 +39,7 @@ func main() {
 	full := flag.Bool("full", false, "serve a whole three-tier Mux instead of a single native file system")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics and /debug/trace (empty = disabled)")
 	policyEvery := flag.Duration("policy-interval", 2*time.Second, "policy runner interval in -full mode (0 = disabled)")
+	nodes := flag.Int("nodes", 1, "serve N independent stripe nodes on consecutive ports starting at -addr (for a striped capacity tier; incompatible with -full)")
 	flag.Parse()
 
 	var dk muxfs.DeviceKind
@@ -50,6 +52,14 @@ func main() {
 		dk = muxfs.HDD
 	default:
 		log.Fatalf("muxd: unknown kind %q (want pm, ssd, or hdd)", *kind)
+	}
+
+	if *nodes > 1 {
+		if *full {
+			log.Fatal("muxd: -nodes and -full are mutually exclusive")
+		}
+		serveNodes(*addr, *nodes, dk, *capacity)
+		return
 	}
 
 	var sys *muxfs.System
@@ -145,6 +155,70 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		metricsSrv.Shutdown(ctx)
 		cancel()
+	}
+	fmt.Println("muxd: bye")
+}
+
+// serveNodes runs N independent single-tier nodes on consecutive ports —
+// the server fleet of a striped capacity tier, in one process. Each node
+// gets its own device + native FS, so they fail (and are killed)
+// independently; attach them with System.AddRemoteStripeTier.
+func serveNodes(baseAddr string, n int, dk muxfs.DeviceKind, capacity int64) {
+	host, portStr, err := net.SplitHostPort(baseAddr)
+	if err != nil {
+		log.Fatalf("muxd: -nodes needs host:port in -addr: %v", err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("muxd: -nodes needs a numeric port: %v", err)
+	}
+
+	listeners := make([]net.Listener, n)
+	systems := make([]*muxfs.System, n)
+	for i := 0; i < n; i++ {
+		sys, err := muxfs.New(muxfs.Config{
+			Name:   fmt.Sprintf("muxd-node%d", i),
+			Tiers:  []muxfs.TierSpec{{Kind: dk, Name: fmt.Sprintf("node%d", i), Capacity: capacity}},
+			Policy: muxfs.NewPinnedPolicy(0),
+		})
+		if err != nil {
+			log.Fatalf("muxd: node %d: %v", i, err)
+		}
+		systems[i] = sys
+		nodeAddr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		l, err := net.Listen("tcp", nodeAddr)
+		if err != nil {
+			log.Fatalf("muxd: node %d listen %s: %v", i, nodeAddr, err)
+		}
+		listeners[i] = l
+		fmt.Printf("muxd: node %d serving %s on %s\n", i, sys.Tiers[0].FS.Name(), l.Addr())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Printf("muxd: %v: shutting down %d nodes\n", sig, n)
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := muxfs.ServeTier(listeners[i], systems[i].Tiers[0].FS); err != nil {
+				log.Printf("muxd: node %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, sys := range systems {
+		if err := sys.FS.Sync(); err != nil {
+			log.Printf("muxd: node %d final flush: %v", i, err)
+		}
 	}
 	fmt.Println("muxd: bye")
 }

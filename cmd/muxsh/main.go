@@ -59,8 +59,9 @@ func main() {
 }
 
 type shell struct {
-	sys *muxfs.System
-	out io.Writer
+	sys     *muxfs.System
+	out     io.Writer
+	stripes *stripeCtl // striped capacity tier, nil until 'stripe up'
 }
 
 func (s *shell) dispatch(line string) error {
@@ -176,6 +177,8 @@ func (s *shell) dispatch(line string) error {
 		s.sys.FS.SetMirrorRouting(rest[0] == "on")
 		fmt.Fprintf(s.out, "mirror-read routing %s\n", rest[0])
 		return nil
+	case "stripe":
+		return s.stripe(rest)
 	case "fsck":
 		rep := s.sys.FS.Fsck()
 		fmt.Fprintf(s.out, "checked %d files, %d BLT runs, %d bytes\n", rep.Files, rep.BLTRuns, rep.BytesChecked)
@@ -218,6 +221,11 @@ func (s *shell) help() {
   replica <path> [tier|off]    show/set/clear a file's replica tier
   replicas                     list replicated files and read-router usage
   routing on|off               toggle mirror-read routing
+  stripe up <k> <m>            attach a striped tier over k+m in-process nodes
+  stripe status                per-node stripe health and counters
+  stripe kill|revive <node>    sever / restore one stripe node
+  stripe rebuild <node>        reconstruct a node's shards from survivors
+  stripe scrub [repair]        verify (optionally repair) stripe parity
   fsck                         check Mux metadata against the tiers
   sync                         persist everything
   quit                         leave

@@ -473,3 +473,45 @@ func TestE11Shape(t *testing.T) {
 		t.Fatalf("checkpointed replay speedup = %.2fx, want > 1.2x (replay must be O(delta), not O(history))", ck.Speedup)
 	}
 }
+
+func TestE12Shape(t *testing.T) {
+	// Smoke-size run over real loopback RPC. No wall-clock speedup
+	// assertion here: under the race detector (make race runs this) the
+	// instrumented gob encode/decode dwarfs the governed service sleeps, so
+	// fan-out overlap cannot show. The scaling gate is enforced where the
+	// measurement is honest — `muxbench -exp e12 -e12smoke` in make
+	// smoke/CI runs CheckE12 uninstrumented and exits nonzero below 1.5×.
+	// The correctness gates (zero degraded-read errors, reconstruction
+	// actually exercised, clean scrub after rebuild, space overhead) are
+	// timing-independent and asserted on every run.
+	r, err := RunE12(E12Options{Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scale) != 3 {
+		t.Fatalf("smoke run want 3 scaling rows, got %d", len(r.Scale))
+	}
+	for _, row := range r.Scale {
+		if row.WriteMBps <= 0 || row.ReadMBps <= 0 {
+			t.Fatalf("%d+%d row measured no throughput: %+v", row.DataNodes, row.ParityNodes, row)
+		}
+	}
+	if r.Degraded.UserErrors != 0 {
+		t.Fatalf("node-loss drill surfaced %d user-visible errors, want 0", r.Degraded.UserErrors)
+	}
+	if r.Degraded.DegradedReads == 0 {
+		t.Fatal("drill read everything without a parity reconstruction; the node kill was ineffective")
+	}
+	if r.Degraded.BytesRead != 8<<20 {
+		t.Fatalf("drill served %d bytes, want the whole 8 MiB file", r.Degraded.BytesRead)
+	}
+	if r.Rebuild.Bytes == 0 || r.Rebuild.MBps <= 0 {
+		t.Fatalf("rebuild reported no work: %+v", r.Rebuild)
+	}
+	if r.Rebuild.ScrubMismatches != 0 {
+		t.Fatalf("%d parity mismatches after rebuild", r.Rebuild.ScrubMismatches)
+	}
+	if r.Overhead.Ratio < 1.0 || r.Overhead.Ratio > 1.3 {
+		t.Fatalf("4+1 space overhead %.2fx outside (1.0, 1.3]: %+v", r.Overhead.Ratio, r.Overhead)
+	}
+}

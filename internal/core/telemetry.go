@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"muxfs/internal/ec"
 	"muxfs/internal/telemetry"
 )
 
@@ -350,6 +351,12 @@ type TelemetrySnapshot struct {
 	// depth of every tier's data-path semaphore.
 	Routing RoutingTelemetry `json:"routing"`
 
+	// Stripes reports composite erasure-coded tiers (internal/ec): per-node
+	// breaker state, staleness, shard I/O counters, and set-wide
+	// degraded-read/rebuild totals. Empty unless a stripe tier is
+	// registered.
+	Stripes []ec.SetStatus `json:"stripes,omitempty"`
+
 	Traces []telemetry.TraceEvent `json:"traces"`
 }
 
@@ -427,6 +434,9 @@ func (m *Mux) Telemetry() TelemetrySnapshot {
 		snap.MetaOps[metaOpNames[op]] = c.Value()
 	}
 	for _, t := range m.Tiers() {
+		if ss, ok := t.FS.(StripeStatuser); ok {
+			snap.Stripes = append(snap.Stripes, ss.Status())
+		}
 		tt := m.telTier(t.ID)
 		if tt == nil {
 			continue

@@ -1,0 +1,133 @@
+package ec
+
+// geom is the stripe geometry: k data shards of s bytes per stripe, laid
+// out RAID-4 style — data node j stores shard j of every stripe
+// contiguously at node offset stripe*s, parity node p stores parity
+// shard p the same way. Logical byte x lives at:
+//
+//	stripe = x / (k*s),  shard = (x % (k*s)) / s,  off = x % s
+//
+// so node files are dense images of "every shard this node owns", which
+// keeps node offsets block-aligned and lets one contiguous logical range
+// become one contiguous read/write per node.
+type geom struct {
+	k int   // data shards per stripe
+	m int   // parity shards per stripe
+	s int64 // shard size in bytes
+}
+
+// span is the logical bytes covered by one stripe.
+func (g geom) span() int64 { return int64(g.k) * g.s }
+
+// locate maps a logical offset to (stripe, data shard, in-shard offset).
+func (g geom) locate(x int64) (stripe int64, shard int, off int64) {
+	sp := g.span()
+	stripe = x / sp
+	rem := x - stripe*sp
+	return stripe, int(rem / g.s), rem % g.s
+}
+
+// nodeLen returns the exact number of bytes data node j stores for a
+// file of logical size l: s per complete stripe, plus j's slice of the
+// partial last stripe.
+func (g geom) nodeLen(j int, l int64) int64 {
+	if l <= 0 {
+		return 0
+	}
+	sp := g.span()
+	full := l / sp
+	rem := l - full*sp
+	n := full * g.s
+	if over := rem - int64(j)*g.s; over > 0 {
+		if over > g.s {
+			over = g.s
+		}
+		n += over
+	}
+	return n
+}
+
+// implied inverts nodeLen: given data node j's file size, the smallest
+// logical size that puts j's last stored byte where it is. The true
+// logical size is the max of implied() over the nodes (the node holding
+// the file's final byte achieves it).
+func (g geom) implied(j int, sz int64) int64 {
+	if sz <= 0 {
+		return 0
+	}
+	stripe := (sz - 1) / g.s
+	off := (sz - 1) % g.s
+	return stripe*g.span() + int64(j)*g.s + off + 1
+}
+
+// parityLen is the number of parity bytes per parity node for logical
+// size l: s per complete stripe plus the longest shard of the partial
+// last stripe.
+func (g geom) parityLen(l int64) int64 {
+	if l <= 0 {
+		return 0
+	}
+	sp := g.span()
+	full := l / sp
+	rem := l - full*sp
+	n := full * g.s
+	if rem > 0 {
+		if rem > g.s {
+			rem = g.s
+		}
+		n += rem
+	}
+	return n
+}
+
+// nodeRange maps the logical range [lo, hi) to the contiguous node-offset
+// range data node j must touch to cover its shards of that range. ok is
+// false when node j holds no byte of the range (possible only when the
+// range sits inside a single stripe).
+func (g geom) nodeRange(j int, lo, hi int64) (nlo, nhi int64, ok bool) {
+	if hi <= lo {
+		return 0, 0, false
+	}
+	sp := g.span()
+	s0 := lo / sp
+	s1 := (hi - 1) / sp
+	shardStart0 := s0*sp + int64(j)*g.s
+	shardEnd0 := shardStart0 + g.s
+	switch {
+	case max64(lo, shardStart0) < min64(hi, shardEnd0):
+		nlo = s0*g.s + max64(lo, shardStart0) - shardStart0
+	case s1 > s0:
+		// Range starts past j's shard in the first stripe; coverage
+		// begins with the full shard of the next stripe.
+		nlo = (s0 + 1) * g.s
+	default:
+		return 0, 0, false
+	}
+	shardStart1 := s1*sp + int64(j)*g.s
+	shardEnd1 := shardStart1 + g.s
+	if inter := min64(hi, shardEnd1) - max64(lo, shardStart1); inter > 0 {
+		nhi = s1*g.s + min64(hi, shardEnd1) - shardStart1
+	} else {
+		// Range ends before j's shard in the last stripe; coverage ended
+		// with the full shard of the previous stripe.
+		nhi = s1 * g.s
+	}
+	if nhi <= nlo {
+		return 0, 0, false
+	}
+	return nlo, nhi, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

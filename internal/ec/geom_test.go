@@ -1,0 +1,85 @@
+package ec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteNodeBytes returns the set of node offsets data node j must touch
+// for logical range [lo, hi), byte by byte.
+func bruteNodeBytes(g geom, j int, lo, hi int64) (nlo, nhi int64, ok bool) {
+	nlo, nhi = -1, -1
+	for x := lo; x < hi; x++ {
+		stripe, shard, off := g.locate(x)
+		if shard != j {
+			continue
+		}
+		n := stripe*g.s + off
+		if nlo < 0 {
+			nlo = n
+		}
+		nhi = n + 1
+	}
+	return nlo, nhi, nlo >= 0
+}
+
+func TestNodeRangeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []geom{{1, 0, 4}, {2, 1, 4}, {3, 1, 4}, {4, 2, 8}, {8, 1, 16}} {
+		for trial := 0; trial < 2000; trial++ {
+			lo := int64(rng.Intn(200))
+			hi := lo + int64(rng.Intn(200))
+			for j := 0; j < g.k; j++ {
+				blo, bhi, bok := bruteNodeBytes(g, j, lo, hi)
+				nlo, nhi, ok := g.nodeRange(j, lo, hi)
+				if ok != bok {
+					t.Fatalf("g=%+v j=%d [%d,%d): ok=%v want %v", g, j, lo, hi, ok, bok)
+				}
+				if ok && (nlo != blo || nhi != bhi) {
+					t.Fatalf("g=%+v j=%d [%d,%d): got [%d,%d) want [%d,%d)", g, j, lo, hi, nlo, nhi, blo, bhi)
+				}
+			}
+		}
+	}
+}
+
+func TestNodeLenImpliedRoundTrip(t *testing.T) {
+	for _, g := range []geom{{1, 0, 4}, {2, 1, 4}, {3, 1, 4}, {4, 1, 8}} {
+		for l := int64(0); l < 400; l++ {
+			// Sum of node lengths must equal the logical size.
+			var sum int64
+			for j := 0; j < g.k; j++ {
+				sum += g.nodeLen(j, l)
+			}
+			if sum != l {
+				t.Fatalf("g=%+v l=%d: node lengths sum to %d", g, l, sum)
+			}
+			// The max of implied sizes over nodes must recover l exactly.
+			var got int64
+			for j := 0; j < g.k; j++ {
+				if v := g.implied(j, g.nodeLen(j, l)); v > got {
+					got = v
+				}
+			}
+			if got != l {
+				t.Fatalf("g=%+v l=%d: implied max = %d", g, l, got)
+			}
+			// Parity length never exceeds the logical size and covers the
+			// longest shard.
+			pl := g.parityLen(l)
+			if pl > l {
+				t.Fatalf("g=%+v l=%d: parityLen %d > l", g, l, pl)
+			}
+			var maxShard int64
+			for j := 0; j < g.k; j++ {
+				full := l / g.span() * g.s
+				if v := g.nodeLen(j, l) - full; v > maxShard {
+					maxShard = v
+				}
+			}
+			if pl != l/g.span()*g.s+maxShard {
+				t.Fatalf("g=%+v l=%d: parityLen %d, want %d", g, l, pl, l/g.span()*g.s+maxShard)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package ec implements the scale-out capacity tier: Reed–Solomon
+// erasure coding over GF(2^8) and StripeSet, a composite vfs.FileSystem
+// that stripes file extents across K data + M parity remote nodes.
+//
+// The coding math is self-contained (no dependencies beyond the standard
+// library): gf.go holds the finite-field primitives, rs.go the systematic
+// Vandermonde codec, stripeset.go the file-system layer that uses them.
+package ec
+
+// GF(2^8) arithmetic with the AES-adjacent primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice for storage
+// erasure codes. Multiplication uses exp/log tables built at init; the
+// hot path (mulSliceXor during parity generation and reconstruction)
+// indexes a per-coefficient 256-entry product row so the inner loop is a
+// table lookup and an XOR per byte.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // gfExp[i] = g^i, doubled so mul needs no mod
+	gfLog [256]int16
+	// gfMulTab[c] is the 256-entry row of products c*x. The full 64 KiB
+	// table is built once at init so concurrent reconstructions share it
+	// without synchronization.
+	gfMulTab [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = int16(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	gfLog[0] = -1
+	for c := 1; c < 256; c++ {
+		for i := 1; i < 256; i++ {
+			gfMulTab[c][i] = gfMul(byte(c), byte(i))
+		}
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b (b must be nonzero).
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		panic("ec: division by zero in GF(2^8)")
+	}
+	d := int(gfLog[a]) - int(gfLog[b])
+	if d < 0 {
+		d += 255
+	}
+	return gfExp[d]
+}
+
+// gfInv returns the multiplicative inverse of a (a must be nonzero).
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// mulSlice sets dst[i] = c * src[i].
+func mulSlice(c byte, src, dst []byte) {
+	row := &gfMulTab[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// mulSliceXor sets dst[i] ^= c * src[i]. This is the codec inner loop.
+func mulSliceXor(c byte, src, dst []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(src, dst)
+		return
+	}
+	row := &gfMulTab[c]
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// xorSlice sets dst[i] ^= src[i] — the whole codec when M = 1. Words at a
+// time keeps the single-parity path at memory bandwidth without any
+// architecture-specific code.
+func xorSlice(src, dst []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

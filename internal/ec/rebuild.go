@@ -1,0 +1,491 @@
+package ec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"muxfs/internal/vfs"
+)
+
+// Quarantine manually fences node i: it stops receiving operations until
+// Reinstate. Writes issued while fenced mark it stale, so a Rebuild is
+// usually needed afterwards.
+func (ss *StripeSet) Quarantine(i int) error {
+	if i < 0 || i >= len(ss.nodes) {
+		return ErrNodeIndex
+	}
+	n := ss.nodes[i]
+	n.bmu.Lock()
+	if n.state != nodeQuarantined {
+		n.quarantines.Add(1)
+	}
+	n.state = nodeQuarantined
+	n.manual = true
+	n.bmu.Unlock()
+	return nil
+}
+
+// Reinstate lifts a manual quarantine and resets the breaker. It does
+// not clear staleness — use Rebuild to restore missed writes first.
+func (ss *StripeSet) Reinstate(i int) error {
+	if i < 0 || i >= len(ss.nodes) {
+		return ErrNodeIndex
+	}
+	n := ss.nodes[i]
+	n.bmu.Lock()
+	n.state = nodeHealthy
+	n.manual = false
+	n.consec = 0
+	n.bmu.Unlock()
+	return nil
+}
+
+// ReplaceNode swaps in a fresh file system for node i (a replacement
+// disk/server). The node is marked stale until Rebuild repopulates it;
+// cached file handles reopen lazily via the generation bump.
+func (ss *StripeSet) ReplaceNode(i int, fs vfs.FileSystem) error {
+	if i < 0 || i >= len(ss.nodes) {
+		return ErrNodeIndex
+	}
+	n := ss.nodes[i]
+	n.fsMu.Lock()
+	n.fs = fs
+	n.fsMu.Unlock()
+	n.gen.Add(1)
+	n.stale.Store(true)
+	n.bmu.Lock()
+	n.state = nodeHealthy
+	n.manual = false
+	n.consec = 0
+	n.bmu.Unlock()
+	return nil
+}
+
+// RebuildStats summarizes one node rebuild.
+type RebuildStats struct {
+	Files int
+	Dirs  int
+	Bytes int64 // bytes written to the rebuilt node
+}
+
+// Rebuild repopulates node i from the surviving nodes: directories are
+// re-created, every file's shards are reconstructed (data node) or
+// re-encoded (parity node) batch-wise, and sparsity is preserved by
+// skipping all-zero batches. On success the node is fresh again: stale
+// cleared, breaker reset.
+func (ss *StripeSet) Rebuild(i int) (RebuildStats, error) {
+	var st RebuildStats
+	if i < 0 || i >= len(ss.nodes) {
+		return st, ErrNodeIndex
+	}
+	// The node being rebuilt must not serve reads or act as authority
+	// while its content is in flux.
+	ss.nodes[i].stale.Store(true)
+
+	dirs, files, err := ss.walk("/")
+	if err != nil {
+		return st, err
+	}
+	for _, d := range dirs {
+		err := ss.nodeCall(i, func(fs vfs.FileSystem) error {
+			err := fs.Mkdir(d)
+			if errors.Is(err, vfs.ErrExist) {
+				return nil
+			}
+			return err
+		})
+		if err != nil {
+			return st, fmt.Errorf("rebuild mkdir %s: %w", d, err)
+		}
+		st.Dirs++
+	}
+	for _, p := range files {
+		n, err := ss.rebuildFile(i, p)
+		if err != nil {
+			return st, fmt.Errorf("rebuild %s: %w", p, err)
+		}
+		st.Files++
+		st.Bytes += n
+	}
+	ss.nodes[i].stale.Store(false)
+	n := ss.nodes[i]
+	n.bmu.Lock()
+	n.state = nodeHealthy
+	n.manual = false
+	n.consec = 0
+	n.bmu.Unlock()
+	ss.rebuilds.Add(1)
+	ss.rebuildBytes.Add(st.Bytes)
+	if ss.telRebuild != nil && ss.tel.Enabled() {
+		ss.telRebuild.Add(st.Bytes)
+	}
+	return st, nil
+}
+
+// walk lists the namespace (from the surviving authority) depth-first:
+// parent directories always precede their children.
+func (ss *StripeSet) walk(root string) (dirs, files []string, err error) {
+	ents, err := ss.ReadDir(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].Name < ents[b].Name })
+	for _, e := range ents {
+		p := root + e.Name
+		if root != "/" {
+			p = root + "/" + e.Name
+		}
+		if e.IsDir {
+			dirs = append(dirs, p)
+			subDirs, subFiles, err := ss.walk(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			dirs = append(dirs, subDirs...)
+			files = append(files, subFiles...)
+		} else {
+			files = append(files, p)
+		}
+	}
+	return dirs, files, nil
+}
+
+// rebuildFile reconstructs one file's shards onto node i and returns the
+// bytes written.
+func (ss *StripeSet) rebuildFile(i int, path string) (int64, error) {
+	fm := ss.getMeta(path)
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	fm.loaded = false // node i is untrusted; re-derive from survivors
+	if err := ss.ensureLoadedLocked(path, fm); err != nil {
+		return 0, err
+	}
+	l := fm.size
+	g := ss.geom
+
+	// Reset the target file to empty so skipped zero batches stay holes.
+	err := ss.nodeCall(i, func(fs vfs.FileSystem) error {
+		h, err := fs.Open(path)
+		if errors.Is(err, vfs.ErrNotExist) {
+			h, err = fs.Create(path)
+		}
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		return h.Truncate(0)
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	targetLen := g.nodeLen(i, l)
+	if i >= g.k {
+		targetLen = g.parityLen(l)
+	}
+	scratch := ss.newFile(path)
+	defer scratch.Close()
+
+	var written int64
+	span := g.span()
+	batchStripes := max64(1, batchBytes/span)
+	lastStripe := int64(-1)
+	if l > 0 {
+		lastStripe = (l - 1) / span
+	}
+	for bs0 := int64(0); bs0 <= lastStripe; bs0 += batchStripes {
+		bs1 := min64(bs0+batchStripes-1, lastStripe)
+		nStripes := bs1 - bs0 + 1
+		dataBufs := make([][]byte, g.k)
+		for j := range dataBufs {
+			dataBufs[j] = make([]byte, nStripes*g.s)
+		}
+		if err := scratch.readShards(bs0, bs1, l, dataBufs, i); err != nil {
+			return written, err
+		}
+		var out []byte
+		if i < g.k {
+			out = dataBufs[i]
+		} else {
+			// Parity node: re-encode from the data shards.
+			out = make([]byte, nStripes*g.s)
+			shards := make([][]byte, g.k)
+			pshards := make([][]byte, g.m)
+			spare := make([][]byte, 0, g.m)
+			for pi := 0; pi < g.m; pi++ {
+				if g.k+pi == i {
+					continue
+				}
+				spare = append(spare, make([]byte, g.s))
+			}
+			for r := int64(0); r < nStripes; r++ {
+				for j := 0; j < g.k; j++ {
+					shards[j] = dataBufs[j][r*g.s : (r+1)*g.s]
+				}
+				si := 0
+				for pi := 0; pi < g.m; pi++ {
+					if g.k+pi == i {
+						pshards[pi] = out[r*g.s : (r+1)*g.s]
+					} else {
+						pshards[pi] = spare[si]
+						si++
+					}
+				}
+				if err := ss.code.Encode(shards, pshards); err != nil {
+					return written, err
+				}
+			}
+		}
+		lo := bs0 * g.s
+		hi := min64(lo+nStripes*g.s, targetLen)
+		if hi <= lo {
+			continue
+		}
+		chunk := out[:hi-lo]
+		if isZero(chunk) {
+			continue // leave the hole
+		}
+		if err := scratch.nodeWrite(i, chunk, lo); err != nil {
+			return written, err
+		}
+		written += hi - lo
+	}
+
+	// Exact final length: data nodes get shard coverage, parity nodes the
+	// logical size (payload + tail hole) so size recovery holds.
+	finalLen := g.nodeLen(i, l)
+	if i >= g.k {
+		finalLen = l
+	}
+	err = ss.nodeCall(i, func(fs vfs.FileSystem) error {
+		return fs.Truncate(path, finalLen)
+	})
+	if err != nil {
+		return written, err
+	}
+
+	// Copy logical attributes from the survivors.
+	info, err := ss.statSurvivors(path, i)
+	if err == nil {
+		mode := info.Mode
+		mt := info.ModTime
+		_ = ss.nodeCall(i, func(fs vfs.FileSystem) error {
+			return fs.SetAttr(path, vfs.SetAttr{Mode: &mode, ModTime: &mt})
+		})
+	}
+	return written, nil
+}
+
+// statSurvivors stats the path skipping node i.
+func (ss *StripeSet) statSurvivors(path string, skip int) (vfs.FileInfo, error) {
+	var out vfs.FileInfo
+	var got bool
+	for j := range ss.nodes {
+		if j == skip || ss.nodes[j].stale.Load() {
+			continue
+		}
+		err := ss.nodeCall(j, func(fs vfs.FileSystem) error {
+			info, err := fs.Stat(path)
+			if err == nil {
+				out, got = info, true
+			}
+			return err
+		})
+		if err == nil && got {
+			return out, nil
+		}
+	}
+	return out, ErrDegraded
+}
+
+func isZero(b []byte) bool {
+	for len(b) >= 8 {
+		if b[0]|b[1]|b[2]|b[3]|b[4]|b[5]|b[6]|b[7] != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ScrubStats summarizes a parity verification pass.
+type ScrubStats struct {
+	Files      int
+	Stripes    int64
+	Mismatches int64
+	Repaired   int64
+}
+
+// Scrub re-reads every file's data shards, recomputes parity, and
+// compares it with the stored parity. With repair set, mismatched parity
+// ranges are rewritten. A clean scrub (Mismatches == 0) certifies the
+// set is fully redundant again after a rebuild.
+func (ss *StripeSet) Scrub(repair bool) (ScrubStats, error) {
+	var st ScrubStats
+	if ss.geom.m == 0 {
+		return st, nil
+	}
+	_, files, err := ss.walk("/")
+	if err != nil {
+		return st, err
+	}
+	for _, p := range files {
+		if err := ss.scrubFile(p, repair, &st); err != nil {
+			return st, fmt.Errorf("scrub %s: %w", p, err)
+		}
+		st.Files++
+	}
+	return st, nil
+}
+
+func (ss *StripeSet) scrubFile(path string, repair bool, st *ScrubStats) error {
+	fm := ss.getMeta(path)
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	if err := ss.ensureLoadedLocked(path, fm); err != nil {
+		return err
+	}
+	l := fm.size
+	if l == 0 {
+		return nil
+	}
+	g := ss.geom
+	scratch := ss.newFile(path)
+	defer scratch.Close()
+	span := g.span()
+	batchStripes := max64(1, batchBytes/span)
+	lastStripe := (l - 1) / span
+	for bs0 := int64(0); bs0 <= lastStripe; bs0 += batchStripes {
+		bs1 := min64(bs0+batchStripes-1, lastStripe)
+		nStripes := bs1 - bs0 + 1
+		dataBufs := make([][]byte, g.k)
+		for j := range dataBufs {
+			dataBufs[j] = make([]byte, nStripes*g.s)
+		}
+		if err := scratch.readShards(bs0, bs1, l, dataBufs, -1); err != nil {
+			return err
+		}
+		want := make([][]byte, g.m)
+		pshards := make([][]byte, g.m)
+		shards := make([][]byte, g.k)
+		for pi := range want {
+			want[pi] = make([]byte, nStripes*g.s)
+		}
+		for r := int64(0); r < nStripes; r++ {
+			for j := 0; j < g.k; j++ {
+				shards[j] = dataBufs[j][r*g.s : (r+1)*g.s]
+			}
+			for pi := 0; pi < g.m; pi++ {
+				pshards[pi] = want[pi][r*g.s : (r+1)*g.s]
+			}
+			if err := ss.code.Encode(shards, pshards); err != nil {
+				return err
+			}
+		}
+		st.Stripes += nStripes
+		lo := bs0 * g.s
+		hi := min64(lo+nStripes*g.s, g.parityLen(l))
+		if hi <= lo {
+			continue
+		}
+		for pi := 0; pi < g.m; pi++ {
+			got := make([]byte, hi-lo)
+			if err := scratch.nodeRead(g.k+pi, got, lo); err != nil {
+				return err
+			}
+			// Count mismatching stripes, not bytes, so the number is
+			// comparable across shard sizes.
+			for r := int64(0); r < nStripes; r++ {
+				slo := r * g.s
+				shi := min64(slo+g.s, hi-lo)
+				if slo >= shi {
+					break
+				}
+				if !bytesEqual(got[slo:shi], want[pi][slo:shi]) {
+					st.Mismatches++
+					if repair {
+						if err := scratch.nodeWrite(g.k+pi, want[pi][slo:shi], lo+slo); err != nil {
+							return err
+						}
+						st.Repaired++
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeStatus is one node's health snapshot.
+type NodeStatus struct {
+	Index        int    `json:"index"`
+	Role         string `json:"role"` // "data" | "parity"
+	Name         string `json:"name"`
+	State        string `json:"state"` // healthy | quarantined | probing
+	Stale        bool   `json:"stale"`
+	Ops          int64  `json:"ops"`
+	Faults       int64  `json:"faults"`
+	BytesRead    int64  `json:"bytes_read"`
+	BytesWritten int64  `json:"bytes_written"`
+	Quarantines  int64  `json:"quarantines"`
+}
+
+// SetStatus is the whole stripe set's snapshot.
+type SetStatus struct {
+	Name               string       `json:"name"`
+	DataNodes          int          `json:"data_nodes"`
+	ParityNodes        int          `json:"parity_nodes"`
+	ShardSize          int64        `json:"shard_size"`
+	DegradedReads      int64        `json:"degraded_reads"`
+	ReconstructedBytes int64        `json:"reconstructed_bytes"`
+	RebuildBytes       int64        `json:"rebuild_bytes"`
+	Rebuilds           int64        `json:"rebuilds"`
+	Nodes              []NodeStatus `json:"nodes"`
+}
+
+// Status reports the live health of every node plus set-wide counters.
+func (ss *StripeSet) Status() SetStatus {
+	out := SetStatus{
+		Name:               ss.Name(),
+		DataNodes:          ss.geom.k,
+		ParityNodes:        ss.geom.m,
+		ShardSize:          ss.geom.s,
+		DegradedReads:      ss.degradedReads.Load(),
+		ReconstructedBytes: ss.reconstructedBytes.Load(),
+		RebuildBytes:       ss.rebuildBytes.Load(),
+		Rebuilds:           ss.rebuilds.Load(),
+	}
+	for i, n := range ss.nodes {
+		out.Nodes = append(out.Nodes, NodeStatus{
+			Index:        i,
+			Role:         ss.roleOf(i),
+			Name:         n.fileSystem().Name(),
+			State:        n.breakerState().String(),
+			Stale:        n.stale.Load(),
+			Ops:          n.ops.Load(),
+			Faults:       n.faults.Load(),
+			BytesRead:    n.bytesR.Load(),
+			BytesWritten: n.bytesW.Load(),
+			Quarantines:  n.quarantines.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package ec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a systematic (k+m, k) Reed–Solomon erasure code: k data shards
+// plus m parity shards, any k of the k+m suffice to recover all data.
+//
+// The generator is the standard Vandermonde construction made systematic:
+// build the (k+m)×k Vandermonde matrix V[i][j] = i^j, left-multiply by the
+// inverse of its top k×k block so the first k rows become the identity,
+// and keep the bottom m rows as the parity matrix. For m = 1 every parity
+// coefficient is 1 and encoding degenerates to XOR (RAID-4/5 parity),
+// which Encode special-cases.
+type Code struct {
+	k, m int
+	// parity is the m×k coefficient block: parity[p][j] is the weight of
+	// data shard j in parity shard p.
+	parity [][]byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrShardCount = errors.New("ec: invalid shard count")
+	ErrShardSize  = errors.New("ec: shards differ in length")
+	ErrTooFewLive = errors.New("ec: too many missing shards to reconstruct")
+)
+
+// NewCode builds a (k+m, k) code. k ≥ 1, m ≥ 0, k+m ≤ 256.
+func NewCode(k, m int) (*Code, error) {
+	if k < 1 || m < 0 || k+m > 256 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrShardCount, k, m)
+	}
+	c := &Code{k: k, m: m}
+	if m == 0 {
+		return c, nil
+	}
+	// Vandermonde rows for the full code, then normalize the top block to
+	// the identity.
+	v := vandermonde(k+m, k)
+	top := make([][]byte, k)
+	for i := range top {
+		top[i] = append([]byte(nil), v[i]...)
+	}
+	inv, err := invertMatrix(top)
+	if err != nil {
+		return nil, err
+	}
+	full := matMul(v, inv) // (k+m)×k, first k rows = identity
+	c.parity = full[k:]
+	return c, nil
+}
+
+// K and M report the code geometry.
+func (c *Code) K() int { return c.k }
+func (c *Code) M() int { return c.m }
+
+// Encode computes the m parity shards from the k data shards. All shards
+// must have equal length; parity slices are overwritten in place.
+func (c *Code) Encode(data, parity [][]byte) error {
+	if len(data) != c.k || len(parity) != c.m {
+		return ErrShardCount
+	}
+	if c.m == 0 {
+		return nil
+	}
+	n := len(data[0])
+	for _, d := range data {
+		if len(d) != n {
+			return ErrShardSize
+		}
+	}
+	for _, p := range parity {
+		if len(p) != n {
+			return ErrShardSize
+		}
+	}
+	if c.m == 1 {
+		// XOR fast path: single parity is the XOR of all data shards.
+		copy(parity[0], data[0])
+		for j := 1; j < c.k; j++ {
+			xorSlice(data[j], parity[0])
+		}
+		return nil
+	}
+	for p := 0; p < c.m; p++ {
+		mulSlice(c.parity[p][0], data[0], parity[p])
+		for j := 1; j < c.k; j++ {
+			mulSliceXor(c.parity[p][j], data[j], parity[p])
+		}
+	}
+	return nil
+}
+
+// Reconstruct fills in the missing shards. shards has k+m entries in code
+// order (data 0..k-1, then parity 0..m-1); present[i] reports whether
+// shards[i] holds valid bytes. Missing entries must be pre-allocated to
+// the common shard length; they are overwritten with the recovered
+// content (both data and parity shards are rebuilt).
+func (c *Code) Reconstruct(shards [][]byte, present []bool) error {
+	if len(shards) != c.k+c.m || len(present) != c.k+c.m {
+		return ErrShardCount
+	}
+	live := 0
+	n := -1
+	for i, ok := range present {
+		if !ok {
+			continue
+		}
+		live++
+		if n < 0 {
+			n = len(shards[i])
+		} else if len(shards[i]) != n {
+			return ErrShardSize
+		}
+	}
+	if live < c.k {
+		return ErrTooFewLive
+	}
+	missingData := false
+	for j := 0; j < c.k; j++ {
+		if !present[j] {
+			missingData = true
+			break
+		}
+	}
+	if missingData {
+		if c.m == 1 {
+			// Exactly one shard can be absent; XOR of the other k
+			// recovers it regardless of whether it is data or parity.
+			var miss int
+			for i, ok := range present {
+				if !ok {
+					miss = i
+					break
+				}
+			}
+			dst := shards[miss]
+			first := true
+			for i, ok := range present {
+				if !ok || i == miss {
+					continue
+				}
+				if first {
+					copy(dst, shards[i])
+					first = false
+				} else {
+					xorSlice(shards[i], dst)
+				}
+			}
+		} else {
+			if err := c.decodeData(shards, present); err != nil {
+				return err
+			}
+		}
+	}
+	// With all data shards valid, regenerate any missing parity.
+	for p := 0; p < c.m; p++ {
+		if present[c.k+p] {
+			continue
+		}
+		dst := shards[c.k+p]
+		if c.m == 1 {
+			copy(dst, shards[0])
+			for j := 1; j < c.k; j++ {
+				xorSlice(shards[j], dst)
+			}
+		} else {
+			mulSlice(c.parity[p][0], shards[0], dst)
+			for j := 1; j < c.k; j++ {
+				mulSliceXor(c.parity[p][j], shards[j], dst)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeData recovers the missing data shards (general m ≥ 2 path): pick
+// k live rows of the systematic generator, invert that k×k submatrix, and
+// the rows of the inverse corresponding to missing data shards give the
+// recovery combinations of the live shards.
+func (c *Code) decodeData(shards [][]byte, present []bool) error {
+	rows := make([][]byte, 0, c.k)
+	src := make([][]byte, 0, c.k)
+	for i := 0; i < c.k+c.m && len(rows) < c.k; i++ {
+		if !present[i] {
+			continue
+		}
+		row := make([]byte, c.k)
+		if i < c.k {
+			row[i] = 1
+		} else {
+			copy(row, c.parity[i-c.k])
+		}
+		rows = append(rows, row)
+		src = append(src, shards[i])
+	}
+	inv, err := invertMatrix(rows)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < c.k; j++ {
+		if present[j] {
+			continue
+		}
+		dst := shards[j]
+		mulSlice(inv[j][0], src[0], dst)
+		for t := 1; t < c.k; t++ {
+			mulSliceXor(inv[j][t], src[t], dst)
+		}
+	}
+	return nil
+}
+
+// vandermonde returns the rows×cols matrix V[i][j] = i^j over GF(2^8).
+func vandermonde(rows, cols int) [][]byte {
+	v := make([][]byte, rows)
+	for i := range v {
+		v[i] = make([]byte, cols)
+		e := byte(1)
+		for j := 0; j < cols; j++ {
+			v[i][j] = e
+			e = gfMul(e, byte(i))
+		}
+	}
+	return v
+}
+
+// matMul multiplies a (r×n) by b (n×c) over GF(2^8).
+func matMul(a, b [][]byte) [][]byte {
+	r, n, cN := len(a), len(b), len(b[0])
+	out := make([][]byte, r)
+	for i := 0; i < r; i++ {
+		out[i] = make([]byte, cN)
+		for j := 0; j < cN; j++ {
+			var s byte
+			for t := 0; t < n; t++ {
+				s ^= gfMul(a[i][t], b[t][j])
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// invertMatrix Gauss-Jordan-inverts a square matrix over GF(2^8). The
+// input is consumed (rows are modified in place).
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("ec: singular matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := m[col][col]; p != 1 {
+			ip := gfInv(p)
+			for j := 0; j < n; j++ {
+				m[col][j] = gfMul(m[col][j], ip)
+				inv[col][j] = gfMul(inv[col][j], ip)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := 0; j < n; j++ {
+				m[r][j] ^= gfMul(f, m[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,189 @@
+package ec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Spot-check field axioms over every element pair is O(64k) — cheap.
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			ab := gfMul(byte(a), byte(b))
+			ba := gfMul(byte(b), byte(a))
+			if ab != ba {
+				t.Fatalf("mul not commutative: %d*%d", a, b)
+			}
+			if b != 0 {
+				if got := gfMul(gfDiv(byte(a), byte(b)), byte(b)); got != byte(a) {
+					t.Fatalf("div/mul mismatch: a=%d b=%d got=%d", a, b, got)
+				}
+			}
+		}
+		if a != 0 {
+			if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+				t.Fatalf("inv(%d) wrong", a)
+			}
+		}
+	}
+	// Distributivity on a sample.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("not distributive: %d %d %d", a, b, c)
+		}
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 257)
+	rng.Read(src)
+	for _, c := range []byte{0, 1, 2, 0x8e, 255} {
+		dst := make([]byte, len(src))
+		mulSlice(c, src, dst)
+		acc := make([]byte, len(src))
+		rng.Read(acc)
+		want := make([]byte, len(src))
+		for i := range src {
+			if dst[i] != gfMul(c, src[i]) {
+				t.Fatalf("mulSlice c=%d i=%d", c, i)
+			}
+			want[i] = acc[i] ^ gfMul(c, src[i])
+		}
+		mulSliceXor(c, src, acc)
+		if !bytes.Equal(acc, want) {
+			t.Fatalf("mulSliceXor c=%d", c)
+		}
+	}
+}
+
+func TestEncodeReconstructAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, geo := range []struct{ k, m int }{{1, 1}, {2, 1}, {4, 1}, {8, 1}, {3, 2}, {4, 2}, {6, 3}, {10, 4}} {
+		c, err := NewCode(geo.k, geo.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1024 + rng.Intn(7) // odd lengths too
+		data := make([][]byte, geo.k)
+		for j := range data {
+			data[j] = make([]byte, n)
+			rng.Read(data[j])
+		}
+		parity := make([][]byte, geo.m)
+		for p := range parity {
+			parity[p] = make([]byte, n)
+		}
+		if err := c.Encode(data, parity); err != nil {
+			t.Fatal(err)
+		}
+		total := geo.k + geo.m
+		// Try every erasure pattern of size ≤ m (bitmask sweep is fine for
+		// total ≤ 14).
+		for mask := 0; mask < 1<<total; mask++ {
+			erased := 0
+			for i := 0; i < total; i++ {
+				if mask>>i&1 == 1 {
+					erased++
+				}
+			}
+			if erased == 0 || erased > geo.m {
+				continue
+			}
+			shards := make([][]byte, total)
+			present := make([]bool, total)
+			for i := 0; i < total; i++ {
+				var orig []byte
+				if i < geo.k {
+					orig = data[i]
+				} else {
+					orig = parity[i-geo.k]
+				}
+				if mask>>i&1 == 1 {
+					shards[i] = make([]byte, n) // to be recovered
+				} else {
+					shards[i] = append([]byte(nil), orig...)
+					present[i] = true
+				}
+			}
+			if err := c.Reconstruct(shards, present); err != nil {
+				t.Fatalf("k=%d m=%d mask=%b: %v", geo.k, geo.m, mask, err)
+			}
+			for i := 0; i < total; i++ {
+				var orig []byte
+				if i < geo.k {
+					orig = data[i]
+				} else {
+					orig = parity[i-geo.k]
+				}
+				if !bytes.Equal(shards[i], orig) {
+					t.Fatalf("k=%d m=%d mask=%b: shard %d wrong after reconstruct", geo.k, geo.m, mask, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewLive(t *testing.T) {
+	c, err := NewCode(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 5)
+	present := make([]bool, 5)
+	for i := range shards {
+		shards[i] = make([]byte, 8)
+		present[i] = i >= 2 // two missing, only one parity
+	}
+	if err := c.Reconstruct(shards, present); err != ErrTooFewLive {
+		t.Fatalf("want ErrTooFewLive, got %v", err)
+	}
+}
+
+func TestNewCodeValidation(t *testing.T) {
+	if _, err := NewCode(0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewCode(200, 100); err == nil {
+		t.Fatal("k+m>256 accepted")
+	}
+	if _, err := NewCode(4, 0); err != nil {
+		t.Fatalf("m=0 rejected: %v", err)
+	}
+}
+
+func BenchmarkEncodeXOR_4plus1_64K(b *testing.B) {
+	benchEncode(b, 4, 1)
+}
+
+func BenchmarkEncodeRS_4plus2_64K(b *testing.B) {
+	benchEncode(b, 4, 2)
+}
+
+func benchEncode(b *testing.B, k, m int) {
+	c, err := NewCode(k, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64 << 10
+	data := make([][]byte, k)
+	rng := rand.New(rand.NewSource(4))
+	for j := range data {
+		data[j] = make([]byte, n)
+		rng.Read(data[j])
+	}
+	parity := make([][]byte, m)
+	for p := range parity {
+		parity[p] = make([]byte, n)
+	}
+	b.SetBytes(int64(k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

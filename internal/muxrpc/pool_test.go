@@ -1,0 +1,270 @@
+package muxrpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"muxfs/internal/device"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/simclock"
+)
+
+// trackedListener records accepted connections so tests can kill the
+// established sockets (not just the accept loop), simulating a node that
+// drops off the network mid-call.
+type trackedListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (tl *trackedListener) Accept() (net.Conn, error) {
+	c, err := tl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	tl.mu.Lock()
+	tl.conns = append(tl.conns, c)
+	tl.mu.Unlock()
+	return c, nil
+}
+
+func (tl *trackedListener) killConns() {
+	tl.mu.Lock()
+	for _, c := range tl.conns {
+		c.Close()
+	}
+	tl.conns = nil
+	tl.mu.Unlock()
+}
+
+// serveNode starts a muxrpc server over a fresh xfslite on a loopback
+// listener and returns the tracked listener.
+func serveNode(t *testing.T) *trackedListener {
+	t.Helper()
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs, err := xfslite.New("xfs@remote", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := &trackedListener{Listener: l}
+	t.Cleanup(func() { tl.Close() })
+	srv := NewServer(fs)
+	go srv.Serve(tl)
+	return tl
+}
+
+func TestDialPoolSize(t *testing.T) {
+	tl := serveNode(t)
+	c, err := DialPool("tcp", tl.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.PoolSize() != 4 {
+		t.Fatalf("PoolSize = %d, want 4", c.PoolSize())
+	}
+	// Round-robin must route calls on every slot without error.
+	for i := 0; i < 16; i++ {
+		if _, err := c.Statfs(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+// TestHandshakeFailure dials a TCP server that is not speaking muxrpc:
+// the dial succeeds, the handshake must fail with the typed sentinel and
+// every pooled connection must be torn down.
+func TestHandshakeFailure(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Corrupt frame: bytes that are not a gob rpc response.
+			conn.Write([]byte("HTTP/1.0 400 Bad Request\r\n\r\nnot muxrpc"))
+			conn.Close()
+		}
+	}()
+	_, err = DialPool("tcp", l.Addr().String(), 3)
+	if err == nil {
+		t.Fatal("handshake against non-muxrpc server succeeded")
+	}
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("error %v is not ErrHandshake", err)
+	}
+}
+
+// TestShortFrameMidCall kills the established sockets while calls are
+// outstanding: in-flight calls may fail, but the client must recover on
+// its own for idempotent calls (reconnect + one retry) without the caller
+// seeing an error on the next operation.
+func TestShortFrameMidCall(t *testing.T) {
+	tl := serveNode(t)
+	c, err := DialPool("tcp", tl.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5a}, 8192)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Sever every established connection. The server stays up, so handles
+	// survive; the idempotent retry must redial and complete.
+	tl.killConns()
+	buf := make([]byte, len(data))
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatalf("ReadAt after connection kill: %v", err)
+	}
+	if n != len(data) || !bytes.Equal(buf, data) {
+		t.Fatalf("ReadAt after reconnect returned wrong bytes (n=%d)", n)
+	}
+	if _, err := f.WriteAt(data, 8192); err != nil {
+		t.Fatalf("WriteAt after connection kill: %v", err)
+	}
+}
+
+// TestServerRestartMidCall restarts the whole server (listener + conns)
+// on the same address. Handles are lost with the server's handle table;
+// path-level idempotent calls must succeed after the restart via
+// reconnect, and stale handles must fail with a decoded vfs error rather
+// than a transport error.
+func TestServerRestartMidCall(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	tl := &trackedListener{Listener: l}
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs1, err := xfslite.New("xfs@remote", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go NewServer(fs1).Serve(tl)
+
+	c, err := DialPool("tcp", addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.Create("/keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: kill listener and conns, bring up a new server on the same
+	// address backed by the same FS (state persisted, handles lost).
+	tl.Close()
+	tl.killConns()
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer l2.Close()
+	go NewServer(fs1).Serve(l2)
+
+	// Path-level idempotent call reconnects transparently.
+	if _, err := c.Stat("/keep"); err != nil {
+		t.Fatalf("Stat after server restart: %v", err)
+	}
+	// The old handle is gone server-side: the retry reconnects and the
+	// server answers with a logical error, not a transport failure.
+	_, err = f.ReadAt(make([]byte, 3), 0)
+	if err == nil {
+		t.Fatal("read on a handle lost by restart succeeded")
+	}
+	if isConnErr(err) {
+		t.Fatalf("handle-lost error %v leaked as a transport error", err)
+	}
+	// Fresh open works and reads the persisted bytes.
+	f2, err := c.Open("/keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := f2.ReadAt(buf, 0); err != nil && err.Error() != "EOF" {
+		t.Fatalf("ReadAt on reopened file: %v", err)
+	}
+	if string(buf) != "abc" {
+		t.Fatalf("reopened read = %q", buf)
+	}
+}
+
+// TestConcurrentPoolCalls hammers one client from many goroutines (run
+// under -race): distinct files, interleaved reads/writes/stats through
+// every pool slot.
+func TestConcurrentPoolCalls(t *testing.T) {
+	tl := serveNode(t)
+	c, err := DialPool("tcp", tl.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const workers = 8
+	const opsPer = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/w%d", w)
+			f, err := c.Create(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			pat := bytes.Repeat([]byte{byte(w + 1)}, 4096)
+			for i := 0; i < opsPer; i++ {
+				off := int64(i%4) * 4096
+				if _, err := f.WriteAt(pat, off); err != nil {
+					errs <- fmt.Errorf("w%d write: %w", w, err)
+					return
+				}
+				buf := make([]byte, 4096)
+				if _, err := f.ReadAt(buf, off); err != nil {
+					errs <- fmt.Errorf("w%d read: %w", w, err)
+					return
+				}
+				if !bytes.Equal(buf, pat) {
+					errs <- fmt.Errorf("w%d: cross-talk between pooled calls", w)
+					return
+				}
+				if _, err := c.Stat(path); err != nil {
+					errs <- fmt.Errorf("w%d stat: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"muxfs/internal/core"
 	"muxfs/internal/device"
+	"muxfs/internal/ec"
 	"muxfs/internal/fs/extlite"
 	"muxfs/internal/fs/novafs"
 	"muxfs/internal/fs/xfslite"
@@ -230,6 +231,107 @@ func (s *System) AddRemoteTier(network, addr string, kind DeviceKind, netLat tim
 // callers use cmd/muxd instead.
 func ServeTier(l net.Listener, fs FileSystem) error {
 	return muxrpc.NewServer(fs).Serve(l)
+}
+
+// StripeTierSpec assembles a scale-out capacity tier: one composite tier
+// striped across several muxd nodes with Reed–Solomon parity, registered
+// with Mux as a single tier whose aggregate bandwidth scales with the
+// data-node count.
+type StripeTierSpec struct {
+	// Addrs lists the muxd node addresses. The first len(Addrs)-Parity
+	// are data nodes, the rest hold parity.
+	Addrs []string
+	// Network is the dial network (default "tcp").
+	Network string
+	// Parity is the number of parity nodes M (0 = pure striping).
+	Parity int
+	// ShardSize is the stripe shard size (default ec.DefaultShardSize).
+	ShardSize int64
+	// Kind declares the remote nodes' device class for cost modeling
+	// (default SSD).
+	Kind DeviceKind
+	// NetLat is added to the profile latencies to model the network hop.
+	NetLat time.Duration
+	// PoolSize is the per-node RPC connection pool width; 0 defaults to
+	// the data-fanout width (the number of data nodes), so a full-stripe
+	// operation never queues on connections.
+	PoolSize int
+	// Name labels the set (default "stripe0").
+	Name string
+}
+
+// AddRemoteStripeTier dials every node of spec, assembles the erasure-
+// coded StripeSet over them, and registers it as one tier. The returned
+// set handle exposes degraded-mode controls (Quarantine, ReplaceNode,
+// Rebuild, Scrub, Status); its per-node metrics land on this System's
+// /metrics surface.
+func (s *System) AddRemoteStripeTier(spec StripeTierSpec) (int, *StripeSet, error) {
+	if len(spec.Addrs) == 0 {
+		return -1, nil, fmt.Errorf("muxfs: stripe tier needs at least one node")
+	}
+	network := spec.Network
+	if network == "" {
+		network = "tcp"
+	}
+	name := spec.Name
+	if name == "" {
+		name = "stripe0"
+	}
+	k := len(spec.Addrs) - spec.Parity
+	if k < 1 {
+		return -1, nil, fmt.Errorf("muxfs: %d nodes cannot carry %d parity", len(spec.Addrs), spec.Parity)
+	}
+	pool := spec.PoolSize
+	if pool <= 0 {
+		pool = k
+	}
+	nodes := make([]vfs.FileSystem, 0, len(spec.Addrs))
+	clients := make([]*muxrpc.Client, 0, len(spec.Addrs))
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	for _, addr := range spec.Addrs {
+		c, err := muxrpc.DialPool(network, addr, pool)
+		if err != nil {
+			closeAll()
+			return -1, nil, fmt.Errorf("muxfs: dialing stripe node %s: %w", addr, err)
+		}
+		clients = append(clients, c)
+		nodes = append(nodes, c)
+	}
+	ss, err := ec.New(name, nodes, ec.Options{
+		Parity:     spec.Parity,
+		ShardSize:  spec.ShardSize,
+		NodeFanout: pool,
+		Telemetry:  s.FS.TelemetryRegistry(),
+	})
+	if err != nil {
+		closeAll()
+		return -1, nil, err
+	}
+
+	var prof device.Profile
+	switch spec.Kind {
+	case PM:
+		prof = device.PMProfile(name)
+	case HDD:
+		prof = device.HDDProfile(name)
+	default:
+		prof = device.SSDProfile(name)
+	}
+	prof.Name = ss.Name()
+	prof.ReadLatency += spec.NetLat
+	prof.WriteLatency += spec.NetLat
+	// Aggregate bandwidth scales with the data-node count; so does the
+	// capacity policies budget against.
+	prof.ReadBandwidth *= int64(k)
+	prof.WriteBandwidth *= int64(k)
+	prof.Capacity *= int64(k)
+	id := s.FS.AddTier(ss, prof)
+	s.Tiers = append(s.Tiers, TierHandle{ID: id, Spec: TierSpec{Kind: spec.Kind, Name: prof.Name}, FS: ss})
+	return id, ss, nil
 }
 
 // TierID resolves a device name to its tier id (-1 when unknown).

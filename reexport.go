@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"muxfs/internal/core"
+	"muxfs/internal/ec"
+	"muxfs/internal/muxrpc"
 	"muxfs/internal/policy"
 	"muxfs/internal/telemetry"
 	"muxfs/internal/vfs"
@@ -68,6 +70,22 @@ type BLTInfo = core.BLTInfo
 // TraceEvent is one slow/failed-operation trace record.
 type TraceEvent = telemetry.TraceEvent
 
+// StripeSet is a composite erasure-coded tier spanning several remote
+// nodes (see System.AddRemoteStripeTier).
+type StripeSet = ec.StripeSet
+
+// StripeSetStatus is a stripe set's health snapshot.
+type StripeSetStatus = ec.SetStatus
+
+// StripeNodeStatus is one stripe node's health snapshot.
+type StripeNodeStatus = ec.NodeStatus
+
+// StripeRebuildStats summarizes a node rebuild.
+type StripeRebuildStats = ec.RebuildStats
+
+// StripeScrubStats summarizes a parity verification pass.
+type StripeScrubStats = ec.ScrubStats
+
 // Policy is the tiering policy interface (§2.1).
 type Policy = policy.Policy
 
@@ -111,4 +129,10 @@ var (
 	ErrUnknownTier     = core.ErrUnknownTier
 	ErrMigrationActive = core.ErrMigrationActive
 	ErrTierQuarantined = core.ErrTierQuarantined
+	// ErrStripeDegraded reports a stripe-tier operation that failed because
+	// more nodes were down than parity covers.
+	ErrStripeDegraded = ec.ErrDegraded
+	// ErrRPCHandshake reports a remote-tier dial that connected but failed
+	// the muxrpc handshake (wrong service on the port).
+	ErrRPCHandshake = muxrpc.ErrHandshake
 )
