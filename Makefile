@@ -37,7 +37,12 @@ race:
 # count, a 3+1 set loses a node mid-read with zero user-visible errors,
 # rebuild restores redundancy (scrub clean), and 4+1 raw usage stays
 # within the 1.3x gate (muxbench exits nonzero on any violation;
-# BENCH_e12.json).
+# BENCH_e12.json). E13 runs the bounded network-front-end drill over real
+# loopback muxns RPC: batched+coalesced frames must beat one-op-per-frame,
+# well-behaved clients' p99 must hold while one aggressor hammers the
+# server (DRR + token buckets), the attr/readdir cache must serve the stat
+# storm (negative entries included), and the server counters must cost no
+# more than 5% (muxbench exits nonzero on any violation; BENCH_e13.json).
 smoke:
 	$(GO) run ./cmd/muxbench -exp e6
 	$(GO) run ./cmd/muxbench -exp e7
@@ -46,6 +51,7 @@ smoke:
 	$(GO) run ./cmd/muxbench -exp e10 -json .
 	$(GO) run ./cmd/muxbench -exp e11 -e11smoke -json .
 	$(GO) run ./cmd/muxbench -exp e12 -e12smoke -json .
+	$(GO) run ./cmd/muxbench -exp e13 -e13smoke -json .
 
 # check is the CI gate: compile everything, vet, the full test suite under
 # the race detector (the migration and fan-out engines are concurrent;

@@ -1,17 +1,31 @@
-// Command muxd serves a local file system as a remote Mux tier — the
-// server half of Distributed Mux (paper §4). A Mux on another machine (or
-// process) attaches it with System.AddRemoteTier.
+// Command muxd serves Mux storage over the network. Three modes:
+//
+//   - tier export (default): a single native file system served as a
+//     remote Mux tier; a Mux on another machine attaches it with
+//     System.AddRemoteTier. The server half of Distributed Mux (paper §4).
+//   - -nodes N: a fleet of independent tier nodes on consecutive ports,
+//     the backing store of a striped capacity tier
+//     (System.AddRemoteStripeTier).
+//   - -serve: the namespace front end — a whole three-tier Mux exported
+//     over the muxns protocol to many concurrent clients, with a bounded
+//     worker pool, per-client fairness, server-side attr/readdir caching,
+//     and wire-level batching (tune with -workers, -queue, -rate).
 //
 // Usage:
 //
 //	muxd -addr :9321 -kind ssd -capacity 1073741824
 //	muxd -addr :9321 -full -metrics :9322
+//	muxd -addr :9321 -serve -workers 16 -queue 2048 -rate 4096
 //
 // With -metrics, muxd exposes the Mux telemetry surface over HTTP:
 // GET /metrics (Prometheus text, ?format=json for the unified snapshot)
-// and GET /debug/trace (recent slow/failed operations). SIGINT/SIGTERM
-// shut down gracefully: the policy runner drains, Mux metadata takes a
-// final journal flush, and both listeners close.
+// and GET /debug/trace (recent slow/failed operations). In -serve mode
+// the snapshot includes the mux_server_* front-end counters.
+//
+// SIGINT/SIGTERM shut down gracefully in every mode: listeners close
+// first so no new work arrives, in-flight RPC calls drain (bounded by
+// -drain-timeout), the policy runner stops, and Mux metadata takes a
+// final journal flush.
 package main
 
 import (
@@ -36,10 +50,15 @@ func main() {
 	addr := flag.String("addr", ":9321", "listen address")
 	kind := flag.String("kind", "ssd", "device kind to serve: pm, ssd, hdd")
 	capacity := flag.Int64("capacity", 0, "device capacity in bytes (0 = class default)")
-	full := flag.Bool("full", false, "serve a whole three-tier Mux instead of a single native file system")
+	full := flag.Bool("full", false, "serve a whole three-tier Mux as a single remote tier")
+	serve := flag.Bool("serve", false, "serve the whole Mux namespace over the muxns front end (implies a full three-tier system)")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics and /debug/trace (empty = disabled)")
-	policyEvery := flag.Duration("policy-interval", 2*time.Second, "policy runner interval in -full mode (0 = disabled)")
-	nodes := flag.Int("nodes", 1, "serve N independent stripe nodes on consecutive ports starting at -addr (for a striped capacity tier; incompatible with -full)")
+	policyEvery := flag.Duration("policy-interval", 2*time.Second, "policy runner interval in -full/-serve mode (0 = disabled)")
+	nodes := flag.Int("nodes", 1, "serve N independent stripe nodes on consecutive ports starting at -addr (for a striped capacity tier; incompatible with -full/-serve)")
+	workers := flag.Int("workers", 0, "-serve: worker pool width (0 = 2×GOMAXPROCS)")
+	queueMax := flag.Int("queue", 0, "-serve: admission queue high watermark (0 = default 1024)")
+	rate := flag.Float64("rate", 0, "-serve: per-client rate limit in cost units/s (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "max time to wait for in-flight RPC calls on shutdown")
 	flag.Parse()
 
 	var dk muxfs.DeviceKind
@@ -55,19 +74,19 @@ func main() {
 	}
 
 	if *nodes > 1 {
-		if *full {
-			log.Fatal("muxd: -nodes and -full are mutually exclusive")
+		if *full || *serve {
+			log.Fatal("muxd: -nodes is mutually exclusive with -full and -serve")
 		}
-		serveNodes(*addr, *nodes, dk, *capacity)
+		serveNodes(*addr, *nodes, dk, *capacity, *drainTimeout)
 		return
 	}
 
 	var sys *muxfs.System
 	var served muxfs.FileSystem
 	var err error
-	if *full {
-		// Serve an entire tiered Mux: remote clients see the merged
-		// namespace with tiering running on this node.
+	if *full || *serve {
+		// A whole tiered Mux: remote clients see the merged namespace
+		// with tiering running on this node.
 		sys, err = muxfs.New(muxfs.Config{
 			Name: "muxd",
 			Tiers: []muxfs.TierSpec{
@@ -100,12 +119,12 @@ func main() {
 		log.Fatalf("muxd: %v", err)
 	}
 
-	// Background tiering daemon: in -full mode the policy runner migrates on
-	// a wall-clock cadence; shutdown stops it and waits for the in-flight
-	// round to drain before the final flush.
+	// Background tiering daemon: with a full system the policy runner
+	// migrates on a wall-clock cadence; shutdown stops it and waits for the
+	// in-flight round to drain before the final flush.
 	var runnerWG sync.WaitGroup
 	policyStop := make(chan struct{})
-	if *full && *policyEvery > 0 {
+	if (*full || *serve) && *policyEvery > 0 {
 		runnerWG.Add(1)
 		go func() {
 			defer runnerWG.Done()
@@ -130,9 +149,9 @@ func main() {
 		fmt.Printf("muxd: telemetry on http://%s/metrics\n", ml.Addr())
 	}
 
-	// Graceful shutdown: close the RPC listener (Serve returns nil on
-	// net.ErrClosed), drain the policy runner, and flush Mux metadata so the
-	// journal is consistent at exit.
+	// Graceful shutdown: close the RPC listener first (Serve returns nil on
+	// net.ErrClosed) so no new connections arrive, then drain in-flight
+	// calls before severing what remains.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -141,9 +160,29 @@ func main() {
 		l.Close()
 	}()
 
-	fmt.Printf("muxd: serving %s (%s) on %s\n", served.Name(), *kind, l.Addr())
-	if err := muxfs.ServeTier(l, served); err != nil {
-		log.Fatalf("muxd: %v", err)
+	if *serve {
+		srv := sys.NewServer(muxfs.ServerOptions{
+			Workers:       *workers,
+			MaxQueue:      *queueMax,
+			RatePerClient: *rate,
+		})
+		fmt.Printf("muxd: serving namespace %s (muxns) on %s\n", served.Name(), l.Addr())
+		if err := srv.Serve(l); err != nil {
+			log.Fatalf("muxd: %v", err)
+		}
+		if cut := srv.Drain(*drainTimeout); cut != 0 {
+			log.Printf("muxd: drain timeout: cut %d in-flight calls", cut)
+		}
+		srv.Close()
+	} else {
+		srv := muxfs.NewTierServer(served)
+		fmt.Printf("muxd: serving %s (%s) on %s\n", served.Name(), *kind, l.Addr())
+		if err := srv.Serve(l); err != nil {
+			log.Fatalf("muxd: %v", err)
+		}
+		if cut := srv.Drain(*drainTimeout); cut != 0 {
+			log.Printf("muxd: drain timeout: cut %d in-flight calls", cut)
+		}
 	}
 
 	close(policyStop)
@@ -163,7 +202,7 @@ func main() {
 // the server fleet of a striped capacity tier, in one process. Each node
 // gets its own device + native FS, so they fail (and are killed)
 // independently; attach them with System.AddRemoteStripeTier.
-func serveNodes(baseAddr string, n int, dk muxfs.DeviceKind, capacity int64) {
+func serveNodes(baseAddr string, n int, dk muxfs.DeviceKind, capacity int64, drainTimeout time.Duration) {
 	host, portStr, err := net.SplitHostPort(baseAddr)
 	if err != nil {
 		log.Fatalf("muxd: -nodes needs host:port in -addr: %v", err)
@@ -175,6 +214,7 @@ func serveNodes(baseAddr string, n int, dk muxfs.DeviceKind, capacity int64) {
 
 	listeners := make([]net.Listener, n)
 	systems := make([]*muxfs.System, n)
+	servers := make([]*muxfs.TierServer, n)
 	for i := 0; i < n; i++ {
 		sys, err := muxfs.New(muxfs.Config{
 			Name:   fmt.Sprintf("muxd-node%d", i),
@@ -185,6 +225,7 @@ func serveNodes(baseAddr string, n int, dk muxfs.DeviceKind, capacity int64) {
 			log.Fatalf("muxd: node %d: %v", i, err)
 		}
 		systems[i] = sys
+		servers[i] = muxfs.NewTierServer(sys.Tiers[0].FS)
 		nodeAddr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
 		l, err := net.Listen("tcp", nodeAddr)
 		if err != nil {
@@ -209,8 +250,20 @@ func serveNodes(baseAddr string, n int, dk muxfs.DeviceKind, capacity int64) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := muxfs.ServeTier(listeners[i], systems[i].Tiers[0].FS); err != nil {
+			if err := servers[i].Serve(listeners[i]); err != nil {
 				log.Printf("muxd: node %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every listener is closed; drain the fleet in parallel so a slow call
+	// on one node does not serialize the whole shutdown.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if cut := servers[i].Drain(drainTimeout); cut != 0 {
+				log.Printf("muxd: node %d drain timeout: cut %d in-flight calls", i, cut)
 			}
 		}(i)
 	}

@@ -62,6 +62,7 @@ type shell struct {
 	sys     *muxfs.System
 	out     io.Writer
 	stripes *stripeCtl // striped capacity tier, nil until 'stripe up'
+	nssrv   *serverCtl // namespace front end, nil until 'server up'
 }
 
 func (s *shell) dispatch(line string) error {
@@ -177,6 +178,10 @@ func (s *shell) dispatch(line string) error {
 		s.sys.FS.SetMirrorRouting(rest[0] == "on")
 		fmt.Fprintf(s.out, "mirror-read routing %s\n", rest[0])
 		return nil
+	case "server":
+		return s.server(rest)
+	case "clients":
+		return s.clients()
 	case "stripe":
 		return s.stripe(rest)
 	case "fsck":
@@ -221,6 +226,9 @@ func (s *shell) help() {
   replica <path> [tier|off]    show/set/clear a file's replica tier
   replicas                     list replicated files and read-router usage
   routing on|off               toggle mirror-read routing
+  server up [addr]             export this Mux's namespace over muxns
+  server [status] | down       front-end counters / drained stop
+  clients                      per-client queue, handles, and rate budget
   stripe up <k> <m>            attach a striped tier over k+m in-process nodes
   stripe status                per-node stripe health and counters
   stripe kill|revive <node>    sever / restore one stripe node

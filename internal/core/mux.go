@@ -35,6 +35,7 @@ import (
 	"muxfs/internal/device"
 	"muxfs/internal/fs/fsrec"
 	"muxfs/internal/policy"
+	"muxfs/internal/server"
 	"muxfs/internal/simclock"
 	"muxfs/internal/telemetry"
 	"muxfs/internal/vfs"
@@ -283,6 +284,11 @@ type Mux struct {
 	telMigLat    *telemetry.Histogram
 	telMigErrs   *telemetry.Counter
 	telSlow      time.Duration
+
+	// serverStats, when set (SetServerStats), is the network front end's
+	// stats provider; the telemetry snapshot and /metrics include its
+	// section. Stored as a pointer so the hot path pays one atomic load.
+	serverStats atomic.Pointer[func() server.Stats]
 
 	// hookAfterCopy, when set (tests only), runs after each optimistic copy
 	// round before validation — a deterministic window to inject racing

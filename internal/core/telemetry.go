@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"muxfs/internal/ec"
+	"muxfs/internal/muxrpc"
+	"muxfs/internal/server"
 	"muxfs/internal/telemetry"
 )
 
@@ -357,7 +359,43 @@ type TelemetrySnapshot struct {
 	// registered.
 	Stripes []ec.SetStatus `json:"stripes,omitempty"`
 
+	// Pools reports connection-pool counters for every RPC-backed tier
+	// (remote tiers are muxrpc clients; stripe tiers aggregate their node
+	// clients). PoolTotals covers connection attempts that never produced
+	// a live client — failed dials and handshake failures tear the client
+	// down before anything could snapshot it.
+	Pools      []muxrpc.PoolStats `json:"pools,omitempty"`
+	PoolTotals PoolTotals         `json:"pool_totals"`
+
+	// Server is the network front end's counter snapshot, present when a
+	// namespace server registered itself via SetServerStats (muxd -serve).
+	Server *server.Stats `json:"server,omitempty"`
+
 	Traces []telemetry.TraceEvent `json:"traces"`
+}
+
+// PoolTotals is the package-wide muxrpc connection-establishment view.
+type PoolTotals struct {
+	Dials             int64 `json:"dials"`
+	DialErrors        int64 `json:"dial_errors"`
+	HandshakeFailures int64 `json:"handshake_failures"`
+}
+
+// rpcPoolStatser is implemented by tier backends that expose pooled-RPC
+// counters (muxrpc.Client, muxrpc.NSClient, ec.StripeSet).
+type rpcPoolStatser interface {
+	RPCPoolStats() []muxrpc.PoolStats
+}
+
+// SetServerStats registers the network front end's stats provider so the
+// telemetry snapshot and /metrics include the server section. Pass nil to
+// unregister.
+func (m *Mux) SetServerStats(fn func() server.Stats) {
+	if fn == nil {
+		m.serverStats.Store(nil)
+		return
+	}
+	m.serverStats.Store(&fn)
 }
 
 // TierRouteTelemetry is one tier's read-router view.
@@ -433,9 +471,18 @@ func (m *Mux) Telemetry() TelemetrySnapshot {
 	for op, c := range m.telMeta {
 		snap.MetaOps[metaOpNames[op]] = c.Value()
 	}
+	dials, dialErrs, hsFails := muxrpc.Totals()
+	snap.PoolTotals = PoolTotals{Dials: dials, DialErrors: dialErrs, HandshakeFailures: hsFails}
+	if fn := m.serverStats.Load(); fn != nil {
+		st := (*fn)()
+		snap.Server = &st
+	}
 	for _, t := range m.Tiers() {
 		if ss, ok := t.FS.(StripeStatuser); ok {
 			snap.Stripes = append(snap.Stripes, ss.Status())
+		}
+		if ps, ok := t.FS.(rpcPoolStatser); ok {
+			snap.Pools = append(snap.Pools, ps.RPCPoolStats()...)
 		}
 		tt := m.telTier(t.ID)
 		if tt == nil {
@@ -532,5 +579,78 @@ func (m *Mux) promFamilies() []telemetry.FamilySnapshot {
 		gaugeFam("mux_tier_inflight", "Data-path ops currently holding a slot on the tier's fan-out semaphore.", inflight...),
 		gaugeFam("mux_tier_inflight_width", "Data-path fan-out semaphore width per tier.", inflightW...),
 	)
+
+	// RPC connection pools: per-client series keyed by remote address plus
+	// the package-wide establishment totals (which include clients that
+	// died before they could be snapshotted).
+	var pDials, pReconn, pDialErrs, pCalls, pConnErrs, pRetries, pInflight, pSlots []telemetry.SeriesSnapshot
+	for i, ps := range m.poolStats() {
+		labels := []telemetry.Label{
+			{Key: "addr", Value: ps.Addr},
+			{Key: "pool", Value: strconv.Itoa(i)},
+		}
+		pDials = append(pDials, one(ps.Dials, labels...))
+		pReconn = append(pReconn, one(ps.Reconnects, labels...))
+		pDialErrs = append(pDialErrs, one(ps.DialErrors, labels...))
+		pCalls = append(pCalls, one(ps.Calls, labels...))
+		pConnErrs = append(pConnErrs, one(ps.ConnErrors, labels...))
+		pRetries = append(pRetries, one(ps.Retries, labels...))
+		pInflight = append(pInflight, one(ps.InFlightTotal(), labels...))
+		pSlots = append(pSlots, one(int64(ps.Slots), labels...))
+	}
+	dials, dialErrs, hsFails := muxrpc.Totals()
+	fams = append(fams,
+		counterFam("mux_rpc_pool_dials_total", "Successful socket dials per RPC client pool.", pDials...),
+		counterFam("mux_rpc_pool_reconnects_total", "Lazy redials after connection failures per RPC client pool.", pReconn...),
+		counterFam("mux_rpc_pool_dial_errors_total", "Failed dial attempts per RPC client pool.", pDialErrs...),
+		counterFam("mux_rpc_pool_calls_total", "Call attempts issued per RPC client pool.", pCalls...),
+		counterFam("mux_rpc_pool_conn_errors_total", "Call attempts that died at the connection level per RPC client pool.", pConnErrs...),
+		counterFam("mux_rpc_pool_retries_total", "Idempotent reconnect-and-retry attempts per RPC client pool.", pRetries...),
+		gaugeFam("mux_rpc_pool_inflight", "Calls currently on the wire per RPC client pool.", pInflight...),
+		gaugeFam("mux_rpc_pool_slots", "Connection-pool width per RPC client pool.", pSlots...),
+		counterFam("mux_rpc_dials_total", "Package-wide successful socket dials, living and dead clients.", one(dials)),
+		counterFam("mux_rpc_dial_errors_total", "Package-wide failed dial attempts.", one(dialErrs)),
+		counterFam("mux_rpc_handshake_failures_total", "Package-wide post-dial handshake failures.", one(hsFails)),
+	)
+
+	// Network front end (muxd -serve): counters from the namespace server,
+	// when one registered via SetServerStats.
+	if fn := m.serverStats.Load(); fn != nil {
+		st := (*fn)()
+		fams = append(fams,
+			gaugeFam("mux_server_conns", "Open namespace-server connections.", one(int64(st.Conns))),
+			counterFam("mux_server_conns_accepted_total", "Namespace-server connections accepted.", one(st.ConnsAccepted)),
+			gaugeFam("mux_server_workers", "Namespace-server worker-pool width.", one(int64(st.Workers))),
+			gaugeFam("mux_server_queue_depth", "Admitted requests waiting for a worker.", one(int64(st.QueueDepth))),
+			gaugeFam("mux_server_queue_max", "Admission high watermark.", one(int64(st.MaxQueue))),
+			gaugeFam("mux_server_executing", "Requests currently inside workers.", one(st.Executing)),
+			counterFam("mux_server_requests_total", "Namespace-server requests received.", one(st.Requests)),
+			counterFam("mux_server_rejected_queue_total", "Requests rejected busy: queue past high watermark.", one(st.RejectedQueue)),
+			counterFam("mux_server_rejected_rate_total", "Requests rejected busy: client over its rate budget.", one(st.RejectedRate)),
+			counterFam("mux_server_bytes_read_total", "Bytes served by namespace-server reads.", one(st.BytesRead)),
+			counterFam("mux_server_bytes_written_total", "Bytes accepted by namespace-server writes.", one(st.BytesWritten)),
+			counterFam("mux_server_cache_hits_total", "Attr/readdir cache hits (negative hits included).", one(st.CacheHits)),
+			counterFam("mux_server_cache_misses_total", "Attr/readdir cache misses.", one(st.CacheMisses)),
+			counterFam("mux_server_cache_neg_hits_total", "Attr/readdir negative-entry hits.", one(st.CacheNegHits)),
+			counterFam("mux_server_cache_evictions_total", "Attr/readdir cache LRU evictions.", one(st.CacheEvicts)),
+			gaugeFam("mux_server_cache_entries", "Live attr/readdir cache entries.", one(st.CacheEntries)),
+			counterFam("mux_server_batch_subops_total", "Batched sub-operations received.", one(st.BatchSubOps)),
+			counterFam("mux_server_batch_dispatches_total", "Downward dispatches issued for batched sub-ops.", one(st.BatchDispatches)),
+			counterFam("mux_server_batch_saved_total", "Downward dispatches avoided by coalescing.", one(st.BatchSaved)),
+			gaugeFam("mux_server_handles_open", "Open handles across all namespace-server connections.", one(st.HandlesOpen)),
+		)
+	}
 	return fams
+}
+
+// poolStats collects the pooled-RPC counters of every tier backend that
+// exposes them.
+func (m *Mux) poolStats() []muxrpc.PoolStats {
+	var out []muxrpc.PoolStats
+	for _, t := range m.Tiers() {
+		if ps, ok := t.FS.(rpcPoolStatser); ok {
+			out = append(out, ps.RPCPoolStats()...)
+		}
+	}
+	return out
 }

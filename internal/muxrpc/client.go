@@ -38,16 +38,28 @@ type Client struct {
 	addr    string
 	next    atomic.Uint64
 	conns   []*poolConn
+
+	// Pool counters (PoolStats). Dials counts successful socket dials,
+	// initial and reconnect; reconnects counts only the lazy redials after
+	// a slot was invalidated by a connection failure.
+	dials      atomic.Int64
+	reconnects atomic.Int64
+	dialErrs   atomic.Int64
+	calls      atomic.Int64
+	connErrs   atomic.Int64
+	retries    atomic.Int64
 }
 
 // poolConn is one slot of the pool. The slot redials lazily after a
 // connection-level failure; mu guards the redial so concurrent callers
 // don't stampede.
 type poolConn struct {
-	mu      sync.Mutex
-	network string
-	addr    string
-	rc      *rpc.Client
+	mu       sync.Mutex
+	network  string
+	addr     string
+	rc       *rpc.Client
+	owner    *Client
+	inflight atomic.Int64
 }
 
 // get returns the slot's live connection, redialing if the previous one
@@ -58,9 +70,18 @@ func (pc *poolConn) get() (*rpc.Client, error) {
 	if pc.rc == nil {
 		rc, err := rpc.Dial(pc.network, pc.addr)
 		if err != nil {
+			tierDialErrors.Add(1)
+			if pc.owner != nil {
+				pc.owner.dialErrs.Add(1)
+			}
 			return nil, err
 		}
 		pc.rc = rc
+		tierDials.Add(1)
+		if pc.owner != nil {
+			pc.owner.dials.Add(1)
+			pc.owner.reconnects.Add(1)
+		}
 	}
 	return pc.rc, nil
 }
@@ -103,13 +124,17 @@ func DialPool(network, addr string, size int) (*Client, error) {
 	for i := range c.conns {
 		rc, err := rpc.Dial(network, addr)
 		if err != nil {
+			tierDialErrors.Add(1)
 			c.Close()
 			return nil, err
 		}
-		c.conns[i] = &poolConn{network: network, addr: addr, rc: rc}
+		tierDials.Add(1)
+		c.dials.Add(1)
+		c.conns[i] = &poolConn{network: network, addr: addr, rc: rc, owner: c}
 	}
 	var nr NameReply
 	if err := c.conns[0].rc.Call("MuxTier.Name", struct{}{}, &nr); err != nil {
+		tierHandshakeFails.Add(1)
 		c.Close()
 		return nil, fmt.Errorf("%w: %s %s: %v", ErrHandshake, network, addr, err)
 	}
@@ -176,19 +201,28 @@ func (c *Client) call(method string, args, reply any, idempotent bool) error {
 	if err != nil {
 		return err
 	}
+	c.calls.Add(1)
+	pc.inflight.Add(1)
 	err = rc.Call(method, args, reply)
+	pc.inflight.Add(-1)
 	if !isConnErr(err) {
 		return err
 	}
+	c.connErrs.Add(1)
 	pc.invalidate(rc)
 	if !idempotent {
-		return err
+		return &NonIdempotentError{Method: method, Cause: err}
 	}
 	rc, rerr := pc.get()
 	if rerr != nil {
 		return err
 	}
-	if err = rc.Call(method, args, reply); isConnErr(err) {
+	c.retries.Add(1)
+	pc.inflight.Add(1)
+	err = rc.Call(method, args, reply)
+	pc.inflight.Add(-1)
+	if isConnErr(err) {
+		c.connErrs.Add(1)
 		pc.invalidate(rc)
 	}
 	return err

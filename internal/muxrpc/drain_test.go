@@ -1,0 +1,258 @@
+package muxrpc
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"muxfs/internal/device"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+// gateFS blocks selected operations on a channel so tests can hold RPC
+// calls in flight deterministically.
+type gateFS struct {
+	vfs.FileSystem
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (g *gateFS) arm() {
+	g.mu.Lock()
+	g.ch = make(chan struct{})
+	g.mu.Unlock()
+}
+
+func (g *gateFS) release() {
+	g.mu.Lock()
+	ch := g.ch
+	g.ch = nil
+	g.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (g *gateFS) wait() {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+func (g *gateFS) Rename(oldPath, newPath string) error {
+	g.wait()
+	return g.FileSystem.Rename(oldPath, newPath)
+}
+
+func (g *gateFS) Open(path string) (vfs.File, error) {
+	f, err := g.FileSystem.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+func (g *gateFS) Create(path string) (vfs.File, error) {
+	f, err := g.FileSystem.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+type gateFile struct {
+	vfs.File
+	g *gateFS
+}
+
+func (f *gateFile) ReadAt(p []byte, off int64) (int, error) {
+	f.g.wait()
+	return f.File.ReadAt(p, off)
+}
+
+// startGated serves a gated xfslite and returns the gate, server,
+// listener, and a connected client.
+func startGated(t *testing.T, poolSize int) (*gateFS, *Server, net.Listener, *Client) {
+	t.Helper()
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs, err := xfslite.New("xfs@gated", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gateFS{FileSystem: fs}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv := NewServer(g)
+	go srv.Serve(l)
+	c, err := DialPool("tcp", l.Addr().String(), poolSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return g, srv, l, c
+}
+
+func waitTierInFlight(t *testing.T, srv *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.InFlight() < n {
+		t.Fatalf("in-flight never reached %d (at %d)", n, srv.InFlight())
+	}
+}
+
+// TestDrainUnderLoad checks the graceful-shutdown ordering: listener
+// closed first, then Drain waits for in-flight calls to finish before
+// severing connections — no call is cut mid-execution.
+func TestDrainUnderLoad(t *testing.T) {
+	g, srv, l, c := startGated(t, 2)
+	f, err := c.Create("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	g.arm()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			buf := make([]byte, 5)
+			_, err := f.ReadAt(buf, 0)
+			done <- err
+		}()
+	}
+	waitTierInFlight(t, srv, 4)
+
+	l.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		g.release()
+	}()
+	if cut := srv.Drain(5 * time.Second); cut != 0 {
+		t.Fatalf("drain cut %d in-flight calls", cut)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("in-flight call failed during drain: %v", err)
+		}
+	}
+}
+
+// TestSeverMidCallIdempotent cuts the connection under an executing read;
+// the client must reconnect and retry it to success (tier handles live in
+// the server, so they survive the reconnect).
+func TestSeverMidCallIdempotent(t *testing.T) {
+	g, srv, _, c := startGated(t, 1)
+	f, err := c.Create("/mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	g.arm()
+	done := make(chan error, 1)
+	var got []byte
+	go func() {
+		buf := make([]byte, 6)
+		n, err := f.ReadAt(buf, 0)
+		got = buf[:n]
+		done <- err
+	}()
+	waitTierInFlight(t, srv, 1)
+	srv.Drain(0) // severs the connection with the read still executing
+	g.release()
+	if err := <-done; err != nil {
+		t.Fatalf("idempotent read did not survive severed connection: %v", err)
+	}
+	if string(got) != "abcdef" {
+		t.Fatalf("read %q", got)
+	}
+	st := c.PoolStats()
+	if st.Reconnects == 0 || st.Retries == 0 {
+		t.Fatalf("reconnect/retry not counted: %+v", st)
+	}
+}
+
+// TestSeverMidCallNonIdempotent cuts the connection under an executing
+// rename; the client must surface the typed error — never silently replay
+// an op that may have applied.
+func TestSeverMidCallNonIdempotent(t *testing.T) {
+	g, srv, _, c := startGated(t, 1)
+	f, err := c.Create("/n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g.arm()
+	done := make(chan error, 1)
+	go func() { done <- c.Rename("/n1", "/n2") }()
+	waitTierInFlight(t, srv, 1)
+	srv.Drain(0)
+	g.release()
+	err = <-done
+	if !errors.Is(err, ErrNonIdempotent) {
+		t.Fatalf("rename cut mid-call: got %v, want ErrNonIdempotent", err)
+	}
+	var ne *NonIdempotentError
+	if !errors.As(err, &ne) || ne.Method != "MuxTier.Rename" {
+		t.Fatalf("typed error missing method: %v", err)
+	}
+	// The server applied the rename before the cut; the caller's recovery
+	// path — re-check state with an idempotent op — must see that.
+	if _, err := c.Stat("/n2"); err != nil {
+		t.Fatalf("stat after ambiguous rename: %v", err)
+	}
+}
+
+// TestPoolStatsCounting exercises the dial/call counters end to end.
+func TestPoolStatsCounting(t *testing.T) {
+	_, srv, _, c := startGated(t, 3)
+	if _, err := c.Stat("/"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.PoolStats()
+	if st.Slots != 3 || st.Dials != 3 || st.Reconnects != 0 {
+		t.Fatalf("fresh pool stats: %+v", st)
+	}
+	if st.Calls == 0 {
+		t.Fatalf("calls not counted: %+v", st)
+	}
+	if got := len(st.InFlight); got != 3 {
+		t.Fatalf("in-flight slots = %d", got)
+	}
+
+	srv.Drain(0) // sever; next call redials
+	if _, err := c.Stat("/"); err != nil {
+		t.Fatal(err)
+	}
+	st = c.PoolStats()
+	if st.Reconnects == 0 || st.Dials < 4 {
+		t.Fatalf("reconnect not counted: %+v", st)
+	}
+
+	dials, dialErrs, hsFails := Totals()
+	if dials < st.Dials {
+		t.Fatalf("package totals behind client: %d < %d", dials, st.Dials)
+	}
+	_ = dialErrs
+	_ = hsFails
+}

@@ -1,0 +1,827 @@
+package muxrpc
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muxfs/internal/vfs"
+)
+
+// NSClient speaks the muxns namespace protocol (nswire.go) to an
+// internal/server front end. It implements vfs.FileSystem, so a remote Mux
+// namespace mounts like any local file system, and adds the Batch call for
+// wire-level request coalescing.
+//
+// Calls pipeline: many goroutines may issue requests concurrently over one
+// connection, and the server replies out of order as its workers finish;
+// a per-connection reader routes responses back by sequence number.
+// Handles are scoped to the connection that opened them (the server reaps
+// a vanished client's handles), so each open file is pinned to its pool
+// slot; after a reconnect the file transparently re-opens by path before an
+// idempotent op retries. Non-idempotent ops never retry — a connection
+// failure surfaces as NonIdempotentError.
+type NSClient struct {
+	name     string
+	network  string
+	addr     string
+	opts     NSDialOptions
+	maxBatch int
+
+	next  atomic.Uint64
+	slots []*nsSlot
+
+	dials      atomic.Int64
+	reconnects atomic.Int64
+	dialErrs   atomic.Int64
+	calls      atomic.Int64
+	connErrs   atomic.Int64
+	retries    atomic.Int64
+	reopens    atomic.Int64
+	busyWaits  atomic.Int64
+
+	closed atomic.Bool
+}
+
+var _ vfs.FileSystem = (*NSClient)(nil)
+
+// NSDialOptions tunes an NSClient.
+type NSDialOptions struct {
+	// PoolSize is the connection-pool width (default 1: a namespace
+	// client models one end user; raise it for embedders that want
+	// parallel large transfers on independent files).
+	PoolSize int
+	// BusyRetries bounds automatic retries after a server busy rejection
+	// (admission control). Default 8; negative disables retries so
+	// BusyError surfaces to the caller immediately.
+	BusyRetries int
+	// BusyWait is the backoff used when the server's busy reply carried no
+	// retry-after hint (default 2ms).
+	BusyWait time.Duration
+}
+
+func (o *NSDialOptions) fill() {
+	if o.PoolSize < 1 {
+		o.PoolSize = 1
+	}
+	if o.BusyRetries == 0 {
+		o.BusyRetries = 8
+	}
+	if o.BusyWait <= 0 {
+		o.BusyWait = 2 * time.Millisecond
+	}
+}
+
+// NSDial connects to a namespace server with default options.
+func NSDial(network, addr string) (*NSClient, error) {
+	return NSDialOpts(network, addr, NSDialOptions{})
+}
+
+// NSDialOpts connects with explicit options. The first connection is
+// established (and the hello handshake run) eagerly so a dead or
+// wrong-protocol peer fails fast; remaining slots dial lazily.
+func NSDialOpts(network, addr string, opts NSDialOptions) (*NSClient, error) {
+	opts.fill()
+	c := &NSClient{network: network, addr: addr, opts: opts}
+	c.slots = make([]*nsSlot, opts.PoolSize)
+	for i := range c.slots {
+		c.slots[i] = &nsSlot{c: c}
+	}
+	if _, err := c.slots[0].get(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MaxBatch reports the server's negotiated batch-size limit.
+func (c *NSClient) MaxBatch() int { return c.maxBatch }
+
+// PoolSize reports the connection-pool width.
+func (c *NSClient) PoolSize() int { return len(c.slots) }
+
+// PoolStats snapshots the client's connection counters; Reopens counts
+// handle re-opens after reconnects, folded into Retries' sibling series by
+// callers that want one number.
+func (c *NSClient) PoolStats() PoolStats {
+	st := PoolStats{
+		Addr:       c.addr,
+		Slots:      len(c.slots),
+		Dials:      c.dials.Load(),
+		Reconnects: c.reconnects.Load(),
+		DialErrors: c.dialErrs.Load(),
+		Calls:      c.calls.Load(),
+		ConnErrors: c.connErrs.Load(),
+		Retries:    c.retries.Load(),
+		InFlight:   make([]int64, 0, len(c.slots)),
+	}
+	for _, s := range c.slots {
+		st.InFlight = append(st.InFlight, s.inflight.Load())
+	}
+	return st
+}
+
+// RPCPoolStats satisfies the structural pool-stats interface.
+func (c *NSClient) RPCPoolStats() []PoolStats { return []PoolStats{c.PoolStats()} }
+
+// Close tears down every pooled connection.
+func (c *NSClient) Close() error {
+	c.closed.Store(true)
+	for _, s := range c.slots {
+		s.close()
+	}
+	return nil
+}
+
+// nsSlot is one pool slot: a lazily (re)dialed connection.
+type nsSlot struct {
+	c        *NSClient
+	mu       sync.Mutex
+	cur      *nsConn
+	inflight atomic.Int64
+}
+
+// nsConn is one live connection: a gob stream with a reader goroutine
+// routing responses to pending calls by sequence number.
+type nsConn struct {
+	nc net.Conn
+	bw *bufio.Writer
+
+	encMu sync.Mutex // serializes frame encoding + flush
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan nsCallRes
+	dead    bool
+	err     error
+}
+
+// nsCallRes is a routed response or the connection failure that ended it.
+type nsCallRes struct {
+	resp *NSResponse
+	err  error
+}
+
+// get returns the slot's live connection, dialing (and handshaking) a new
+// one when the previous died.
+func (s *nsSlot) get() (*nsConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil {
+		return s.cur, nil
+	}
+	if s.c.closed.Load() {
+		return nil, vfs.ErrClosed
+	}
+	nc, err := net.Dial(s.c.network, s.c.addr)
+	if err != nil {
+		tierDialErrors.Add(1)
+		s.c.dialErrs.Add(1)
+		return nil, err
+	}
+	bw := bufio.NewWriter(nc)
+	conn := &nsConn{
+		nc:      nc,
+		bw:      bw,
+		enc:     gob.NewEncoder(bw),
+		dec:     gob.NewDecoder(bufio.NewReader(nc)),
+		pending: map[uint64]chan nsCallRes{},
+	}
+	// Hello handshake, synchronous on the fresh stream: a peer that is
+	// reachable but not speaking muxns fails here with ErrHandshake.
+	hello := &NSRequest{Seq: 1, Op: NSHello, N: NSProtoVersion}
+	conn.seq = 1
+	if err := conn.send(hello); err != nil {
+		nc.Close()
+		tierHandshakeFails.Add(1)
+		return nil, fmt.Errorf("%w: %s %s: %v", ErrHandshake, s.c.network, s.c.addr, err)
+	}
+	var hr NSResponse
+	if err := conn.dec.Decode(&hr); err != nil {
+		nc.Close()
+		tierHandshakeFails.Add(1)
+		return nil, fmt.Errorf("%w: %s %s: %v", ErrHandshake, s.c.network, s.c.addr, err)
+	}
+	if err := hr.Err(); err != nil {
+		nc.Close()
+		tierHandshakeFails.Add(1)
+		return nil, fmt.Errorf("%w: %s %s: %v", ErrHandshake, s.c.network, s.c.addr, err)
+	}
+	tierDials.Add(1)
+	if s.c.dials.Add(1) > int64(len(s.c.slots)) {
+		s.c.reconnects.Add(1)
+	}
+	s.c.name = "muxns:" + hr.ServerName
+	if hr.MaxBatch > 0 {
+		s.c.maxBatch = hr.MaxBatch
+	}
+	s.cur = conn
+	go s.readLoop(conn)
+	return conn, nil
+}
+
+// drop forgets conn if it is still current, so the next get() redials.
+func (s *nsSlot) drop(conn *nsConn) {
+	s.mu.Lock()
+	if s.cur == conn {
+		s.cur = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *nsSlot) close() {
+	s.mu.Lock()
+	conn := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if conn != nil {
+		conn.nc.Close()
+	}
+}
+
+// readLoop decodes response frames and routes them by Seq until the stream
+// dies, then fails every pending call.
+func (s *nsSlot) readLoop(conn *nsConn) {
+	for {
+		resp := &NSResponse{}
+		if err := conn.dec.Decode(resp); err != nil {
+			conn.fail(err)
+			s.drop(conn)
+			conn.nc.Close()
+			return
+		}
+		conn.route(resp)
+	}
+}
+
+// send encodes one frame and flushes it. Callers hold no conn locks.
+func (c *nsConn) send(req *NSRequest) error {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// register allocates a sequence number and parks a result channel for it.
+func (c *nsConn) register() (uint64, chan nsCallRes, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, nil, c.err
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan nsCallRes, 1)
+	c.pending[seq] = ch
+	return seq, ch, nil
+}
+
+func (c *nsConn) unregister(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// route delivers one response to its waiting call.
+func (c *nsConn) route(resp *NSResponse) {
+	c.mu.Lock()
+	ch := c.pending[resp.Seq]
+	delete(c.pending, resp.Seq)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- nsCallRes{resp: resp}
+	}
+}
+
+// fail marks the connection dead and errors out every pending call.
+func (c *nsConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	pend := c.pending
+	c.pending = map[uint64]chan nsCallRes{}
+	c.mu.Unlock()
+	for _, ch := range pend {
+		ch <- nsCallRes{err: err}
+	}
+}
+
+// do issues one request over conn and waits for its routed response. A
+// connection-level failure is returned as-is (callers classify it with
+// isConnErr).
+func (c *NSClient) do(s *nsSlot, conn *nsConn, req *NSRequest) (*NSResponse, error) {
+	seq, ch, err := conn.register()
+	if err != nil {
+		return nil, err
+	}
+	req.Seq = seq
+	c.calls.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if err := conn.send(req); err != nil {
+		conn.unregister(seq)
+		conn.nc.Close() // stream state unknown; kill it so the reader redials
+		c.connErrs.Add(1)
+		return nil, err
+	}
+	res := <-ch
+	if res.err != nil {
+		c.connErrs.Add(1)
+		return nil, res.err
+	}
+	return res.resp, nil
+}
+
+// doBusy runs do plus the busy-retry loop: a codeBusy response sleeps the
+// server's retry-after hint and re-issues the request, bounded by
+// BusyRetries. Connection errors pass through untouched.
+func (c *NSClient) doBusy(s *nsSlot, conn *nsConn, req *NSRequest) (*NSResponse, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.do(s, conn, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Code != codeBusy || attempt >= c.opts.BusyRetries || c.opts.BusyRetries < 0 {
+			return resp, nil
+		}
+		c.busyWaits.Add(1)
+		time.Sleep(c.busyBackoff(resp, attempt))
+	}
+}
+
+// busyBackoff is the sleep before busy-retry attempt (0-based). The
+// server's retry-after hint has millisecond granularity, so a client
+// whose token bucket hovers just under the cost would otherwise hammer
+// at the hint floor; consecutive rejections grow the wait exponentially
+// until the client converges on the limiter's actual admission period.
+func (c *NSClient) busyBackoff(resp *NSResponse, attempt int) time.Duration {
+	wait := time.Duration(resp.RetryAfterMs) * time.Millisecond
+	if wait <= 0 {
+		wait = c.opts.BusyWait
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	wait <<= attempt
+	if wait > 200*time.Millisecond {
+		wait = 200 * time.Millisecond
+	}
+	return wait
+}
+
+// call issues a path-level request over the next pooled slot, redialing
+// and retrying once on connection failure when the op is idempotent.
+func (c *NSClient) call(req *NSRequest, idempotent bool) (*NSResponse, error) {
+	s := c.slots[c.next.Add(1)%uint64(len(c.slots))]
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := s.get()
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		resp, err := c.do(s, conn, req)
+		if err == nil {
+			resp2, err2 := c.busyTail(s, conn, req, resp)
+			if err2 != nil && isConnErr(err2) && !idempotent {
+				return nil, &NonIdempotentError{Method: "muxns." + req.Op.String(), Cause: err2}
+			}
+			return resp2, err2
+		}
+		if !isConnErr(err) {
+			return nil, err
+		}
+		if !idempotent {
+			return nil, &NonIdempotentError{Method: "muxns." + req.Op.String(), Cause: err}
+		}
+		lastErr = err
+		c.retries.Add(1)
+	}
+	return nil, lastErr
+}
+
+// busyTail finishes the busy-retry loop for a response already in hand.
+func (c *NSClient) busyTail(s *nsSlot, conn *nsConn, req *NSRequest, resp *NSResponse) (*NSResponse, error) {
+	for attempt := 0; resp.Code == codeBusy && attempt < c.opts.BusyRetries && c.opts.BusyRetries >= 0; attempt++ {
+		c.busyWaits.Add(1)
+		time.Sleep(c.busyBackoff(resp, attempt))
+		var err error
+		resp, err = c.do(s, conn, req)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// Name identifies the remote namespace.
+func (c *NSClient) Name() string { return c.name }
+
+// Create makes and opens a remote file. Not idempotent: a connection
+// failure mid-call surfaces NonIdempotentError.
+func (c *NSClient) Create(path string) (vfs.File, error) {
+	return c.openOrCreate(path, NSCreate, false)
+}
+
+// Open opens an existing remote file; safe to retry.
+func (c *NSClient) Open(path string) (vfs.File, error) {
+	return c.openOrCreate(path, NSOpen, true)
+}
+
+func (c *NSClient) openOrCreate(path string, op NSOp, idempotent bool) (vfs.File, error) {
+	s := c.slots[c.next.Add(1)%uint64(len(c.slots))]
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := s.get()
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		resp, err := c.doBusy(s, conn, &NSRequest{Op: op, Path: path})
+		if err == nil {
+			if rerr := resp.Err(); rerr != nil {
+				return nil, rerr
+			}
+			return &NSFile{c: c, slot: s, conn: conn, handle: resp.Handle, path: vfs.CleanPath(path)}, nil
+		}
+		if !isConnErr(err) {
+			return nil, err
+		}
+		if !idempotent {
+			return nil, &NonIdempotentError{Method: "muxns." + op.String(), Cause: err}
+		}
+		lastErr = err
+		c.retries.Add(1)
+	}
+	return nil, lastErr
+}
+
+func (c *NSClient) callOK(req *NSRequest, idempotent bool) error {
+	resp, err := c.call(req, idempotent)
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Remove deletes a remote file or empty directory (not idempotent).
+func (c *NSClient) Remove(path string) error {
+	return c.callOK(&NSRequest{Op: NSRemove, Path: path}, false)
+}
+
+// Rename moves a remote file (not idempotent).
+func (c *NSClient) Rename(oldPath, newPath string) error {
+	return c.callOK(&NSRequest{Op: NSRename, Path: oldPath, Path2: newPath}, false)
+}
+
+// Mkdir creates a remote directory (not idempotent).
+func (c *NSClient) Mkdir(path string) error {
+	return c.callOK(&NSRequest{Op: NSMkdir, Path: path}, false)
+}
+
+// ReadDir lists a remote directory.
+func (c *NSClient) ReadDir(path string) ([]vfs.DirEntry, error) {
+	resp, err := c.call(&NSRequest{Op: NSReadDir, Path: path}, true)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, resp.Err()
+}
+
+// Stat returns remote path metadata.
+func (c *NSClient) Stat(path string) (vfs.FileInfo, error) {
+	resp, err := c.call(&NSRequest{Op: NSStat, Path: path}, true)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return resp.Info, resp.Err()
+}
+
+// SetAttr applies a partial metadata update (absolute values; idempotent).
+func (c *NSClient) SetAttr(path string, attr vfs.SetAttr) error {
+	args := SetAttrArgs{}
+	if attr.Size != nil {
+		args.HasSize, args.Size = true, *attr.Size
+	}
+	if attr.Mode != nil {
+		args.HasMode, args.Mode = true, uint32(*attr.Mode)
+	}
+	if attr.ModTime != nil {
+		args.HasModTime, args.ModTime = true, int64(*attr.ModTime)
+	}
+	if attr.ATime != nil {
+		args.HasATime, args.ATime = true, int64(*attr.ATime)
+	}
+	return c.callOK(&NSRequest{Op: NSSetAttr, Path: path, Attr: args}, true)
+}
+
+// Truncate sets a remote file's size by path (idempotent).
+func (c *NSClient) Truncate(path string, size int64) error {
+	return c.callOK(&NSRequest{Op: NSTruncate, Path: path, N: size}, true)
+}
+
+// Statfs reports remote capacity.
+func (c *NSClient) Statfs() (vfs.StatFS, error) {
+	resp, err := c.call(&NSRequest{Op: NSStatfs}, true)
+	if err != nil {
+		return vfs.StatFS{}, err
+	}
+	return resp.Stat, resp.Err()
+}
+
+// Sync persists the remote namespace.
+func (c *NSClient) Sync() error {
+	return c.callOK(&NSRequest{Op: NSSync}, true)
+}
+
+// NSFile is an open remote file, pinned to the pool slot whose connection
+// holds its server-side handle.
+type NSFile struct {
+	c    *NSClient
+	slot *nsSlot
+	path string
+
+	mu     sync.Mutex
+	conn   *nsConn
+	handle uint64
+	closed bool
+}
+
+var _ vfs.File = (*NSFile)(nil)
+
+// Path returns the path the handle was opened with.
+func (f *NSFile) Path() string { return f.path }
+
+// ensure returns a live connection and a valid handle on it, re-opening
+// the file by path when the original connection died (server-side handles
+// are connection-scoped).
+func (f *NSFile) ensure() (*nsConn, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, 0, vfs.ErrClosed
+	}
+	conn, err := f.slot.get()
+	if err != nil {
+		return nil, 0, err
+	}
+	if conn != f.conn {
+		resp, err := f.c.doBusy(f.slot, conn, &NSRequest{Op: NSOpen, Path: f.path})
+		if err != nil {
+			return nil, 0, err
+		}
+		if rerr := resp.Err(); rerr != nil {
+			return nil, 0, rerr
+		}
+		f.conn, f.handle = conn, resp.Handle
+		f.c.reopens.Add(1)
+	}
+	return f.conn, f.handle, nil
+}
+
+// rw issues one handle op with a single reconnect-reopen-retry; every
+// handle op except Close is idempotent (absolute offsets, absolute sizes).
+func (f *NSFile) rw(req *NSRequest) (*NSResponse, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, handle, err := f.ensure()
+		if err != nil {
+			if isConnErr(err) && lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		req.Handle = handle
+		resp, err := f.c.doBusy(f.slot, conn, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !isConnErr(err) {
+			return nil, err
+		}
+		lastErr = err
+		f.c.retries.Add(1)
+	}
+	return nil, lastErr
+}
+
+// ReadAt reads from the remote file.
+func (f *NSFile) ReadAt(p []byte, off int64) (int, error) {
+	resp, err := f.rw(&NSRequest{Op: NSRead, Off: off, N: int64(len(p))})
+	if err != nil {
+		return 0, err
+	}
+	if rerr := resp.Err(); rerr != nil {
+		return 0, rerr
+	}
+	n := copy(p, resp.Data)
+	if resp.EOF {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes to the remote file (absolute offset; idempotent).
+func (f *NSFile) WriteAt(p []byte, off int64) (int, error) {
+	resp, err := f.rw(&NSRequest{Op: NSWrite, Off: off, Data: p})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), resp.Err()
+}
+
+// Truncate sets the remote file's size.
+func (f *NSFile) Truncate(size int64) error {
+	resp, err := f.rw(&NSRequest{Op: NSTruncateHandle, N: size})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// PunchHole deallocates a remote range.
+func (f *NSFile) PunchHole(off, n int64) error {
+	resp, err := f.rw(&NSRequest{Op: NSPunch, Off: off, N: n})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Sync fsyncs the remote file.
+func (f *NSFile) Sync() error {
+	resp, err := f.rw(&NSRequest{Op: NSSyncHandle})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Stat returns the remote file's metadata.
+func (f *NSFile) Stat() (vfs.FileInfo, error) {
+	resp, err := f.rw(&NSRequest{Op: NSStatHandle})
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return resp.Info, resp.Err()
+}
+
+// Extents lists the remote file's allocated runs.
+func (f *NSFile) Extents() ([]vfs.Extent, error) {
+	resp, err := f.rw(&NSRequest{Op: NSExtents})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Extents, resp.Err()
+}
+
+// Close releases the remote handle. If the connection already died, the
+// server reaped the handle with it; closing is then a local no-op.
+func (f *NSFile) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	conn, handle := f.conn, f.handle
+	f.mu.Unlock()
+	f.slot.mu.Lock()
+	live := f.slot.cur == conn
+	f.slot.mu.Unlock()
+	if !live {
+		return nil
+	}
+	resp, err := f.c.do(f.slot, conn, &NSRequest{Op: NSClose, Handle: handle})
+	if err != nil {
+		if isConnErr(err) {
+			return nil // the connection's death closed the handle server-side
+		}
+		return err
+	}
+	return resp.Err()
+}
+
+// NSBatchOp is one sub-operation for Batch: a read (Read=true, N bytes at
+// Off) or a write (Data at Off) against an open NSFile.
+type NSBatchOp struct {
+	File *NSFile
+	Read bool
+	Off  int64
+	N    int
+	Data []byte
+}
+
+// NSBatchResult is one sub-operation's outcome, in the order of the ops
+// passed to Batch.
+type NSBatchResult struct {
+	N         int
+	EOF       bool
+	Data      []byte
+	Err       error
+	Coalesced bool
+}
+
+// Batch ships many small reads/writes in one request frame per pool slot.
+// The server coalesces adjacent sub-ops per handle into single downward
+// dispatches and replies per sub-op; results may have been executed in any
+// order, so dependent ops (a read of a write's range) must not share a
+// batch. Oversized batches split at the server's negotiated limit.
+func (c *NSClient) Batch(ops []NSBatchOp) ([]NSBatchResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	results := make([]NSBatchResult, len(ops))
+	// Group op indexes by slot: handles are pinned to connections.
+	groups := map[*nsSlot][]int{}
+	for i, op := range ops {
+		if op.File == nil {
+			return nil, errors.New("muxrpc: batch op without a file")
+		}
+		groups[op.File.slot] = append(groups[op.File.slot], i)
+	}
+	max := c.maxBatch
+	if max <= 0 {
+		max = len(ops)
+	}
+	for slot, idxs := range groups {
+		for start := 0; start < len(idxs); start += max {
+			end := start + max
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			if err := c.batchGroup(slot, ops, idxs[start:end], results); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// batchGroup issues one NSBatch frame for the given op indexes, with a
+// single reconnect-reopen-retry (batched reads and absolute-offset writes
+// are idempotent).
+func (c *NSClient) batchGroup(slot *nsSlot, ops []NSBatchOp, idxs []int, results []NSBatchResult) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		subs := make([]NSSubOp, 0, len(idxs))
+		var conn *nsConn
+		for _, i := range idxs {
+			fconn, handle, err := ops[i].File.ensure()
+			if err != nil {
+				return err
+			}
+			conn = fconn
+			sub := NSSubOp{ID: uint32(i), Handle: handle, Off: ops[i].Off}
+			if ops[i].Read {
+				sub.Op = NSRead
+				sub.N = int64(ops[i].N)
+			} else {
+				sub.Op = NSWrite
+				sub.Data = ops[i].Data
+			}
+			subs = append(subs, sub)
+		}
+		resp, err := c.doBusy(slot, conn, &NSRequest{Op: NSBatch, Batch: subs})
+		if err != nil {
+			if !isConnErr(err) {
+				return err
+			}
+			lastErr = err
+			c.retries.Add(1)
+			continue
+		}
+		if rerr := resp.Err(); rerr != nil {
+			return rerr
+		}
+		for _, sr := range resp.Batch {
+			i := int(sr.ID)
+			if i < 0 || i >= len(results) {
+				continue
+			}
+			results[i] = NSBatchResult{
+				N: int(sr.N), EOF: sr.EOF, Data: sr.Data,
+				Err: sr.Err(), Coalesced: sr.Coalesced,
+			}
+		}
+		return nil
+	}
+	return lastErr
+}

@@ -1,0 +1,192 @@
+package muxrpc
+
+import (
+	"time"
+
+	"muxfs/internal/vfs"
+)
+
+// Namespace protocol ("muxns"): the second, newer wire protocol in this
+// package. The original MuxTier protocol (net/rpc) exports one *tier* to a
+// remote Mux; muxns exports a whole Mux *namespace* to many clients, and is
+// shaped for a production front end rather than a point-to-point proxy:
+//
+//   - One gob stream per connection carries framed NSRequest/NSResponse
+//     pairs matched by Seq. Responses may return in any order — the server
+//     pipelines them as workers finish — so a slow readdir never
+//     head-of-line blocks a fast stat on the same socket.
+//   - A request may carry a *batch* of sub-operations (reads/writes tagged
+//     with caller-chosen ids). The server coalesces adjacent sub-ops per
+//     handle into single downward dispatches and replies per sub-op.
+//   - The server can refuse admission (queue past high watermark, client
+//     over its rate budget) with codeBusy plus a retry-after hint; see
+//     BusyError. A busy reply means the op did not execute.
+//
+// The server side lives in internal/server; NSClient (nsclient.go) is the
+// client. Handles are scoped to the connection that opened them, so a
+// vanished client can never leak server-side handles.
+
+// NSOp enumerates the namespace operations.
+type NSOp uint8
+
+const (
+	// NSHello is the handshake; it must be the first frame on a
+	// connection and carries the protocol version in N.
+	NSHello NSOp = iota
+	NSOpen
+	NSCreate
+	NSClose
+	NSRead
+	NSWrite
+	NSTruncateHandle
+	NSPunch
+	NSSyncHandle
+	NSStatHandle
+	NSExtents
+	NSStat
+	NSSetAttr
+	NSTruncate
+	NSReadDir
+	NSRename
+	NSRemove
+	NSMkdir
+	NSStatfs
+	NSSync
+	NSBatch
+	nsOpCount
+)
+
+var nsOpNames = [nsOpCount]string{
+	"hello", "open", "create", "close", "read", "write",
+	"truncate_handle", "punch", "sync_handle", "stat_handle", "extents",
+	"stat", "setattr", "truncate", "readdir", "rename", "remove",
+	"mkdir", "statfs", "sync", "batch",
+}
+
+// String names the op for metrics labels and errors.
+func (op NSOp) String() string {
+	if int(op) < len(nsOpNames) {
+		return nsOpNames[op]
+	}
+	return "invalid"
+}
+
+// NSProtoVersion is the muxns protocol version; the hello frame carries it
+// and the server rejects mismatches.
+const NSProtoVersion = 1
+
+// NSOpCount reports the size of the op space, for per-op instrument
+// tables indexed by NSOp.
+func NSOpCount() int { return int(nsOpCount) }
+
+// EncodeStatus maps an error to its wire (code, message) pair — codeOK for
+// nil — so the namespace server can fill responses without re-implementing
+// the sentinel table.
+func EncodeStatus(err error) (int, string) { return encodeErr(err) }
+
+// NSBusy builds a busy rejection (admission control) with a retry-after
+// hint in milliseconds.
+func NSBusy(seq uint64, retryAfterMs int64) *NSResponse {
+	return &NSResponse{Seq: seq, Code: codeBusy, Msg: ErrBusy.Error(), RetryAfterMs: retryAfterMs}
+}
+
+// ToSetAttr unflattens the wire form back to the vfs partial update.
+func (a SetAttrArgs) ToSetAttr() vfs.SetAttr {
+	var attr vfs.SetAttr
+	if a.HasSize {
+		attr.Size = &a.Size
+	}
+	if a.HasMode {
+		m := vfs.FileMode(a.Mode)
+		attr.Mode = &m
+	}
+	if a.HasModTime {
+		d := time.Duration(a.ModTime)
+		attr.ModTime = &d
+	}
+	if a.HasATime {
+		d := time.Duration(a.ATime)
+		attr.ATime = &d
+	}
+	return attr
+}
+
+// NSRequest is one framed namespace request. Fields are a union over the
+// op set; unused fields stay zero (gob encodes them compactly).
+type NSRequest struct {
+	Seq uint64
+	Op  NSOp
+
+	Path  string // open/create/stat/setattr/truncate/readdir/remove/mkdir, rename source
+	Path2 string // rename destination
+
+	Handle uint64 // handle ops
+	Off    int64  // read/write/punch
+	N      int64  // read length, punch length, hello protocol version, truncate size
+
+	Data []byte // write payload
+
+	Attr SetAttrArgs // setattr (Path field unused; flattened like the tier protocol)
+
+	Batch []NSSubOp // batch sub-operations
+}
+
+// NSSubOp is one read or write inside a batch frame. ID is chosen by the
+// caller and echoed in the matching NSSubResult; results may be reordered.
+type NSSubOp struct {
+	ID     uint32
+	Op     NSOp // NSRead or NSWrite
+	Handle uint64
+	Off    int64
+	N      int64  // read length
+	Data   []byte // write payload
+}
+
+// NSResponse is one framed reply, matched to its request by Seq.
+type NSResponse struct {
+	Seq  uint64
+	Code int
+	Msg  string
+
+	// RetryAfterMs is the backoff hint accompanying codeBusy.
+	RetryAfterMs int64
+
+	Handle  uint64
+	N       int64
+	EOF     bool
+	Data    []byte
+	Info    vfs.FileInfo
+	Entries []vfs.DirEntry
+	Stat    vfs.StatFS
+	Extents []vfs.Extent
+
+	Batch []NSSubResult
+
+	// Hello reply: server name, negotiated limits.
+	ServerName string
+	MaxBatch   int
+}
+
+// NSSubResult is one sub-op's outcome.
+type NSSubResult struct {
+	ID   uint32
+	Code int
+	Msg  string
+	N    int64
+	EOF  bool
+	Data []byte
+	// Coalesced marks a sub-op the server served from a merged dispatch
+	// (several adjacent sub-ops collapsed into one downward I/O).
+	Coalesced bool
+}
+
+// Err decodes the response status, reconstructing BusyError hints.
+func (r *NSResponse) Err() error {
+	if r.Code == codeBusy {
+		return &BusyError{RetryAfter: time.Duration(r.RetryAfterMs) * time.Millisecond}
+	}
+	return decodeErr(r.Code, r.Msg)
+}
+
+// Err decodes the sub-result status.
+func (r *NSSubResult) Err() error { return decodeErr(r.Code, r.Msg) }

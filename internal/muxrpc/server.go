@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"muxfs/internal/vfs"
@@ -20,11 +21,18 @@ type Server struct {
 	mu      sync.Mutex
 	handles map[uint64]vfs.File
 	nextID  uint64
+
+	// Connection/call lifecycle for graceful shutdown: Drain waits for
+	// calls already executing to finish before the connections are torn
+	// down, so an orderly stop never cuts an RPC mid-flight.
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	inflight atomic.Int64
 }
 
 // NewServer wraps fs for remote service.
 func NewServer(fs vfs.FileSystem) *Server {
-	return &Server{fs: fs, handles: map[uint64]vfs.File{}, nextID: 1}
+	return &Server{fs: fs, handles: map[uint64]vfs.File{}, nextID: 1, conns: map[net.Conn]struct{}{}}
 }
 
 // Serve accepts connections on l until the listener closes. It blocks;
@@ -42,8 +50,50 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		go func() {
+			srv.ServeConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+		}()
 	}
+}
+
+// begin marks one RPC call in flight; the returned func ends it. Every
+// exported method calls it first, so Drain can wait for genuine quiescence
+// rather than just closed sockets.
+func (s *Server) begin() func() {
+	s.inflight.Add(1)
+	return func() { s.inflight.Add(-1) }
+}
+
+// InFlight reports the number of RPC calls currently executing.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Drain performs an orderly shutdown of the connection side: the caller
+// closes the listener first (so no new connections arrive), then Drain
+// waits up to timeout for in-flight calls to complete and closes every
+// remaining connection. Calls that arrive on open connections during the
+// drain window still execute; the window closes when the server goes
+// quiescent or the timeout expires, whichever is first. It returns the
+// number of calls still executing when connections were severed (0 for a
+// clean drain).
+func (s *Server) Drain(timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cut := s.inflight.Load()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.connMu.Unlock()
+	return cut
 }
 
 func (s *Server) track(f vfs.File) uint64 {
@@ -67,12 +117,14 @@ func (s *Server) handle(id uint64) (vfs.File, error) {
 
 // Name reports the wrapped file system's name.
 func (s *Server) Name(_ struct{}, reply *NameReply) error {
+	defer s.begin()()
 	reply.Name = s.fs.Name()
 	return nil
 }
 
 // Create makes and opens a file.
 func (s *Server) Create(args PathArgs, reply *HandleReply) error {
+	defer s.begin()()
 	f, err := s.fs.Create(args.Path)
 	if err == nil {
 		reply.Handle = s.track(f)
@@ -83,6 +135,7 @@ func (s *Server) Create(args PathArgs, reply *HandleReply) error {
 
 // Open opens a file.
 func (s *Server) Open(args PathArgs, reply *HandleReply) error {
+	defer s.begin()()
 	f, err := s.fs.Open(args.Path)
 	if err == nil {
 		reply.Handle = s.track(f)
@@ -93,24 +146,28 @@ func (s *Server) Open(args PathArgs, reply *HandleReply) error {
 
 // Remove deletes a file or empty directory.
 func (s *Server) Remove(args PathArgs, reply *OKReply) error {
+	defer s.begin()()
 	reply.Status = status(s.fs.Remove(args.Path))
 	return nil
 }
 
 // Rename moves a file.
 func (s *Server) Rename(args RenameArgs, reply *OKReply) error {
+	defer s.begin()()
 	reply.Status = status(s.fs.Rename(args.Old, args.New))
 	return nil
 }
 
 // Mkdir creates a directory.
 func (s *Server) Mkdir(args PathArgs, reply *OKReply) error {
+	defer s.begin()()
 	reply.Status = status(s.fs.Mkdir(args.Path))
 	return nil
 }
 
 // ReadDir lists a directory.
 func (s *Server) ReadDir(args PathArgs, reply *ReadDirReply) error {
+	defer s.begin()()
 	ents, err := s.fs.ReadDir(args.Path)
 	reply.Entries = ents
 	reply.Status = status(err)
@@ -119,6 +176,7 @@ func (s *Server) ReadDir(args PathArgs, reply *ReadDirReply) error {
 
 // Stat returns path metadata.
 func (s *Server) Stat(args PathArgs, reply *StatReply) error {
+	defer s.begin()()
 	fi, err := s.fs.Stat(args.Path)
 	reply.Info = fi
 	reply.Status = status(err)
@@ -127,6 +185,7 @@ func (s *Server) Stat(args PathArgs, reply *StatReply) error {
 
 // SetAttr applies a partial metadata update.
 func (s *Server) SetAttr(args SetAttrArgs, reply *OKReply) error {
+	defer s.begin()()
 	var attr vfs.SetAttr
 	if args.HasSize {
 		attr.Size = &args.Size
@@ -149,12 +208,14 @@ func (s *Server) SetAttr(args SetAttrArgs, reply *OKReply) error {
 
 // Truncate sets a file's size by path.
 func (s *Server) Truncate(args TruncatePathArgs, reply *OKReply) error {
+	defer s.begin()()
 	reply.Status = status(s.fs.Truncate(args.Path, args.Size))
 	return nil
 }
 
 // Statfs reports capacity accounting.
 func (s *Server) Statfs(_ struct{}, reply *StatfsReply) error {
+	defer s.begin()()
 	st, err := s.fs.Statfs()
 	reply.Stat = st
 	reply.Status = status(err)
@@ -163,12 +224,14 @@ func (s *Server) Statfs(_ struct{}, reply *StatfsReply) error {
 
 // Sync persists the whole file system.
 func (s *Server) Sync(_ struct{}, reply *OKReply) error {
+	defer s.begin()()
 	reply.Status = status(s.fs.Sync())
 	return nil
 }
 
 // ReadAt serves a handle read.
 func (s *Server) ReadAt(args ReadArgs, reply *ReadReply) error {
+	defer s.begin()()
 	f, err := s.handle(args.Handle)
 	if err != nil {
 		reply.Status = status(err)
@@ -187,6 +250,7 @@ func (s *Server) ReadAt(args ReadArgs, reply *ReadReply) error {
 
 // WriteAt serves a handle write.
 func (s *Server) WriteAt(args WriteArgs, reply *WriteReply) error {
+	defer s.begin()()
 	f, err := s.handle(args.Handle)
 	if err != nil {
 		reply.Status = status(err)
@@ -200,6 +264,7 @@ func (s *Server) WriteAt(args WriteArgs, reply *WriteReply) error {
 
 // TruncateHandle sets an open file's size.
 func (s *Server) TruncateHandle(args TruncateArgs, reply *OKReply) error {
+	defer s.begin()()
 	f, err := s.handle(args.Handle)
 	if err != nil {
 		reply.Status = status(err)
@@ -211,6 +276,7 @@ func (s *Server) TruncateHandle(args TruncateArgs, reply *OKReply) error {
 
 // SyncHandle fsyncs an open file.
 func (s *Server) SyncHandle(args HandleArgs, reply *OKReply) error {
+	defer s.begin()()
 	f, err := s.handle(args.Handle)
 	if err != nil {
 		reply.Status = status(err)
@@ -222,6 +288,7 @@ func (s *Server) SyncHandle(args HandleArgs, reply *OKReply) error {
 
 // CloseHandle releases an open file.
 func (s *Server) CloseHandle(args HandleArgs, reply *OKReply) error {
+	defer s.begin()()
 	s.mu.Lock()
 	f, ok := s.handles[args.Handle]
 	delete(s.handles, args.Handle)
@@ -236,6 +303,7 @@ func (s *Server) CloseHandle(args HandleArgs, reply *OKReply) error {
 
 // StatHandle returns an open file's metadata.
 func (s *Server) StatHandle(args HandleArgs, reply *StatReply) error {
+	defer s.begin()()
 	f, err := s.handle(args.Handle)
 	if err != nil {
 		reply.Status = status(err)
@@ -249,6 +317,7 @@ func (s *Server) StatHandle(args HandleArgs, reply *StatReply) error {
 
 // Extents lists an open file's allocated runs.
 func (s *Server) Extents(args HandleArgs, reply *ExtentsReply) error {
+	defer s.begin()()
 	f, err := s.handle(args.Handle)
 	if err != nil {
 		reply.Status = status(err)
@@ -262,6 +331,7 @@ func (s *Server) Extents(args HandleArgs, reply *ExtentsReply) error {
 
 // PunchHole deallocates a range of an open file.
 func (s *Server) PunchHole(args PunchArgs, reply *OKReply) error {
+	defer s.begin()()
 	f, err := s.handle(args.Handle)
 	if err != nil {
 		reply.Status = status(err)
@@ -274,6 +344,7 @@ func (s *Server) PunchHole(args PunchArgs, reply *OKReply) error {
 // Crash injects a simulated power failure on the served file system, when
 // it supports fault injection (testing/fault drills for Distributed Mux).
 func (s *Server) Crash(_ struct{}, reply *OKReply) error {
+	defer s.begin()()
 	if cr, ok := s.fs.(vfs.CrashRecoverer); ok {
 		cr.Crash()
 		reply.Status = status(nil)
@@ -285,6 +356,7 @@ func (s *Server) Crash(_ struct{}, reply *OKReply) error {
 
 // Recover replays the served file system's recovery path.
 func (s *Server) Recover(_ struct{}, reply *OKReply) error {
+	defer s.begin()()
 	if cr, ok := s.fs.(vfs.CrashRecoverer); ok {
 		reply.Status = status(cr.Recover())
 	} else {

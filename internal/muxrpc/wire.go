@@ -10,6 +10,8 @@ package muxrpc
 
 import (
 	"errors"
+	"fmt"
+	"time"
 
 	"muxfs/internal/vfs"
 )
@@ -26,7 +28,51 @@ const (
 	codeInvalid
 	codeClosed
 	codeOther
+	codeBusy
 )
+
+// ErrBusy reports server-side admission control: the request was rejected
+// before execution — the worker queue is past its high watermark or the
+// client exceeded its rate budget — and can be retried after the hinted
+// delay. Nothing was executed, so retrying is always safe.
+var ErrBusy = errors.New("muxrpc: server busy")
+
+// BusyError carries the server's retry hint. errors.Is(err, ErrBusy)
+// matches it.
+type BusyError struct {
+	// RetryAfter is the server's suggested backoff before retrying (zero
+	// when the server offered no estimate).
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("muxrpc: server busy (retry after %v)", e.RetryAfter)
+	}
+	return "muxrpc: server busy"
+}
+
+func (e *BusyError) Unwrap() error { return ErrBusy }
+
+// ErrNonIdempotent reports that the connection failed during a call that
+// is not safe to replay (create, remove, rename, mkdir, close): the op may
+// or may not have executed on the server. The client never silently
+// retries these; the caller must decide — typically by re-checking state
+// with an idempotent op (Stat) once the peer is reachable again.
+var ErrNonIdempotent = errors.New("muxrpc: connection lost during non-idempotent call")
+
+// NonIdempotentError wraps the underlying connection failure; errors.Is
+// matches both ErrNonIdempotent and the transport cause.
+type NonIdempotentError struct {
+	Method string // the wire method that was in flight
+	Cause  error  // the connection-level failure
+}
+
+func (e *NonIdempotentError) Error() string {
+	return fmt.Sprintf("muxrpc: connection lost during non-idempotent %s (op may or may not have applied): %v", e.Method, e.Cause)
+}
+
+func (e *NonIdempotentError) Unwrap() []error { return []error{ErrNonIdempotent, e.Cause} }
 
 // encodeErr maps an error to (code, message).
 func encodeErr(err error) (int, string) {
@@ -49,6 +95,8 @@ func encodeErr(err error) (int, string) {
 		return codeInvalid, err.Error()
 	case errors.Is(err, vfs.ErrClosed):
 		return codeClosed, err.Error()
+	case errors.Is(err, ErrBusy):
+		return codeBusy, err.Error()
 	default:
 		return codeOther, err.Error()
 	}
@@ -76,6 +124,8 @@ func decodeErr(code int, msg string) error {
 		sentinel = vfs.ErrInvalid
 	case codeClosed:
 		sentinel = vfs.ErrClosed
+	case codeBusy:
+		return &BusyError{}
 	default:
 		return errors.New("muxrpc remote: " + msg)
 	}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+
+	"muxfs/internal/vfs"
+)
+
+// attrCache is the server-side metadata cache: recently served Stat and
+// ReadDir results, including *negative* entries (path does not exist), so
+// repeated misses — the common case for probing clients — stop at the
+// front end instead of walking the Mux namespace every time.
+//
+// Consistency: mutations served by this server invalidate exactly the
+// affected entries (the path, its directory listing, and for directory
+// renames/removes every cached descendant). Mutations the server cannot
+// see — a policy-runner migration changing a file's tier placement, a
+// co-located writer — are bounded by the TTL: an entry older than ttl is
+// discarded on lookup. The default TTL (100ms) keeps block-placement
+// staleness invisible to any human-scale observer while still absorbing
+// stat storms.
+type attrCache struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	lru *list.List // front = most recently used
+	idx map[string]*list.Element
+
+	hits, misses, negHits, evicts int64
+}
+
+// cacheEntry is one cached Stat or ReadDir result (key prefix "s"/"d").
+type cacheEntry struct {
+	key  string
+	neg  bool // path does not exist (vfs.ErrNotExist)
+	info vfs.FileInfo
+	ents []vfs.DirEntry
+	exp  time.Time
+}
+
+func newAttrCache(capacity int, ttl time.Duration) *attrCache {
+	return &attrCache{
+		cap: capacity,
+		ttl: ttl,
+		lru: list.New(),
+		idx: map[string]*list.Element{},
+	}
+}
+
+func statKey(path string) string { return "s" + path }
+func dirKey(path string) string  { return "d" + path }
+
+// get returns a live entry for key, counting the hit or miss.
+func (ac *attrCache) get(key string) (*cacheEntry, bool) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	el, ok := ac.idx[key]
+	if !ok {
+		ac.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if time.Now().After(ent.exp) {
+		ac.lru.Remove(el)
+		delete(ac.idx, key)
+		ac.misses++
+		return nil, false
+	}
+	ac.lru.MoveToFront(el)
+	ac.hits++
+	if ent.neg {
+		ac.negHits++
+	}
+	return ent, true
+}
+
+// put stores one entry, evicting from the LRU tail past capacity.
+func (ac *attrCache) put(ent *cacheEntry) {
+	ent.exp = time.Now().Add(ac.ttl)
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if el, ok := ac.idx[ent.key]; ok {
+		el.Value = ent
+		ac.lru.MoveToFront(el)
+		return
+	}
+	ac.idx[ent.key] = ac.lru.PushFront(ent)
+	for ac.lru.Len() > ac.cap {
+		tail := ac.lru.Back()
+		ac.lru.Remove(tail)
+		delete(ac.idx, tail.Value.(*cacheEntry).key)
+		ac.evicts++
+	}
+}
+
+// getStat looks up a cached Stat result; a negative hit returns
+// vfs.ErrNotExist.
+func (ac *attrCache) getStat(path string) (vfs.FileInfo, error, bool) {
+	ent, ok := ac.get(statKey(path))
+	if !ok {
+		return vfs.FileInfo{}, nil, false
+	}
+	if ent.neg {
+		return vfs.FileInfo{}, vfs.ErrNotExist, true
+	}
+	return ent.info, nil, true
+}
+
+// putStat caches a Stat outcome: hits and not-exist misses are cacheable,
+// other errors are not.
+func (ac *attrCache) putStat(path string, info vfs.FileInfo, err error) {
+	switch {
+	case err == nil:
+		ac.put(&cacheEntry{key: statKey(path), info: info})
+	case isNotExist(err):
+		ac.put(&cacheEntry{key: statKey(path), neg: true})
+	}
+}
+
+// getDir looks up a cached ReadDir result.
+func (ac *attrCache) getDir(path string) ([]vfs.DirEntry, error, bool) {
+	ent, ok := ac.get(dirKey(path))
+	if !ok {
+		return nil, nil, false
+	}
+	if ent.neg {
+		return nil, vfs.ErrNotExist, true
+	}
+	return ent.ents, nil, true
+}
+
+// putDir caches a ReadDir outcome (positive or not-exist).
+func (ac *attrCache) putDir(path string, ents []vfs.DirEntry, err error) {
+	switch {
+	case err == nil:
+		ac.put(&cacheEntry{key: dirKey(path), ents: ents})
+	case isNotExist(err):
+		ac.put(&cacheEntry{key: dirKey(path), neg: true})
+	}
+}
+
+func (ac *attrCache) remove(keys ...string) {
+	for _, k := range keys {
+		if el, ok := ac.idx[k]; ok {
+			ac.lru.Remove(el)
+			delete(ac.idx, k)
+		}
+	}
+}
+
+// invalidate drops the entries a mutation of path makes stale: the path's
+// own stat and listing, and the parent directory's listing (whose entry
+// set or recorded sizes may have changed).
+func (ac *attrCache) invalidate(path string) {
+	path = vfs.CleanPath(path)
+	parent, _ := vfs.ParentPath(path)
+	ac.mu.Lock()
+	ac.remove(statKey(path), dirKey(path), dirKey(parent))
+	ac.mu.Unlock()
+}
+
+// invalidatePrefix drops path, every cached descendant of it, and the
+// parent listing — the rename/remove-of-a-directory case, where old cached
+// keys under the subtree all went stale at once.
+func (ac *attrCache) invalidatePrefix(path string) {
+	path = vfs.CleanPath(path)
+	parent, _ := vfs.ParentPath(path)
+	sub := path + "/"
+	if path == "/" {
+		sub = "/"
+	}
+	ac.mu.Lock()
+	ac.remove(statKey(path), dirKey(path), dirKey(parent))
+	for key, el := range ac.idx {
+		if strings.HasPrefix(key[1:], sub) {
+			ac.lru.Remove(el)
+			delete(ac.idx, key)
+		}
+	}
+	ac.mu.Unlock()
+}
+
+// counters snapshots the hit/miss/negative/eviction counts and the live
+// entry count.
+func (ac *attrCache) counters() (hits, misses, negHits, evicts, entries int64) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.hits, ac.misses, ac.negHits, ac.evicts, int64(ac.lru.Len())
+}

@@ -1,0 +1,692 @@
+package server
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muxfs/internal/muxrpc"
+	"muxfs/internal/telemetry"
+	"muxfs/internal/vfs"
+)
+
+// Options tunes a namespace server. The zero value is usable: Fill applies
+// the defaults documented per field.
+type Options struct {
+	// Workers is the execution-pool width (default 2×GOMAXPROCS). This is
+	// the server's total concurrency: no request ever runs outside the
+	// pool.
+	Workers int
+	// MaxQueue is the admission high watermark (default 1024 tasks).
+	// Requests arriving with the queue full are rejected busy.
+	MaxQueue int
+	// RatePerClient caps each client's sustained throughput in cost units
+	// per second (1 unit per request + 1 per 32KiB payload); 0 disables
+	// rate limiting. Burst is the bucket size (default 4× the per-second
+	// rate, min one quantum).
+	RatePerClient float64
+	Burst         float64
+	// CacheSize and CacheTTL shape the attr/readdir cache (defaults 4096
+	// entries, 100ms). CacheSize 0 keeps the default; negative disables
+	// the cache.
+	CacheSize int
+	CacheTTL  time.Duration
+	// MaxBatch bounds sub-ops per batch frame (default 256), negotiated
+	// down to clients in the hello reply.
+	MaxBatch int
+	// Registry, when set, records per-op latency histograms
+	// (mux_server_op_ns). Counters in Stats are always maintained; they
+	// are plain atomics and cost nothing measurable.
+	Registry *telemetry.Registry
+}
+
+// Fill applies defaults in place and returns the options.
+func (o Options) fill() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 1024
+	}
+	if o.RatePerClient > 0 && o.Burst <= 0 {
+		o.Burst = 4 * o.RatePerClient
+		if o.Burst < drrQuantum {
+			o.Burst = drrQuantum
+		}
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.CacheTTL <= 0 {
+		o.CacheTTL = 100 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	return o
+}
+
+// Server serves one vfs.FileSystem (typically a *core.Mux) to many muxns
+// clients. See the package comment for the admission/fairness/cache
+// design.
+type Server struct {
+	fs   vfs.FileSystem
+	opts Options
+
+	sched *sched
+	cache *attrCache // nil when disabled
+	tel   *telemetry.Registry
+	opNs  []*telemetry.Histogram // per-op latency, indexed by NSOp
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	wg        sync.WaitGroup
+	executing atomic.Int64
+	closed    atomic.Bool
+
+	// counters (see Stats)
+	requests      atomic.Int64
+	rejectedQueue atomic.Int64
+	rejectedRate  atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	batchSubOps   atomic.Int64
+	batchDisp     atomic.Int64
+	batchSaved    atomic.Int64
+	handles       atomic.Int64
+	accepted      atomic.Int64
+}
+
+// New builds a namespace server over fs and starts its worker pool.
+func New(fs vfs.FileSystem, opts Options) *Server {
+	opts = opts.fill()
+	s := &Server{
+		fs:    fs,
+		opts:  opts,
+		sched: newSched(opts.MaxQueue, opts.RatePerClient, opts.Burst),
+		conns: map[*conn]struct{}{},
+		tel:   opts.Registry,
+	}
+	if opts.CacheSize > 0 {
+		s.cache = newAttrCache(opts.CacheSize, opts.CacheTTL)
+	}
+	if s.tel != nil {
+		s.opNs = make([]*telemetry.Histogram, muxrpc.NSOpCount())
+		for op := 0; op < muxrpc.NSOpCount(); op++ {
+			s.opNs[op] = s.tel.Histogram("mux_server_op_ns",
+				"namespace-server op service time (ns)",
+				telemetry.Label{Key: "op", Value: muxrpc.NSOp(op).String()})
+		}
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Serve accepts muxns connections on l until the listener closes. It
+// blocks; run it in a goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if s.closed.Load() {
+			nc.Close()
+			return nil
+		}
+		c := &conn{srv: s, nc: nc, handles: map[uint64]nsHandle{}, cq: &clientQ{}}
+		c.bw = bufio.NewWriter(nc)
+		c.enc = gob.NewEncoder(c.bw)
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.accepted.Add(1)
+		go c.readLoop()
+	}
+}
+
+// InFlight reports queued plus executing requests.
+func (s *Server) InFlight() int64 {
+	return int64(s.sched.depth()) + s.executing.Load()
+}
+
+// Drain waits up to timeout for queued and executing requests to finish,
+// then severs every connection. The caller closes its listeners first so
+// no new connections arrive. Returns the number of requests still in
+// flight when connections were cut (0 for a clean drain).
+func (s *Server) Drain(timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	for s.InFlight() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cut := s.InFlight()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.connMu.Unlock()
+	return cut
+}
+
+// Close stops the worker pool after the queue drains and severs any
+// remaining connections. Serve goroutines exit when their listeners close.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.sched.close()
+	s.wg.Wait()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.connMu.Unlock()
+	return nil
+}
+
+// worker executes admitted tasks until the scheduler closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		t := s.sched.next()
+		if t == nil {
+			return
+		}
+		s.executing.Add(1)
+		resp := s.serve(t.c, t.req)
+		resp.Seq = t.req.Seq
+		t.c.reply(resp)
+		s.executing.Add(-1)
+		t.c.executing.Add(-1)
+	}
+}
+
+// costOf charges a request by frame plus payload volume.
+func costOf(req *muxrpc.NSRequest) int64 {
+	var payload int64
+	switch req.Op {
+	case muxrpc.NSRead:
+		payload = req.N
+	case muxrpc.NSWrite:
+		payload = int64(len(req.Data))
+	case muxrpc.NSBatch:
+		for i := range req.Batch {
+			if req.Batch[i].Op == muxrpc.NSRead {
+				payload += req.Batch[i].N
+			} else {
+				payload += int64(len(req.Batch[i].Data))
+			}
+		}
+	}
+	if payload < 0 {
+		payload = 0
+	}
+	return 1 + payload/costUnitBytes
+}
+
+// nsHandle is one open file with the path it was opened under (needed for
+// cache invalidation on handle-level mutations).
+type nsHandle struct {
+	f    vfs.File
+	path string
+}
+
+// conn is one client connection: its gob stream, its open handles, and
+// its scheduler queue. Handles die with the connection — the read loop's
+// teardown closes them — so a vanished client cannot leak server state.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	encMu sync.Mutex
+	bw    *bufio.Writer
+	enc   *gob.Encoder
+
+	cq *clientQ
+
+	// executing counts this connection's tasks currently inside workers;
+	// teardown waits for it to reach zero before reaping handles.
+	executing atomic.Int64
+
+	mu      sync.Mutex
+	handles map[uint64]nsHandle
+	nextH   uint64
+}
+
+// reply encodes one response frame; an encode failure kills the
+// connection (the gob stream is unrecoverable mid-frame).
+func (c *conn) reply(resp *muxrpc.NSResponse) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if err := c.enc.Encode(resp); err != nil {
+		c.nc.Close()
+		return
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.nc.Close()
+	}
+}
+
+// readLoop decodes frames, runs admission, and hands tasks to the worker
+// pool. It exits (and tears the connection down) on the first stream
+// error.
+func (c *conn) readLoop() {
+	defer c.teardown()
+	dec := gob.NewDecoder(bufio.NewReader(c.nc))
+
+	// The hello handshake runs inline, before admission control: it is
+	// the one frame a client may always send.
+	var hello muxrpc.NSRequest
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if hello.Op != muxrpc.NSHello || hello.N != muxrpc.NSProtoVersion {
+		c.reply(errResp(hello.Seq,
+			fmt.Errorf("muxns: protocol version mismatch (server speaks %d)", muxrpc.NSProtoVersion)))
+		return
+	}
+	c.reply(&muxrpc.NSResponse{
+		Seq:        hello.Seq,
+		ServerName: c.srv.fs.Name(),
+		MaxBatch:   c.srv.opts.MaxBatch,
+	})
+
+	for {
+		req := &muxrpc.NSRequest{}
+		if err := dec.Decode(req); err != nil {
+			return
+		}
+		c.srv.requests.Add(1)
+		if len(req.Batch) > c.srv.opts.MaxBatch {
+			c.reply(errResp(req.Seq, fmt.Errorf("%w: batch of %d exceeds limit %d",
+				vfs.ErrInvalid, len(req.Batch), c.srv.opts.MaxBatch)))
+			continue
+		}
+		t := &task{c: c, req: req, cost: costOf(req)}
+		if retry, rated, ok := c.srv.sched.submit(c.cq, t); !ok {
+			if rated {
+				c.srv.rejectedRate.Add(1)
+			} else {
+				c.srv.rejectedQueue.Add(1)
+			}
+			ms := retry.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			c.reply(muxrpc.NSBusy(req.Seq, ms))
+		}
+	}
+}
+
+// teardown reaps everything the connection owned: queued tasks, open
+// handles, and its slot in the connection table.
+func (c *conn) teardown() {
+	c.nc.Close()
+	c.srv.sched.dropClient(c.cq)
+	// Tasks already claimed by workers may still be touching this
+	// connection's handles; closing files under them would race. Wait for
+	// the connection to go quiescent (the ops finish and their replies
+	// fail harmlessly against the closed socket).
+	for c.executing.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.mu.Lock()
+	handles := c.handles
+	c.handles = map[uint64]nsHandle{}
+	c.mu.Unlock()
+	for _, h := range handles {
+		h.f.Close()
+		c.srv.handles.Add(-1)
+	}
+	c.srv.connMu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.connMu.Unlock()
+}
+
+func (c *conn) track(f vfs.File, path string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextH++
+	c.handles[c.nextH] = nsHandle{f: f, path: path}
+	c.srv.handles.Add(1)
+	return c.nextH
+}
+
+func (c *conn) handle(id uint64) (nsHandle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.handles[id]
+	if !ok {
+		return nsHandle{}, vfs.ErrClosed
+	}
+	return h, nil
+}
+
+func isNotExist(err error) bool { return errors.Is(err, vfs.ErrNotExist) }
+
+// errResp builds a status-only response.
+func errResp(seq uint64, err error) *muxrpc.NSResponse {
+	resp := &muxrpc.NSResponse{Seq: seq}
+	resp.Code, resp.Msg = muxrpc.EncodeStatus(err)
+	return resp
+}
+
+// serve executes one admitted request against the file system.
+func (s *Server) serve(c *conn, req *muxrpc.NSRequest) *muxrpc.NSResponse {
+	var start time.Time
+	timed := s.tel != nil && s.tel.Enabled() && int(req.Op) < len(s.opNs)
+	if timed {
+		start = time.Now()
+	}
+	resp := s.dispatch(c, req)
+	if timed {
+		s.opNs[req.Op].Record(time.Since(start).Nanoseconds())
+	}
+	return resp
+}
+
+func (s *Server) dispatch(c *conn, req *muxrpc.NSRequest) *muxrpc.NSResponse {
+	resp := &muxrpc.NSResponse{}
+	switch req.Op {
+	case muxrpc.NSOpen:
+		f, err := s.fs.Open(req.Path)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		resp.Handle = c.track(f, vfs.CleanPath(req.Path))
+	case muxrpc.NSCreate:
+		f, err := s.fs.Create(req.Path)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		s.invalidate(req.Path)
+		resp.Handle = c.track(f, vfs.CleanPath(req.Path))
+	case muxrpc.NSClose:
+		c.mu.Lock()
+		h, ok := c.handles[req.Handle]
+		delete(c.handles, req.Handle)
+		c.mu.Unlock()
+		if !ok {
+			return errResp(req.Seq, vfs.ErrClosed)
+		}
+		s.handles.Add(-1)
+		if err := h.f.Close(); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSRead:
+		h, err := c.handle(req.Handle)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		buf := make([]byte, req.N)
+		n, err := h.f.ReadAt(buf, req.Off)
+		resp.Data = buf[:n]
+		s.bytesRead.Add(int64(n))
+		if errors.Is(err, io.EOF) {
+			resp.EOF = true
+			err = nil
+		}
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSWrite:
+		h, err := c.handle(req.Handle)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		n, err := h.f.WriteAt(req.Data, req.Off)
+		resp.N = int64(n)
+		s.bytesWritten.Add(int64(n))
+		s.invalidate(h.path)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSTruncateHandle:
+		h, err := c.handle(req.Handle)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		s.invalidate(h.path)
+		if err := h.f.Truncate(req.N); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSPunch:
+		h, err := c.handle(req.Handle)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		s.invalidate(h.path)
+		if err := h.f.PunchHole(req.Off, req.N); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSSyncHandle:
+		h, err := c.handle(req.Handle)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		if err := h.f.Sync(); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSStatHandle:
+		h, err := c.handle(req.Handle)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		fi, err := h.f.Stat()
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		resp.Info = fi
+	case muxrpc.NSExtents:
+		h, err := c.handle(req.Handle)
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		exts, err := h.f.Extents()
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		resp.Extents = exts
+	case muxrpc.NSStat:
+		path := vfs.CleanPath(req.Path)
+		if s.cache != nil {
+			if fi, cerr, ok := s.cache.getStat(path); ok {
+				if cerr != nil {
+					return errResp(req.Seq, cerr)
+				}
+				resp.Info = fi
+				return resp
+			}
+		}
+		fi, err := s.fs.Stat(path)
+		if s.cache != nil {
+			s.cache.putStat(path, fi, err)
+		}
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		resp.Info = fi
+	case muxrpc.NSReadDir:
+		path := vfs.CleanPath(req.Path)
+		if s.cache != nil {
+			if ents, cerr, ok := s.cache.getDir(path); ok {
+				if cerr != nil {
+					return errResp(req.Seq, cerr)
+				}
+				resp.Entries = ents
+				return resp
+			}
+		}
+		ents, err := s.fs.ReadDir(path)
+		if s.cache != nil {
+			s.cache.putDir(path, ents, err)
+		}
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		resp.Entries = ents
+	case muxrpc.NSSetAttr:
+		s.invalidate(req.Path)
+		if err := s.fs.SetAttr(req.Path, req.Attr.ToSetAttr()); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSTruncate:
+		s.invalidate(req.Path)
+		if err := s.fs.Truncate(req.Path, req.N); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSRename:
+		s.invalidateTree(req.Path)
+		s.invalidateTree(req.Path2)
+		if err := s.fs.Rename(req.Path, req.Path2); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSRemove:
+		s.invalidateTree(req.Path)
+		if err := s.fs.Remove(req.Path); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSMkdir:
+		s.invalidate(req.Path)
+		if err := s.fs.Mkdir(req.Path); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSStatfs:
+		st, err := s.fs.Statfs()
+		if err != nil {
+			return errResp(req.Seq, err)
+		}
+		resp.Stat = st
+	case muxrpc.NSSync:
+		if err := s.fs.Sync(); err != nil {
+			return errResp(req.Seq, err)
+		}
+	case muxrpc.NSBatch:
+		resp.Batch = s.serveBatch(c, req.Batch)
+	default:
+		return errResp(req.Seq, fmt.Errorf("%w: muxns op %d", vfs.ErrInvalid, req.Op))
+	}
+	return resp
+}
+
+func (s *Server) invalidate(path string) {
+	if s.cache != nil {
+		s.cache.invalidate(path)
+	}
+}
+
+func (s *Server) invalidateTree(path string) {
+	if s.cache != nil {
+		s.cache.invalidatePrefix(path)
+	}
+}
+
+// Stats is a point-in-time snapshot of the server counters, shaped for
+// the telemetry snapshot and /metrics export.
+type Stats struct {
+	Name    string `json:"name"`
+	Conns   int    `json:"conns"`
+	Workers int    `json:"workers"`
+
+	QueueDepth int   `json:"queue_depth"`
+	MaxQueue   int   `json:"max_queue"`
+	Executing  int64 `json:"executing"`
+
+	ConnsAccepted int64 `json:"conns_accepted"`
+	Requests      int64 `json:"requests"`
+	RejectedQueue int64 `json:"rejected_queue"`
+	RejectedRate  int64 `json:"rejected_rate"`
+
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheNegHits int64 `json:"cache_neg_hits"`
+	CacheEvicts  int64 `json:"cache_evicts"`
+	CacheEntries int64 `json:"cache_entries"`
+
+	BatchSubOps     int64 `json:"batch_subops"`
+	BatchDispatches int64 `json:"batch_dispatches"`
+	BatchSaved      int64 `json:"batch_saved"`
+
+	HandlesOpen int64 `json:"handles_open"`
+}
+
+// ClientStats describes one connected client for status surfaces
+// (muxsh 'clients', operator tooling).
+type ClientStats struct {
+	Addr      string  `json:"addr"`
+	Queued    int     `json:"queued"`
+	Executing int64   `json:"executing"`
+	Handles   int     `json:"handles"`
+	Tokens    float64 `json:"tokens"` // remaining token-bucket budget, cost units
+}
+
+// Clients snapshots every live connection, sorted by remote address.
+func (s *Server) Clients() []ClientStats {
+	s.connMu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.connMu.Unlock()
+	out := make([]ClientStats, 0, len(conns))
+	for _, c := range conns {
+		st := ClientStats{Addr: c.nc.RemoteAddr().String(), Executing: c.executing.Load()}
+		s.sched.mu.Lock()
+		st.Queued = len(c.cq.q)
+		st.Tokens = c.cq.tokens
+		s.sched.mu.Unlock()
+		c.mu.Lock()
+		st.Handles = len(c.handles)
+		c.mu.Unlock()
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	s.connMu.Lock()
+	nconns := len(s.conns)
+	s.connMu.Unlock()
+	st := Stats{
+		Name:          s.fs.Name(),
+		Conns:         nconns,
+		Workers:       s.opts.Workers,
+		QueueDepth:    s.sched.depth(),
+		MaxQueue:      s.opts.MaxQueue,
+		Executing:     s.executing.Load(),
+		ConnsAccepted: s.accepted.Load(),
+		Requests:      s.requests.Load(),
+		RejectedQueue: s.rejectedQueue.Load(),
+		RejectedRate:  s.rejectedRate.Load(),
+		BytesRead:     s.bytesRead.Load(),
+		BytesWritten:  s.bytesWritten.Load(),
+		BatchSubOps:   s.batchSubOps.Load(),
+		BatchDispatches: s.batchDisp.Load(),
+		BatchSaved:    s.batchSaved.Load(),
+		HandlesOpen:   s.handles.Load(),
+	}
+	if s.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheNegHits, st.CacheEvicts, st.CacheEntries = s.cache.counters()
+	}
+	return st
+}

@@ -1,0 +1,694 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"muxfs/internal/device"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/fstest"
+	"muxfs/internal/muxrpc"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+func newBackFS(t *testing.T) vfs.FileSystem {
+	t.Helper()
+	dev := device.New(device.SSDProfile("ssd0"), simclock.New())
+	fs, err := xfslite.New("xfs@srv", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// start serves fs on a loopback listener and returns the address, server,
+// and listener (for tests that sever it).
+func start(t *testing.T, fs vfs.FileSystem, opts Options) (string, *Server, net.Listener) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(fs, opts)
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		l.Close()
+		srv.Close()
+	})
+	return l.Addr().String(), srv, l
+}
+
+func dial(t *testing.T, addr string, opts muxrpc.NSDialOptions) *muxrpc.NSClient {
+	t.Helper()
+	c, err := muxrpc.NSDialOpts("tcp", addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestConformance runs the full VFS contract through the namespace front
+// end: NSClient → admission/DRR/cache/batching server → xfslite. The
+// remote namespace must be indistinguishable from a local file system.
+func TestConformance(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) vfs.FileSystem {
+		addr, _, _ := start(t, newBackFS(t), Options{})
+		return dial(t, addr, muxrpc.NSDialOptions{})
+	})
+}
+
+func TestConcurrency(t *testing.T) {
+	fstest.RunConcurrency(t, func(t *testing.T) vfs.FileSystem {
+		addr, _, _ := start(t, newBackFS(t), Options{})
+		return dial(t, addr, muxrpc.NSDialOptions{PoolSize: 2})
+	})
+}
+
+func TestHello(t *testing.T) {
+	addr, _, _ := start(t, newBackFS(t), Options{MaxBatch: 99})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+	if c.Name() != "muxns:xfs@srv" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.MaxBatch() != 99 {
+		t.Fatalf("MaxBatch = %d", c.MaxBatch())
+	}
+}
+
+// gateFS blocks selected operations on a channel so tests can hold
+// requests in flight deterministically.
+type gateFS struct {
+	vfs.FileSystem
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// arm makes subsequent gated ops block until release.
+func (g *gateFS) arm() {
+	g.mu.Lock()
+	g.ch = make(chan struct{})
+	g.mu.Unlock()
+}
+
+func (g *gateFS) release() {
+	g.mu.Lock()
+	ch := g.ch
+	g.ch = nil
+	g.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (g *gateFS) wait() {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+func (g *gateFS) Open(path string) (vfs.File, error) {
+	f, err := g.FileSystem.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+func (g *gateFS) Create(path string) (vfs.File, error) {
+	f, err := g.FileSystem.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+func (g *gateFS) Rename(oldPath, newPath string) error {
+	g.wait()
+	return g.FileSystem.Rename(oldPath, newPath)
+}
+
+type gateFile struct {
+	vfs.File
+	g *gateFS
+}
+
+func (f *gateFile) ReadAt(p []byte, off int64) (int, error) {
+	f.g.wait()
+	return f.File.ReadAt(p, off)
+}
+
+func (f *gateFile) WriteAt(p []byte, off int64) (int, error) {
+	f.g.wait()
+	return f.File.WriteAt(p, off)
+}
+
+// TestQueueBackpressure fills the bounded queue with gated reads and
+// checks the next request is rejected busy (typed, with a retry hint)
+// instead of queueing without bound.
+func TestQueueBackpressure(t *testing.T) {
+	g := &gateFS{FileSystem: newBackFS(t)}
+	addr, _, _ := start(t, g, Options{Workers: 2, MaxQueue: 4})
+	c := dial(t, addr, muxrpc.NSDialOptions{BusyRetries: -1})
+
+	f, err := c.Create("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte{7}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	g.arm()
+	defer g.release()
+	// 2 reads occupy both workers; 4 fill the queue; the rest must bounce.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			_, err := f.ReadAt(buf, 0)
+			errs <- err
+		}()
+	}
+	// Busy rejections return quickly; gated reads stay blocked.
+	var busy int
+	timeout := time.After(5 * time.Second)
+	for busy == 0 {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, muxrpc.ErrBusy) {
+				t.Fatalf("expected ErrBusy, got %v", err)
+			}
+			var be *muxrpc.BusyError
+			if !errors.As(err, &be) || be.RetryAfter <= 0 {
+				t.Fatalf("busy error carries no retry hint: %v", err)
+			}
+			busy++
+		case <-timeout:
+			t.Fatal("no busy rejection arrived")
+		}
+	}
+	g.release()
+	wg.Wait()
+}
+
+// TestRateLimitAndRecovery drives one client past its token bucket: with
+// retries disabled the rejection surfaces as ErrBusy; with retries on, the
+// same workload completes (the client sleeps out the hint).
+func TestRateLimitAndRecovery(t *testing.T) {
+	fs := newBackFS(t)
+	// 64 units/s, burst 64: ~2MiB of payload then hard throttle.
+	addr, srv, _ := start(t, fs, Options{RatePerClient: 64, Burst: 64})
+
+	c := dial(t, addr, muxrpc.NSDialOptions{BusyRetries: -1})
+	f, err := c.Create("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{1}, 256<<10) // 8 units + 1 per write
+	var sawBusy bool
+	for i := 0; i < 32; i++ {
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			if !errors.Is(err, muxrpc.ErrBusy) {
+				t.Fatalf("expected ErrBusy, got %v", err)
+			}
+			sawBusy = true
+			break
+		}
+	}
+	if !sawBusy {
+		t.Fatal("rate limiter never rejected")
+	}
+	if srv.Stats().RejectedRate == 0 {
+		t.Fatal("RejectedRate counter not incremented")
+	}
+
+	// A retrying client rides through the throttle.
+	c2 := dial(t, addr, muxrpc.NSDialOptions{BusyRetries: 100})
+	f2, err := c2.Create("/r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := f2.WriteAt(payload, 0); err != nil {
+			t.Fatalf("retrying client failed: %v", err)
+		}
+	}
+}
+
+// TestAttrCache checks hit/negative-hit accounting and exact invalidation
+// on server-served mutations.
+func TestAttrCache(t *testing.T) {
+	fs := newBackFS(t)
+	addr, srv, _ := start(t, fs, Options{CacheTTL: time.Hour}) // TTL out of the picture
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f, err := c.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("xyz"), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Stat("/a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.CacheHits < 2 {
+		t.Fatalf("cache hits = %d, want >= 2", st.CacheHits)
+	}
+
+	// Negative caching: repeated stats of a missing path hit the cache.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Stat("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("stat /missing: %v", err)
+		}
+	}
+	if st := srv.Stats(); st.CacheNegHits < 2 {
+		t.Fatalf("negative hits = %d, want >= 2", st.CacheNegHits)
+	}
+
+	// A write through the server invalidates the cached attr: the next
+	// stat must see the new size, not the cached one.
+	if _, err := f.WriteAt(bytes.Repeat([]byte{2}, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := c.Stat("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 100 {
+		t.Fatalf("stat after write: size %d, want 100 (stale cache?)", fi.Size)
+	}
+
+	// Creating a file invalidates the parent listing; the new entry must
+	// appear even though the listing was cached.
+	if _, err := c.ReadDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("/b"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := c.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range ents {
+		if e.Name == "b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("readdir after create missed the new entry (stale cache?)")
+	}
+
+	// Creating a previously negative-cached path clears the negative
+	// entry.
+	if _, err := c.Create("/missing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/missing"); err != nil {
+		t.Fatalf("stat after create of negative-cached path: %v", err)
+	}
+}
+
+// TestCacheTreeInvalidation renames a directory and checks cached
+// descendants go stale with it.
+func TestCacheTreeInvalidation(t *testing.T) {
+	fs := newBackFS(t)
+	addr, _, _ := start(t, fs, Options{CacheTTL: time.Hour})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	if err := c.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Create("/d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := c.Stat("/d/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/d", "/e"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d/x"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("stat of old path after dir rename: %v (stale cache?)", err)
+	}
+	if _, err := c.Stat("/e/x"); err != nil {
+		t.Fatalf("stat of new path after dir rename: %v", err)
+	}
+}
+
+// TestBatchReads checks coalescing correctness: adjacent and overlapping
+// sub-reads merge into fewer dispatches, every sub-op still gets exactly
+// its bytes, and reads past EOF report EOF per sub-op.
+func TestBatchReads(t *testing.T) {
+	fs := newBackFS(t)
+	addr, srv, _ := start(t, fs, Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	f0, err := c.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f0.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	f := f0.(*muxrpc.NSFile)
+
+	ops := []muxrpc.NSBatchOp{
+		{File: f, Read: true, Off: 0, N: 4096},
+		{File: f, Read: true, Off: 4096, N: 4096},    // adjacent: merges
+		{File: f, Read: true, Off: 6000, N: 4096},    // overlaps: merges
+		{File: f, Read: true, Off: 40 << 10, N: 1024}, // distant: own dispatch
+		{File: f, Read: true, Off: 63 << 10, N: 4096}, // crosses EOF
+	}
+	res, err := c.Batch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if res[i].Err != nil {
+			t.Fatalf("sub %d: %v", i, res[i].Err)
+		}
+		want := data[op.Off:min64(op.Off+int64(op.N), int64(len(data)))]
+		if !bytes.Equal(res[i].Data, want) {
+			t.Fatalf("sub %d: got %d bytes, mismatch", i, len(res[i].Data))
+		}
+	}
+	if !res[0].Coalesced || !res[1].Coalesced || !res[2].Coalesced {
+		t.Fatal("adjacent reads not marked coalesced")
+	}
+	if res[3].Coalesced {
+		t.Fatal("distant read wrongly coalesced")
+	}
+	if !res[4].EOF {
+		t.Fatal("read crossing EOF lost its EOF flag")
+	}
+	st := srv.Stats()
+	if st.BatchSaved < 2 {
+		t.Fatalf("BatchSaved = %d, want >= 2", st.BatchSaved)
+	}
+	if st.BatchDispatches >= st.BatchSubOps {
+		t.Fatalf("no dispatch saving: %d dispatches for %d sub-ops", st.BatchDispatches, st.BatchSubOps)
+	}
+}
+
+// TestBatchWrites checks exactly-adjacent writes merge into one dispatch
+// and land correctly.
+func TestBatchWrites(t *testing.T) {
+	fs := newBackFS(t)
+	addr, srv, _ := start(t, fs, Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f0, err := c.Create("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := f0.(*muxrpc.NSFile)
+	chunk := func(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+	ops := []muxrpc.NSBatchOp{
+		{File: f, Off: 0, Data: chunk(1, 1000)},
+		{File: f, Off: 1000, Data: chunk(2, 1000)}, // abuts: merges
+		{File: f, Off: 2000, Data: chunk(3, 1000)}, // abuts: merges
+		{File: f, Off: 5000, Data: chunk(4, 1000)}, // gap: own dispatch
+	}
+	res, err := c.Batch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Err != nil {
+			t.Fatalf("sub %d: %v", i, res[i].Err)
+		}
+		if res[i].N != 1000 {
+			t.Fatalf("sub %d: wrote %d", i, res[i].N)
+		}
+	}
+	if !res[0].Coalesced || res[3].Coalesced {
+		t.Fatal("write coalescing flags wrong")
+	}
+	buf := make([]byte, 3000)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		want := byte(1 + i/1000)
+		if b != want {
+			t.Fatalf("byte %d = %d, want %d", i, b, want)
+		}
+	}
+	if srv.Stats().BatchSaved < 2 {
+		t.Fatalf("BatchSaved = %d", srv.Stats().BatchSaved)
+	}
+}
+
+// TestDrainUnderLoad holds requests in flight, severs the listener, and
+// checks Drain waits for them rather than cutting mid-call.
+func TestDrainUnderLoad(t *testing.T) {
+	g := &gateFS{FileSystem: newBackFS(t)}
+	addr, srv, l := start(t, g, Options{Workers: 4})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f, err := c.Create("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	g.arm()
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			buf := make([]byte, 5)
+			_, err := f.ReadAt(buf, 0)
+			done <- err
+		}()
+	}
+	// Wait until the reads are in flight server-side.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.InFlight() < 3 {
+		t.Fatalf("reads never became in-flight: %d", srv.InFlight())
+	}
+
+	l.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		g.release()
+	}()
+	if cut := srv.Drain(5 * time.Second); cut != 0 {
+		t.Fatalf("drain cut %d in-flight calls", cut)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("in-flight read failed during drain: %v", err)
+		}
+	}
+}
+
+// TestReconnectReopensHandles severs every connection mid-session and
+// checks an idempotent read transparently redials, re-opens its handle by
+// path, and succeeds.
+func TestReconnectReopensHandles(t *testing.T) {
+	fs := newBackFS(t)
+	addr, srv, _ := start(t, fs, Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f, err := c.Create("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("persist"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Drain(time.Second) // severs all connections
+
+	buf := make([]byte, 7)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatalf("read after reconnect: %v", err)
+	}
+	if string(buf[:n]) != "persist" {
+		t.Fatalf("read %q", buf[:n])
+	}
+	st := c.PoolStats()
+	if st.Reconnects == 0 {
+		t.Fatal("reconnect not counted")
+	}
+}
+
+// TestSeverMidCallIdempotent blocks a read server-side, severs the
+// connection, and checks the client retries it to success — the restart-
+// mid-call path for safe ops.
+func TestSeverMidCallIdempotent(t *testing.T) {
+	g := &gateFS{FileSystem: newBackFS(t)}
+	addr, srv, _ := start(t, g, Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f, err := c.Create("/mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	g.arm()
+	done := make(chan error, 1)
+	var got []byte
+	go func() {
+		buf := make([]byte, 6)
+		n, err := f.ReadAt(buf, 0)
+		got = buf[:n]
+		done <- err
+	}()
+	waitInFlight(t, srv, 1)
+	srv.Drain(0) // cuts the connection with the read still gated
+	g.release()
+	if err := <-done; err != nil {
+		t.Fatalf("idempotent read did not survive a severed connection: %v", err)
+	}
+	if string(got) != "abcdef" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+// TestSeverMidCallNonIdempotent blocks a rename server-side, severs the
+// connection, and checks the client surfaces the typed non-idempotent
+// error instead of silently replaying.
+func TestSeverMidCallNonIdempotent(t *testing.T) {
+	g := &gateFS{FileSystem: newBackFS(t)}
+	addr, srv, _ := start(t, g, Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f, err := c.Create("/n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g.arm()
+	done := make(chan error, 1)
+	go func() { done <- c.Rename("/n1", "/n2") }()
+	waitInFlight(t, srv, 1)
+	srv.Drain(0)
+	g.release()
+	err = <-done
+	if !errors.Is(err, muxrpc.ErrNonIdempotent) {
+		t.Fatalf("rename cut mid-call: got %v, want ErrNonIdempotent", err)
+	}
+	var ne *muxrpc.NonIdempotentError
+	if !errors.As(err, &ne) || ne.Method != "muxns.rename" {
+		t.Fatalf("typed error missing method: %v", err)
+	}
+}
+
+// TestBatchSeverMidCall blocks a batched read, severs the connection, and
+// checks the whole batch retries to success on the new connection.
+func TestBatchSeverMidCall(t *testing.T) {
+	g := &gateFS{FileSystem: newBackFS(t)}
+	addr, srv, _ := start(t, g, Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f0, err := c.Create("/bm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f0.WriteAt(bytes.Repeat([]byte{9}, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	f := f0.(*muxrpc.NSFile)
+
+	g.arm()
+	done := make(chan error, 1)
+	var res []muxrpc.NSBatchResult
+	go func() {
+		var err error
+		res, err = c.Batch([]muxrpc.NSBatchOp{
+			{File: f, Read: true, Off: 0, N: 4096},
+			{File: f, Read: true, Off: 4096, N: 4096},
+		})
+		done <- err
+	}()
+	waitInFlight(t, srv, 1)
+	srv.Drain(0)
+	g.release()
+	if err := <-done; err != nil {
+		t.Fatalf("batch did not survive severed connection: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.N != 4096 {
+			t.Fatalf("sub %d after retry: n=%d err=%v", i, r.N, r.Err)
+		}
+	}
+}
+
+// TestHandleReapOnDisconnect checks a vanished client's handles are closed
+// server-side.
+func TestHandleReapOnDisconnect(t *testing.T) {
+	fs := newBackFS(t)
+	addr, srv, _ := start(t, fs, Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	for i := 0; i < 4; i++ {
+		if _, err := c.Create(fmt.Sprintf("/h%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Stats().HandlesOpen; got != 4 {
+		t.Fatalf("HandlesOpen = %d", got)
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().HandlesOpen != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Stats().HandlesOpen; got != 0 {
+		t.Fatalf("handles leaked after disconnect: %d", got)
+	}
+}
+
+func waitInFlight(t *testing.T, srv *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.InFlight() < n {
+		t.Fatalf("in-flight never reached %d", n)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

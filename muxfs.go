@@ -37,6 +37,7 @@ import (
 	"muxfs/internal/fs/xfslite"
 	"muxfs/internal/muxrpc"
 	"muxfs/internal/policy"
+	"muxfs/internal/server"
 	"muxfs/internal/simclock"
 	"muxfs/internal/vfs"
 )
@@ -226,11 +227,70 @@ func (s *System) AddRemoteTier(network, addr string, kind DeviceKind, netLat tim
 	return id, nil
 }
 
+// TierServer is the server half of Distributed Mux with an explicit
+// lifecycle: Serve on a listener, then Drain before exit so in-flight
+// calls finish instead of being cut.
+type TierServer = muxrpc.Server
+
+// NewTierServer wraps fs in a tier RPC server whose shutdown the caller
+// controls. The fire-and-forget form is ServeTier.
+func NewTierServer(fs FileSystem) *TierServer {
+	return muxrpc.NewServer(fs)
+}
+
 // ServeTier exposes a local file system as a remote tier on l, blocking
 // until the listener closes — the server half of Distributed Mux. Most
-// callers use cmd/muxd instead.
+// callers use cmd/muxd instead; callers that need a drained shutdown use
+// NewTierServer.
 func ServeTier(l net.Listener, fs FileSystem) error {
 	return muxrpc.NewServer(fs).Serve(l)
+}
+
+// NamespaceServer is the production network front end: it serves the
+// whole Mux namespace (not a single tier) to many concurrent clients,
+// with a bounded worker pool, per-client fairness, an attr/readdir
+// cache, and wire-level batching. See internal/server for the design.
+type NamespaceServer = server.Server
+
+// ServerOptions tunes the namespace front end; zero values pick the
+// defaults documented on internal/server.Options.
+type ServerOptions = server.Options
+
+// ServerStats is a point-in-time snapshot of the namespace front end's
+// counters, also exported on /metrics as the mux_server_* families.
+type ServerStats = server.Stats
+
+// NewServer builds a namespace front end over this System's Mux and
+// registers its counters with the System's telemetry surface, so
+// /metrics and TelemetrySnapshot.Server report it. The caller owns the
+// lifecycle: go srv.Serve(l), then srv.Drain(timeout) + srv.Close() on
+// shutdown.
+func (s *System) NewServer(opts ServerOptions) *NamespaceServer {
+	if opts.Registry == nil {
+		opts.Registry = s.FS.TelemetryRegistry()
+	}
+	srv := server.New(s.FS, opts)
+	s.FS.SetServerStats(srv.Stats)
+	return srv
+}
+
+// NamespaceClient is a pooled client for a NamespaceServer; it
+// implements FileSystem, so a remote Mux namespace mounts anywhere a
+// local one does.
+type NamespaceClient = muxrpc.NSClient
+
+// NamespaceDialOptions tunes DialNamespaceOpts; the zero value matches
+// DialNamespace.
+type NamespaceDialOptions = muxrpc.NSDialOptions
+
+// DialNamespace connects to a muxd -serve namespace front end.
+func DialNamespace(network, addr string) (*NamespaceClient, error) {
+	return muxrpc.NSDial(network, addr)
+}
+
+// DialNamespaceOpts connects with explicit pool/backoff tuning.
+func DialNamespaceOpts(network, addr string, opts NamespaceDialOptions) (*NamespaceClient, error) {
+	return muxrpc.NSDialOpts(network, addr, opts)
 }
 
 // StripeTierSpec assembles a scale-out capacity tier: one composite tier
