@@ -68,8 +68,8 @@ func (s *shell) server(rest []string) error {
 		fmt.Fprintf(s.out, "namespace front end on %s\n", ctl.l.Addr())
 		fmt.Fprintf(s.out, "  conns=%d (accepted %d)  workers=%d  queue=%d/%d  executing=%d\n",
 			st.Conns, st.ConnsAccepted, st.Workers, st.QueueDepth, st.MaxQueue, st.Executing)
-		fmt.Fprintf(s.out, "  requests=%d  rejected: queue=%d rate=%d  handles=%d\n",
-			st.Requests, st.RejectedQueue, st.RejectedRate, st.HandlesOpen)
+		fmt.Fprintf(s.out, "  requests=%d  rejected: queue=%d rate=%d invalid=%d frame=%d  handles=%d\n",
+			st.Requests, st.RejectedQueue, st.RejectedRate, st.RejectedInvalid, st.RejectedFrame, st.HandlesOpen)
 		fmt.Fprintf(s.out, "  bytes: read=%d written=%d\n", st.BytesRead, st.BytesWritten)
 		total := st.CacheHits + st.CacheMisses
 		rate := 0.0

@@ -627,6 +627,8 @@ func (m *Mux) promFamilies() []telemetry.FamilySnapshot {
 			counterFam("mux_server_requests_total", "Namespace-server requests received.", one(st.Requests)),
 			counterFam("mux_server_rejected_queue_total", "Requests rejected busy: queue past high watermark.", one(st.RejectedQueue)),
 			counterFam("mux_server_rejected_rate_total", "Requests rejected busy: client over its rate budget.", one(st.RejectedRate)),
+			counterFam("mux_server_rejected_invalid_total", "Requests rejected at admission: malformed or over the payload cap.", one(st.RejectedInvalid)),
+			counterFam("mux_server_rejected_frame_total", "Connections killed for an over-cap wire frame.", one(st.RejectedFrame)),
 			counterFam("mux_server_bytes_read_total", "Bytes served by namespace-server reads.", one(st.BytesRead)),
 			counterFam("mux_server_bytes_written_total", "Bytes accepted by namespace-server writes.", one(st.BytesWritten)),
 			counterFam("mux_server_cache_hits_total", "Attr/readdir cache hits (negative hits included).", one(st.CacheHits)),

@@ -1,7 +1,6 @@
 package muxrpc
 
 import (
-	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -25,14 +24,28 @@ import (
 // Handles are scoped to the connection that opened them (the server reaps
 // a vanished client's handles), so each open file is pinned to its pool
 // slot; after a reconnect the file transparently re-opens by path before an
-// idempotent op retries. Non-idempotent ops never retry — a connection
-// failure surfaces as NonIdempotentError.
+// idempotent op retries.
+//
+// Retry semantics: every handle op except Close is idempotent by
+// construction — reads, writes, truncates, and punches all carry absolute
+// offsets and sizes, so re-issuing one after a reconnect re-applies the
+// same state transition. In particular a retried WriteAt rewrites the
+// same bytes at the same offset; with a concurrent writer to the same
+// range the outcome is last-writer-wins, exactly the contract local
+// WriteAt already has. Only namespace ops whose replay could observe a
+// different world (Create, Remove, Rename, Mkdir) never retry: a
+// connection failure mid-call surfaces as NonIdempotentError and the
+// caller owns the ambiguity.
 type NSClient struct {
-	name     string
-	network  string
-	addr     string
-	opts     NSDialOptions
-	maxBatch int
+	network string
+	addr    string
+	opts    NSDialOptions
+
+	// Hello-negotiated state, (re)written by whichever slot dials and read
+	// by any caller goroutine — hence atomics.
+	name     atomic.Pointer[string]
+	maxBatch atomic.Int64
+	maxData  atomic.Int64
 
 	next  atomic.Uint64
 	slots []*nsSlot
@@ -100,7 +113,17 @@ func NSDialOpts(network, addr string, opts NSDialOptions) (*NSClient, error) {
 }
 
 // MaxBatch reports the server's negotiated batch-size limit.
-func (c *NSClient) MaxBatch() int { return c.maxBatch }
+func (c *NSClient) MaxBatch() int { return int(c.maxBatch.Load()) }
+
+// MaxData reports the server's negotiated per-request payload cap.
+// Reads/writes larger than it are chunked transparently; batch sub-ops
+// must fit it.
+func (c *NSClient) MaxData() int64 {
+	if m := c.maxData.Load(); m > 0 {
+		return m
+	}
+	return NSDefaultMaxData
+}
 
 // PoolSize reports the connection-pool width.
 func (c *NSClient) PoolSize() int { return len(c.slots) }
@@ -146,11 +169,12 @@ type nsSlot struct {
 	inflight atomic.Int64
 }
 
-// nsConn is one live connection: a gob stream with a reader goroutine
-// routing responses to pending calls by sequence number.
+// nsConn is one live connection: a framed gob stream with a reader
+// goroutine routing responses to pending calls by sequence number.
 type nsConn struct {
 	nc net.Conn
-	bw *bufio.Writer
+	fw *NSFrameWriter
+	fr *NSFrameReader
 
 	encMu sync.Mutex // serializes frame encoding + flush
 	enc   *gob.Encoder
@@ -186,12 +210,16 @@ func (s *nsSlot) get() (*nsConn, error) {
 		s.c.dialErrs.Add(1)
 		return nil, err
 	}
-	bw := bufio.NewWriter(nc)
+	// The frame cap starts at the default payload budget (the hello reply
+	// is tiny) and widens to the server's negotiated MaxData below.
+	fw := NewNSFrameWriter(nc)
+	fr := NewNSFrameReader(nc, NSDefaultMaxData+nsFrameSlack)
 	conn := &nsConn{
 		nc:      nc,
-		bw:      bw,
-		enc:     gob.NewEncoder(bw),
-		dec:     gob.NewDecoder(bufio.NewReader(nc)),
+		fw:      fw,
+		fr:      fr,
+		enc:     gob.NewEncoder(fw),
+		dec:     gob.NewDecoder(fr),
 		pending: map[uint64]chan nsCallRes{},
 	}
 	// Hello handshake, synchronous on the fresh stream: a peer that is
@@ -218,9 +246,17 @@ func (s *nsSlot) get() (*nsConn, error) {
 	if s.c.dials.Add(1) > int64(len(s.c.slots)) {
 		s.c.reconnects.Add(1)
 	}
-	s.c.name = "muxns:" + hr.ServerName
+	name := "muxns:" + hr.ServerName
+	s.c.name.Store(&name)
 	if hr.MaxBatch > 0 {
-		s.c.maxBatch = hr.MaxBatch
+		s.c.maxBatch.Store(int64(hr.MaxBatch))
+	}
+	if hr.MaxData > 0 {
+		s.c.maxData.Store(hr.MaxData)
+		// Response frames carry at most one request's payload; widen the
+		// cap before the first pipelined frame (readLoop is not running
+		// yet, so this cannot race a read).
+		fr.SetMax(hr.MaxData + nsFrameSlack)
 	}
 	s.cur = conn
 	go s.readLoop(conn)
@@ -268,7 +304,7 @@ func (c *nsConn) send(req *NSRequest) error {
 	if err := c.enc.Encode(req); err != nil {
 		return err
 	}
-	return c.bw.Flush()
+	return c.fw.Flush()
 }
 
 // register allocates a sequence number and parks a result channel for it.
@@ -430,7 +466,12 @@ func (c *NSClient) busyTail(s *nsSlot, conn *nsConn, req *NSRequest, resp *NSRes
 }
 
 // Name identifies the remote namespace.
-func (c *NSClient) Name() string { return c.name }
+func (c *NSClient) Name() string {
+	if n := c.name.Load(); n != nil {
+		return *n
+	}
+	return "muxns:"
+}
 
 // Create makes and opens a remote file. Not idempotent: a connection
 // failure mid-call surfaces NonIdempotentError.
@@ -622,29 +663,61 @@ func (f *NSFile) rw(req *NSRequest) (*NSResponse, error) {
 	return nil, lastErr
 }
 
-// ReadAt reads from the remote file.
+// ReadAt reads from the remote file. Requests larger than the server's
+// negotiated payload cap are chunked into several wire reads.
 func (f *NSFile) ReadAt(p []byte, off int64) (int, error) {
-	resp, err := f.rw(&NSRequest{Op: NSRead, Off: off, N: int64(len(p))})
-	if err != nil {
-		return 0, err
+	max := f.c.MaxData()
+	total := 0
+	for {
+		chunk := p[total:]
+		if int64(len(chunk)) > max {
+			chunk = chunk[:max]
+		}
+		resp, err := f.rw(&NSRequest{Op: NSRead, Off: off + int64(total), N: int64(len(chunk))})
+		if err != nil {
+			return total, err
+		}
+		if rerr := resp.Err(); rerr != nil {
+			return total, rerr
+		}
+		n := copy(chunk, resp.Data)
+		total += n
+		if resp.EOF {
+			return total, io.EOF
+		}
+		if n < len(chunk) || total == len(p) {
+			return total, nil
+		}
 	}
-	if rerr := resp.Err(); rerr != nil {
-		return 0, rerr
-	}
-	n := copy(p, resp.Data)
-	if resp.EOF {
-		return n, io.EOF
-	}
-	return n, nil
 }
 
 // WriteAt writes to the remote file (absolute offset; idempotent).
+// Payloads larger than the server's negotiated cap are chunked into
+// several wire writes.
 func (f *NSFile) WriteAt(p []byte, off int64) (int, error) {
-	resp, err := f.rw(&NSRequest{Op: NSWrite, Off: off, Data: p})
-	if err != nil {
-		return 0, err
+	max := f.c.MaxData()
+	total := 0
+	for {
+		chunk := p[total:]
+		if int64(len(chunk)) > max {
+			chunk = chunk[:max]
+		}
+		resp, err := f.rw(&NSRequest{Op: NSWrite, Off: off + int64(total), Data: chunk})
+		if err != nil {
+			return total, err
+		}
+		n := int(resp.N)
+		total += n
+		if rerr := resp.Err(); rerr != nil {
+			return total, rerr
+		}
+		if n < len(chunk) {
+			return total, io.ErrShortWrite
+		}
+		if total == len(p) {
+			return total, nil
+		}
 	}
-	return int(resp.N), resp.Err()
 }
 
 // Truncate sets the remote file's size.
@@ -749,27 +822,45 @@ func (c *NSClient) Batch(ops []NSBatchOp) ([]NSBatchResult, error) {
 		return nil, nil
 	}
 	results := make([]NSBatchResult, len(ops))
+	maxData := c.MaxData()
 	// Group op indexes by slot: handles are pinned to connections.
 	groups := map[*nsSlot][]int{}
 	for i, op := range ops {
 		if op.File == nil {
 			return nil, errors.New("muxrpc: batch op without a file")
 		}
+		if int64(op.N) > maxData || int64(len(op.Data)) > maxData {
+			return nil, fmt.Errorf("%w: batch sub-op %d payload exceeds negotiated cap %d",
+				vfs.ErrInvalid, i, maxData)
+		}
 		groups[op.File.slot] = append(groups[op.File.slot], i)
 	}
-	max := c.maxBatch
+	max := int(c.maxBatch.Load())
 	if max <= 0 {
 		max = len(ops)
 	}
 	for slot, idxs := range groups {
-		for start := 0; start < len(idxs); start += max {
-			end := start + max
-			if end > len(idxs) {
-				end = len(idxs)
+		// Frames split at the negotiated sub-op count AND at the payload
+		// cap, which bounds a whole frame's payload sum server-side.
+		for start := 0; start < len(idxs); {
+			end := start
+			var payload int64
+			for end < len(idxs) && end-start < max {
+				op := &ops[idxs[end]]
+				sz := int64(op.N)
+				if !op.Read {
+					sz = int64(len(op.Data))
+				}
+				if end > start && payload+sz > maxData {
+					break
+				}
+				payload += sz
+				end++
 			}
 			if err := c.batchGroup(slot, ops, idxs[start:end], results); err != nil {
 				return nil, err
 			}
+			start = end
 		}
 	}
 	return results, nil

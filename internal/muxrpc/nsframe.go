@@ -1,0 +1,134 @@
+package muxrpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// muxns frame layer. Every NSRequest/NSResponse gob message travels inside
+// an explicit length-prefixed frame: a 4-byte big-endian payload length
+// followed by that many gob bytes. The prefix lets each side enforce a
+// hard frame-size cap *before* the gob decoder allocates anything on
+// behalf of the peer — a lying or hostile length is rejected from four
+// bytes of input, so payload-driven memory exhaustion stops at the socket
+// instead of reaching admission control. (gob's own internal cap is ~1GiB
+// and it allocates the message buffer from the untrusted length first;
+// that is far too late for a server fronting untrusted clients.)
+
+// NSDefaultMaxData is the default per-request payload cap (read length,
+// write payload, batch payload sum), negotiated down to clients in the
+// hello reply. Server option MaxData overrides it.
+const NSDefaultMaxData = 8 << 20
+
+// nsFrameSlack is the headroom a frame cap allows beyond the payload cap,
+// covering gob type definitions, field overhead, and batch sub-op
+// framing.
+const nsFrameSlack = 1 << 20
+
+// ErrFrameTooBig reports a frame whose declared length exceeds the
+// receiver's cap. The stream is unrecoverable past it (the oversized
+// frame was never read), so the connection dies with it.
+var ErrFrameTooBig = errors.New("muxns: frame exceeds size cap")
+
+const nsFrameHeaderLen = 4
+
+// NSFrameWriter buffers one gob message and emits it as a single
+// length-prefixed frame on Flush. Not safe for concurrent use; callers
+// serialize Encode+Flush pairs (both ends already do, per connection).
+type NSFrameWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewNSFrameWriter frames writes onto w.
+func NewNSFrameWriter(w io.Writer) *NSFrameWriter {
+	return &NSFrameWriter{w: bufio.NewWriter(w)}
+}
+
+// Write accumulates payload bytes for the current frame.
+func (fw *NSFrameWriter) Write(p []byte) (int, error) {
+	fw.buf = append(fw.buf, p...)
+	return len(p), nil
+}
+
+// Flush emits the accumulated payload as one frame and flushes the
+// underlying writer.
+func (fw *NSFrameWriter) Flush() error {
+	var hdr [nsFrameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(fw.buf)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return err
+	}
+	fw.buf = fw.buf[:0]
+	return fw.w.Flush()
+}
+
+// NSFrameReader unframes a stream for a gob decoder, enforcing the frame
+// cap from the length prefix. It implements io.ByteReader so gob reads
+// through it directly instead of adding its own read-ahead buffer.
+type NSFrameReader struct {
+	r   *bufio.Reader
+	rem int64 // payload bytes left in the current frame
+	max int64
+}
+
+// NewNSFrameReader unframes r with the given per-frame cap.
+func NewNSFrameReader(r io.Reader, max int64) *NSFrameReader {
+	return &NSFrameReader{r: bufio.NewReader(r), max: max}
+}
+
+// SetMax raises or lowers the per-frame cap (hello negotiation). Callers
+// must not race it with reads; both ends only call it between the
+// synchronous handshake and the first pipelined frame.
+func (fr *NSFrameReader) SetMax(max int64) {
+	if max > 0 {
+		fr.max = max
+	}
+}
+
+// nextFrame consumes one length prefix, leaving its payload pending.
+func (fr *NSFrameReader) nextFrame() error {
+	var hdr [nsFrameHeaderLen]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return err
+	}
+	n := int64(binary.BigEndian.Uint32(hdr[:]))
+	if n == 0 || n > fr.max {
+		return fmt.Errorf("%w: %d bytes (cap %d)", ErrFrameTooBig, n, fr.max)
+	}
+	fr.rem = n
+	return nil
+}
+
+func (fr *NSFrameReader) Read(p []byte) (int, error) {
+	if fr.rem == 0 {
+		if err := fr.nextFrame(); err != nil {
+			return 0, err
+		}
+	}
+	if int64(len(p)) > fr.rem {
+		p = p[:fr.rem]
+	}
+	n, err := fr.r.Read(p)
+	fr.rem -= int64(n)
+	return n, err
+}
+
+func (fr *NSFrameReader) ReadByte() (byte, error) {
+	if fr.rem == 0 {
+		if err := fr.nextFrame(); err != nil {
+			return 0, err
+		}
+	}
+	b, err := fr.r.ReadByte()
+	if err == nil {
+		fr.rem--
+	}
+	return b, err
+}

@@ -1,0 +1,66 @@
+package muxrpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+)
+
+// TestNSFrameRoundtrip runs gob messages through the frame layer and back.
+func TestNSFrameRoundtrip(t *testing.T) {
+	var wire bytes.Buffer
+	fw := NewNSFrameWriter(&wire)
+	enc := gob.NewEncoder(fw)
+	reqs := []*NSRequest{
+		{Seq: 1, Op: NSHello, N: NSProtoVersion},
+		{Seq: 2, Op: NSWrite, Handle: 7, Off: 512, Data: bytes.Repeat([]byte{9}, 4096)},
+		{Seq: 3, Op: NSStat, Path: "/a/b"},
+	}
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dec := gob.NewDecoder(NewNSFrameReader(&wire, 64<<10))
+	for i, want := range reqs {
+		got := &NSRequest{}
+		if err := dec.Decode(got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.Op != want.Op || got.Path != want.Path ||
+			!bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("frame %d mismatch: %+v", i, got)
+		}
+	}
+}
+
+// TestNSFrameCap checks an over-cap length prefix is rejected from the
+// header alone — the payload is never read, let alone allocated.
+func TestNSFrameCap(t *testing.T) {
+	var wire bytes.Buffer
+	fw := NewNSFrameWriter(&wire)
+	enc := gob.NewEncoder(fw)
+	if err := enc.Encode(&NSRequest{Seq: 1, Op: NSWrite, Data: bytes.Repeat([]byte{1}, 8192)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := gob.NewDecoder(NewNSFrameReader(bytes.NewReader(wire.Bytes()), 1024))
+	if err := dec.Decode(&NSRequest{}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("decode over cap: %v, want ErrFrameTooBig", err)
+	}
+
+	// The same bytes decode fine once SetMax widens the cap.
+	fr := NewNSFrameReader(bytes.NewReader(wire.Bytes()), 1024)
+	fr.SetMax(64 << 10)
+	if err := gob.NewDecoder(fr).Decode(&NSRequest{}); err != nil {
+		t.Fatalf("decode under raised cap: %v", err)
+	}
+}

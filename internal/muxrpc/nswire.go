@@ -11,10 +11,13 @@ import (
 // remote Mux; muxns exports a whole Mux *namespace* to many clients, and is
 // shaped for a production front end rather than a point-to-point proxy:
 //
-//   - One gob stream per connection carries framed NSRequest/NSResponse
-//     pairs matched by Seq. Responses may return in any order — the server
-//     pipelines them as workers finish — so a slow readdir never
-//     head-of-line blocks a fast stat on the same socket.
+//   - One gob stream per connection carries NSRequest/NSResponse pairs
+//     matched by Seq, each inside a length-prefixed frame (nsframe.go) so
+//     either side can reject an oversized frame from its 4-byte header —
+//     before the decoder allocates anything for it. Responses may return
+//     in any order — the server pipelines them as workers finish — so a
+//     slow readdir never head-of-line blocks a fast stat on the same
+//     socket.
 //   - A request may carry a *batch* of sub-operations (reads/writes tagged
 //     with caller-chosen ids). The server coalesces adjacent sub-ops per
 //     handle into single downward dispatches and replies per sub-op.
@@ -72,8 +75,9 @@ func (op NSOp) String() string {
 }
 
 // NSProtoVersion is the muxns protocol version; the hello frame carries it
-// and the server rejects mismatches.
-const NSProtoVersion = 1
+// and the server rejects mismatches. Version 2 added the length-prefixed
+// frame layer and the negotiated MaxData payload cap.
+const NSProtoVersion = 2
 
 // NSOpCount reports the size of the op space, for per-op instrument
 // tables indexed by NSOp.
@@ -162,9 +166,13 @@ type NSResponse struct {
 
 	Batch []NSSubResult
 
-	// Hello reply: server name, negotiated limits.
+	// Hello reply: server name, negotiated limits. MaxData caps one
+	// request's payload (read length, write payload, batch payload sum);
+	// the server rejects frames past it with vfs.ErrInvalid, so clients
+	// chunk larger transfers.
 	ServerName string
 	MaxBatch   int
+	MaxData    int64
 }
 
 // NSSubResult is one sub-op's outcome.

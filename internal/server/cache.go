@@ -29,7 +29,29 @@ type attrCache struct {
 	lru *list.List // front = most recently used
 	idx map[string]*list.Element
 
+	// gens are bucketed invalidation epochs: every invalidation bumps the
+	// epoch of each affected path's bucket. A fill snapshots the epoch
+	// (gen) before reading the backing namespace and hands it back to
+	// put*, which discards the result if an invalidation landed in
+	// between — otherwise a stat that read pre-mutation state could be
+	// cached *after* the mutation's invalidate and serve stale data for a
+	// whole TTL. Bucketing keeps the guard O(1) in memory; a false
+	// conflict merely skips one cache fill.
+	gens [cacheGenBuckets]uint64
+
 	hits, misses, negHits, evicts int64
+}
+
+// cacheGenBuckets sizes the invalidation-epoch table (power of two).
+const cacheGenBuckets = 64
+
+// genBucket hashes a (clean) path to its epoch bucket (FNV-1a).
+func genBucket(path string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint32(path[i])) * 16777619
+	}
+	return int(h % cacheGenBuckets)
 }
 
 // cacheEntry is one cached Stat or ReadDir result (key prefix "s"/"d").
@@ -77,11 +99,24 @@ func (ac *attrCache) get(key string) (*cacheEntry, bool) {
 	return ent, true
 }
 
-// put stores one entry, evicting from the LRU tail past capacity.
-func (ac *attrCache) put(ent *cacheEntry) {
+// gen snapshots the invalidation epoch governing path's entries; callers
+// take it before reading the backing namespace and pass it to put*.
+func (ac *attrCache) gen(path string) uint64 {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.gens[genBucket(path)]
+}
+
+// put stores one entry unless path's epoch moved past gen — meaning an
+// invalidation landed while the caller was reading the namespace, so the
+// result may predate a mutation. Evicts from the LRU tail past capacity.
+func (ac *attrCache) put(ent *cacheEntry, path string, gen uint64) {
 	ent.exp = time.Now().Add(ac.ttl)
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
+	if ac.gens[genBucket(path)] != gen {
+		return
+	}
 	if el, ok := ac.idx[ent.key]; ok {
 		el.Value = ent
 		ac.lru.MoveToFront(el)
@@ -110,13 +145,13 @@ func (ac *attrCache) getStat(path string) (vfs.FileInfo, error, bool) {
 }
 
 // putStat caches a Stat outcome: hits and not-exist misses are cacheable,
-// other errors are not.
-func (ac *attrCache) putStat(path string, info vfs.FileInfo, err error) {
+// other errors are not. gen is the epoch snapshotted before the Stat ran.
+func (ac *attrCache) putStat(path string, info vfs.FileInfo, err error, gen uint64) {
 	switch {
 	case err == nil:
-		ac.put(&cacheEntry{key: statKey(path), info: info})
+		ac.put(&cacheEntry{key: statKey(path), info: info}, path, gen)
 	case isNotExist(err):
-		ac.put(&cacheEntry{key: statKey(path), neg: true})
+		ac.put(&cacheEntry{key: statKey(path), neg: true}, path, gen)
 	}
 }
 
@@ -132,13 +167,14 @@ func (ac *attrCache) getDir(path string) ([]vfs.DirEntry, error, bool) {
 	return ent.ents, nil, true
 }
 
-// putDir caches a ReadDir outcome (positive or not-exist).
-func (ac *attrCache) putDir(path string, ents []vfs.DirEntry, err error) {
+// putDir caches a ReadDir outcome (positive or not-exist). gen is the
+// epoch snapshotted before the ReadDir ran.
+func (ac *attrCache) putDir(path string, ents []vfs.DirEntry, err error, gen uint64) {
 	switch {
 	case err == nil:
-		ac.put(&cacheEntry{key: dirKey(path), ents: ents})
+		ac.put(&cacheEntry{key: dirKey(path), ents: ents}, path, gen)
 	case isNotExist(err):
-		ac.put(&cacheEntry{key: dirKey(path), neg: true})
+		ac.put(&cacheEntry{key: dirKey(path), neg: true}, path, gen)
 	}
 }
 
@@ -153,12 +189,16 @@ func (ac *attrCache) remove(keys ...string) {
 
 // invalidate drops the entries a mutation of path makes stale: the path's
 // own stat and listing, and the parent directory's listing (whose entry
-// set or recorded sizes may have changed).
+// set or recorded sizes may have changed). It also advances both paths'
+// epochs so in-flight fills that read pre-mutation state discard
+// themselves.
 func (ac *attrCache) invalidate(path string) {
 	path = vfs.CleanPath(path)
 	parent, _ := vfs.ParentPath(path)
 	ac.mu.Lock()
 	ac.remove(statKey(path), dirKey(path), dirKey(parent))
+	ac.gens[genBucket(path)]++
+	ac.gens[genBucket(parent)]++
 	ac.mu.Unlock()
 }
 
@@ -179,6 +219,11 @@ func (ac *attrCache) invalidatePrefix(path string) {
 			ac.lru.Remove(el)
 			delete(ac.idx, key)
 		}
+	}
+	// A subtree of unknown membership went stale: advance every epoch so
+	// no in-flight fill under it can land.
+	for i := range ac.gens {
+		ac.gens[i]++
 	}
 	ac.mu.Unlock()
 }

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -42,6 +41,19 @@ type Options struct {
 	// MaxBatch bounds sub-ops per batch frame (default 256), negotiated
 	// down to clients in the hello reply.
 	MaxBatch int
+	// MaxData caps one request's payload — a read's length, a write's
+	// data, a batch frame's payload sum — so no admitted frame can demand
+	// an unbounded allocation (default muxrpc.NSDefaultMaxData, 8MiB).
+	// Violations are rejected with vfs.ErrInvalid at admission, before
+	// any allocation; the cap is negotiated down to clients in the hello
+	// reply and NSClient chunks larger transfers transparently.
+	MaxData int64
+	// MaxFrame caps one wire frame's encoded size, enforced from the
+	// length prefix before the gob decoder allocates anything (default
+	// MaxData plus 1MiB of encoding slack, and never below that floor).
+	// An oversized frame kills its connection: the stream cannot be
+	// resynchronized past a frame that was never read.
+	MaxFrame int64
 	// Registry, when set, records per-op latency histograms
 	// (mux_server_op_ns). Counters in Stats are always maintained; they
 	// are plain atomics and cost nothing measurable.
@@ -71,6 +83,12 @@ func (o Options) fill() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
 	}
+	if o.MaxData <= 0 {
+		o.MaxData = muxrpc.NSDefaultMaxData
+	}
+	if min := o.MaxData + 1<<20; o.MaxFrame < min {
+		o.MaxFrame = min
+	}
 	return o
 }
 
@@ -94,9 +112,11 @@ type Server struct {
 	closed    atomic.Bool
 
 	// counters (see Stats)
-	requests      atomic.Int64
-	rejectedQueue atomic.Int64
-	rejectedRate  atomic.Int64
+	requests        atomic.Int64
+	rejectedQueue   atomic.Int64
+	rejectedRate    atomic.Int64
+	rejectedInvalid atomic.Int64
+	rejectedFrame   atomic.Int64
 	bytesRead     atomic.Int64
 	bytesWritten  atomic.Int64
 	batchSubOps   atomic.Int64
@@ -150,8 +170,8 @@ func (s *Server) Serve(l net.Listener) error {
 			return nil
 		}
 		c := &conn{srv: s, nc: nc, handles: map[uint64]nsHandle{}, cq: &clientQ{}}
-		c.bw = bufio.NewWriter(nc)
-		c.enc = gob.NewEncoder(c.bw)
+		c.fw = muxrpc.NewNSFrameWriter(nc)
+		c.enc = gob.NewEncoder(c.fw)
 		s.connMu.Lock()
 		s.conns[c] = struct{}{}
 		s.connMu.Unlock()
@@ -216,6 +236,65 @@ func (s *Server) worker() {
 	}
 }
 
+// validate rejects malformed or oversized requests at admission time,
+// before any allocation, queueing, or dispatch happens on their behalf:
+// wire integers are untrusted, and a negative read length would otherwise
+// panic make([]byte, N) inside a worker. Violations answer vfs.ErrInvalid
+// and the connection lives on — unlike a frame-cap breach, nothing was
+// half-read.
+func (s *Server) validate(req *muxrpc.NSRequest) error {
+	maxData := s.opts.MaxData
+	switch req.Op {
+	case muxrpc.NSRead:
+		if req.Off < 0 || req.N < 0 || req.N > maxData {
+			return fmt.Errorf("%w: read of %d bytes at offset %d (payload cap %d)",
+				vfs.ErrInvalid, req.N, req.Off, maxData)
+		}
+	case muxrpc.NSWrite:
+		if req.Off < 0 || int64(len(req.Data)) > maxData {
+			return fmt.Errorf("%w: write of %d bytes at offset %d (payload cap %d)",
+				vfs.ErrInvalid, len(req.Data), req.Off, maxData)
+		}
+	case muxrpc.NSTruncate, muxrpc.NSTruncateHandle:
+		if req.N < 0 {
+			return fmt.Errorf("%w: truncate to negative size %d", vfs.ErrInvalid, req.N)
+		}
+	case muxrpc.NSPunch:
+		if req.Off < 0 || req.N < 0 {
+			return fmt.Errorf("%w: punch of %d bytes at offset %d", vfs.ErrInvalid, req.N, req.Off)
+		}
+	case muxrpc.NSBatch:
+		if len(req.Batch) > s.opts.MaxBatch {
+			return fmt.Errorf("%w: batch of %d exceeds limit %d",
+				vfs.ErrInvalid, len(req.Batch), s.opts.MaxBatch)
+		}
+		var total int64
+		for i := range req.Batch {
+			b := &req.Batch[i]
+			switch b.Op {
+			case muxrpc.NSRead:
+				if b.Off < 0 || b.N < 0 || b.N > maxData {
+					return fmt.Errorf("%w: batch read sub-op of %d bytes at offset %d (payload cap %d)",
+						vfs.ErrInvalid, b.N, b.Off, maxData)
+				}
+				total += b.N
+			case muxrpc.NSWrite:
+				if b.Off < 0 || int64(len(b.Data)) > maxData {
+					return fmt.Errorf("%w: batch write sub-op of %d bytes at offset %d (payload cap %d)",
+						vfs.ErrInvalid, len(b.Data), b.Off, maxData)
+				}
+				total += int64(len(b.Data))
+			}
+			// Sub-ops of any other kind answer per-sub-op errors in
+			// serveBatch; they carry no payload worth charging here.
+			if total > maxData {
+				return fmt.Errorf("%w: batch payload sum exceeds cap %d", vfs.ErrInvalid, maxData)
+			}
+		}
+	}
+	return nil
+}
+
 // costOf charges a request by frame plus payload volume.
 func costOf(req *muxrpc.NSRequest) int64 {
 	var payload int64
@@ -254,7 +333,7 @@ type conn struct {
 	nc  net.Conn
 
 	encMu sync.Mutex
-	bw    *bufio.Writer
+	fw    *muxrpc.NSFrameWriter
 	enc   *gob.Encoder
 
 	cq *clientQ
@@ -277,22 +356,26 @@ func (c *conn) reply(resp *muxrpc.NSResponse) {
 		c.nc.Close()
 		return
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.fw.Flush(); err != nil {
 		c.nc.Close()
 	}
 }
 
 // readLoop decodes frames, runs admission, and hands tasks to the worker
 // pool. It exits (and tears the connection down) on the first stream
-// error.
+// error — including a frame whose declared length exceeds MaxFrame,
+// which the frame layer rejects before the decoder allocates for it.
 func (c *conn) readLoop() {
 	defer c.teardown()
-	dec := gob.NewDecoder(bufio.NewReader(c.nc))
+	dec := gob.NewDecoder(muxrpc.NewNSFrameReader(c.nc, c.srv.opts.MaxFrame))
 
 	// The hello handshake runs inline, before admission control: it is
 	// the one frame a client may always send.
 	var hello muxrpc.NSRequest
 	if err := dec.Decode(&hello); err != nil {
+		if errors.Is(err, muxrpc.ErrFrameTooBig) {
+			c.srv.rejectedFrame.Add(1)
+		}
 		return
 	}
 	if hello.Op != muxrpc.NSHello || hello.N != muxrpc.NSProtoVersion {
@@ -304,17 +387,21 @@ func (c *conn) readLoop() {
 		Seq:        hello.Seq,
 		ServerName: c.srv.fs.Name(),
 		MaxBatch:   c.srv.opts.MaxBatch,
+		MaxData:    c.srv.opts.MaxData,
 	})
 
 	for {
 		req := &muxrpc.NSRequest{}
 		if err := dec.Decode(req); err != nil {
+			if errors.Is(err, muxrpc.ErrFrameTooBig) {
+				c.srv.rejectedFrame.Add(1)
+			}
 			return
 		}
 		c.srv.requests.Add(1)
-		if len(req.Batch) > c.srv.opts.MaxBatch {
-			c.reply(errResp(req.Seq, fmt.Errorf("%w: batch of %d exceeds limit %d",
-				vfs.ErrInvalid, len(req.Batch), c.srv.opts.MaxBatch)))
+		if err := c.srv.validate(req); err != nil {
+			c.srv.rejectedInvalid.Add(1)
+			c.reply(errResp(req.Seq, err))
 			continue
 		}
 		t := &task{c: c, req: req, cost: costOf(req)}
@@ -461,18 +548,25 @@ func (s *Server) dispatch(c *conn, req *muxrpc.NSRequest) *muxrpc.NSResponse {
 		if err != nil {
 			return errResp(req.Seq, err)
 		}
+		// Mutations invalidate AFTER executing (here and below): an
+		// invalidate-then-mutate order would let a concurrent stat re-cache
+		// the pre-mutation result inside the window and serve it stale for
+		// a whole TTL. The fill path guards the other half of the race with
+		// the cache's generation counters.
+		terr := h.f.Truncate(req.N)
 		s.invalidate(h.path)
-		if err := h.f.Truncate(req.N); err != nil {
-			return errResp(req.Seq, err)
+		if terr != nil {
+			return errResp(req.Seq, terr)
 		}
 	case muxrpc.NSPunch:
 		h, err := c.handle(req.Handle)
 		if err != nil {
 			return errResp(req.Seq, err)
 		}
+		perr := h.f.PunchHole(req.Off, req.N)
 		s.invalidate(h.path)
-		if err := h.f.PunchHole(req.Off, req.N); err != nil {
-			return errResp(req.Seq, err)
+		if perr != nil {
+			return errResp(req.Seq, perr)
 		}
 	case muxrpc.NSSyncHandle:
 		h, err := c.handle(req.Handle)
@@ -513,9 +607,13 @@ func (s *Server) dispatch(c *conn, req *muxrpc.NSRequest) *muxrpc.NSResponse {
 				return resp
 			}
 		}
+		var gen uint64
+		if s.cache != nil {
+			gen = s.cache.gen(path)
+		}
 		fi, err := s.fs.Stat(path)
 		if s.cache != nil {
-			s.cache.putStat(path, fi, err)
+			s.cache.putStat(path, fi, err, gen)
 		}
 		if err != nil {
 			return errResp(req.Seq, err)
@@ -532,38 +630,47 @@ func (s *Server) dispatch(c *conn, req *muxrpc.NSRequest) *muxrpc.NSResponse {
 				return resp
 			}
 		}
+		var gen uint64
+		if s.cache != nil {
+			gen = s.cache.gen(path)
+		}
 		ents, err := s.fs.ReadDir(path)
 		if s.cache != nil {
-			s.cache.putDir(path, ents, err)
+			s.cache.putDir(path, ents, err, gen)
 		}
 		if err != nil {
 			return errResp(req.Seq, err)
 		}
 		resp.Entries = ents
 	case muxrpc.NSSetAttr:
+		err := s.fs.SetAttr(req.Path, req.Attr.ToSetAttr())
 		s.invalidate(req.Path)
-		if err := s.fs.SetAttr(req.Path, req.Attr.ToSetAttr()); err != nil {
+		if err != nil {
 			return errResp(req.Seq, err)
 		}
 	case muxrpc.NSTruncate:
+		err := s.fs.Truncate(req.Path, req.N)
 		s.invalidate(req.Path)
-		if err := s.fs.Truncate(req.Path, req.N); err != nil {
+		if err != nil {
 			return errResp(req.Seq, err)
 		}
 	case muxrpc.NSRename:
+		err := s.fs.Rename(req.Path, req.Path2)
 		s.invalidateTree(req.Path)
 		s.invalidateTree(req.Path2)
-		if err := s.fs.Rename(req.Path, req.Path2); err != nil {
+		if err != nil {
 			return errResp(req.Seq, err)
 		}
 	case muxrpc.NSRemove:
+		err := s.fs.Remove(req.Path)
 		s.invalidateTree(req.Path)
-		if err := s.fs.Remove(req.Path); err != nil {
+		if err != nil {
 			return errResp(req.Seq, err)
 		}
 	case muxrpc.NSMkdir:
+		err := s.fs.Mkdir(req.Path)
 		s.invalidate(req.Path)
-		if err := s.fs.Mkdir(req.Path); err != nil {
+		if err != nil {
 			return errResp(req.Seq, err)
 		}
 	case muxrpc.NSStatfs:
@@ -607,10 +714,12 @@ type Stats struct {
 	MaxQueue   int   `json:"max_queue"`
 	Executing  int64 `json:"executing"`
 
-	ConnsAccepted int64 `json:"conns_accepted"`
-	Requests      int64 `json:"requests"`
-	RejectedQueue int64 `json:"rejected_queue"`
-	RejectedRate  int64 `json:"rejected_rate"`
+	ConnsAccepted   int64 `json:"conns_accepted"`
+	Requests        int64 `json:"requests"`
+	RejectedQueue   int64 `json:"rejected_queue"`
+	RejectedRate    int64 `json:"rejected_rate"`
+	RejectedInvalid int64 `json:"rejected_invalid"`
+	RejectedFrame   int64 `json:"rejected_frame"`
 
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
@@ -676,8 +785,10 @@ func (s *Server) Stats() Stats {
 		Executing:     s.executing.Load(),
 		ConnsAccepted: s.accepted.Load(),
 		Requests:      s.requests.Load(),
-		RejectedQueue: s.rejectedQueue.Load(),
-		RejectedRate:  s.rejectedRate.Load(),
+		RejectedQueue:   s.rejectedQueue.Load(),
+		RejectedRate:    s.rejectedRate.Load(),
+		RejectedInvalid: s.rejectedInvalid.Load(),
+		RejectedFrame:   s.rejectedFrame.Load(),
 		BytesRead:     s.bytesRead.Load(),
 		BytesWritten:  s.bytesWritten.Load(),
 		BatchSubOps:   s.batchSubOps.Load(),

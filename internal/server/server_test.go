@@ -2,8 +2,11 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -72,13 +75,150 @@ func TestConcurrency(t *testing.T) {
 }
 
 func TestHello(t *testing.T) {
-	addr, _, _ := start(t, newBackFS(t), Options{MaxBatch: 99})
+	addr, _, _ := start(t, newBackFS(t), Options{MaxBatch: 99, MaxData: 128 << 10})
 	c := dial(t, addr, muxrpc.NSDialOptions{})
 	if c.Name() != "muxns:xfs@srv" {
 		t.Fatalf("Name = %q", c.Name())
 	}
 	if c.MaxBatch() != 99 {
 		t.Fatalf("MaxBatch = %d", c.MaxBatch())
+	}
+	if c.MaxData() != 128<<10 {
+		t.Fatalf("MaxData = %d", c.MaxData())
+	}
+}
+
+// rawConn speaks the muxns wire by hand, so tests can ship frames NSClient
+// would never produce — negative lengths, over-cap payloads.
+type rawConn struct {
+	nc  net.Conn
+	fw  *muxrpc.NSFrameWriter
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func rawDial(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	fw := muxrpc.NewNSFrameWriter(nc)
+	rc := &rawConn{
+		nc:  nc,
+		fw:  fw,
+		enc: gob.NewEncoder(fw),
+		dec: gob.NewDecoder(muxrpc.NewNSFrameReader(nc, 64<<20)),
+	}
+	if resp := rc.call(t, &muxrpc.NSRequest{Seq: 1, Op: muxrpc.NSHello, N: muxrpc.NSProtoVersion}); resp.Err() != nil {
+		t.Fatalf("hello: %v", resp.Err())
+	}
+	return rc
+}
+
+func (rc *rawConn) call(t *testing.T, req *muxrpc.NSRequest) *muxrpc.NSResponse {
+	t.Helper()
+	if err := rc.enc.Encode(req); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := rc.fw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	resp := &muxrpc.NSResponse{}
+	if err := rc.dec.Decode(resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp
+}
+
+// TestWireValidation ships hand-built hostile frames — negative read
+// lengths, absurd sizes, negative offsets — and checks each is answered
+// with ErrInvalid at admission instead of panicking a worker, with the
+// connection (and server) alive afterwards.
+func TestWireValidation(t *testing.T) {
+	addr, srv, _ := start(t, newBackFS(t), Options{})
+	rc := rawDial(t, addr)
+
+	hostile := []*muxrpc.NSRequest{
+		{Seq: 2, Op: muxrpc.NSRead, Handle: 1, N: -1},
+		{Seq: 3, Op: muxrpc.NSRead, Handle: 1, N: 1 << 50},
+		{Seq: 4, Op: muxrpc.NSRead, Handle: 1, Off: -8, N: 16},
+		{Seq: 5, Op: muxrpc.NSWrite, Handle: 1, Off: -8, Data: []byte("x")},
+		{Seq: 6, Op: muxrpc.NSTruncate, Path: "/x", N: -2},
+		{Seq: 7, Op: muxrpc.NSPunch, Handle: 1, Off: 0, N: -4096},
+		{Seq: 8, Op: muxrpc.NSBatch, Batch: []muxrpc.NSSubOp{
+			{ID: 0, Op: muxrpc.NSRead, Handle: 1, N: -5},
+		}},
+		{Seq: 9, Op: muxrpc.NSBatch, Batch: []muxrpc.NSSubOp{
+			{ID: 0, Op: muxrpc.NSRead, Handle: 1, N: 1 << 40},
+		}},
+	}
+	for _, req := range hostile {
+		resp := rc.call(t, req)
+		if !errors.Is(resp.Err(), vfs.ErrInvalid) {
+			t.Fatalf("seq %d (%s): got %v, want ErrInvalid", req.Seq, req.Op, resp.Err())
+		}
+	}
+	if got := srv.Stats().RejectedInvalid; got != int64(len(hostile)) {
+		t.Fatalf("RejectedInvalid = %d, want %d", got, len(hostile))
+	}
+	// The connection survived every rejection: a well-formed op still works.
+	if resp := rc.call(t, &muxrpc.NSRequest{Seq: 10, Op: muxrpc.NSStat, Path: "/"}); resp.Err() != nil {
+		t.Fatalf("stat after rejections: %v", resp.Err())
+	}
+}
+
+// TestFrameCapKillsConnection declares a frame bigger than the server's
+// cap and checks the connection dies from the 4-byte header alone — the
+// payload is never read into memory.
+func TestFrameCapKillsConnection(t *testing.T) {
+	addr, srv, _ := start(t, newBackFS(t), Options{})
+	rc := rawDial(t, addr)
+
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 512<<20) // 512MiB >> default cap
+	if _, err := rc.nc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	rc.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := rc.nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived an over-cap frame")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().RejectedFrame == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Stats().RejectedFrame == 0 {
+		t.Fatal("RejectedFrame not counted")
+	}
+}
+
+// TestLargeIOChunked checks reads and writes past the negotiated payload
+// cap chunk transparently client-side instead of being rejected.
+func TestLargeIOChunked(t *testing.T) {
+	addr, _, _ := start(t, newBackFS(t), Options{MaxData: 64 << 10})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	data := make([]byte, 300<<10) // 4 full chunks + a partial one
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	f, err := c.Create("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.WriteAt(data, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("chunked write: n=%d err=%v", n, err)
+	}
+	got := make([]byte, len(data))
+	n, err = f.ReadAt(got, 0)
+	if err != nil && !errors.Is(err, io.EOF) {
+		t.Fatalf("chunked read: %v", err)
+	}
+	if n != len(data) || !bytes.Equal(got, data) {
+		t.Fatalf("chunked read: n=%d, data mismatch", n)
 	}
 }
 
@@ -325,6 +465,136 @@ func TestAttrCache(t *testing.T) {
 	if _, err := c.Stat("/missing"); err != nil {
 		t.Fatalf("stat after create of negative-cached path: %v", err)
 	}
+}
+
+// statGate lets a Stat read the backing namespace and then blocks it
+// BEFORE it returns to the server — modelling a cache fill that raced a
+// mutation: the stat's answer predates the mutation, but its cache
+// insert happens after the mutation's invalidate.
+type statGate struct {
+	vfs.FileSystem
+	mu      sync.Mutex
+	ch      chan struct{}
+	entered chan struct{}
+}
+
+func (g *statGate) arm() {
+	g.mu.Lock()
+	g.ch = make(chan struct{})
+	g.entered = make(chan struct{}, 1)
+	g.mu.Unlock()
+}
+
+func (g *statGate) release() {
+	g.mu.Lock()
+	ch := g.ch
+	g.ch = nil
+	g.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (g *statGate) Stat(path string) (vfs.FileInfo, error) {
+	fi, err := g.FileSystem.Stat(path)
+	g.mu.Lock()
+	ch, entered := g.ch, g.entered
+	g.mu.Unlock()
+	if ch != nil {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-ch
+	}
+	return fi, err
+}
+
+// TestStatFillRaceInvalidation is the regression test for the
+// invalidate-vs-fill race: a stat reads pre-mutation state, the mutation
+// completes and invalidates, and only then does the stat's result reach
+// the cache. The generation guard must discard that fill — otherwise the
+// stale size would be served for a whole TTL, breaking same-server
+// write-through consistency.
+func TestStatFillRaceInvalidation(t *testing.T) {
+	g := &statGate{FileSystem: newBackFS(t)}
+	addr, _, _ := start(t, g, Options{CacheTTL: time.Hour})
+	c := dial(t, addr, muxrpc.NSDialOptions{})
+
+	f, err := c.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g.arm()
+	statDone := make(chan struct{})
+	go func() {
+		defer close(statDone)
+		c.Stat("/f") // reads size 0, then parks inside the gate
+	}()
+	// Wait until the stat has read the (pre-write) answer and is gated.
+	select {
+	case <-g.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stat never reached the gate")
+	}
+
+	// The mutation lands — and invalidates — while the stale fill is
+	// still in flight.
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	g.release()
+	<-statDone
+
+	fi, err := c.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 5 {
+		t.Fatalf("stat after racing fill: size %d, want 5 (stale fill cached?)", fi.Size)
+	}
+}
+
+// TestClientMetaRace hammers the hello-negotiated client metadata from
+// reader goroutines while lazy pool slots dial and write it; -race is the
+// assertion.
+func TestClientMetaRace(t *testing.T) {
+	addr, _, _ := start(t, newBackFS(t), Options{})
+	c := dial(t, addr, muxrpc.NSDialOptions{PoolSize: 4})
+	if _, err := c.Create("/meta"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Name()
+					_ = c.MaxBatch()
+					_ = c.MaxData()
+				}
+			}
+		}()
+	}
+	// Opens round-robin the pool, forcing the remaining slots' first
+	// dials (which rewrite name/maxBatch/maxData) under the readers.
+	for i := 0; i < 16; i++ {
+		f, err := c.Open("/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestCacheTreeInvalidation renames a directory and checks cached
