@@ -43,6 +43,12 @@ race:
 # server (DRR + token buckets), the attr/readdir cache must serve the stat
 # storm (negative entries included), and the server counters must cost no
 # more than 5% (muxbench exits nonzero on any violation; BENCH_e13.json).
+# E14 runs the bounded multi-tenant isolation + autotuning drill: a quota
+# policy + MGLRU cache must hold a victim tenant's p99 within 2x of
+# running alone under a cold-scan aggressor, and the feedback controller
+# must climb a deliberately mis-tuned LRU to within the gate of the
+# hand-tuned config with a monotone accepted-score audit trail (muxbench
+# exits nonzero on any violation; BENCH_e14.json).
 smoke:
 	$(GO) run ./cmd/muxbench -exp e6
 	$(GO) run ./cmd/muxbench -exp e7
@@ -52,6 +58,7 @@ smoke:
 	$(GO) run ./cmd/muxbench -exp e11 -e11smoke -json .
 	$(GO) run ./cmd/muxbench -exp e12 -e12smoke -json .
 	$(GO) run ./cmd/muxbench -exp e13 -e13smoke -json .
+	$(GO) run ./cmd/muxbench -exp e14 -e14smoke -json .
 
 # check is the CI gate: compile everything, vet, the full test suite under
 # the race detector (the migration and fan-out engines are concurrent;

@@ -17,6 +17,7 @@
 //	muxbench -exp e11   # crash-point sweep + recovery speed (bound with -e11smoke)
 //	muxbench -exp e12   # scale-out striped tier (bound with -e12smoke)
 //	muxbench -exp e13   # network front end (bound with -e13smoke)
+//	muxbench -exp e14   # multi-tenant isolation + autotuning (bound with -e14smoke)
 //	muxbench -exp a1..a6  # ablations
 //	muxbench -json DIR  # also write BENCH_<exp>.json per experiment run
 //
@@ -42,11 +43,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, a1, a2, a3, a4, a5, a6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, a1, a2, a3, a4, a5, a6")
 	e9gate := flag.Float64("e9gate", 0, "fail (exit 1) when E9 telemetry-on overhead exceeds this percentage (0 = no gate)")
 	e11smoke := flag.Bool("e11smoke", false, "run the bounded E11 variant (smaller namespaces; the CI smoke)")
 	e12smoke := flag.Bool("e12smoke", false, "run the bounded E12 variant (8 MiB phases, K <= 4, relaxed scaling gate; the CI smoke)")
 	e13smoke := flag.Bool("e13smoke", false, "run the bounded E13 variant (16 clients, relaxed batching/fairness gates; the CI smoke)")
+	e14smoke := flag.Bool("e14smoke", false, "run the bounded E14 variant (fewer rounds, relaxed isolation/convergence gates; the CI smoke)")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (records every contended acquisition)")
@@ -179,6 +181,15 @@ func main() {
 		bench.FormatE13(out, r)
 		emit("e13", r)
 		fail(bench.CheckE13(r))
+	}
+	if want("e14") {
+		ran = true
+		bench.Rule(out, "E14 — multi-tenant isolation + autotuning")
+		r, err := bench.RunE14(bench.E14Options{Smoke: *e14smoke})
+		fail(err)
+		bench.FormatE14(out, r)
+		emit("e14", r)
+		fail(bench.CheckE14(r))
 	}
 	if want("a1") {
 		ran = true

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"muxfs"
+)
+
+// autotune drives the feedback controller:
+//
+//	autotune on [hysteresis]   attach the tuner to the current policy
+//	autotune off               detach (knobs keep their last values)
+//	autotune status            controller summary + current knob values
+//	autotune log [n]           last n decisions from the audit ring
+//	autotune freeze|unfreeze   pin / resume knob probing
+func (s *shell) autotune(rest []string) error {
+	if len(rest) == 0 {
+		rest = []string{"status"}
+	}
+	switch rest[0] {
+	case "on":
+		opts := muxfs.AutotuneOptions{}
+		if len(rest) > 1 {
+			if _, err := fmt.Sscanf(rest[1], "%g", &opts.Hysteresis); err != nil {
+				return fmt.Errorf("hysteresis: %w", err)
+			}
+		}
+		if err := s.sys.FS.EnableAutotune(opts); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "autotune on — knobs adjust after each 'balance' round")
+		return nil
+	case "off":
+		s.sys.FS.DisableAutotune()
+		fmt.Fprintln(s.out, "autotune off — knobs keep their last values")
+		return nil
+	case "status":
+		tn := s.sys.FS.Autotuner()
+		if tn == nil {
+			fmt.Fprintln(s.out, "autotune off")
+			return nil
+		}
+		st := tn.Status()
+		fmt.Fprintf(s.out, "policy %s: rounds=%d accepted=%d reverted=%d holds=%d idle=%d converged=%v frozen=%v\n",
+			st.Policy, st.Rounds, st.Accepted, st.Reverted, st.Holds, st.Idle, st.Converged, st.Frozen)
+		fmt.Fprintf(s.out, "score: best=%.4f last=%.4f\n", st.BestScore, st.LastScore)
+		for _, p := range st.Params {
+			fmt.Fprintf(s.out, "  %-24s %-10s value=%-12g clamp=[%g, %g] step=%g\n",
+				p.Name, p.Kind, p.Value, p.Min, p.Max, p.Step)
+		}
+		return nil
+	case "log":
+		tn := s.sys.FS.Autotuner()
+		if tn == nil {
+			return errors.New("autotune is off")
+		}
+		n := 20
+		if len(rest) > 1 {
+			if _, err := fmt.Sscanf(rest[1], "%d", &n); err != nil {
+				return fmt.Errorf("count: %w", err)
+			}
+		}
+		log := tn.Log()
+		if len(log) > n {
+			log = log[len(log)-n:]
+		}
+		fmt.Fprintf(s.out, "%5s %-8s %-24s %12s %12s %8s %6s %10s %10s\n",
+			"round", "action", "param", "from", "to", "score", "hit", "p99", "churn")
+		for _, d := range log {
+			param, from, to := d.Param, fmt.Sprintf("%g", d.From), fmt.Sprintf("%g", d.To)
+			if param == "" {
+				param, from, to = "-", "-", "-"
+			}
+			fmt.Fprintf(s.out, "%5d %-8s %-24s %12s %12s %8.4f %6.3f %10v %10d\n",
+				d.Round, d.Action, param, from, to, d.Score, d.HitRatio,
+				time.Duration(d.P99).Round(time.Microsecond), d.ChurnBytes)
+		}
+		return nil
+	case "freeze", "unfreeze":
+		tn := s.sys.FS.Autotuner()
+		if tn == nil {
+			return errors.New("autotune is off")
+		}
+		if rest[0] == "freeze" {
+			tn.Freeze()
+			fmt.Fprintln(s.out, "autotune frozen — knobs pinned, in-flight probe reverted")
+		} else {
+			tn.Unfreeze()
+			fmt.Fprintln(s.out, "autotune resumed")
+		}
+		return nil
+	default:
+		return errors.New("usage: autotune on [hysteresis] | off | status | log [n] | freeze | unfreeze")
+	}
+}
+
+// tenant registers/unregisters attribution prefixes:
+//
+//	tenant add <name> <prefix>   attribute ops under prefix to name
+//	tenant rm <name>             stop attributing
+func (s *shell) tenant(rest []string) error {
+	if len(rest) == 0 {
+		return errors.New("usage: tenant add <name> <prefix> | tenant rm <name>")
+	}
+	switch rest[0] {
+	case "add":
+		if len(rest) != 3 {
+			return errors.New("usage: tenant add <name> <prefix>")
+		}
+		if err := s.sys.FS.RegisterTenant(rest[1], rest[2]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "tenant %s: ops under %s now attributed\n", rest[1], rest[2])
+		return nil
+	case "rm":
+		if len(rest) != 2 {
+			return errors.New("usage: tenant rm <name>")
+		}
+		s.sys.FS.UnregisterTenant(rest[1])
+		fmt.Fprintf(s.out, "tenant %s unregistered\n", rest[1])
+		return nil
+	default:
+		return errors.New("usage: tenant add <name> <prefix> | tenant rm <name>")
+	}
+}
+
+// tenants prints the per-tenant attribution table.
+func (s *shell) tenants() error {
+	rows := s.sys.FS.TenantTelemetrySnapshot()
+	if len(rows) == 0 {
+		fmt.Fprintln(s.out, "no tenants registered (try: tenant add <name> <prefix>)")
+		return nil
+	}
+	fmt.Fprintf(s.out, "%-12s %-16s %10s %10s %10s %10s %6s  %s\n",
+		"tenant", "prefix", "reads", "writes", "read-p99", "fast-bytes", "errs", "tier-bytes")
+	for _, t := range rows {
+		fmt.Fprintf(s.out, "%-12s %-16s %10d %10d %10v %10d %6d  ",
+			t.Name, t.Prefix, t.Reads, t.Writes,
+			t.ReadP99.Round(time.Microsecond), t.FastBytes, t.Errors)
+		ids := make([]int, 0, len(t.TierBytes))
+		for id := range t.TierBytes {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(s.out, "%s=%d ", s.tierName(id), t.TierBytes[id])
+		}
+		fmt.Fprintln(s.out)
+	}
+	return nil
+}

@@ -125,9 +125,15 @@ func (s *shell) dispatch(line string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(s.out, "policy round: planned=%d executed=%d skipped=%d qskipped=%d repaired=%d conflicts=%d bytes=%d virt=%v wall=%v\n",
-			st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.ReplicasRepaired, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
+		fmt.Fprintf(s.out, "policy round: planned=%d executed=%d skipped=%d qskipped=%d qdemote=%d repaired=%d conflicts=%d bytes=%d virt=%v wall=%v\n",
+			st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.QuotaDemotions, st.ReplicasRepaired, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
 		return nil
+	case "autotune":
+		return s.autotune(rest)
+	case "tenant":
+		return s.tenant(rest)
+	case "tenants":
+		return s.tenants()
 	case "health":
 		s.health()
 		return nil
@@ -219,6 +225,12 @@ func (s *shell) help() {
   health                       show per-tier breaker state and fault counters
   fault <tier> <p> [wp] [seed] inject faults: read-prob p, write-prob wp
   fault <tier> off             clear injected faults
+  autotune on [hys] | off      attach/detach the policy-knob feedback controller
+  autotune status | log [n]    controller summary / audited decision trail
+  autotune freeze | unfreeze   pin knobs through a measurement window / resume
+  tenant add <name> <prefix>   attribute ops+occupancy under prefix to a tenant
+  tenant rm <name>             stop attributing
+  tenants                      per-tenant ops, latency, and tier occupancy
   occ                          show OCC synchronizer counters
   stats [-json]                unified telemetry snapshot (all stats surfaces)
   trace                        recent slow/failed operations (trace ring)

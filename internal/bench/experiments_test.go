@@ -299,7 +299,13 @@ func TestE7Shape(t *testing.T) {
 	// Acceptance floor: >= 1.5x read throughput on three-tier striped files
 	// at full width (measured ~2.8x; asserted loosely enough to stay robust
 	// under CI load, recorded precisely in EXPERIMENTS.md). Writes and
-	// fsync overlap the same way.
+	// fsync overlap the same way. Wall-clock ratios only hold when the
+	// modeled device sleeps dominate CPU time — not under -race (see
+	// race_off.go), where only the correctness invariants above apply.
+	if raceDetector {
+		t.Log("race detector on: skipping wall-clock speedup gates")
+		return
+	}
 	if r.ReadSpeedup < 1.5 {
 		t.Errorf("full-width read speedup = %.2fx, want >= 1.5x", r.ReadSpeedup)
 	}
@@ -407,11 +413,17 @@ func TestE10Shape(t *testing.T) {
 	}
 	// The tentpole claim: two routable copies beat the single fast
 	// placement, and comfortably beat mirrors used only as error fallback.
-	if r.RoutedVsMigrate <= 1.05 {
-		t.Fatalf("routed vs migrate-only = %.2fx, want > 1.05x", r.RoutedVsMigrate)
-	}
-	if r.RoutedVsFallback <= 1.2 {
-		t.Fatalf("routed vs fallback-only = %.2fx, want > 1.2x", r.RoutedVsFallback)
+	// These are wall-clock ratios between concurrent phases and hold only
+	// when the modeled device sleeps dominate CPU time — not under -race
+	// (see race_off.go); the correctness and router-share invariants are
+	// still asserted there.
+	if !raceDetector {
+		if r.RoutedVsMigrate <= 1.05 {
+			t.Fatalf("routed vs migrate-only = %.2fx, want > 1.05x", r.RoutedVsMigrate)
+		}
+		if r.RoutedVsFallback <= 1.2 {
+			t.Fatalf("routed vs fallback-only = %.2fx, want > 1.2x", r.RoutedVsFallback)
+		}
 	}
 	// Degraded mirror: throughput degrades toward SSD-only instead of
 	// collapsing onto the browned-out device, with zero user errors

@@ -1,0 +1,13 @@
+//go:build !race
+
+package bench
+
+// raceDetector reports whether the binary was built with -race. The
+// wall-clock shape gates (E7 fan-out, E10 mirror routing) assert ratios
+// between concurrent phases whose modeled device sleeps must dominate
+// CPU time; race instrumentation slows the CPU side 5–20× and compresses
+// every such ratio toward 1×, so those gates are asserted only in
+// uninstrumented builds. Correctness invariants (byte-identical reads,
+// deterministic placement, zero user errors, router share behavior) are
+// asserted in both.
+const raceDetector = false

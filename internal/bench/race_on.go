@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceDetector reports whether the binary was built with -race — see
+// race_off.go for why the wall-clock shape gates key off it.
+const raceDetector = true

@@ -49,6 +49,12 @@ type MigrationStats struct {
 	MirrorsCreated int
 	MirrorsCleared int
 
+	// QuotaDemotions counts executed moves the policy flagged as quota
+	// enforcement (policy.Move.Quota) — capacity-isolation work, kept
+	// distinct from ordinary heat-driven migration so operators can see
+	// WHY a tenant's bytes left the fast tier.
+	QuotaDemotions int
+
 	Virtual time.Duration // virtual ns charged to the simclock by the round
 	Wall    time.Duration // host wall-clock time of the round
 
@@ -68,6 +74,7 @@ func (s *MigrationStats) Add(other MigrationStats) {
 	s.ReplicasRepaired += other.ReplicasRepaired
 	s.MirrorsCreated += other.MirrorsCreated
 	s.MirrorsCleared += other.MirrorsCleared
+	s.QuotaDemotions += other.QuotaDemotions
 	s.Virtual += other.Virtual
 	s.Wall += other.Wall
 }
@@ -146,6 +153,9 @@ func (m *Mux) executeMoves(moves []policy.Move) (MigrationStats, error) {
 			} else if moved > 0 {
 				st.Executed++
 				st.BytesMoved += moved
+				if mv.Quota {
+					st.QuotaDemotions++
+				}
 			}
 		case errors.Is(err, vfs.ErrNotExist), errors.Is(err, ErrMigrationActive),
 			errors.Is(err, ErrNoReplica):

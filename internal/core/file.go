@@ -342,7 +342,25 @@ func (f *muxFile) touchRead(now time.Duration, lastTier int) {
 	f.lastAccessA.Store(int64(now))
 }
 
-// ReadAt is the multiplexed read path: BLT lookup, split by tier, dispatch
+// ReadAt books per-tenant attribution (tenant.go) around the multiplexed
+// read path. With no tenants registered — the common case, and all of
+// E1–E13 — the gate is one atomic nil load and readAt runs unchanged, so
+// the E9 overhead budget is untouched. With a matching tenant, the op
+// books counters plus the VIRTUAL-time latency delta (deterministic under
+// simclock; concurrent drivers share the clock, so attribute latency from
+// single-driver phases when exactness matters).
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	ts := h.m.tenantFor(h.f.loadPath())
+	if ts == nil {
+		return h.readAt(p, off)
+	}
+	start := h.m.clk.Now()
+	n, err := h.readAt(p, off)
+	ts.bookRead(int64(h.m.clk.Now()-start), n, err)
+	return n, err
+}
+
+// readAt is the multiplexed read path: BLT lookup, split by tier, dispatch
 // downward, merge results (§2.2). The tier serving the last block becomes
 // the atime owner (§2.3).
 //
@@ -355,7 +373,7 @@ func (f *muxFile) touchRead(now time.Duration, lastTier int) {
 // (atime, heat, affinity owner) is atomic, so a cached read never touches
 // f.mu and never convoys behind a writer holding it across governed device
 // time.
-func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+func (h *handle) readAt(p []byte, off int64) (int, error) {
 	m := h.m
 	f := h.f
 	if err := h.check(); err != nil {
@@ -485,7 +503,20 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	return int(n), nil
 }
 
-// WriteAt is the multiplexed write path: holes get a placement from the
+// WriteAt books per-tenant attribution around the multiplexed write path,
+// mirroring ReadAt's gate: one atomic nil load when no tenants exist.
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	ts := h.m.tenantFor(h.f.loadPath())
+	if ts == nil {
+		return h.writeAt(p, off)
+	}
+	start := h.m.clk.Now()
+	n, err := h.writeAt(p, off)
+	ts.bookWrite(int64(h.m.clk.Now()-start), n, err)
+	return n, err
+}
+
+// writeAt is the multiplexed write path: holes get a placement from the
 // Policy Runner, mapped ranges are overwritten in place on their current
 // tier, and the BLT + affinity are updated (§2.2, §2.3). A write fully
 // inside one mapped extent on a healthy tier takes a fast path that skips
@@ -494,7 +525,7 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 // (fanout.go), repointing exactly the segments whose device write landed.
 // f.mu is held across the device dispatch deliberately: it is what makes a
 // write atomic against migration validation (§2.4).
-func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+func (h *handle) writeAt(p []byte, off int64) (int, error) {
 	m := h.m
 	if err := h.check(); err != nil {
 		return 0, vfs.Errf("write", m.name, h.f.loadPath(), err)
@@ -546,9 +577,9 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 		tier := seg.Val
 		if seg.Hole || m.tierQuarantined(tier) {
 			if target == -1 {
-				target = m.policy().PlaceWrite(policy.WriteCtx{
+				target = m.placeWritable(m.policy().PlaceWrite(policy.WriteCtx{
 					Path: f.path, Off: off, N: n, FileSize: f.meta.Size,
-				}, m.tierInfos())
+				}, m.tierInfos()), n)
 			}
 			tier = target
 		}

@@ -35,6 +35,7 @@ import (
 	"muxfs/internal/device"
 	"muxfs/internal/fs/fsrec"
 	"muxfs/internal/policy"
+	"muxfs/internal/policy/autotune"
 	"muxfs/internal/server"
 	"muxfs/internal/simclock"
 	"muxfs/internal/telemetry"
@@ -290,6 +291,14 @@ type Mux struct {
 	// section. Stored as a pointer so the hot path pays one atomic load.
 	serverStats atomic.Pointer[func() server.Stats]
 
+	// Multi-tenant attribution table (tenant.go): nil when no tenants are
+	// registered, so unattributed data paths pay one atomic load.
+	tenantsP atomic.Pointer[tenantTable]
+
+	// Policy autotuner (tenant.go wiring, internal/policy/autotune): when
+	// set, RunPolicyOnce feeds it a telemetry sample after every round.
+	tunerP atomic.Pointer[autotune.Tuner]
+
 	// hookAfterCopy, when set (tests only), runs after each optimistic copy
 	// round before validation — a deterministic window to inject racing
 	// writes.
@@ -519,11 +528,14 @@ func (m *Mux) tier(id int) (*Tier, error) {
 
 // tierInfos snapshots the policy view of all tiers, fastest first.
 // Quarantined tiers are hidden from the policy so placement and migration
-// planning route around the fault domain (health.go).
+// planning route around the fault domain (health.go). Composite stripe
+// tiers (stripe.go) are flagged so policies that relocate data lazily —
+// quota demotion in particular — can prefer plain tiers as destinations.
 func (m *Mux) tierInfos() []policy.TierInfo {
 	live := m.tierTab.Load().live
 	out := make([]policy.TierInfo, 0, len(live))
 	for _, t := range live {
+		_, stripe := t.FS.(StripeStatuser)
 		out = append(out, policy.TierInfo{
 			ID:       t.ID,
 			Name:     t.FS.Name(),
@@ -532,9 +544,40 @@ func (m *Mux) tierInfos() []policy.TierInfo {
 			Used:     m.used(t.ID).Load(),
 			ReadLat:  t.Prof.ReadLatency,
 			WriteLat: t.Prof.WriteLatency,
+			Stripe:   stripe,
 		})
 	}
 	return m.filterHealthy(out)
+}
+
+// placeWritable validates a policy placement against the chosen file
+// system's own space accounting and advances to the next slower healthy
+// tier when the FS cannot actually absorb n more bytes. TierInfo.Used is
+// Mux's logical byte count; the FS is the authority on free space —
+// journal regions, inode tables, and allocator metadata all eat into the
+// device, so a watermark near 1.0 can admit a write the FS must refuse
+// with ENOSPC. Asking the file system instead of second-guessing its
+// layout is the contract this design is built on (§2.3). If no tier has
+// room the original placement is returned and the write fails there.
+func (m *Mux) placeWritable(target int, n int64) int {
+	const headroom = 256 << 10 // per-decision metadata slack
+	infos := m.tierInfos()     // healthy tiers, fastest first
+	i := 0
+	for ; i < len(infos) && infos[i].ID != target; i++ {
+	}
+	for ; i < len(infos); i++ {
+		t, err := m.tier(infos[i].ID)
+		if err != nil {
+			continue
+		}
+		s, err := t.FS.Statfs()
+		if err != nil || s.Available >= n+headroom {
+			// An FS that cannot report free space keeps the placement;
+			// the write path surfaces its error if it was actually full.
+			return infos[i].ID
+		}
+	}
+	return target
 }
 
 // filterHealthy drops quarantined tiers from a policy snapshot. If every
@@ -577,6 +620,10 @@ func (m *Mux) SetPolicy(p policy.Policy) {
 func (m *Mux) policy() policy.Policy {
 	return *m.polP.Load()
 }
+
+// Policy returns the current tiering policy — muxsh and the autotune CLI
+// inspect its name and tunable params.
+func (m *Mux) Policy() policy.Policy { return m.policy() }
 
 // scm returns the SCM cache controller, or nil when disabled.
 func (m *Mux) scm() *cacheCtl {
@@ -664,7 +711,7 @@ func (m *Mux) Create(path string) (vfs.File, error) {
 	}
 	host := -1
 	f, err := m.ns.CreateFile(path, 0o644, 0, func(ino uint64) *muxFile {
-		host = m.policy().PlaceWrite(policy.WriteCtx{Path: path, Off: 0, N: 0}, m.tierInfos())
+		host = m.placeWritable(m.policy().PlaceWrite(policy.WriteCtx{Path: path, Off: 0, N: 0}, m.tierInfos()), 0)
 		nf := newMuxFile(ino, path, m.now(), host)
 		m.files.put(ino, nf)
 		return nf

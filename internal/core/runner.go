@@ -36,6 +36,11 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 
 	filePtrs := m.files.snapshot()
 	stats := make([]policy.FileStat, 0, len(filePtrs))
+	trackTenants := m.tenantsP.Load() != nil
+	var occ []fileOccupancy
+	if trackTenants {
+		occ = make([]fileOccupancy, 0, len(filePtrs))
+	}
 	for _, f := range filePtrs {
 		f.mu.Lock()
 		perTier := f.bytesPerTier()
@@ -54,7 +59,15 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 			Replica:         f.replica,
 			ReplicaDegraded: f.replicaDegraded,
 		})
+		if trackTenants {
+			occ = append(occ, fileOccupancy{path: f.path, tierBytes: perTier})
+		}
 		f.mu.Unlock()
+	}
+	if trackTenants {
+		// Per-tenant occupancy gauges ride the snapshot the round already
+		// took — no second namespace pass (tenant.go).
+		m.refreshTenantOccupancy(occ)
 	}
 
 	moves := m.policy().PlanMigrations(tiers, stats, m.now())
@@ -89,6 +102,15 @@ func (m *Mux) RunPolicyOnce() (MigrationStats, error) {
 		}
 	}
 	m.setLastMigration(st)
+
+	// Autotune hook: after the round's effects are booked, feed the
+	// controller a cumulative telemetry sample and let it nudge the live
+	// policy's knobs for the NEXT round (internal/policy/autotune). A
+	// failed round still samples — degradation is exactly what should
+	// steer the controller away from a bad probe.
+	if tn := m.tunerP.Load(); tn != nil {
+		tn.Step(m.autotuneSample())
+	}
 	return st, err
 }
 
@@ -157,8 +179,8 @@ func (m *Mux) PolicyRunner(interval time.Duration, stop <-chan struct{}) {
 			if err != nil {
 				m.migLogf("mux %s: policy round failed: %v", m.name, err)
 			} else if st.Planned > 0 || st.ReplicasRepaired > 0 {
-				m.migLogf("mux %s: policy round: planned=%d executed=%d skipped=%d qskipped=%d repaired=%d mirrors=%d/-%d conflicts=%d bytes=%d virt=%v wall=%v",
-					m.name, st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.ReplicasRepaired, st.MirrorsCreated, st.MirrorsCleared, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
+				m.migLogf("mux %s: policy round: planned=%d executed=%d skipped=%d qskipped=%d qdemote=%d repaired=%d mirrors=%d/-%d conflicts=%d bytes=%d virt=%v wall=%v",
+					m.name, st.Planned, st.Executed, st.Skipped, st.QuarantineSkipped, st.QuotaDemotions, st.ReplicasRepaired, st.MirrorsCreated, st.MirrorsCleared, st.Conflicts, st.BytesMoved, st.Virtual, st.Wall)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"muxfs/internal/ec"
 	"muxfs/internal/muxrpc"
+	"muxfs/internal/policy/autotune"
 	"muxfs/internal/server"
 	"muxfs/internal/telemetry"
 )
@@ -371,6 +372,15 @@ type TelemetrySnapshot struct {
 	// namespace server registered itself via SetServerStats (muxd -serve).
 	Server *server.Stats `json:"server,omitempty"`
 
+	// Tenants is the per-tenant attribution section (tenant.go): op and
+	// byte counters, virtual-time latency quantiles, and per-tier
+	// occupancy. Empty unless tenants are registered.
+	Tenants []TenantTelemetry `json:"tenants,omitempty"`
+
+	// Autotune is the policy autotuner's status (rounds, accept/revert
+	// counters, convergence, live params). Nil unless EnableAutotune ran.
+	Autotune *autotune.Status `json:"autotune,omitempty"`
+
 	Traces []telemetry.TraceEvent `json:"traces"`
 }
 
@@ -465,8 +475,13 @@ func (m *Mux) Telemetry() TelemetrySnapshot {
 		LastMigration: m.LastMigration(),
 		Tiers:         m.TierHealth(),
 		Routing:       m.routingTelemetry(),
+		Tenants:       m.TenantTelemetrySnapshot(),
 		Traces:        m.tel.Trace.Snapshot(),
 		FlushRecords:  m.telFlushRecs.Value(),
+	}
+	if tn := m.tunerP.Load(); tn != nil {
+		st := tn.Status()
+		snap.Autotune = &st
 	}
 	for op, c := range m.telMeta {
 		snap.MetaOps[metaOpNames[op]] = c.Value()
@@ -579,6 +594,62 @@ func (m *Mux) promFamilies() []telemetry.FamilySnapshot {
 		gaugeFam("mux_tier_inflight", "Data-path ops currently holding a slot on the tier's fan-out semaphore.", inflight...),
 		gaugeFam("mux_tier_inflight_width", "Data-path fan-out semaphore width per tier.", inflightW...),
 	)
+
+	// Per-tenant attribution (tenant.go). Latency gauges are VIRTUAL
+	// nanoseconds (simclock), not wall clock — deterministic under the
+	// experiment harness, which is what the E14 isolation gates scrape.
+	if tens := m.TenantTelemetrySnapshot(); len(tens) > 0 {
+		var tReads, tWrites, tRB, tWB, tErrs, tFast, tRP99, tWP99 []telemetry.SeriesSnapshot
+		for _, tn := range tens {
+			labels := []telemetry.Label{{Key: "tenant", Value: tn.Name}}
+			tReads = append(tReads, one(tn.Reads, labels...))
+			tWrites = append(tWrites, one(tn.Writes, labels...))
+			tRB = append(tRB, one(tn.ReadBytes, labels...))
+			tWB = append(tWB, one(tn.WriteBytes, labels...))
+			tErrs = append(tErrs, one(tn.Errors, labels...))
+			tFast = append(tFast, one(tn.FastBytes, labels...))
+			tRP99 = append(tRP99, one(int64(tn.ReadP99), labels...))
+			tWP99 = append(tWP99, one(int64(tn.WriteP99), labels...))
+		}
+		fams = append(fams,
+			counterFam("mux_tenant_reads_total", "Upward reads attributed per tenant.", tReads...),
+			counterFam("mux_tenant_writes_total", "Upward writes attributed per tenant.", tWrites...),
+			counterFam("mux_tenant_read_bytes_total", "Bytes served to each tenant's reads.", tRB...),
+			counterFam("mux_tenant_write_bytes_total", "Bytes accepted from each tenant's writes.", tWB...),
+			counterFam("mux_tenant_errors_total", "Failed attributed ops per tenant.", tErrs...),
+			gaugeFam("mux_tenant_fast_tier_bytes", "Tenant bytes resident on the fastest tier (as of the last policy round).", tFast...),
+			gaugeFam("mux_tenant_read_p99_virtual_ns", "Per-tenant p99 read latency in VIRTUAL (simclock) nanoseconds.", tRP99...),
+			gaugeFam("mux_tenant_write_p99_virtual_ns", "Per-tenant p99 write latency in VIRTUAL (simclock) nanoseconds.", tWP99...),
+		)
+	}
+
+	// Policy autotuner (internal/policy/autotune). Scores and param values
+	// are fixed-point micro-units (value × 1e6) so the float objective and
+	// fractional knobs survive the integer series type.
+	if tn := m.tunerP.Load(); tn != nil {
+		st := tn.Status()
+		var conv int64
+		if st.Converged {
+			conv = 1
+		}
+		var params []telemetry.SeriesSnapshot
+		for _, p := range st.Params {
+			params = append(params, one(int64(p.Value*1e6),
+				telemetry.Label{Key: "param", Value: p.Name},
+				telemetry.Label{Key: "kind", Value: p.Kind.String()}))
+		}
+		fams = append(fams,
+			counterFam("mux_autotune_rounds_total", "Controller rounds (Policy Runner samples fed to the autotuner).", one(st.Rounds)),
+			counterFam("mux_autotune_accepted_total", "Probes kept: the objective improved past the hysteresis margin.", one(st.Accepted)),
+			counterFam("mux_autotune_reverted_total", "Probes rolled back: no improvement.", one(st.Reverted)),
+			counterFam("mux_autotune_holds_total", "Rounds held after convergence.", one(st.Holds)),
+			counterFam("mux_autotune_idle_total", "Rounds skipped for lack of traffic.", one(st.Idle)),
+			gaugeFam("mux_autotune_converged", "1 when the hill climb has settled.", one(conv)),
+			gaugeFam("mux_autotune_best_score_micro", "Best accepted objective score × 1e6.", one(int64(st.BestScore*1e6))),
+			gaugeFam("mux_autotune_last_score_micro", "Most recent interval's objective score × 1e6.", one(int64(st.LastScore*1e6))),
+			gaugeFam("mux_autotune_param_micro", "Live tunable-param values × 1e6, by param name.", params...),
+		)
+	}
 
 	// RPC connection pools: per-client series keyed by remote address plus
 	// the package-wide establishment totals (which include clients that

@@ -48,3 +48,18 @@ func NewWithCosts(name string, dev *device.Device, costs blockfs.Costs) (*blockf
 		NewPlacer:   blockfs.NewBitmapPlacer,
 	})
 }
+
+// NewWithCache mounts extlite with an explicit page-cache budget in bytes
+// (0 = the 128 MiB default). Multi-tenant experiments shrink it: with the
+// default every hot set fits in DRAM and tier placement stops mattering,
+// which is not how a machine whose DRAM is shared by every tenant behaves.
+func NewWithCache(name string, dev *device.Device, cacheBytes int64) (*blockfs.FS, error) {
+	return blockfs.New(dev, blockfs.Config{
+		Name:        name,
+		Costs:       DefaultCosts(),
+		JournalFrac: 16,
+		GroupCommit: 16384,
+		CachePages:  int(cacheBytes / blockfs.PageSize),
+		NewPlacer:   blockfs.NewBitmapPlacer,
+	})
+}

@@ -39,8 +39,23 @@ func NewWithCosts(name string, dev *device.Device, costs blockfs.Costs) (*blockf
 	return blockfs.New(dev, blockfs.Config{
 		Name:        name,
 		Costs:       costs,
+		JournalFrac: 32,
+		GroupCommit: 16384,
+		NewPlacer:   blockfs.NewExtentPlacer,
+	})
+}
+
+// NewWithCache mounts xfslite with an explicit page-cache budget in bytes
+// (0 = the 128 MiB default). Multi-tenant experiments shrink it: with the
+// default every hot set fits in DRAM and tier placement stops mattering,
+// which is not how a machine whose DRAM is shared by every tenant behaves.
+func NewWithCache(name string, dev *device.Device, cacheBytes int64) (*blockfs.FS, error) {
+	return blockfs.New(dev, blockfs.Config{
+		Name:        name,
+		Costs:       DefaultCosts(),
 		JournalFrac: 32,    // metadata-only journal: small
 		GroupCommit: 16384, // group commit is time-based in real XFS; batch big
+		CachePages:  int(cacheBytes / blockfs.PageSize),
 		NewPlacer:   blockfs.NewExtentPlacer,
 	})
 }

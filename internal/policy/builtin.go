@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"fmt"
 	"sort"
 	"time"
 )
@@ -45,6 +46,10 @@ type LRU struct {
 	// primaries. Off by default — plans are then identical to the classic
 	// LRU.
 	MirrorPromote bool
+
+	// Atomic knob overrides (SetParam); the exported fields above stay the
+	// initial configuration.
+	highK, lowK, winK knob
 }
 
 // DefaultLRU returns the watermarks used in the evaluation.
@@ -61,17 +66,88 @@ func (p *LRU) PlaceWrite(ctx WriteCtx, tiers []TierInfo) int {
 }
 
 func (p *LRU) highWM() float64 {
-	if p.HighWatermark <= 0 {
-		return 0.9
+	def := p.HighWatermark
+	if def <= 0 {
+		def = 0.9
 	}
-	return p.HighWatermark
+	return p.highK.load(def)
 }
 
 func (p *LRU) lowWM() float64 {
-	if p.LowWatermark <= 0 {
-		return 0.7
+	def := p.LowWatermark
+	if def <= 0 {
+		def = 0.7
 	}
-	return p.LowWatermark
+	low := p.lowK.load(def)
+	// Safety invariant regardless of what a tuner set: demotion must drain
+	// to strictly below the trigger watermark, or every round re-plans the
+	// same moves forever. Only a crossing is corrected — a hand-configured
+	// small gap is legitimate and stays untouched.
+	if high := p.highWM(); low >= high {
+		low = high - 0.02
+		if low < 0 {
+			low = 0
+		}
+	}
+	return low
+}
+
+func (p *LRU) promoteWin() time.Duration {
+	def := p.PromoteWindow
+	if def <= 0 {
+		def = time.Millisecond
+	}
+	return time.Duration(p.winK.load(float64(def)))
+}
+
+// LRU knob clamps. The watermark floor keeps demotion from draining the
+// fast tier outright; the ceiling keeps placement from wedging a tier at
+// 100%. The promote window spans "only the last instant" to "everything
+// this epoch".
+const (
+	lruWMMin  = 0.30
+	lruWMMax  = 0.98
+	lruWinMin = float64(50 * time.Microsecond)
+	lruWinMax = float64(100 * time.Millisecond)
+)
+
+// demoteSlack is the headroom under the high watermark at which demotion
+// already counts the tier as full. PlaceWrite refuses any write that would
+// cross the watermark, so a busy tier's usage converges to just *under*
+// high*capacity and a bare ">= high" trigger is unreachable — the fast
+// tier silts up with cold files and the demotion path never runs (the E14
+// aggressor drill exhibits exactly this plateau). One migration granule of
+// slack makes "can no longer admit a typical write" mean "at the
+// watermark", which is what keeps data flowing downward under sustained
+// ingest.
+const demoteSlack = 1 << 20
+
+// Params enumerates the LRU knobs (Tunable).
+func (p *LRU) Params() []Param {
+	return []Param{
+		// Step 0.08: a probe must move the objective past interval noise
+		// (sampling jitter on the fast-read fraction is a few percent), and
+		// a 4% watermark nudge on a small fast tier does not.
+		{Name: "high_watermark", Kind: KindFraction, Value: p.highWM(), Min: lruWMMin, Max: lruWMMax, Step: 0.08},
+		{Name: "low_watermark", Kind: KindFraction, Value: p.lowWM(), Min: lruWMMin, Max: lruWMMax, Step: 0.08},
+		{Name: "promote_window_ns", Kind: KindDuration, Value: float64(p.promoteWin()), Min: lruWinMin, Max: lruWinMax, Step: float64(250 * time.Microsecond)},
+	}
+}
+
+// SetParam installs an atomic knob override, clamped into the safe range
+// (Tunable). Safe to call concurrently with PlaceWrite/PlanMigrations.
+func (p *LRU) SetParam(name string, v float64) error {
+	switch name {
+	case "high_watermark":
+		p.highK.store(clampTo(v, lruWMMin, lruWMMax))
+	case "low_watermark":
+		p.lowK.store(clampTo(v, lruWMMin, lruWMMax))
+	case "promote_window_ns":
+		p.winK.store(clampTo(v, lruWinMin, lruWinMax))
+	default:
+		return fmt.Errorf("%w: lru %q", ErrUnknownParam, name)
+	}
+	return nil
 }
 
 // PlanMigrations demotes cold files off over-full tiers and promotes
@@ -110,11 +186,7 @@ func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Durati
 			continue
 		}
 		extra := mirroredOn[t.ID] // nil map reads as 0 when MirrorPromote is off
-		frac := t.UsedFrac()
-		if t.Capacity > 0 {
-			frac = float64(t.Used+extra) / float64(t.Capacity)
-		}
-		if frac < p.highWM() {
+		if float64(t.Used+extra)+demoteSlack < p.highWM()*float64(t.Capacity) {
 			continue
 		}
 		dst := tiers[i+1].ID
@@ -160,10 +232,7 @@ func (p *LRU) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Durati
 	// mirror placement instead — the warm file gains a fast-tier copy for
 	// the read router and keeps its primary where it is — and the room
 	// budget charges existing mirror bytes against the destination.
-	window := p.PromoteWindow
-	if window <= 0 {
-		window = time.Millisecond
-	}
+	window := p.promoteWin()
 	for i := 1; i < len(tiers); i++ {
 		src := tiers[i]
 		dst := tiers[i-1]
@@ -200,6 +269,8 @@ type TPFSLike struct {
 	// LargeThreshold routes writes above it to the slowest tier
 	// (default 4 MiB); in-between sizes go to the middle tier.
 	LargeThreshold int64
+
+	smallK, largeK knob
 }
 
 // DefaultTPFS returns thresholds in the spirit of TPFS.
@@ -210,15 +281,48 @@ func DefaultTPFS() *TPFSLike {
 // Name identifies the policy.
 func (p *TPFSLike) Name() string { return "tpfs" }
 
+func (p *TPFSLike) smallThr() int64 { return int64(p.smallK.load(float64(p.SmallThreshold))) }
+func (p *TPFSLike) largeThr() int64 { return int64(p.largeK.load(float64(p.LargeThreshold))) }
+
+// TPFS knob clamps: the small threshold stays a "small write" (one block
+// to 1 MiB), the large threshold a "large write" (256 KiB to 64 MiB).
+const (
+	tpfsSmallMin = float64(4 << 10)
+	tpfsSmallMax = float64(1 << 20)
+	tpfsLargeMin = float64(256 << 10)
+	tpfsLargeMax = float64(64 << 20)
+)
+
+// Params enumerates the TPFS knobs (Tunable).
+func (p *TPFSLike) Params() []Param {
+	return []Param{
+		{Name: "small_threshold_bytes", Kind: KindBytes, Value: float64(p.smallThr()), Min: tpfsSmallMin, Max: tpfsSmallMax, Step: 16 << 10},
+		{Name: "large_threshold_bytes", Kind: KindBytes, Value: float64(p.largeThr()), Min: tpfsLargeMin, Max: tpfsLargeMax, Step: 512 << 10},
+	}
+}
+
+// SetParam installs an atomic knob override, clamped (Tunable).
+func (p *TPFSLike) SetParam(name string, v float64) error {
+	switch name {
+	case "small_threshold_bytes":
+		p.smallK.store(clampTo(v, tpfsSmallMin, tpfsSmallMax))
+	case "large_threshold_bytes":
+		p.largeK.store(clampTo(v, tpfsLargeMin, tpfsLargeMax))
+	default:
+		return fmt.Errorf("%w: tpfs %q", ErrUnknownParam, name)
+	}
+	return nil
+}
+
 // PlaceWrite routes by I/O size and synchronicity.
 func (p *TPFSLike) PlaceWrite(ctx WriteCtx, tiers []TierInfo) int {
 	if len(tiers) == 1 {
 		return tiers[0].ID
 	}
-	if ctx.Sync || ctx.N <= p.SmallThreshold {
+	if ctx.Sync || ctx.N <= p.smallThr() {
 		return fastestWithRoom(tiers, ctx.N, 0.95)
 	}
-	if ctx.N >= p.LargeThreshold {
+	if ctx.N >= p.largeThr() {
 		return tiers[len(tiers)-1].ID
 	}
 	mid := tiers[len(tiers)/2]
@@ -240,6 +344,8 @@ type HotCold struct {
 	HotHeat float64
 	// ColdHeat is the heat below which a file is demoted (default 0.5).
 	ColdHeat float64
+
+	hotK, coldK knob
 }
 
 // DefaultHotCold returns the default classification thresholds.
@@ -247,6 +353,37 @@ func DefaultHotCold() *HotCold { return &HotCold{HotHeat: 5, ColdHeat: 0.5} }
 
 // Name identifies the policy.
 func (p *HotCold) Name() string { return "hotcold" }
+
+func (p *HotCold) hotHeat() float64  { return p.hotK.load(p.HotHeat) }
+func (p *HotCold) coldHeat() float64 { return p.coldK.load(p.ColdHeat) }
+
+// HotCold knob clamps: heat is a decayed access count, halved per policy
+// round; double digits is already "very hot".
+const (
+	hcHeatMin = 0.05
+	hcHeatMax = 64.0
+)
+
+// Params enumerates the HotCold knobs (Tunable).
+func (p *HotCold) Params() []Param {
+	return []Param{
+		{Name: "hot_heat", Kind: KindScalar, Value: p.hotHeat(), Min: hcHeatMin, Max: hcHeatMax, Step: 0.5},
+		{Name: "cold_heat", Kind: KindScalar, Value: p.coldHeat(), Min: hcHeatMin, Max: hcHeatMax, Step: 0.1},
+	}
+}
+
+// SetParam installs an atomic knob override, clamped (Tunable).
+func (p *HotCold) SetParam(name string, v float64) error {
+	switch name {
+	case "hot_heat":
+		p.hotK.store(clampTo(v, hcHeatMin, hcHeatMax))
+	case "cold_heat":
+		p.coldK.store(clampTo(v, hcHeatMin, hcHeatMax))
+	default:
+		return fmt.Errorf("%w: hotcold %q", ErrUnknownParam, name)
+	}
+	return nil
+}
 
 // PlaceWrite starts everything on the fastest tier with room; heat sorts it
 // out later.
@@ -262,16 +399,17 @@ func (p *HotCold) PlanMigrations(tiers []TierInfo, files []FileStat, now time.Du
 	for i, t := range tiers {
 		tierIdx[t.ID] = i
 	}
+	hot, cold := p.hotHeat(), p.coldHeat()
 	for _, f := range files {
 		for _, tid := range f.Tiers {
 			i := tierIdx[tid]
 			switch {
-			case f.Heat >= p.HotHeat && i > 0:
+			case f.Heat >= hot && i > 0:
 				dst := tiers[i-1]
 				if float64(dst.Used+f.Size) <= 0.9*float64(dst.Capacity) {
 					moves = append(moves, Move{Path: f.Path, SrcTier: tid, DstTier: dst.ID, Off: 0, N: -1, Promote: true})
 				}
-			case f.Heat <= p.ColdHeat && i < len(tiers)-1:
+			case f.Heat <= cold && i < len(tiers)-1:
 				moves = append(moves, Move{Path: f.Path, SrcTier: tid, DstTier: tiers[i+1].ID, Off: 0, N: -1})
 			}
 		}

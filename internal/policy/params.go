@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Typed, enumerable policy knobs. The built-in policies were configured by
+// plain struct fields (`LRU{HighWatermark: 0.9}`) — fine for a policy you
+// construct once, useless for a controller that wants to discover and
+// adjust knobs while the Policy Runner is live. Params() enumerates a
+// policy's knobs with their kind, current value, and hard safety clamps;
+// SetParam adjusts one atomically, so a tuner may mutate a policy
+// concurrently with PlaceWrite/PlanMigrations without a data race.
+//
+// The exported struct fields remain the *initial* configuration (struct
+// literals everywhere keep working); a SetParam call installs an atomic
+// override that the policy's accessors consult first. Clamps are enforced
+// inside SetParam — a tuner can therefore never push a watermark or quota
+// into a region that wedges migration.
+
+// ParamKind says how a Param's float64 value should be interpreted.
+type ParamKind int
+
+const (
+	// KindFraction is a dimensionless fill fraction in [0, 1].
+	KindFraction ParamKind = iota
+	// KindDuration is virtual nanoseconds.
+	KindDuration
+	// KindBytes is a byte count.
+	KindBytes
+	// KindScalar is a unitless magnitude (e.g. a heat threshold).
+	KindScalar
+)
+
+// String names the kind for logs and muxsh output.
+func (k ParamKind) String() string {
+	switch k {
+	case KindFraction:
+		return "fraction"
+	case KindDuration:
+		return "duration_ns"
+	case KindBytes:
+		return "bytes"
+	default:
+		return "scalar"
+	}
+}
+
+// Param describes one tunable knob: its current value and the hard range a
+// tuner must stay inside. Step is the suggested probe increment for
+// hill-climbing controllers — small enough to be safe, large enough to
+// move the objective within a few rounds.
+type Param struct {
+	Name  string
+	Kind  ParamKind
+	Value float64
+	Min   float64
+	Max   float64
+	Step  float64
+}
+
+// Tunable is implemented by policies whose knobs can be enumerated and
+// adjusted online. SetParam must be safe to call concurrently with
+// PlaceWrite and PlanMigrations, and must clamp v into the param's safe
+// range rather than fail on an out-of-range value.
+type Tunable interface {
+	Params() []Param
+	SetParam(name string, v float64) error
+}
+
+// ErrUnknownParam is returned by SetParam for a name the policy does not
+// expose.
+var ErrUnknownParam = fmt.Errorf("policy: unknown param")
+
+// clampTo bounds v into [min, max].
+func clampTo(v, min, max float64) float64 {
+	if v < min {
+		return min
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// knob is one atomic float64 override. The zero knob is unset: load falls
+// back to the struct-field default. store publishes the bits before the
+// set flag, so a concurrent load never observes the flag without the
+// value.
+type knob struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+func (k *knob) store(v float64) {
+	k.bits.Store(math.Float64bits(v))
+	k.set.Store(true)
+}
+
+func (k *knob) load(fallback float64) float64 {
+	if !k.set.Load() {
+		return fallback
+	}
+	return math.Float64frombits(k.bits.Load())
+}

@@ -24,6 +24,13 @@ type TierInfo struct {
 	Used     int64
 	ReadLat  time.Duration
 	WriteLat time.Duration
+
+	// Stripe marks a composite erasure-coded capacity tier (internal/ec).
+	// Stripe tiers hold whole-file shards across remote nodes; policies
+	// that shuffle individual files for capacity reasons (quota demotion)
+	// should prefer a plain slower tier over a stripe set when one exists,
+	// since a stripe write fans out to every node.
+	Stripe bool
 }
 
 // Free returns the unallocated bytes of the tier.
@@ -56,11 +63,20 @@ type FileStat struct {
 
 	// Replica is the file's mirror tier, -1 when unreplicated. (The Policy
 	// Runner always fills it; hand-built FileStats should set it explicitly
-	// — the zero value would read as "mirrored on tier 0".)
+	// or be built with NewFileStat — the zero value would read as "mirrored
+	// on tier 0".)
 	Replica int
 	// ReplicaDegraded marks a mirror that diverged after a failed mirror
 	// write; it serves no reads until repaired.
 	ReplicaDegraded bool
+}
+
+// NewFileStat returns a FileStat with the non-obvious zero values fixed up:
+// Replica is -1 (unreplicated) rather than the footgun zero value, which
+// would read as "mirrored on tier 0". External policy authors building
+// FileStats by hand (tests, custom planners) should start from this.
+func NewFileStat(path string, size int64) FileStat {
+	return FileStat{Path: path, Size: size, Replica: -1}
 }
 
 // Move is one recommended block migration. N == -1 means the whole file.
@@ -78,6 +94,12 @@ type Move struct {
 	Off, N  int64
 	Promote bool // true when moving toward a faster tier
 	Mirror  bool // replica placement (SetReplica/ClearReplica), not a migration
+	// Quota marks a demotion emitted to enforce a capacity quota
+	// (QuotaPolicy) rather than by the base policy's own plan; the
+	// migration engine counts executed quota moves separately in
+	// MigrationStats.QuotaDemotions so quota pressure is visible in
+	// telemetry.
+	Quota bool
 }
 
 // Policy is the user-defined tiering rule set. Implementations must be

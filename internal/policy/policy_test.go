@@ -310,7 +310,7 @@ func TestQuotaPolicyEnforcement(t *testing.T) {
 		Base:   base,
 		Quotas: []Quota{{Prefix: "/scratch/", Tier: 0, Bytes: 1 << 20}},
 	}
-	if p.Name() != "pinned+quota" {
+	if p.Name() != "pinned+quota[/scratch/:t0:1MiB]" {
 		t.Errorf("Name = %q", p.Name())
 	}
 	tiers := threeTiers(0, 0, 0)

@@ -1,0 +1,244 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"muxfs/internal/core"
+	"muxfs/internal/device"
+	"muxfs/internal/fs/extlite"
+	"muxfs/internal/fs/novafs"
+	"muxfs/internal/fs/xfslite"
+	"muxfs/internal/policy"
+	"muxfs/internal/simclock"
+	"muxfs/internal/vfs"
+)
+
+// testMux builds a small three-tier Mux for harness tests.
+func testMux(t *testing.T, pol policy.Policy) (*core.Mux, *simclock.Clock, *device.Device) {
+	t.Helper()
+	clk := simclock.New()
+	pm := device.New(device.PMProfile("pmem0"), clk)
+	ssd := device.New(device.SSDProfile("ssd0"), clk)
+	hddProf := device.HDDProfile("hdd0")
+	hddProf.Capacity = 1 << 30
+	hdd := device.New(hddProf, clk)
+	m, err := core.New(core.Config{Name: "mux", Clock: clk, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nova, err := novafs.New("nova@pmem0", pm, novafs.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfs, err := xfslite.New("xfs@ssd0", ssd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extlite.New("ext4@hdd0", hdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddTier(nova, pm.Profile())
+	m.AddTier(xfs, ssd.Profile())
+	m.AddTier(ext, hdd.Profile())
+	return m, clk, ssd
+}
+
+func twoTenants(t *testing.T, m *core.Mux) []*Runner {
+	t.Helper()
+	specs := []Spec{
+		{Name: "victim", Prefix: "/v/", Files: 64, FileSize: 32 << 10, OpSize: 4096,
+			ReadFrac: 0.9, Skew: 1.2, Seed: 1},
+		{Name: "aggr", Prefix: "/a/", Files: 256, FileSize: 32 << 10, OpSize: 8192,
+			ReadFrac: 0.5, Scan: true, Seed: 2},
+	}
+	var rs []*Runner
+	for _, s := range specs {
+		r, err := New(m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RegisterTenant(s.Name, s.Prefix); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Populate(8); err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// TestDeterministicReplay: two identical builds of the world produce
+// byte-identical per-tenant telemetry — the property every E14 gate
+// depends on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []core.TenantTelemetry {
+		m, clk, _ := testMux(t, policy.DefaultLRU())
+		rs := twoTenants(t, m)
+		err := RunRounds(rs, 4, 50, func(int) error {
+			clk.Advance(time.Millisecond)
+			_, err := m.RunPolicyOnce()
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.TenantTelemetrySnapshot()
+	}
+	a, b := run(), run()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("snapshot sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Reads != b[i].Reads || a[i].Writes != b[i].Writes ||
+			a[i].ReadBytes != b[i].ReadBytes || a[i].WriteBytes != b[i].WriteBytes ||
+			a[i].ReadP99 != b[i].ReadP99 || a[i].FastBytes != b[i].FastBytes {
+			t.Fatalf("run diverged for %s:\n  %+v\n  %+v", a[i].Name, a[i], b[i])
+		}
+	}
+	// And the harness's own counters agree with the Mux's attribution.
+	if a[0].Name != "aggr" || a[1].Name != "victim" {
+		t.Fatalf("unexpected tenant order: %s, %s", a[0].Name, a[1].Name)
+	}
+}
+
+// TestAttributionMatchesHarnessCounters cross-checks the two accounting
+// systems op for op.
+func TestAttributionMatchesHarnessCounters(t *testing.T) {
+	m, clk, _ := testMux(t, policy.DefaultLRU())
+	rs := twoTenants(t, m)
+	if err := RunRounds(rs, 2, 40, func(int) error {
+		clk.Advance(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.TenantTelemetrySnapshot()
+	byName := map[string]core.TenantTelemetry{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	for _, r := range rs {
+		got := byName[r.Spec.Name]
+		if got.Reads != r.Stats.Reads.Load() || got.Writes != r.Stats.Writes.Load() {
+			t.Fatalf("%s: mux saw %d/%d, harness did %d/%d",
+				r.Spec.Name, got.Reads, got.Writes, r.Stats.Reads.Load(), r.Stats.Writes.Load())
+		}
+		if got.ReadBytes != r.Stats.BytesRead.Load() {
+			t.Fatalf("%s: read bytes %d vs %d", r.Spec.Name, got.ReadBytes, r.Stats.BytesRead.Load())
+		}
+	}
+}
+
+// TestSparseNamespace: a large namespace costs nothing until touched, and
+// an untouched-but-ensured file holds no data blocks.
+func TestSparseNamespace(t *testing.T) {
+	m, _, _ := testMux(t, policy.DefaultLRU())
+	r, err := New(m, Spec{Name: "big", Prefix: "/big/", Files: 1_000_000,
+		FileSize: 1 << 20, OpSize: 4096, ReadFrac: 1.0, Skew: 2.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Populate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Only the eager files exist; the tail of the million is unmaterialized.
+	if _, err := m.Stat("/big/f999999"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("tail file exists before first touch: %v", err)
+	}
+	fi, err := m.Stat("/big/f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 1<<20 || fi.Blocks != 0 {
+		t.Fatalf("eager file size=%d blocks=%d, want sparse 1MiB hole", fi.Size, fi.Blocks)
+	}
+	// Read-only steps over the zipf head materialize lazily without errors.
+	for i := 0; i < 50; i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Stats.Reads.Load() != 50 || r.Stats.Errs.Load() != 0 {
+		t.Fatalf("reads=%d errs=%d", r.Stats.Reads.Load(), r.Stats.Errs.Load())
+	}
+}
+
+// TestZipfSkewConcentratesHeat: with high skew most picks land on a small
+// head of the namespace; with a scan they never repeat until wraparound.
+func TestZipfSkewConcentratesHeat(t *testing.T) {
+	m, _, _ := testMux(t, policy.DefaultLRU())
+	r, err := New(m, Spec{Name: "z", Prefix: "/z/", Files: 1000,
+		FileSize: 8192, OpSize: 4096, ReadFrac: 1, Skew: 2.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := 0
+	for i := 0; i < 2000; i++ {
+		if r.pick() < 10 {
+			head++
+		}
+	}
+	if head < 1200 {
+		t.Fatalf("only %d/2000 picks in the head with skew 2.5", head)
+	}
+
+	s, err := New(m, Spec{Name: "s", Prefix: "/s/", Files: 100,
+		FileSize: 8192, OpSize: 4096, ReadFrac: 1, Scan: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := s.pick(); got != i {
+			t.Fatalf("scan pick %d = %d", i, got)
+		}
+	}
+	if got := s.pick(); got != 0 {
+		t.Fatalf("scan did not wrap: %d", got)
+	}
+}
+
+func TestPhasesModulateOps(t *testing.T) {
+	r := &Runner{Spec: Spec{Phases: []Phase{{Mult: 1, Rounds: 2}, {Mult: 0.25, Rounds: 1}}}}
+	want := []int{100, 100, 25, 100, 100, 25}
+	for n, w := range want {
+		if got := r.opsThisRound(n, 100); got != w {
+			t.Fatalf("round %d: ops=%d want %d", n, got, w)
+		}
+	}
+	steady := &Runner{Spec: Spec{}}
+	if got := steady.opsThisRound(5, 77); got != 77 {
+		t.Fatalf("steady ops = %d", got)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := Jain([]float64{1, 1, 1, 1}); got < 0.999 {
+		t.Fatalf("equal shares: %v", got)
+	}
+	if got := Jain([]float64{1, 0, 0, 0}); got > 0.2501 || got < 0.2499 {
+		t.Fatalf("starved shares: %v", got)
+	}
+	if got := Jain(nil); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	m, _, _ := testMux(t, policy.DefaultLRU())
+	bad := []Spec{
+		{Prefix: "/x/", Files: 1, FileSize: 1},            // no name
+		{Name: "a", Prefix: "x/", Files: 1, FileSize: 1},  // relative prefix
+		{Name: "a", Prefix: "/x/", Files: 0, FileSize: 1}, // no files
+		{Name: "a", Prefix: "/x/", Files: 1, FileSize: 1, ReadFrac: 2},
+		{Name: "a", Prefix: "/x/", Files: 1, FileSize: 1, Phases: []Phase{{Mult: 1, Rounds: 0}}},
+	}
+	for i, s := range bad {
+		if _, err := New(m, s); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, s)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+
+	"muxfs/internal/device"
+	"muxfs/internal/policy"
+	"muxfs/internal/policy/autotune"
+)
+
+// TestAutotuneUnderConcurrentTrafficAndFaults is the -race stress drill:
+// the autotuner mutates live policy knobs from inside RunPolicyOnce while
+// tenant goroutines hammer the data path, a second goroutine twiddles the
+// same knobs directly (a concurrent operator via muxsh), and the SSD tier
+// injects transient read/write faults. The assertions are weak on purpose
+// — the test's value is the interleaving under -race, plus the no-wedge
+// contract: params never escape their clamps and the Mux still serves I/O
+// afterwards.
+func TestAutotuneUnderConcurrentTrafficAndFaults(t *testing.T) {
+	pol := &policy.QuotaPolicy{
+		Base:   policy.DefaultLRU(),
+		Quotas: []policy.Quota{{Prefix: "/v/", Tier: 0, Bytes: 4 << 20}},
+	}
+	m, clk, ssd := testMux(t, pol)
+	if err := m.EnableAutotune(autotune.Options{MinIntervalOps: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []Spec{
+		{Name: "victim", Prefix: "/v/", Files: 128, FileSize: 64 << 10, OpSize: 4096,
+			ReadFrac: 0.8, Skew: 1.5, Seed: 11,
+			Phases: []Phase{{Mult: 1, Rounds: 3}, {Mult: 0.2, Rounds: 1}}},
+		{Name: "aggr", Prefix: "/a/", Files: 512, FileSize: 64 << 10, OpSize: 16384,
+			ReadFrac: 0.6, Scan: true, Seed: 12},
+		{Name: "mixed", Prefix: "/x/", Files: 64, FileSize: 32 << 10, OpSize: 4096,
+			ReadFrac: 0.3, Skew: 1.1, Seed: 13},
+	}
+	var rs []*Runner
+	for _, s := range specs {
+		r, err := New(m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RegisterTenant(s.Name, s.Prefix); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Populate(8); err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, r)
+	}
+
+	stop := make(chan struct{})
+	wg := RunConcurrent(rs, stop)
+
+	// Policy rounds + autotune steps race the traffic.
+	roundsDone := make(chan struct{})
+	go func() {
+		defer close(roundsDone)
+		for i := 0; i < 60; i++ {
+			clk.Advance(time.Millisecond)
+			_, _ = m.RunPolicyOnce() // fault-induced errors are expected
+			if i == 20 {
+				ssd.InjectFaults(device.FaultPlan{
+					Seed: 99, ReadErrProb: 0.05, WriteErrProb: 0.05,
+					LatencyProb: 0.1, LatencySpike: 2 * time.Millisecond,
+				})
+			}
+			if i == 45 {
+				ssd.ClearFaults()
+			}
+		}
+	}()
+
+	// A concurrent operator fights the tuner over the same knobs.
+	opDone := make(chan struct{})
+	go func() {
+		defer close(opDone)
+		tun := m.Policy().(policy.Tunable)
+		params := tun.Params()
+		for i := 0; i < 200; i++ {
+			p := params[i%len(params)]
+			_ = tun.SetParam(p.Name, p.Min+float64(i%5)*p.Step)
+		}
+	}()
+
+	<-roundsDone
+	<-opDone
+	close(stop)
+	wg.Wait()
+	ssd.ClearFaults()
+
+	tn := m.Autotuner()
+	if tn == nil {
+		t.Fatal("tuner lost during stress")
+	}
+	st := tn.Status()
+	if st.Rounds != 60 {
+		t.Fatalf("tuner rounds = %d, want 60", st.Rounds)
+	}
+	for _, p := range st.Params {
+		if p.Value < p.Min-1e-9 || p.Value > p.Max+1e-9 {
+			t.Fatalf("param %s = %v escaped [%v, %v] under stress", p.Name, p.Value, p.Min, p.Max)
+		}
+	}
+	// The hierarchy still serves I/O end to end after the storm.
+	if err := rs[0].Step(); err != nil {
+		t.Fatalf("post-stress op failed: %v", err)
+	}
+	var ops int64
+	for _, r := range rs {
+		ops += r.Stats.Ops.Load()
+	}
+	if ops == 0 {
+		t.Fatal("no tenant ops completed during stress")
+	}
+}

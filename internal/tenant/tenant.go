@@ -1,0 +1,406 @@
+// Package tenant is the multi-tenant workload harness: each tenant is a
+// path prefix plus a synthetic workload (zipfian heat with its own skew,
+// bursty diurnal phases on the virtual clock, a configurable read/write
+// mix), and many tenants run against one Mux so experiments can measure
+// interference — does an aggressor's cold scan inflate a victim's p99, do
+// quotas hold each tenant to its fast-tier share, how fair is throughput?
+//
+// Everything is deterministic by construction: a Runner owns a seeded PRNG
+// and RunRounds interleaves tenants one op at a time on a single
+// goroutine, so a given (specs, seed, rounds) tuple always produces the
+// same op sequence, the same placements, and — on the virtual clock — the
+// same latencies. RunConcurrent trades that determinism for real
+// parallelism and exists for -race stress, not for measurement.
+//
+// Namespaces are sparse: a tenant may declare a million files, but a file
+// costs nothing until first touch (lazy Create + Truncate leaves a hole,
+// no data blocks), so huge cold namespaces are cheap and only the working
+// set the zipf distribution actually visits materializes.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"muxfs/internal/vfs"
+)
+
+// Phase is one segment of a tenant's diurnal cycle: for Rounds rounds the
+// tenant issues Mult× its base op budget. Phases repeat cyclically, so
+// {day ×1.0, night ×0.1} models a burst/lull rhythm without wall clocks.
+type Phase struct {
+	Mult   float64
+	Rounds int
+}
+
+// Spec declares one tenant's workload.
+type Spec struct {
+	Name   string // tenant name (also registered with the Mux for telemetry)
+	Prefix string // absolute path prefix owning the tenant's files, e.g. "/a/"
+
+	Files    int   // namespace size; sparsely populated (up to ~1M is fine)
+	FileSize int64 // logical size of each file
+	OpSize   int   // bytes per read/write op
+
+	ReadFrac float64 // fraction of ops that are reads, in [0,1]
+	Skew     float64 // zipf s parameter; higher = hotter head. Values <=1 clamp to 1.01
+	Scan     bool    // sequential cold scan over the whole namespace (the aggressor shape)
+
+	// Churn turns the tenant into a log-structured appender: writes fill
+	// the namespace sequentially (OpSize slots, file by file, wrapping at
+	// the end) so fresh blocks allocate continuously, and reads pick
+	// uniformly among the last Recent fully-written files — the newest
+	// data is the hottest, like a time-series or ingest pipeline. This is
+	// the shape that keeps a tiering policy's demote-place loop running
+	// forever, so watermark knobs have steady-state consequences.
+	Churn  bool
+	Recent int // recency read window in files; required with Churn
+
+	Seed   int64   // PRNG seed; two runners with equal Spec replay identically
+	Phases []Phase // optional diurnal cycle; empty = steady ×1.0
+}
+
+// Stats counts a runner's completed work. Counters are atomic so
+// RunConcurrent can share them with a reader.
+type Stats struct {
+	Ops          atomic.Int64
+	Reads        atomic.Int64
+	Writes       atomic.Int64
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+	Errs         atomic.Int64
+}
+
+// Runner drives one tenant's workload against a file system (normally the
+// Mux, but any vfs.FileSystem works). Not safe for concurrent Step calls;
+// RunConcurrent gives each runner its own goroutine.
+type Runner struct {
+	Spec  Spec
+	Stats Stats
+
+	fs      vfs.FileSystem
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	scanPos int
+	head    int // churn write cursor, in OpSize slots across the namespace
+	round   int
+	buf     []byte
+
+	mu      sync.Mutex
+	created map[int]bool // lazily materialized files
+}
+
+// New validates the spec and builds a runner.
+func New(fs vfs.FileSystem, spec Spec) (*Runner, error) {
+	if spec.Name == "" {
+		return nil, errors.New("tenant: empty name")
+	}
+	if len(spec.Prefix) == 0 || spec.Prefix[0] != '/' {
+		return nil, fmt.Errorf("tenant %s: prefix %q must be absolute", spec.Name, spec.Prefix)
+	}
+	if spec.Files <= 0 || spec.FileSize <= 0 {
+		return nil, fmt.Errorf("tenant %s: need Files and FileSize > 0", spec.Name)
+	}
+	if spec.OpSize <= 0 {
+		spec.OpSize = 4096
+	}
+	if int64(spec.OpSize) > spec.FileSize {
+		spec.OpSize = int(spec.FileSize)
+	}
+	if spec.ReadFrac < 0 || spec.ReadFrac > 1 {
+		return nil, fmt.Errorf("tenant %s: ReadFrac %v outside [0,1]", spec.Name, spec.ReadFrac)
+	}
+	if spec.Churn && spec.Scan {
+		return nil, fmt.Errorf("tenant %s: Churn and Scan are mutually exclusive", spec.Name)
+	}
+	if spec.Churn && spec.Recent <= 0 {
+		return nil, fmt.Errorf("tenant %s: Churn needs a Recent read window", spec.Name)
+	}
+	if !spec.Churn && spec.Recent > 0 {
+		return nil, fmt.Errorf("tenant %s: Recent only applies to Churn tenants", spec.Name)
+	}
+	if spec.Recent > spec.Files {
+		spec.Recent = spec.Files
+	}
+	s := spec.Skew
+	if s <= 1 {
+		s = 1.01
+	}
+	for i, ph := range spec.Phases {
+		if ph.Rounds <= 0 || ph.Mult < 0 {
+			return nil, fmt.Errorf("tenant %s: phase %d invalid", spec.Name, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	return &Runner{
+		Spec:    spec,
+		fs:      fs,
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, s, 1, uint64(spec.Files-1)+1),
+		buf:     make([]byte, spec.OpSize),
+		created: make(map[int]bool, 64),
+	}, nil
+}
+
+// Path returns file i's path under the tenant prefix — the naming scheme
+// benchmarks rely on to seed or inspect a tenant's files directly.
+func (r *Runner) Path(i int) string { return r.path(i) }
+
+// path returns file i's path under the tenant prefix.
+func (r *Runner) path(i int) string {
+	p := r.Spec.Prefix
+	if p[len(p)-1] != '/' {
+		p += "/"
+	}
+	return p + "f" + strconv.Itoa(i)
+}
+
+// dir returns the tenant's directory (the prefix without trailing slash).
+func (r *Runner) dir() string {
+	p := r.Spec.Prefix
+	if len(p) > 1 && p[len(p)-1] == '/' {
+		p = p[:len(p)-1]
+	}
+	return p
+}
+
+// Populate creates the tenant directory and eagerly materializes up to
+// eager files. Eager files are sparse too (Truncate leaves a hole), so
+// even eager==Files costs only namespace entries; data blocks appear when
+// ops write. Files beyond eager materialize lazily on first touch.
+func (r *Runner) Populate(eager int) error {
+	if err := r.fs.Mkdir(r.dir()); err != nil && !errors.Is(err, vfs.ErrExist) {
+		return fmt.Errorf("tenant %s: mkdir: %w", r.Spec.Name, err)
+	}
+	if eager > r.Spec.Files {
+		eager = r.Spec.Files
+	}
+	for i := 0; i < eager; i++ {
+		if err := r.ensure(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensure materializes file i if it does not exist yet.
+func (r *Runner) ensure(i int) error {
+	r.mu.Lock()
+	done := r.created[i]
+	r.mu.Unlock()
+	if done {
+		return nil
+	}
+	f, err := r.fs.Create(r.path(i))
+	switch {
+	case err == nil:
+		terr := f.Truncate(r.Spec.FileSize)
+		cerr := f.Close()
+		if terr != nil {
+			return terr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	case errors.Is(err, vfs.ErrExist):
+		// Another runner's round (or a previous run) made it — fine.
+	default:
+		return fmt.Errorf("tenant %s: create %s: %w", r.Spec.Name, r.path(i), err)
+	}
+	r.mu.Lock()
+	r.created[i] = true
+	r.mu.Unlock()
+	return nil
+}
+
+// pick chooses the next file index: zipf for heat-skewed tenants, a strict
+// sequential sweep for scanners.
+func (r *Runner) pick() int {
+	if r.Spec.Scan {
+		i := r.scanPos
+		r.scanPos = (r.scanPos + 1) % r.Spec.Files
+		return i
+	}
+	return int(r.zipf.Uint64())
+}
+
+// slots is the number of OpSize slots per file.
+func (r *Runner) slots() int {
+	s := int(r.Spec.FileSize / int64(r.Spec.OpSize))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// churnTarget picks the (file, offset) for one churn-tenant op. Writes
+// advance the append head one slot at a time; reads land uniformly in the
+// Recent newest fully-written files. The head index grows without bound
+// (file identity is head mod Files), so the fully-written count stays
+// monotone across namespace wraparound.
+func (r *Runner) churnTarget(read bool) (int, int64) {
+	slots := r.slots()
+	if !read {
+		h := r.head
+		r.head++
+		return (h / slots) % r.Spec.Files, int64(h%slots) * int64(r.Spec.OpSize)
+	}
+	full := r.head / slots // fully-written files so far
+	if full == 0 {
+		return 0, 0 // cold start: nothing complete yet
+	}
+	w := r.Spec.Recent
+	if w > full {
+		w = full
+	}
+	dist := 1 + r.rng.Intn(w)
+	return (full - dist) % r.Spec.Files, int64(r.rng.Intn(slots)) * int64(r.Spec.OpSize)
+}
+
+// Step performs one op (read or write of OpSize bytes at an aligned offset
+// of a picked file). Errors are counted and returned; callers that keep
+// going treat them as part of the workload (e.g. fault-injection stress).
+func (r *Runner) Step() error {
+	read := r.rng.Float64() < r.Spec.ReadFrac
+	var i int
+	var off int64
+	switch {
+	case r.Spec.Churn:
+		i, off = r.churnTarget(read)
+	case r.Spec.Scan:
+		// Scanners stream sequentially: next file, offset 0.
+		i = r.pick()
+	default:
+		i = r.pick()
+		off = int64(r.rng.Intn(r.slots())) * int64(r.Spec.OpSize)
+	}
+	if err := r.ensure(i); err != nil {
+		r.Stats.Errs.Add(1)
+		return err
+	}
+
+	f, err := r.fs.Open(r.path(i))
+	if err != nil {
+		r.Stats.Errs.Add(1)
+		return err
+	}
+	defer f.Close()
+	if read {
+		n, err := f.ReadAt(r.buf, off)
+		r.Stats.Ops.Add(1)
+		r.Stats.Reads.Add(1)
+		r.Stats.BytesRead.Add(int64(n))
+		if err != nil && !errors.Is(err, io.EOF) {
+			r.Stats.Errs.Add(1)
+			return err
+		}
+		return nil
+	}
+	n, err := f.WriteAt(r.buf, off)
+	r.Stats.Ops.Add(1)
+	r.Stats.Writes.Add(1)
+	r.Stats.BytesWritten.Add(int64(n))
+	if err != nil {
+		r.Stats.Errs.Add(1)
+		return err
+	}
+	return nil
+}
+
+// opsThisRound applies the diurnal phase multiplier for round number n
+// (0-based) to the base per-round budget.
+func (r *Runner) opsThisRound(n, base int) int {
+	if len(r.Spec.Phases) == 0 {
+		return base
+	}
+	total := 0
+	for _, ph := range r.Spec.Phases {
+		total += ph.Rounds
+	}
+	k := n % total
+	for _, ph := range r.Spec.Phases {
+		if k < ph.Rounds {
+			return int(float64(base) * ph.Mult)
+		}
+		k -= ph.Rounds
+	}
+	return base
+}
+
+// RunRounds drives all runners for the given number of rounds on the
+// calling goroutine. Within a round the runners' ops interleave one at a
+// time (round-robin) so contention is modeled but the sequence is
+// deterministic. After each round the optional between hook runs —
+// typically RunPolicyOnce plus a clock advance. The first hard error from
+// a runner or the hook stops the run.
+func RunRounds(runners []*Runner, rounds, opsPerRound int, between func(round int) error) error {
+	for n := 0; n < rounds; n++ {
+		budgets := make([]int, len(runners))
+		maxB := 0
+		for i, r := range runners {
+			budgets[i] = r.opsThisRound(n, opsPerRound)
+			if budgets[i] > maxB {
+				maxB = budgets[i]
+			}
+		}
+		for k := 0; k < maxB; k++ {
+			for i, r := range runners {
+				if k >= budgets[i] {
+					continue
+				}
+				if err := r.Step(); err != nil {
+					return fmt.Errorf("tenant %s round %d: %w", r.Spec.Name, n, err)
+				}
+				r.round = n
+			}
+		}
+		if between != nil {
+			if err := between(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunConcurrent runs every runner in its own goroutine until stop closes,
+// for -race stress. Op errors are counted in Stats.Errs and swallowed:
+// under fault injection errors ARE the workload.
+func RunConcurrent(runners []*Runner, stop <-chan struct{}) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for _, r := range runners {
+		wg.Add(1)
+		go func(r *Runner) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Step() // counted in Stats.Errs
+			}
+		}(r)
+	}
+	return &wg
+}
+
+// Jain computes the Jain fairness index of the given shares: 1.0 when all
+// equal, approaching 1/n as one tenant starves the rest. Empty or all-zero
+// input returns 0.
+func Jain(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

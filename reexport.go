@@ -7,6 +7,7 @@ import (
 	"muxfs/internal/ec"
 	"muxfs/internal/muxrpc"
 	"muxfs/internal/policy"
+	"muxfs/internal/policy/autotune"
 	"muxfs/internal/telemetry"
 	"muxfs/internal/vfs"
 )
@@ -103,6 +104,45 @@ type Move = policy.Move
 
 // Quota caps the bytes a path prefix may occupy on one tier.
 type Quota = policy.Quota
+
+// Param is one tunable policy knob: a named float64 with hard clamps and a
+// probe step (policies implementing Tunable expose them; the autotuner
+// walks them).
+type Param = policy.Param
+
+// ParamKind says how a Param's value is interpreted (fraction, duration,
+// bytes, scalar).
+type ParamKind = policy.ParamKind
+
+// Param kinds.
+const (
+	KindFraction = policy.KindFraction
+	KindDuration = policy.KindDuration
+	KindBytes    = policy.KindBytes
+	KindScalar   = policy.KindScalar
+)
+
+// Tunable is a Policy that exposes runtime-adjustable Params.
+type Tunable = policy.Tunable
+
+// AutotuneOptions configures the feedback controller
+// (Mux.EnableAutotune): objective weights, hysteresis, decision cadence.
+type AutotuneOptions = autotune.Options
+
+// AutotuneStatus is the controller summary (`muxsh autotune status`,
+// mux_autotune_* metrics).
+type AutotuneStatus = autotune.Status
+
+// AutotuneDecision is one audited controller action from the decision log.
+type AutotuneDecision = autotune.Decision
+
+// Tuner is the feedback controller driving a Tunable policy's knobs
+// (Mux.Autotuner).
+type Tuner = autotune.Tuner
+
+// TenantTelemetry is one tenant's attributed op counters, latency
+// quantiles, and per-tier occupancy (Mux.TenantTelemetrySnapshot).
+type TenantTelemetry = core.TenantTelemetry
 
 // NewQuotaPolicy wraps base with per-prefix tier quotas; the Policy Runner
 // demotes the coldest over-quota files to the next slower tier.
